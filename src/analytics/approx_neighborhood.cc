@@ -1,0 +1,65 @@
+#include "analytics/approx_neighborhood.h"
+
+#include <cmath>
+
+#include "analytics/hyperloglog.h"
+#include "common/random.h"
+
+namespace edgeshed::analytics {
+
+double NeighborhoodFunction::EffectiveDiameter(double quantile) const {
+  if (pairs_within.empty() || pairs_within.back() <= 0.0) return 0.0;
+  const double target = quantile * pairs_within.back();
+  for (size_t k = 1; k < pairs_within.size(); ++k) {
+    if (pairs_within[k] >= target) {
+      // Linear interpolation between k-1 and k.
+      const double below = pairs_within[k - 1];
+      const double above = pairs_within[k];
+      if (above <= below) return static_cast<double>(k);
+      return static_cast<double>(k - 1) + (target - below) / (above - below);
+    }
+  }
+  return static_cast<double>(pairs_within.size() - 1);
+}
+
+NeighborhoodFunction ApproximateNeighborhoodFunction(
+    const graph::Graph& g, const ApproxNeighborhoodOptions& options) {
+  NeighborhoodFunction result;
+  const uint64_t n = g.NumNodes();
+  result.pairs_within.push_back(0.0);
+  if (n == 0) return result;
+
+  // counters[u] sketches the ball B(u, k); swap buffers per iteration.
+  std::vector<HyperLogLog> current(n, HyperLogLog(options.precision));
+  for (uint64_t u = 0; u < n; ++u) {
+    uint64_t h = options.seed ^ u;
+    current[u].AddHashed(SplitMix64Next(&h));
+  }
+
+  double previous_pairs = 0.0;
+  for (uint32_t distance = 1; distance <= options.max_distance; ++distance) {
+    std::vector<HyperLogLog> next = current;
+    bool any_changed = false;
+    for (graph::NodeId u = 0; u < n; ++u) {
+      for (graph::NodeId v : g.Neighbors(u)) {
+        any_changed |= next[u].Merge(current[v]);
+      }
+    }
+    current.swap(next);
+    double pairs = 0.0;
+    for (uint64_t u = 0; u < n; ++u) {
+      pairs += std::max(0.0, current[u].Estimate() - 1.0);  // exclude self
+    }
+    result.pairs_within.push_back(pairs);
+    if (!any_changed || pairs <= previous_pairs * (1.0 + 1e-4)) {
+      // Converged: clamp the tail to the final value.
+      result.pairs_within.back() =
+          std::max(result.pairs_within.back(), previous_pairs);
+      break;
+    }
+    previous_pairs = pairs;
+  }
+  return result;
+}
+
+}  // namespace edgeshed::analytics

@@ -1,0 +1,50 @@
+#ifndef EDGESHED_ANALYTICS_APPROX_NEIGHBORHOOD_H_
+#define EDGESHED_ANALYTICS_APPROX_NEIGHBORHOOD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace edgeshed::analytics {
+
+/// HyperANF-style approximate neighborhood function (Boldi, Rosa & Vigna,
+/// WWW 2011): N(k) = number of ordered vertex pairs within distance <= k,
+/// estimated by iterating per-vertex HyperLogLog sketches of the ball
+/// B(u, k). One pass per distance, O(|E|) sketch merges each — this is how
+/// hop-plots stay feasible on LiveJournal-scale graphs where all-sources
+/// BFS is not.
+struct ApproxNeighborhoodOptions {
+  /// HLL precision (2^precision registers per vertex); 10 -> ~3.2% error.
+  uint32_t precision = 10;
+  /// Hard cap on iterations (diameter guard).
+  uint32_t max_distance = 64;
+  uint64_t seed = 1;
+};
+
+struct NeighborhoodFunction {
+  /// pairs_within[k] = estimated # ordered pairs (u, v), u != v, with
+  /// d(u, v) <= k. Index 0 is 0 by convention; the last entry is the
+  /// converged total (reachable pairs).
+  std::vector<double> pairs_within;
+
+  /// Hop-plot value: fraction of reachable pairs within distance k
+  /// (1.0 beyond convergence, 0 if no pairs).
+  double HopFraction(uint32_t k) const {
+    if (pairs_within.empty() || pairs_within.back() <= 0.0) return 0.0;
+    const double total = pairs_within.back();
+    if (k >= pairs_within.size()) return 1.0;
+    return pairs_within[k] / total;
+  }
+
+  /// Effective diameter: smallest k with HopFraction(k) >= q (typically
+  /// 0.9), linearly interpolated as in the ANF literature.
+  double EffectiveDiameter(double quantile = 0.9) const;
+};
+
+NeighborhoodFunction ApproximateNeighborhoodFunction(
+    const graph::Graph& g, const ApproxNeighborhoodOptions& options = {});
+
+}  // namespace edgeshed::analytics
+
+#endif  // EDGESHED_ANALYTICS_APPROX_NEIGHBORHOOD_H_

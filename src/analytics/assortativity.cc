@@ -1,0 +1,45 @@
+#include "analytics/assortativity.h"
+
+#include <cmath>
+
+namespace edgeshed::analytics {
+
+double DegreeAssortativity(const graph::Graph& g) {
+  const uint64_t m = g.NumEdges();
+  if (m < 2) return 0.0;
+  // Newman's formula over edges (j_i, k_i are endpoint degrees):
+  //   r = [M^-1 Σ j_i k_i − (M^-1 Σ (j_i+k_i)/2)^2] /
+  //       [M^-1 Σ (j_i^2+k_i^2)/2 − (M^-1 Σ (j_i+k_i)/2)^2]
+  double sum_product = 0.0;
+  double sum_mean = 0.0;
+  double sum_square = 0.0;
+  for (const graph::Edge& e : g.edges()) {
+    const double ju = static_cast<double>(g.Degree(e.u));
+    const double kv = static_cast<double>(g.Degree(e.v));
+    sum_product += ju * kv;
+    sum_mean += 0.5 * (ju + kv);
+    sum_square += 0.5 * (ju * ju + kv * kv);
+  }
+  const double inv_m = 1.0 / static_cast<double>(m);
+  const double mean = inv_m * sum_mean;
+  const double numerator = inv_m * sum_product - mean * mean;
+  const double denominator = inv_m * sum_square - mean * mean;
+  if (std::abs(denominator) < 1e-15) return 0.0;
+  return numerator / denominator;
+}
+
+std::vector<double> AverageNeighborDegrees(const graph::Graph& g) {
+  std::vector<double> result(g.NumNodes(), 0.0);
+  for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    const uint64_t degree = g.Degree(u);
+    if (degree == 0) continue;
+    double sum = 0.0;
+    for (graph::NodeId v : g.Neighbors(u)) {
+      sum += static_cast<double>(g.Degree(v));
+    }
+    result[u] = sum / static_cast<double>(degree);
+  }
+  return result;
+}
+
+}  // namespace edgeshed::analytics

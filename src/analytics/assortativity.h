@@ -1,0 +1,21 @@
+#ifndef EDGESHED_ANALYTICS_ASSORTATIVITY_H_
+#define EDGESHED_ANALYTICS_ASSORTATIVITY_H_
+
+#include "graph/graph.h"
+
+namespace edgeshed::analytics {
+
+/// Degree assortativity coefficient (Newman 2002): the Pearson correlation
+/// of the degrees at the two ends of an edge, in [-1, 1]. Positive for
+/// social networks (hubs link to hubs), negative for technological ones.
+/// Returns 0 for graphs with < 2 edges or zero degree variance.
+double DegreeAssortativity(const graph::Graph& g);
+
+/// Mean degree of the neighbors of vertices with each degree k — the
+/// k_nn(k) curve behind the assortativity coefficient; useful for fidelity
+/// plots. Returned per vertex: average neighbor degree (0 for isolated).
+std::vector<double> AverageNeighborDegrees(const graph::Graph& g);
+
+}  // namespace edgeshed::analytics
+
+#endif  // EDGESHED_ANALYTICS_ASSORTATIVITY_H_

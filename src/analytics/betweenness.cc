@@ -1,0 +1,141 @@
+#include "analytics/betweenness.h"
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+
+#include "common/parallel_for.h"
+#include "common/random.h"
+
+namespace edgeshed::analytics {
+
+namespace {
+
+/// Per-thread scratch for one Brandes source sweep.
+struct BrandesScratch {
+  std::vector<int32_t> dist;
+  std::vector<double> sigma;   // shortest-path counts
+  std::vector<double> delta;   // dependency accumulator
+  std::vector<graph::NodeId> order;  // BFS pop order
+  std::vector<double> node_acc;
+  std::vector<double> edge_acc;
+
+  void Init(uint64_t num_nodes, uint64_t num_edges) {
+    node_acc.assign(num_nodes, 0.0);
+    edge_acc.assign(num_edges, 0.0);
+    dist.reserve(num_nodes);
+    sigma.reserve(num_nodes);
+    delta.reserve(num_nodes);
+    order.reserve(num_nodes);
+  }
+};
+
+void BrandesFromSource(const graph::Graph& g, graph::NodeId source,
+                       BrandesScratch* scratch) {
+  const uint64_t n = g.NumNodes();
+  auto& dist = scratch->dist;
+  auto& sigma = scratch->sigma;
+  auto& delta = scratch->delta;
+  auto& order = scratch->order;
+
+  dist.assign(n, -1);
+  sigma.assign(n, 0.0);
+  delta.assign(n, 0.0);
+  order.clear();
+
+  dist[source] = 0;
+  sigma[source] = 1.0;
+  order.push_back(source);
+  for (size_t head = 0; head < order.size(); ++head) {
+    graph::NodeId u = order[head];
+    int32_t next = dist[u] + 1;
+    for (graph::NodeId v : g.Neighbors(u)) {
+      if (dist[v] < 0) {
+        dist[v] = next;
+        order.push_back(v);
+      }
+      if (dist[v] == next) sigma[v] += sigma[u];
+    }
+  }
+
+  // Reverse accumulation. For each vertex w (in reverse BFS order), each
+  // predecessor edge (v, w) carries sigma[v]/sigma[w] * (1 + delta[w]).
+  for (size_t i = order.size(); i-- > 1;) {  // skip the source itself
+    graph::NodeId w = order[i];
+    const double coefficient = (1.0 + delta[w]) / sigma[w];
+    auto neighbors = g.Neighbors(w);
+    auto incident = g.IncidentEdges(w);
+    for (size_t j = 0; j < neighbors.size(); ++j) {
+      graph::NodeId v = neighbors[j];
+      if (dist[v] + 1 != dist[w]) continue;  // not a predecessor
+      const double contribution = sigma[v] * coefficient;
+      delta[v] += contribution;
+      scratch->edge_acc[incident[j]] += contribution;
+    }
+    scratch->node_acc[w] += delta[w];
+  }
+}
+
+}  // namespace
+
+BetweennessScores Betweenness(const graph::Graph& g,
+                              const BetweennessOptions& options) {
+  const uint64_t n = g.NumNodes();
+  BetweennessScores scores;
+  scores.node.assign(n, 0.0);
+  scores.edge.assign(g.NumEdges(), 0.0);
+  if (n == 0) return scores;
+
+  std::vector<graph::NodeId> sources;
+  double rescale = 1.0;
+  if (n <= options.exact_node_threshold || options.sample_sources >= n) {
+    sources.resize(n);
+    std::iota(sources.begin(), sources.end(), graph::NodeId{0});
+  } else {
+    Rng rng(options.seed);
+    for (uint64_t index : rng.SampleIndices(n, options.sample_sources)) {
+      sources.push_back(static_cast<graph::NodeId>(index));
+    }
+    rescale = static_cast<double>(n) / static_cast<double>(sources.size());
+  }
+
+  std::mutex merge_mutex;
+  ParallelFor(
+      0, sources.size(),
+      [&](uint64_t begin, uint64_t end) {
+        BrandesScratch scratch;
+        scratch.Init(n, g.NumEdges());
+        for (uint64_t i = begin; i < end; ++i) {
+          BrandesFromSource(g, sources[i], &scratch);
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        for (uint64_t u = 0; u < n; ++u) scores.node[u] += scratch.node_acc[u];
+        for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+          scores.edge[e] += scratch.edge_acc[e];
+        }
+      },
+      options.threads);
+
+  // Halve the directed double count; apply sampling rescale.
+  const double factor = 0.5 * rescale;
+  for (double& score : scores.node) score *= factor;
+  for (double& score : scores.edge) score *= factor;
+  return scores;
+}
+
+std::vector<graph::EdgeId> EdgesByBetweennessDescending(
+    const graph::Graph& g, const BetweennessOptions& options) {
+  BetweennessScores scores = Betweenness(g, options);
+  std::vector<graph::EdgeId> ids(g.NumEdges());
+  std::iota(ids.begin(), ids.end(), graph::EdgeId{0});
+  std::stable_sort(ids.begin(), ids.end(),
+                   [&scores](graph::EdgeId a, graph::EdgeId b) {
+                     if (scores.edge[a] != scores.edge[b]) {
+                       return scores.edge[a] > scores.edge[b];
+                     }
+                     return a < b;
+                   });
+  return ids;
+}
+
+}  // namespace edgeshed::analytics

@@ -1,0 +1,54 @@
+#ifndef EDGESHED_ANALYTICS_BETWEENNESS_H_
+#define EDGESHED_ANALYTICS_BETWEENNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace edgeshed::analytics {
+
+/// Controls for Brandes betweenness centrality.
+struct BetweennessOptions {
+  /// Run the exact algorithm (every vertex a source) when |V| <= this.
+  /// Above it, uniformly sampled sources are used with unbiased rescaling —
+  /// the laptop-scale substitution documented in DESIGN.md §3.
+  uint64_t exact_node_threshold = uint64_t{1} << 14;
+  /// Number of source pivots when sampling.
+  uint64_t sample_sources = 256;
+  /// Seed for pivot sampling.
+  uint64_t seed = 13;
+  /// Worker threads (0 = DefaultThreadCount()).
+  int threads = 0;
+
+  /// Forces exact computation regardless of size.
+  static BetweennessOptions Exact() {
+    BetweennessOptions options;
+    options.exact_node_threshold = static_cast<uint64_t>(-1);
+    return options;
+  }
+};
+
+/// Node and edge betweenness centrality, computed together in one Brandes
+/// pass (Brandes 2001: O(|V||E|) time, O(|V|+|E|) space per source).
+///
+/// Convention: scores count each unordered (s,t) pair once (the directed
+/// double-count is halved). Sampled mode rescales by |V|/sources so values
+/// estimate the exact ones; rankings — which is what both CRR and the
+/// paper's Fig. 8 consume — converge quickly.
+struct BetweennessScores {
+  std::vector<double> node;  // indexed by NodeId
+  std::vector<double> edge;  // indexed by EdgeId
+};
+
+BetweennessScores Betweenness(const graph::Graph& g,
+                              const BetweennessOptions& options = {});
+
+/// Edge ids of `g` sorted by non-increasing betweenness (ties broken by
+/// edge id for determinism). Convenience for CRR Phase 1.
+std::vector<graph::EdgeId> EdgesByBetweennessDescending(
+    const graph::Graph& g, const BetweennessOptions& options = {});
+
+}  // namespace edgeshed::analytics
+
+#endif  // EDGESHED_ANALYTICS_BETWEENNESS_H_

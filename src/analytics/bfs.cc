@@ -1,0 +1,33 @@
+#include "analytics/bfs.h"
+
+namespace edgeshed::analytics {
+
+std::vector<int32_t> BfsDistances(const graph::Graph& g,
+                                  graph::NodeId source) {
+  std::vector<int32_t> distances;
+  std::vector<graph::NodeId> queue;
+  BfsDistancesInto(g, source, &distances, &queue);
+  return distances;
+}
+
+void BfsDistancesInto(const graph::Graph& g, graph::NodeId source,
+                      std::vector<int32_t>* distances,
+                      std::vector<graph::NodeId>* queue) {
+  EDGESHED_DCHECK_LT(source, g.NumNodes());
+  distances->assign(g.NumNodes(), kUnreachable);
+  queue->clear();
+  (*distances)[source] = 0;
+  queue->push_back(source);
+  for (size_t head = 0; head < queue->size(); ++head) {
+    graph::NodeId u = (*queue)[head];
+    int32_t next = (*distances)[u] + 1;
+    for (graph::NodeId v : g.Neighbors(u)) {
+      if ((*distances)[v] == kUnreachable) {
+        (*distances)[v] = next;
+        queue->push_back(v);
+      }
+    }
+  }
+}
+
+}  // namespace edgeshed::analytics

@@ -1,0 +1,27 @@
+#ifndef EDGESHED_ANALYTICS_BFS_H_
+#define EDGESHED_ANALYTICS_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace edgeshed::analytics {
+
+/// Distance label for vertices not reached by a traversal.
+constexpr int32_t kUnreachable = -1;
+
+/// Single-source BFS. Returns one distance per vertex (hops), kUnreachable
+/// for vertices in other components.
+std::vector<int32_t> BfsDistances(const graph::Graph& g, graph::NodeId source);
+
+/// BFS reusing caller-provided scratch to avoid reallocation in tight loops
+/// (Brandes, sampled distance profiles). `distances` is resized and reset;
+/// `queue` is cleared and used as the frontier.
+void BfsDistancesInto(const graph::Graph& g, graph::NodeId source,
+                      std::vector<int32_t>* distances,
+                      std::vector<graph::NodeId>* queue);
+
+}  // namespace edgeshed::analytics
+
+#endif  // EDGESHED_ANALYTICS_BFS_H_

@@ -1,0 +1,37 @@
+#ifndef EDGESHED_ANALYTICS_CLOSENESS_H_
+#define EDGESHED_ANALYTICS_CLOSENESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace edgeshed::analytics {
+
+/// Controls for closeness/harmonic centrality.
+struct ClosenessOptions {
+  /// Exact all-sources BFS below this size; sampled sources above.
+  uint64_t exact_node_threshold = uint64_t{1} << 14;
+  uint64_t sample_sources = 256;
+  uint64_t seed = 23;
+  int threads = 0;
+};
+
+/// Harmonic centrality: H(u) = Σ_{v != u} 1 / d(u, v) with 1/∞ = 0 —
+/// the disconnected-robust variant of closeness (Boldi & Vigna 2014).
+/// Sampled mode estimates H(u) from BFS out of uniformly chosen sources,
+/// rescaled by |V|/sources; by symmetry of d this is unbiased.
+std::vector<double> HarmonicCentrality(const graph::Graph& g,
+                                       const ClosenessOptions& options = {});
+
+/// Classic closeness restricted to each vertex's component:
+/// C(u) = (r_u - 1) / Σ_{v reachable} d(u, v), scaled by (r_u - 1)/(n - 1)
+/// (Wasserman-Faust correction), where r_u is u's reachable-set size.
+/// Exact only (component bookkeeping does not sample well); prefer
+/// HarmonicCentrality for large graphs.
+std::vector<double> ClosenessCentrality(const graph::Graph& g,
+                                        int threads = 0);
+
+}  // namespace edgeshed::analytics
+
+#endif  // EDGESHED_ANALYTICS_CLOSENESS_H_

@@ -1,0 +1,33 @@
+#ifndef EDGESHED_ANALYTICS_CLUSTERING_H_
+#define EDGESHED_ANALYTICS_CLUSTERING_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace edgeshed::analytics {
+
+/// Local clustering coefficient per vertex: triangles(u) / C(deg(u), 2);
+/// 0 for vertices of degree < 2. Exact, via sorted-adjacency intersection.
+std::vector<double> LocalClusteringCoefficients(const graph::Graph& g,
+                                                int threads = 0);
+
+/// Number of triangles through each vertex.
+std::vector<uint64_t> TrianglesPerNode(const graph::Graph& g,
+                                       int threads = 0);
+
+/// Average of the local coefficients over all vertices (the network average
+/// clustering coefficient).
+double AverageClusteringCoefficient(const graph::Graph& g, int threads = 0);
+
+/// Mean local clustering coefficient of the vertices at each degree value —
+/// the "clustering coefficient of the average k-degree vertex" curve of
+/// Fig. 9. Degrees with no vertices are absent from the map.
+std::map<uint64_t, double> ClusteringByDegree(const graph::Graph& g,
+                                              int threads = 0);
+
+}  // namespace edgeshed::analytics
+
+#endif  // EDGESHED_ANALYTICS_CLUSTERING_H_

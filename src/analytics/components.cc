@@ -1,0 +1,41 @@
+#include "analytics/components.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace edgeshed::analytics {
+
+uint32_t ComponentResult::LargestComponent() const {
+  EDGESHED_CHECK(!sizes.empty());
+  return static_cast<uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+}
+
+ComponentResult ConnectedComponents(const graph::Graph& g) {
+  constexpr uint32_t kUnassigned = static_cast<uint32_t>(-1);
+  ComponentResult result;
+  result.component.assign(g.NumNodes(), kUnassigned);
+  std::vector<graph::NodeId> stack;
+  for (graph::NodeId root = 0; root < g.NumNodes(); ++root) {
+    if (result.component[root] != kUnassigned) continue;
+    uint32_t id = result.NumComponents();
+    result.sizes.push_back(0);
+    result.component[root] = id;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      graph::NodeId u = stack.back();
+      stack.pop_back();
+      ++result.sizes[id];
+      for (graph::NodeId v : g.Neighbors(u)) {
+        if (result.component[v] == kUnassigned) {
+          result.component[v] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace edgeshed::analytics

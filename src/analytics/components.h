@@ -1,0 +1,31 @@
+#ifndef EDGESHED_ANALYTICS_COMPONENTS_H_
+#define EDGESHED_ANALYTICS_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace edgeshed::analytics {
+
+/// Connected-component decomposition of an undirected graph.
+struct ComponentResult {
+  /// component[u] in [0, num_components); components are numbered in
+  /// discovery order of their smallest vertex.
+  std::vector<uint32_t> component;
+  /// sizes[c] = number of vertices in component c.
+  std::vector<uint64_t> sizes;
+
+  uint32_t NumComponents() const {
+    return static_cast<uint32_t>(sizes.size());
+  }
+  /// Index of the largest component (ties broken by lower id); 0 components
+  /// is a programming error.
+  uint32_t LargestComponent() const;
+};
+
+ComponentResult ConnectedComponents(const graph::Graph& g);
+
+}  // namespace edgeshed::analytics
+
+#endif  // EDGESHED_ANALYTICS_COMPONENTS_H_

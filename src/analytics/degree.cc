@@ -1,0 +1,35 @@
+#include "analytics/degree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgeshed::analytics {
+
+Histogram DegreeDistribution(const graph::Graph& g, int64_t cap) {
+  Histogram histogram(cap);
+  for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    histogram.Add(static_cast<int64_t>(g.Degree(u)));
+  }
+  return histogram;
+}
+
+Histogram EstimatedDegreeDistribution(const graph::Graph& reduced, double p,
+                                      int64_t cap) {
+  Histogram histogram(cap);
+  for (graph::NodeId u = 0; u < reduced.NumNodes(); ++u) {
+    const auto estimate = static_cast<int64_t>(
+        std::llround(static_cast<double>(reduced.Degree(u)) / p));
+    histogram.Add(estimate);
+  }
+  return histogram;
+}
+
+uint64_t MaxDegree(const graph::Graph& g) {
+  uint64_t max_degree = 0;
+  for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    max_degree = std::max(max_degree, g.Degree(u));
+  }
+  return max_degree;
+}
+
+}  // namespace edgeshed::analytics

@@ -1,0 +1,27 @@
+#ifndef EDGESHED_ANALYTICS_DEGREE_H_
+#define EDGESHED_ANALYTICS_DEGREE_H_
+
+#include "common/histogram.h"
+#include "graph/graph.h"
+
+namespace edgeshed::analytics {
+
+/// Degree -> vertex-count histogram. `cap` > 0 aggregates all degrees above
+/// the cap into one bucket, as the paper does for email-Enron (cap 300,
+/// Fig. 5c-d).
+Histogram DegreeDistribution(const graph::Graph& g, int64_t cap = 0);
+
+/// Maximum vertex degree (0 for the empty graph).
+uint64_t MaxDegree(const graph::Graph& g);
+
+/// Degree distribution of the *original* graph as estimated from a reduced
+/// graph: since both shedding methods maintain E[deg_G'(u)] = p·deg_G(u)
+/// (Eq. 1), each vertex's original degree is estimated by round(deg'/p).
+/// This estimator is what makes the paper's Fig. 5c-d / Fig. 6 curves sit
+/// on top of the original distribution.
+Histogram EstimatedDegreeDistribution(const graph::Graph& reduced, double p,
+                                      int64_t cap = 0);
+
+}  // namespace edgeshed::analytics
+
+#endif  // EDGESHED_ANALYTICS_DEGREE_H_

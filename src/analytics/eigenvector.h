@@ -1,0 +1,29 @@
+#ifndef EDGESHED_ANALYTICS_EIGENVECTOR_H_
+#define EDGESHED_ANALYTICS_EIGENVECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace edgeshed::analytics {
+
+/// Controls for eigenvector-centrality power iteration.
+struct EigenvectorOptions {
+  uint32_t max_iterations = 200;
+  /// Stop when the L2 change between normalized iterates drops below this.
+  double tolerance = 1e-10;
+  int threads = 0;
+};
+
+/// Eigenvector centrality: the principal eigenvector of the adjacency
+/// matrix, L2-normalized and non-negative. A centrality alternative to
+/// PageRank for the top-k experiments; on disconnected graphs mass
+/// concentrates on the component with the largest spectral radius (the
+/// standard behavior). Vertices of degree 0 score 0.
+std::vector<double> EigenvectorCentrality(
+    const graph::Graph& g, const EigenvectorOptions& options = {});
+
+}  // namespace edgeshed::analytics
+
+#endif  // EDGESHED_ANALYTICS_EIGENVECTOR_H_

@@ -1,0 +1,38 @@
+#include "analytics/hyperloglog.h"
+
+#include <cmath>
+
+namespace edgeshed::analytics {
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  switch (registers_.size()) {
+    case 16:
+      alpha = 0.673;
+      break;
+    case 32:
+      alpha = 0.697;
+      break;
+    case 64:
+      alpha = 0.709;
+      break;
+    default:
+      alpha = 0.7213 / (1.0 + 1.079 / m);
+      break;
+  }
+  double inverse_sum = 0.0;
+  uint64_t zero_registers = 0;
+  for (uint8_t r : registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zero_registers;
+  }
+  double estimate = alpha * m * m / inverse_sum;
+  // Small-range correction: linear counting while any register is empty.
+  if (estimate <= 2.5 * m && zero_registers > 0) {
+    estimate = m * std::log(m / static_cast<double>(zero_registers));
+  }
+  return estimate;
+}
+
+}  // namespace edgeshed::analytics

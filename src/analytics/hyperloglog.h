@@ -1,0 +1,64 @@
+#ifndef EDGESHED_ANALYTICS_HYPERLOGLOG_H_
+#define EDGESHED_ANALYTICS_HYPERLOGLOG_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace edgeshed::analytics {
+
+/// HyperLogLog cardinality sketch (Flajolet et al. 2007) with the standard
+/// small-range linear-counting correction. Fixed-precision registers are
+/// stored inline so arrays of counters (one per vertex, as HyperANF needs)
+/// are cache-friendly and mergeable with element-wise max.
+class HyperLogLog {
+ public:
+  /// `precision` selects 2^precision registers; 4 <= precision <= 16.
+  /// Standard error ~ 1.04 / sqrt(2^precision).
+  explicit HyperLogLog(uint32_t precision = 10) : precision_(precision) {
+    EDGESHED_CHECK(precision >= 4 && precision <= 16);
+    registers_.assign(size_t{1} << precision, 0);
+  }
+
+  /// Inserts a pre-hashed 64-bit value. Callers hash their items (use
+  /// SplitMix64Next for integers).
+  void AddHashed(uint64_t hash) {
+    const uint64_t index = hash >> (64 - precision_);
+    const uint64_t remainder = hash << precision_;
+    const uint8_t rank = remainder == 0
+                             ? static_cast<uint8_t>(65 - precision_)
+                             : static_cast<uint8_t>(
+                                   std::countl_zero(remainder) + 1);
+    registers_[index] = std::max(registers_[index], rank);
+  }
+
+  /// Union with another sketch of identical precision (element-wise max).
+  /// Returns true if any register changed — HyperANF's convergence signal.
+  bool Merge(const HyperLogLog& other) {
+    EDGESHED_DCHECK_EQ(precision_, other.precision_);
+    bool changed = false;
+    for (size_t i = 0; i < registers_.size(); ++i) {
+      if (other.registers_[i] > registers_[i]) {
+        registers_[i] = other.registers_[i];
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  /// Estimated cardinality.
+  double Estimate() const;
+
+  uint32_t precision() const { return precision_; }
+
+ private:
+  uint32_t precision_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace edgeshed::analytics
+
+#endif  // EDGESHED_ANALYTICS_HYPERLOGLOG_H_

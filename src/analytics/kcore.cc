@@ -1,0 +1,68 @@
+#include "analytics/kcore.h"
+
+#include <algorithm>
+
+namespace edgeshed::analytics {
+
+std::vector<uint32_t> CoreDecomposition(const graph::Graph& g) {
+  const uint64_t n = g.NumNodes();
+  std::vector<uint32_t> core(n, 0);
+  if (n == 0) return core;
+
+  // Bucket-queue peeling: vertices sorted by current degree; repeatedly
+  // remove a minimum-degree vertex and decrement its neighbors.
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    degree[u] = static_cast<uint32_t>(g.Degree(u));
+    max_degree = std::max(max_degree, degree[u]);
+  }
+  // bin[d] = start offset of degree-d block in `order`.
+  std::vector<uint64_t> bin(max_degree + 2, 0);
+  for (graph::NodeId u = 0; u < n; ++u) ++bin[degree[u] + 1];
+  for (size_t d = 1; d < bin.size(); ++d) bin[d] += bin[d - 1];
+  std::vector<graph::NodeId> order(n);
+  std::vector<uint64_t> position(n);
+  {
+    std::vector<uint64_t> cursor(bin.begin(), bin.end() - 1);
+    for (graph::NodeId u = 0; u < n; ++u) {
+      position[u] = cursor[degree[u]]++;
+      order[position[u]] = u;
+    }
+  }
+
+  for (uint64_t i = 0; i < n; ++i) {
+    const graph::NodeId u = order[i];
+    core[u] = degree[u];
+    for (graph::NodeId v : g.Neighbors(u)) {
+      if (degree[v] <= degree[u]) continue;  // already peeled or equal bin
+      // Swap v to the front of its degree block, then shrink the block.
+      const uint32_t dv = degree[v];
+      const uint64_t block_start = bin[dv];
+      const graph::NodeId front = order[block_start];
+      if (front != v) {
+        std::swap(order[position[v]], order[block_start]);
+        std::swap(position[v], position[front]);
+      }
+      ++bin[dv];
+      --degree[v];
+    }
+  }
+  return core;
+}
+
+uint32_t Degeneracy(const graph::Graph& g) {
+  uint32_t best = 0;
+  for (uint32_t c : CoreDecomposition(g)) best = std::max(best, c);
+  return best;
+}
+
+Histogram CorenessDistribution(const graph::Graph& g) {
+  Histogram histogram;
+  for (uint32_t c : CoreDecomposition(g)) {
+    histogram.Add(static_cast<int64_t>(c));
+  }
+  return histogram;
+}
+
+}  // namespace edgeshed::analytics

@@ -1,0 +1,27 @@
+#ifndef EDGESHED_ANALYTICS_KCORE_H_
+#define EDGESHED_ANALYTICS_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "graph/graph.h"
+
+namespace edgeshed::analytics {
+
+/// k-core decomposition (Matula-Beck peeling, O(|E|) with bucket queues):
+/// core[u] is the largest k such that u belongs to a subgraph where every
+/// vertex has degree >= k. Coreness is a degree-derived robustness measure,
+/// so degree-preserving shedding should keep its *distribution* shape —
+/// exercised by the structural-fidelity extension bench.
+std::vector<uint32_t> CoreDecomposition(const graph::Graph& g);
+
+/// Maximum coreness over all vertices (the graph's degeneracy).
+uint32_t Degeneracy(const graph::Graph& g);
+
+/// Coreness -> vertex-count histogram.
+Histogram CorenessDistribution(const graph::Graph& g);
+
+}  // namespace edgeshed::analytics
+
+#endif  // EDGESHED_ANALYTICS_KCORE_H_

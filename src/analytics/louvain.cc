@@ -1,0 +1,209 @@
+#include "analytics/louvain.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "graph/graph_builder.h"
+
+namespace edgeshed::analytics {
+
+namespace {
+
+/// Weighted multigraph view used across aggregation levels.
+struct LevelGraph {
+  // CSR-ish: per-node neighbor/weight lists (self-loops carry intra-
+  // community weight after aggregation).
+  std::vector<std::vector<std::pair<uint32_t, double>>> adjacency;
+  std::vector<double> self_loop;  // weight of u's self-loop (counted once)
+  double total_weight = 0.0;      // m: sum of edge weights (undirected)
+
+  uint32_t NumNodes() const {
+    return static_cast<uint32_t>(adjacency.size());
+  }
+  double WeightedDegree(uint32_t u) const {
+    double sum = 2.0 * self_loop[u];
+    for (const auto& [v, w] : adjacency[u]) sum += w;
+    return sum;
+  }
+};
+
+LevelGraph FromGraph(const graph::Graph& g) {
+  LevelGraph level;
+  level.adjacency.resize(g.NumNodes());
+  level.self_loop.assign(g.NumNodes(), 0.0);
+  for (const graph::Edge& e : g.edges()) {
+    level.adjacency[e.u].emplace_back(e.v, 1.0);
+    level.adjacency[e.v].emplace_back(e.u, 1.0);
+  }
+  level.total_weight = static_cast<double>(g.NumEdges());
+  return level;
+}
+
+/// One level of local moves; returns (community labels, modularity gain
+/// achieved at this level).
+std::vector<uint32_t> LocalMoves(const LevelGraph& level,
+                                 const LouvainOptions& options, Rng& rng,
+                                 bool* moved_any) {
+  const uint32_t n = level.NumNodes();
+  std::vector<uint32_t> community(n);
+  std::iota(community.begin(), community.end(), 0u);
+  if (level.total_weight <= 0.0) {
+    *moved_any = false;
+    return community;
+  }
+  const double m2 = 2.0 * level.total_weight;
+
+  std::vector<double> community_total(n);  // Σ weighted degrees per community
+  std::vector<double> degree(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    degree[u] = level.WeightedDegree(u);
+    community_total[u] = degree[u];
+  }
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::unordered_map<uint32_t, double> weight_to;  // community -> edge weight
+
+  *moved_any = false;
+  for (uint32_t sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
+    rng.Shuffle(&order);
+    uint32_t moves = 0;
+    for (uint32_t u : order) {
+      const uint32_t current = community[u];
+      weight_to.clear();
+      weight_to[current];  // ensure present
+      for (const auto& [v, w] : level.adjacency[u]) {
+        weight_to[community[v]] += w;
+      }
+      // Remove u from its community.
+      community_total[current] -= degree[u];
+      // Best community by modularity gain: ΔQ ∝ w_to(c) − deg(u)·tot(c)/2m.
+      uint32_t best = current;
+      double best_gain = weight_to[current] -
+                         degree[u] * community_total[current] / m2;
+      for (const auto& [c, w] : weight_to) {
+        if (c == best) continue;
+        const double gain = w - degree[u] * community_total[c] / m2;
+        if (gain > best_gain + 1e-12) {
+          best = c;
+          best_gain = gain;
+        }
+      }
+      community_total[best] += degree[u];
+      if (best != current) {
+        community[u] = best;
+        ++moves;
+      }
+    }
+    if (moves == 0) break;
+    *moved_any = true;
+  }
+  return community;
+}
+
+/// Aggregates communities into a coarser LevelGraph; `dense_of` maps the
+/// level's node ids to coarse ids.
+LevelGraph Aggregate(const LevelGraph& level,
+                     const std::vector<uint32_t>& community,
+                     std::vector<uint32_t>* dense_of) {
+  const uint32_t n = level.NumNodes();
+  dense_of->assign(n, 0);
+  std::unordered_map<uint32_t, uint32_t> dense;
+  for (uint32_t u = 0; u < n; ++u) {
+    auto [it, inserted] =
+        dense.emplace(community[u], static_cast<uint32_t>(dense.size()));
+    (*dense_of)[u] = it->second;
+  }
+  LevelGraph coarse;
+  coarse.adjacency.resize(dense.size());
+  coarse.self_loop.assign(dense.size(), 0.0);
+  coarse.total_weight = level.total_weight;
+
+  std::unordered_map<uint64_t, double> pair_weight;
+  for (uint32_t u = 0; u < n; ++u) {
+    const uint32_t cu = (*dense_of)[u];
+    coarse.self_loop[cu] += level.self_loop[u];
+    for (const auto& [v, w] : level.adjacency[u]) {
+      const uint32_t cv = (*dense_of)[v];
+      if (cu == cv) {
+        // Each undirected edge appears twice in adjacency; halve.
+        coarse.self_loop[cu] += w / 2.0;
+      } else if (cu < cv) {
+        pair_weight[(static_cast<uint64_t>(cu) << 32) | cv] += w;
+      }
+    }
+  }
+  for (const auto& [key, w] : pair_weight) {
+    const auto cu = static_cast<uint32_t>(key >> 32);
+    const auto cv = static_cast<uint32_t>(key & 0xffffffffu);
+    coarse.adjacency[cu].emplace_back(cv, w);
+    coarse.adjacency[cv].emplace_back(cu, w);
+  }
+  return coarse;
+}
+
+}  // namespace
+
+double Modularity(const graph::Graph& g,
+                  const std::vector<uint32_t>& community) {
+  EDGESHED_CHECK_EQ(community.size(), g.NumNodes());
+  const double m = static_cast<double>(g.NumEdges());
+  if (m <= 0.0) return 0.0;
+  std::unordered_map<uint32_t, double> internal;
+  std::unordered_map<uint32_t, double> total;
+  for (const graph::Edge& e : g.edges()) {
+    if (community[e.u] == community[e.v]) internal[community[e.u]] += 1.0;
+  }
+  for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    total[community[u]] += static_cast<double>(g.Degree(u));
+  }
+  double q = 0.0;
+  for (const auto& [c, tot] : total) {
+    const double in = internal.contains(c) ? internal.at(c) : 0.0;
+    q += in / m - (tot / (2.0 * m)) * (tot / (2.0 * m));
+  }
+  return q;
+}
+
+LouvainResult Louvain(const graph::Graph& g, const LouvainOptions& options) {
+  LouvainResult result;
+  result.community.resize(g.NumNodes());
+  std::iota(result.community.begin(), result.community.end(), 0u);
+  if (g.NumNodes() == 0) return result;
+
+  Rng rng(options.seed);
+  LevelGraph level = FromGraph(g);
+  // node_to_coarse[u]: current coarse id of original vertex u.
+  std::vector<uint32_t> node_to_coarse(g.NumNodes());
+  std::iota(node_to_coarse.begin(), node_to_coarse.end(), 0u);
+
+  for (uint32_t pass = 0; pass < options.max_levels; ++pass) {
+    bool moved = false;
+    std::vector<uint32_t> community = LocalMoves(level, options, rng, &moved);
+    if (!moved) break;
+    ++result.levels;
+    std::vector<uint32_t> dense_of;
+    level = Aggregate(level, community, &dense_of);
+    // dense_of maps a level node to its coarse id (already through its
+    // community), so composing with the running map is one lookup.
+    for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+      node_to_coarse[u] = dense_of[node_to_coarse[u]];
+    }
+    if (level.NumNodes() <= 1) break;
+  }
+
+  // Densify final labels over original vertices.
+  std::unordered_map<uint32_t, uint32_t> dense;
+  for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    auto [it, inserted] = dense.emplace(
+        node_to_coarse[u], static_cast<uint32_t>(dense.size()));
+    result.community[u] = it->second;
+  }
+  result.num_communities = static_cast<uint32_t>(dense.size());
+  result.modularity = Modularity(g, result.community);
+  return result;
+}
+
+}  // namespace edgeshed::analytics

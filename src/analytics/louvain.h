@@ -1,0 +1,49 @@
+#ifndef EDGESHED_ANALYTICS_LOUVAIN_H_
+#define EDGESHED_ANALYTICS_LOUVAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace edgeshed::analytics {
+
+/// Controls for Louvain modularity optimization.
+struct LouvainOptions {
+  /// Maximum local-move sweeps per level.
+  uint32_t max_sweeps_per_level = 16;
+  /// Maximum aggregation levels.
+  uint32_t max_levels = 16;
+  /// Stop a level once a sweep improves modularity by less than this.
+  double min_modularity_gain = 1e-6;
+  uint64_t seed = 29;
+};
+
+/// Result of a Louvain run.
+struct LouvainResult {
+  /// community[u] in [0, num_communities), dense labels.
+  std::vector<uint32_t> community;
+  uint32_t num_communities = 0;
+  /// Modularity Q of the final partition.
+  double modularity = 0.0;
+  uint32_t levels = 0;
+};
+
+/// Louvain community detection (Blondel et al. 2008): greedy local moves
+/// maximizing modularity, then graph aggregation, repeated until no gain.
+/// Deterministic given the seed (vertex visiting order is shuffled once per
+/// sweep). An alternative to the node2vec + k-means pipeline for the
+/// paper's "link prediction within community" task — structural instead of
+/// embedding-based.
+LouvainResult Louvain(const graph::Graph& g,
+                      const LouvainOptions& options = {});
+
+/// Modularity Q of an arbitrary partition of `g` (labels need not be
+/// dense). Q = Σ_c [ in_c / m − (tot_c / 2m)^2 ] with m = |E|.
+double Modularity(const graph::Graph& g,
+                  const std::vector<uint32_t>& community);
+
+}  // namespace edgeshed::analytics
+
+#endif  // EDGESHED_ANALYTICS_LOUVAIN_H_

@@ -1,0 +1,33 @@
+#ifndef EDGESHED_ANALYTICS_PAGERANK_H_
+#define EDGESHED_ANALYTICS_PAGERANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace edgeshed::analytics {
+
+/// Controls for PageRank power iteration.
+struct PageRankOptions {
+  double damping = 0.85;
+  /// Stop when the L1 change between iterations drops below this.
+  double tolerance = 1e-9;
+  uint32_t max_iterations = 100;
+  int threads = 0;
+};
+
+/// PageRank on the undirected graph (each edge walked both ways). Dangling
+/// (degree-0) vertices — common in reduced graphs — spread their mass
+/// uniformly, the standard correction. Scores sum to 1.
+std::vector<double> PageRank(const graph::Graph& g,
+                             const PageRankOptions& options = {});
+
+/// Indices of the `k` highest-scoring entries of `scores`, ties broken by
+/// lower index; used by the Top-k utility (paper task 6).
+std::vector<uint32_t> TopKIndices(const std::vector<double>& scores,
+                                  uint64_t k);
+
+}  // namespace edgeshed::analytics
+
+#endif  // EDGESHED_ANALYTICS_PAGERANK_H_

@@ -1,0 +1,39 @@
+#ifndef EDGESHED_ANALYTICS_SHORTEST_PATHS_H_
+#define EDGESHED_ANALYTICS_SHORTEST_PATHS_H_
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace edgeshed::analytics {
+
+/// Controls for the all-pairs distance profile.
+struct DistanceProfileOptions {
+  /// Run exact all-sources BFS when |V| <= this; otherwise sample sources.
+  uint64_t exact_node_threshold = 1 << 15;
+  /// Number of BFS sources when sampling (ignored in exact mode).
+  uint64_t sample_sources = 512;
+  /// Seed for source sampling.
+  uint64_t seed = 7;
+  /// Worker threads (0 = DefaultThreadCount()).
+  int threads = 0;
+};
+
+/// Distribution of shortest-path distances over reachable ordered vertex
+/// pairs (s != t). Exact mode runs BFS from every vertex; sampled mode runs
+/// BFS from uniformly chosen sources — the *fraction* per distance is an
+/// unbiased estimate either way, which is all the paper's Fig. 7/Fig. 10
+/// report (percentages of reachable pairs).
+Histogram DistanceProfile(const graph::Graph& g,
+                          const DistanceProfileOptions& options = {});
+
+/// Hop-plot point: fraction of reachable pairs within distance `hops`,
+/// derived from a DistanceProfile histogram (Fig. 10). Equivalent to the
+/// cumulative distribution of the profile.
+double HopPlotFraction(const Histogram& distance_profile, int64_t hops);
+
+}  // namespace edgeshed::analytics
+
+#endif  // EDGESHED_ANALYTICS_SHORTEST_PATHS_H_

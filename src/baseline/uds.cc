@@ -1,0 +1,328 @@
+#include "baseline/uds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+#include "analytics/bfs.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "graph/graph_builder.h"
+
+namespace edgeshed::baseline {
+
+namespace {
+
+/// Covered-edge bookkeeping for one supernode pair (or a supernode's
+/// internal pair set).
+struct PairStats {
+  double real_utility = 0.0;       // Σ w(e) over real edges in the pair set
+  double real_pair_penalty = 0.0;  // Σ (ni(u)+ni(v))/2 over those same edges
+  uint64_t edge_count = 0;
+
+  void Absorb(const PairStats& other) {
+    real_utility += other.real_utility;
+    real_pair_penalty += other.real_pair_penalty;
+    edge_count += other.edge_count;
+  }
+};
+
+struct Supernode {
+  bool alive = true;
+  uint64_t size = 1;
+  uint64_t version = 0;  // bumped on every merge that touches this id
+  double ni_sum = 0.0;   // Σ normalized node importance over members
+  PairStats internal;    // stats of member-member edges
+  std::unordered_map<uint32_t, PairStats> neighbors;
+};
+
+/// Net utility contribution of the superedge between x and y (stats `s`):
+/// covered utility minus spurious-pair penalty, floored at 0 because a
+/// losing superedge is simply dropped from the summary.
+double CrossContribution(const Supernode& x, const Supernode& y,
+                         const PairStats& s) {
+  const double total_pair_penalty =
+      (static_cast<double>(x.size) * y.ni_sum +
+       static_cast<double>(y.size) * x.ni_sum) /
+      2.0;
+  const double spurious = total_pair_penalty - s.real_pair_penalty;
+  return std::max(0.0, s.real_utility - spurious);
+}
+
+/// Same for the self-superedge of x over its internal pairs.
+double InternalContribution(const Supernode& x) {
+  const double total_pair_penalty =
+      (static_cast<double>(x.size - 1) * x.ni_sum) / 2.0;
+  const double spurious = total_pair_penalty - x.internal.real_pair_penalty;
+  return std::max(0.0, x.internal.real_utility - spurious);
+}
+
+/// Candidate merge in the lazy min-heap. Keys go stale; pops re-evaluate.
+struct MergeCandidate {
+  double loss;
+  uint32_t s;
+  uint32_t t;
+  uint64_t version_s;
+  uint64_t version_t;
+
+  /// Min-heap by loss (std::priority_queue is a max-heap, so invert);
+  /// deterministic tie-break on ids.
+  friend bool operator<(const MergeCandidate& a, const MergeCandidate& b) {
+    if (a.loss != b.loss) return a.loss > b.loss;
+    if (a.s != b.s) return a.s > b.s;
+    return a.t > b.t;
+  }
+};
+
+}  // namespace
+
+StatusOr<UdsSummary> Uds::Summarize(const graph::Graph& g,
+                                    double utility_threshold) const {
+  if (!(utility_threshold > 0.0 && utility_threshold < 1.0)) {
+    return Status::InvalidArgument(
+        "UDS utility threshold must be in (0, 1)");
+  }
+  Stopwatch watch;
+  const uint64_t n = g.NumNodes();
+  UdsSummary summary;
+
+  // Importance scores (nodeIS/edgeIS = betweenness), normalized to sum 1.
+  analytics::BetweennessScores scores =
+      analytics::Betweenness(g, options_.importance);
+  double node_total = 0.0;
+  double edge_total = 0.0;
+  for (double s : scores.node) node_total += s;
+  for (double s : scores.edge) edge_total += s;
+  // Uniform floor keeps zero-centrality elements from being free to destroy.
+  const double node_floor = 0.1 / std::max<double>(1.0, static_cast<double>(n));
+  const double edge_floor =
+      0.1 / std::max<double>(1.0, static_cast<double>(g.NumEdges()));
+  std::vector<double> ni(n);
+  std::vector<double> we(g.NumEdges());
+  double ni_sum_all = 0.0;
+  double we_sum_all = 0.0;
+  for (uint64_t u = 0; u < n; ++u) {
+    ni[u] = node_floor + (node_total > 0 ? scores.node[u] / node_total : 0.0);
+    ni_sum_all += ni[u];
+  }
+  for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    we[e] = edge_floor + (edge_total > 0 ? scores.edge[e] / edge_total : 0.0);
+    we_sum_all += we[e];
+  }
+  for (double& v : ni) v /= ni_sum_all;
+  for (double& v : we) v /= we_sum_all;
+
+  // Initial summary: every vertex its own supernode; utility = 1.
+  std::vector<Supernode> supernodes(n);
+  for (uint64_t u = 0; u < n; ++u) supernodes[u].ni_sum = ni[u];
+  for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const graph::Edge& edge = g.edge(e);
+    PairStats stats{we[e], (ni[edge.u] + ni[edge.v]) / 2.0, 1};
+    supernodes[edge.u].neighbors[edge.v].Absorb(stats);
+    supernodes[edge.v].neighbors[edge.u].Absorb(stats);
+  }
+  double utility = 1.0;
+
+  // Member lists, spliced on merge so membership is always explicit.
+  std::vector<std::vector<graph::NodeId>> member_lists(n);
+  for (uint64_t u = 0; u < n; ++u) {
+    member_lists[u].push_back(static_cast<graph::NodeId>(u));
+  }
+
+  // Loss in total utility if s and t were merged: recompute the affected
+  // contributions (pairs touching s or t) before and after.
+  auto merge_loss = [&supernodes](uint32_t s, uint32_t t) {
+    const Supernode& a = supernodes[s];
+    const Supernode& b = supernodes[t];
+    double before = InternalContribution(a) + InternalContribution(b);
+    double after_internal_real =
+        a.internal.real_utility + b.internal.real_utility;
+    double after_internal_penalty =
+        a.internal.real_pair_penalty + b.internal.real_pair_penalty;
+    Supernode merged;
+    merged.size = a.size + b.size;
+    merged.ni_sum = a.ni_sum + b.ni_sum;
+
+    double after_cross = 0.0;
+    for (const auto& [w, stats] : a.neighbors) {
+      if (w == t) {
+        before += CrossContribution(a, b, stats);
+        after_internal_real += stats.real_utility;
+        after_internal_penalty += stats.real_pair_penalty;
+        continue;
+      }
+      before += CrossContribution(a, supernodes[w], stats);
+      PairStats combined = stats;
+      auto it = b.neighbors.find(w);
+      if (it != b.neighbors.end()) combined.Absorb(it->second);
+      after_cross += CrossContribution(merged, supernodes[w], combined);
+    }
+    for (const auto& [w, stats] : b.neighbors) {
+      if (w == s) continue;  // handled above as (a, t)
+      before += CrossContribution(b, supernodes[w], stats);
+      if (a.neighbors.contains(w)) continue;  // combined already
+      after_cross += CrossContribution(merged, supernodes[w], stats);
+    }
+
+    merged.internal =
+        PairStats{after_internal_real, after_internal_penalty, 0};
+    const double after = after_cross + InternalContribution(merged);
+    return before - after;
+  };
+
+  // Physically merge t into s.
+  auto apply_merge = [&supernodes, &member_lists](uint32_t s, uint32_t t) {
+    member_lists[s].insert(member_lists[s].end(), member_lists[t].begin(),
+                           member_lists[t].end());
+    member_lists[t].clear();
+    member_lists[t].shrink_to_fit();
+    Supernode& a = supernodes[s];
+    Supernode& b = supernodes[t];
+    auto st = a.neighbors.find(t);
+    if (st != a.neighbors.end()) {
+      a.internal.Absorb(st->second);
+      a.neighbors.erase(st);
+    }
+    b.neighbors.erase(s);
+    a.internal.Absorb(b.internal);
+    for (const auto& [w, stats] : b.neighbors) {
+      a.neighbors[w].Absorb(stats);
+      Supernode& other = supernodes[w];
+      auto back = other.neighbors.find(t);
+      EDGESHED_DCHECK(back != other.neighbors.end());
+      other.neighbors[s].Absorb(back->second);
+      other.neighbors.erase(back);
+      ++other.version;
+    }
+    a.size += b.size;
+    a.ni_sum += b.ni_sum;
+    ++a.version;
+    b.alive = false;
+    ++b.version;
+    b.neighbors.clear();
+  };
+
+  // Global best-first merging over adjacent supernode pairs (lazy heap).
+  std::priority_queue<MergeCandidate> heap;
+  for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const graph::Edge& edge = g.edge(e);
+    uint32_t s = std::min(edge.u, edge.v);
+    uint32_t t = std::max(edge.u, edge.v);
+    ++summary.evaluations;
+    heap.push(MergeCandidate{merge_loss(s, t), s, t, 0, 0});
+  }
+  constexpr double kLossSlack = 1e-12;
+  while (!heap.empty()) {
+    MergeCandidate top = heap.top();
+    heap.pop();
+    if (!supernodes[top.s].alive || !supernodes[top.t].alive) continue;
+    if (!supernodes[top.s].neighbors.contains(top.t)) continue;
+    const bool stale = top.version_s != supernodes[top.s].version ||
+                       top.version_t != supernodes[top.t].version;
+    if (stale) {
+      ++summary.evaluations;
+      const double fresh = merge_loss(top.s, top.t);
+      top.loss = fresh;
+      top.version_s = supernodes[top.s].version;
+      top.version_t = supernodes[top.t].version;
+      // Reinsert unless it is still the best candidate.
+      if (!heap.empty() && fresh > heap.top().loss + kLossSlack) {
+        heap.push(top);
+        continue;
+      }
+    }
+    if (utility - top.loss < utility_threshold) {
+      // The cheapest merge would cross the threshold: done.
+      break;
+    }
+    utility -= top.loss;
+    const uint32_t survivor = top.s;
+    apply_merge(survivor, top.t);
+    ++summary.merges;
+    if (options_.max_merges > 0 && summary.merges >= options_.max_merges) {
+      break;
+    }
+    // Refresh candidates around the merged supernode.
+    for (const auto& [w, stats] : supernodes[survivor].neighbors) {
+      uint32_t s = std::min(survivor, w);
+      uint32_t t = std::max(survivor, w);
+      ++summary.evaluations;
+      heap.push(MergeCandidate{merge_loss(s, t), s, t,
+                               supernodes[s].version,
+                               supernodes[t].version});
+    }
+  }
+
+  // Emit dense supernode ids, membership, and the summary graph (one vertex
+  // per live supernode, one edge per *retained* superedge — positive net
+  // contribution only).
+  std::vector<uint32_t> dense(n, static_cast<uint32_t>(-1));
+  summary.supernode_of.assign(n, 0);
+  for (uint32_t s = 0; s < n; ++s) {
+    if (!supernodes[s].alive) continue;
+    dense[s] = static_cast<uint32_t>(summary.members.size());
+    summary.members.push_back(std::move(member_lists[s]));
+  }
+  for (uint32_t s = 0; s < n; ++s) {
+    if (dense[s] == static_cast<uint32_t>(-1)) continue;
+    for (graph::NodeId u : summary.members[dense[s]]) {
+      summary.supernode_of[u] = dense[s];
+    }
+  }
+  graph::GraphBuilder builder;
+  builder.ReserveNodes(static_cast<graph::NodeId>(summary.members.size()));
+  for (uint32_t s = 0; s < n; ++s) {
+    if (!supernodes[s].alive) continue;
+    for (const auto& [w, stats] : supernodes[s].neighbors) {
+      if (w <= s) continue;  // each pair once
+      EDGESHED_DCHECK(supernodes[w].alive);
+      if (CrossContribution(supernodes[s], supernodes[w], stats) > 0.0) {
+        builder.AddEdge(dense[s], dense[w]);
+      }
+    }
+  }
+  summary.summary_graph = builder.Build();
+  summary.utility = utility;
+  summary.reduction_seconds = watch.ElapsedSeconds();
+  return summary;
+}
+
+Histogram UdsEstimatedDegreeDistribution(const UdsSummary& summary,
+                                         int64_t cap) {
+  Histogram histogram(cap);
+  const graph::Graph& sg = summary.summary_graph;
+  for (uint32_t s = 0; s < summary.members.size(); ++s) {
+    int64_t estimate = 0;
+    for (graph::NodeId t : sg.Neighbors(static_cast<graph::NodeId>(s))) {
+      estimate += static_cast<int64_t>(summary.members[t].size());
+    }
+    histogram.Add(estimate,
+                  static_cast<uint64_t>(summary.members[s].size()));
+  }
+  return histogram;
+}
+
+Histogram UdsDistanceProfile(const UdsSummary& summary) {
+  Histogram profile;
+  const graph::Graph& sg = summary.summary_graph;
+  const uint64_t k = summary.members.size();
+  std::vector<int32_t> distances;
+  std::vector<graph::NodeId> queue;
+  for (uint32_t s = 0; s < k; ++s) {
+    const auto s_size = static_cast<uint64_t>(summary.members[s].size());
+    // Intra-supernode ordered pairs: reconstructed as adjacent.
+    if (s_size > 1) profile.Add(1, s_size * (s_size - 1));
+    analytics::BfsDistancesInto(sg, static_cast<graph::NodeId>(s),
+                                &distances, &queue);
+    for (graph::NodeId t : queue) {
+      if (t == s) continue;
+      profile.Add(distances[t],
+                  s_size * static_cast<uint64_t>(summary.members[t].size()));
+    }
+  }
+  return profile;
+}
+
+}  // namespace edgeshed::baseline

@@ -1,0 +1,100 @@
+#ifndef EDGESHED_BASELINE_UDS_H_
+#define EDGESHED_BASELINE_UDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/betweenness.h"
+#include "common/histogram.h"
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace edgeshed::baseline {
+
+/// Configuration for the UDS reimplementation.
+struct UdsOptions {
+  /// Importance estimator: per the paper's "Parameter Settings", both the
+  /// node importance (nodeIS) and edge importance (edgeIS) are betweenness
+  /// centrality.
+  analytics::BetweennessOptions importance;
+  /// Tie-breaking seed (candidate pairs with equal loss).
+  uint64_t seed = 42;
+  /// Safety valve on the number of merges (0 = unbounded; the utility
+  /// threshold is what normally terminates the loop).
+  uint64_t max_merges = 0;
+};
+
+/// A utility-driven summary: a partition of V into supernodes plus the
+/// retained-utility accounting.
+struct UdsSummary {
+  /// supernode_of[u] = dense supernode index of original vertex u.
+  std::vector<uint32_t> supernode_of;
+  /// members[s] = original vertices of supernode s.
+  std::vector<std::vector<graph::NodeId>> members;
+  /// The summary graph: one vertex per supernode, one edge per retained
+  /// superedge (a superedge is retained when its covered real-edge utility
+  /// exceeds its spurious-pair penalty). Analysis tasks for the UDS column
+  /// run on this graph, matching the paper's "its own processing method of
+  /// supernodes".
+  graph::Graph summary_graph;
+  /// Utility retained by the summary, in [0, 1]; >= the requested threshold
+  /// unless even the initial summary could not be compressed.
+  double utility = 1.0;
+  /// Wall-clock seconds spent summarizing (includes importance scoring).
+  double reduction_seconds = 0.0;
+  /// Candidate-pair evaluations and merges performed (cost counters).
+  uint64_t evaluations = 0;
+  uint64_t merges = 0;
+};
+
+/// Reimplementation of Utility-Driven Graph Summarization (Kumar &
+/// Efstathopoulos, VLDB 2019) — the paper's state-of-the-art competitor.
+///
+/// Model: every original edge carries utility w(e) (normalized edge
+/// importance, Σ = 1). A summary covers an edge when a superedge connects
+/// (or a self-superedge contains) its endpoints' supernodes; covered edges
+/// contribute their utility, while each *spurious* pair implied by a
+/// superedge costs the mean of its endpoints' normalized node importances.
+/// A superedge is kept only when its net contribution is positive.
+///
+/// Search: global best-first merging — a lazy min-heap of adjacent
+/// supernode pairs keyed by utility loss; the cheapest merge is applied
+/// while retained utility stays >= the threshold τ_U (the harness sets
+/// τ_U = p, as the paper does). Loss keys go stale as neighbors merge, so
+/// every pop re-evaluates, which is exactly why UDS's cost climbs steeply
+/// as τ_U shrinks (paper Table III) — each merge enlarges neighborhoods
+/// and each evaluation walks them.
+class Uds {
+ public:
+  explicit Uds(UdsOptions options = {}) : options_(options) {}
+
+  /// Runs the summarizer until retained utility would drop below
+  /// `utility_threshold` in (0,1).
+  StatusOr<UdsSummary> Summarize(const graph::Graph& g,
+                                 double utility_threshold) const;
+
+ private:
+  UdsOptions options_;
+};
+
+/// Degree distribution of the original graph as estimated from a UDS
+/// summary under the standard expected reconstruction: every member of
+/// supernode S is assumed adjacent to all members of S's summary-graph
+/// neighbors, so est_deg(u ∈ S) = Σ_{T ∈ N(S)} |T|. Supernode aggregation
+/// makes this estimate coarse — the structural weakness the paper's
+/// Figs. 5c-6 exploit.
+Histogram UdsEstimatedDegreeDistribution(const UdsSummary& summary,
+                                         int64_t cap = 0);
+
+/// Shortest-path distance profile over *original vertex pairs* as implied
+/// by the summary's expected reconstruction: a pair (u, v) with
+/// u ∈ S, v ∈ T contributes at distance d(S, T) in the summary graph
+/// (weight |S|·|T| per supernode pair), and intra-supernode pairs count at
+/// distance 1 (members of a supernode are reconstructed as adjacent). This
+/// is what makes UDS's distance distribution pile up at short distances as
+/// supernodes grow — the deviation the paper's Fig. 7 shows at small p.
+Histogram UdsDistanceProfile(const UdsSummary& summary);
+
+}  // namespace edgeshed::baseline
+
+#endif  // EDGESHED_BASELINE_UDS_H_

@@ -1,0 +1,89 @@
+#ifndef EDGESHED_COMMON_CHECK_H_
+#define EDGESHED_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace edgeshed {
+namespace internal_check {
+
+/// Accumulates the failure message and aborts the process when destroyed.
+/// Used only via the EDGESHED_CHECK* macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed message when the check passes; lets the macro be a
+/// single expression with a conditional stream.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// glog-style voidifier: `&` binds looser than `<<`, so the whole streamed
+/// chain evaluates before being discarded, and the ternary's branches both
+/// have type void.
+struct Voidify {
+  void operator&(const CheckFailureStream&) {}
+};
+
+}  // namespace internal_check
+}  // namespace edgeshed
+
+/// Fatal assertion on invariants and preconditions that indicate programming
+/// errors (never on user input — return a Status for that). Active in all
+/// build modes. Usage: EDGESHED_CHECK(x > 0) << "detail";
+#define EDGESHED_CHECK(condition)                             \
+  (condition) ? (void)0                                       \
+              : ::edgeshed::internal_check::Voidify() &       \
+                    ::edgeshed::internal_check::CheckFailureStream( \
+                        #condition, __FILE__, __LINE__)
+
+// Comparison checks. Expression-based so failures can be annotated with
+// `<< "context"`; each operand is evaluated exactly once.
+#define EDGESHED_CHECK_EQ(a, b) EDGESHED_CHECK((a) == (b))
+#define EDGESHED_CHECK_NE(a, b) EDGESHED_CHECK((a) != (b))
+#define EDGESHED_CHECK_LT(a, b) EDGESHED_CHECK((a) < (b))
+#define EDGESHED_CHECK_LE(a, b) EDGESHED_CHECK((a) <= (b))
+#define EDGESHED_CHECK_GT(a, b) EDGESHED_CHECK((a) > (b))
+#define EDGESHED_CHECK_GE(a, b) EDGESHED_CHECK((a) >= (b))
+
+/// Debug-only variants; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define EDGESHED_DCHECK(condition) \
+  while (false) ::edgeshed::internal_check::NullStream()
+#define EDGESHED_DCHECK_EQ(a, b) EDGESHED_DCHECK((a) == (b))
+#define EDGESHED_DCHECK_LT(a, b) EDGESHED_DCHECK((a) < (b))
+#define EDGESHED_DCHECK_LE(a, b) EDGESHED_DCHECK((a) <= (b))
+#else
+#define EDGESHED_DCHECK(condition) EDGESHED_CHECK(condition)
+#define EDGESHED_DCHECK_EQ(a, b) EDGESHED_CHECK_EQ(a, b)
+#define EDGESHED_DCHECK_LT(a, b) EDGESHED_CHECK_LT(a, b)
+#define EDGESHED_DCHECK_LE(a, b) EDGESHED_CHECK_LE(a, b)
+#endif
+
+#endif  // EDGESHED_COMMON_CHECK_H_

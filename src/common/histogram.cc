@@ -1,0 +1,63 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace edgeshed {
+
+std::vector<int64_t> Histogram::Keys() const {
+  std::vector<int64_t> keys;
+  keys.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) keys.push_back(key);
+  return keys;
+}
+
+std::vector<std::pair<int64_t, double>> Histogram::Fractions() const {
+  std::vector<std::pair<int64_t, double>> out;
+  out.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) {
+    out.emplace_back(key, total_ == 0 ? 0.0
+                                      : static_cast<double>(count) /
+                                            static_cast<double>(total_));
+  }
+  return out;
+}
+
+double Histogram::CumulativeFractionUpTo(int64_t key) const {
+  if (total_ == 0) return 0.0;
+  uint64_t mass = 0;
+  for (const auto& [k, count] : counts_) {
+    if (k > key) break;
+    mass += count;
+  }
+  return static_cast<double>(mass) / static_cast<double>(total_);
+}
+
+double Histogram::L1Distance(const Histogram& a, const Histogram& b) {
+  std::set<int64_t> keys;
+  for (const auto& [key, count] : a.counts_) keys.insert(key);
+  for (const auto& [key, count] : b.counts_) keys.insert(key);
+  double distance = 0.0;
+  for (int64_t key : keys) {
+    distance += std::abs(a.FractionFor(key) - b.FractionFor(key));
+  }
+  return distance;
+}
+
+double Histogram::KsDistance(const Histogram& a, const Histogram& b) {
+  std::set<int64_t> keys;
+  for (const auto& [key, count] : a.counts_) keys.insert(key);
+  for (const auto& [key, count] : b.counts_) keys.insert(key);
+  double cdf_a = 0.0;
+  double cdf_b = 0.0;
+  double max_gap = 0.0;
+  for (int64_t key : keys) {
+    cdf_a += a.FractionFor(key);
+    cdf_b += b.FractionFor(key);
+    max_gap = std::max(max_gap, std::abs(cdf_a - cdf_b));
+  }
+  return max_gap;
+}
+
+}  // namespace edgeshed

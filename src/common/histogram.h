@@ -1,0 +1,68 @@
+#ifndef EDGESHED_COMMON_HISTOGRAM_H_
+#define EDGESHED_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace edgeshed {
+
+/// Integer-keyed frequency histogram with optional key aggregation at a cap.
+///
+/// Mirrors how the paper reports distributions: e.g. Fig. 5c aggregates all
+/// vertex degrees above 300 into a single "300" bucket.
+class Histogram {
+ public:
+  /// `cap` == 0 means no aggregation; otherwise all keys >= cap are counted
+  /// under the key `cap`.
+  explicit Histogram(int64_t cap = 0) : cap_(cap) {}
+
+  void Add(int64_t key, uint64_t count = 1) {
+    if (cap_ > 0 && key > cap_) key = cap_;
+    counts_[key] += count;
+    total_ += count;
+  }
+
+  uint64_t CountFor(int64_t key) const {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// Fraction of the total mass at `key`; 0 if the histogram is empty.
+  double FractionFor(int64_t key) const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(CountFor(key)) /
+                             static_cast<double>(total_);
+  }
+
+  uint64_t total() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  /// Keys present, ascending.
+  std::vector<int64_t> Keys() const;
+
+  /// (key, fraction) pairs, ascending by key.
+  std::vector<std::pair<int64_t, double>> Fractions() const;
+
+  /// Cumulative fraction of mass at keys <= `key`.
+  double CumulativeFractionUpTo(int64_t key) const;
+
+  /// L1 distance between the normalized mass functions of two histograms,
+  /// in [0, 2]. Used to score how well a reduced graph preserves a
+  /// distribution (degree, shortest-path, hop-plot, ...).
+  static double L1Distance(const Histogram& a, const Histogram& b);
+
+  /// Kolmogorov–Smirnov distance: max |CDF_a(k) − CDF_b(k)| over all keys,
+  /// in [0, 1]. Robust to the integer parity artifacts of scaled-degree
+  /// estimators (a point mass one bin off barely moves the CDF).
+  static double KsDistance(const Histogram& a, const Histogram& b);
+
+ private:
+  int64_t cap_;
+  uint64_t total_ = 0;
+  std::map<int64_t, uint64_t> counts_;
+};
+
+}  // namespace edgeshed
+
+#endif  // EDGESHED_COMMON_HISTOGRAM_H_

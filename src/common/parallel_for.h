@@ -1,0 +1,31 @@
+#ifndef EDGESHED_COMMON_PARALLEL_FOR_H_
+#define EDGESHED_COMMON_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace edgeshed {
+
+/// Number of worker threads ParallelFor will use (hardware concurrency,
+/// at least 1). Override with the EDGESHED_THREADS environment variable.
+int DefaultThreadCount();
+
+/// Runs `body(begin..end)` chunks across `threads` workers (0 = default).
+/// Blocks until all chunks complete. `body` receives half-open ranges
+/// [chunk_begin, chunk_end) and must be safe to run concurrently on disjoint
+/// ranges. Falls back to a plain loop when the range is small or only one
+/// thread is available.
+void ParallelFor(uint64_t begin, uint64_t end,
+                 const std::function<void(uint64_t, uint64_t)>& body,
+                 int threads = 0);
+
+/// Convenience wrapper: calls `body(i)` for each i in [begin, end) in
+/// parallel chunks.
+void ParallelForEach(uint64_t begin, uint64_t end,
+                     const std::function<void(uint64_t)>& body,
+                     int threads = 0);
+
+}  // namespace edgeshed
+
+#endif  // EDGESHED_COMMON_PARALLEL_FOR_H_

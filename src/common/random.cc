@@ -1,0 +1,19 @@
+#include "common/random.h"
+
+#include <numeric>
+
+namespace edgeshed {
+
+std::vector<uint64_t> Rng::SampleIndices(uint64_t n, uint64_t k) {
+  EDGESHED_CHECK_LE(k, n);
+  std::vector<uint64_t> pool(n);
+  std::iota(pool.begin(), pool.end(), uint64_t{0});
+  for (uint64_t i = 0; i < k; ++i) {
+    uint64_t j = i + UniformU64(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace edgeshed

@@ -1,0 +1,77 @@
+#ifndef EDGESHED_COMMON_STATUSOR_H_
+#define EDGESHED_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace edgeshed {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent. Accessing the value of a failed `StatusOr` is a fatal
+/// programming error (CHECK failure), mirroring absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a failure status. `status` must not be OK.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    EDGESHED_CHECK(!status_.ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EDGESHED_CHECK(ok()) << "value() on failed StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    EDGESHED_CHECK(ok()) << "value() on failed StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    EDGESHED_CHECK(ok()) << "value() on failed StatusOr: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace edgeshed
+
+/// Evaluates `rexpr` (a StatusOr<T>); on failure propagates the status,
+/// otherwise move-assigns the value into `lhs`.
+#define EDGESHED_ASSIGN_OR_RETURN(lhs, rexpr)                     \
+  EDGESHED_ASSIGN_OR_RETURN_IMPL_(                                \
+      EDGESHED_STATUS_MACROS_CONCAT_(_statusor_, __LINE__), lhs, rexpr)
+
+#define EDGESHED_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define EDGESHED_STATUS_MACROS_CONCAT_(x, y) \
+  EDGESHED_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+#define EDGESHED_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                    \
+  if (!statusor.ok()) return statusor.status();               \
+  lhs = std::move(statusor).value()
+
+#endif  // EDGESHED_COMMON_STATUSOR_H_

@@ -1,0 +1,32 @@
+#ifndef EDGESHED_COMMON_STOPWATCH_H_
+#define EDGESHED_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace edgeshed {
+
+/// Wall-clock stopwatch used by the benchmark harness to time graph reduction
+/// and analysis phases. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed wall-clock seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace edgeshed
+
+#endif  // EDGESHED_COMMON_STOPWATCH_H_

@@ -1,0 +1,33 @@
+#ifndef EDGESHED_COMMON_STRINGS_H_
+#define EDGESHED_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edgeshed {
+
+/// Splits `text` on `delimiter`, dropping empty pieces. Pieces reference
+/// storage owned by `text`.
+std::vector<std::string_view> StrSplit(std::string_view text, char delimiter);
+
+/// Joins `pieces` with `separator`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view separator);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Fixed-precision double rendering ("12.345" for precision 3).
+std::string FormatDouble(double value, int precision);
+
+/// Human-readable count with thousands separators ("34,681,189").
+std::string FormatWithCommas(uint64_t value);
+
+}  // namespace edgeshed
+
+#endif  // EDGESHED_COMMON_STRINGS_H_

@@ -1,0 +1,97 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace edgeshed {
+
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(Row{/*separator=*/false, std::move(row)});
+}
+
+void TablePrinter::AddSeparator() {
+  rows_.push_back(Row{/*separator=*/true, {}});
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+std::string TablePrinter::ToString() const {
+  size_t columns = header_.size();
+  for (const Row& row : rows_) columns = std::max(columns, row.cells.size());
+
+  std::vector<size_t> widths(columns, 0);
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const Row& row : rows_) {
+    if (!row.separator) widen(row.cells);
+  }
+
+  size_t line_width = 0;
+  for (size_t w : widths) line_width += w + 3;
+  if (line_width > 0) line_width -= 1;
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      os << " " << cell << std::string(widths[i] - cell.size(), ' ') << " ";
+      if (i + 1 < columns) os << "|";
+    }
+    os << "\n";
+  };
+  std::string rule(line_width + 2, '-');
+  if (!header_.empty()) {
+    emit_row(header_);
+    os << rule << "\n";
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      os << rule << "\n";
+    } else {
+      emit_row(row.cells);
+    }
+  }
+  return os.str();
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << ",";
+      os << CsvEscape(cells[i]);
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const Row& row : rows_) {
+    if (!row.separator) emit(row.cells);
+  }
+  return os.str();
+}
+
+}  // namespace edgeshed

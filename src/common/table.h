@@ -1,0 +1,46 @@
+#ifndef EDGESHED_COMMON_TABLE_H_
+#define EDGESHED_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace edgeshed {
+
+/// Renders aligned plain-text tables in the style of the paper's Tables
+/// III–X, used by the bench harness to print reproduced results.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; may be empty.
+  explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row; resets nothing else.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row. Rows may be ragged; short rows are padded.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line at this position.
+  void AddSeparator();
+
+  /// Renders the table.
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  /// Emits header + rows as CSV (comma-separated, fields with commas quoted).
+  std::string ToCsv() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace edgeshed
+
+#endif  // EDGESHED_COMMON_TABLE_H_

@@ -1,0 +1,84 @@
+#include "core/b_matching.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace edgeshed::core {
+
+std::vector<graph::EdgeId> GreedyMaximalBMatching(
+    const graph::Graph& g, const std::vector<uint32_t>& capacities,
+    BMatchingEdgeOrder order, Rng* rng) {
+  EDGESHED_CHECK_EQ(capacities.size(), g.NumNodes());
+
+  std::vector<graph::EdgeId> scan(g.NumEdges());
+  std::iota(scan.begin(), scan.end(), graph::EdgeId{0});
+  switch (order) {
+    case BMatchingEdgeOrder::kInputOrder:
+      break;
+    case BMatchingEdgeOrder::kShuffled:
+      EDGESHED_CHECK(rng != nullptr) << "kShuffled requires an Rng";
+      rng->Shuffle(&scan);
+      break;
+    case BMatchingEdgeOrder::kLowDegreeEndpointFirst:
+      std::stable_sort(scan.begin(), scan.end(),
+                       [&g](graph::EdgeId a, graph::EdgeId b) {
+                         const graph::Edge& ea = g.edge(a);
+                         const graph::Edge& eb = g.edge(b);
+                         uint64_t ka = std::min(g.Degree(ea.u), g.Degree(ea.v));
+                         uint64_t kb = std::min(g.Degree(eb.u), g.Degree(eb.v));
+                         return ka < kb;
+                       });
+      break;
+  }
+
+  std::vector<uint32_t> load(g.NumNodes(), 0);
+  std::vector<graph::EdgeId> matched;
+  for (graph::EdgeId id : scan) {
+    const graph::Edge& e = g.edge(id);
+    if (load[e.u] < capacities[e.u] && load[e.v] < capacities[e.v]) {
+      ++load[e.u];
+      ++load[e.v];
+      matched.push_back(id);
+    }
+  }
+  std::sort(matched.begin(), matched.end());
+  return matched;
+}
+
+bool IsBMatching(const graph::Graph& g,
+                 const std::vector<graph::EdgeId>& edge_ids,
+                 const std::vector<uint32_t>& capacities) {
+  std::vector<uint32_t> load(g.NumNodes(), 0);
+  for (graph::EdgeId id : edge_ids) {
+    const graph::Edge& e = g.edge(id);
+    if (++load[e.u] > capacities[e.u]) return false;
+    if (++load[e.v] > capacities[e.v]) return false;
+  }
+  return true;
+}
+
+bool IsMaximalBMatching(const graph::Graph& g,
+                        const std::vector<graph::EdgeId>& edge_ids,
+                        const std::vector<uint32_t>& capacities) {
+  if (!IsBMatching(g, edge_ids, capacities)) return false;
+  std::vector<uint32_t> load(g.NumNodes(), 0);
+  std::vector<bool> in_matching(g.NumEdges(), false);
+  for (graph::EdgeId id : edge_ids) {
+    const graph::Edge& e = g.edge(id);
+    ++load[e.u];
+    ++load[e.v];
+    in_matching[id] = true;
+  }
+  for (graph::EdgeId id = 0; id < g.NumEdges(); ++id) {
+    if (in_matching[id]) continue;
+    const graph::Edge& e = g.edge(id);
+    if (load[e.u] < capacities[e.u] && load[e.v] < capacities[e.v]) {
+      return false;  // this edge could still be added
+    }
+  }
+  return true;
+}
+
+}  // namespace edgeshed::core

@@ -1,0 +1,47 @@
+#ifndef EDGESHED_CORE_B_MATCHING_H_
+#define EDGESHED_CORE_B_MATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace edgeshed::core {
+
+/// Order in which the greedy pass scans edges. The paper scans input order
+/// (Algorithm 2, lines 4-7); the alternatives exist for the ablation of
+/// which maximal b-matching Phase 1 lands on (DESIGN.md §6.5).
+enum class BMatchingEdgeOrder {
+  kInputOrder,
+  kShuffled,
+  kLowDegreeEndpointFirst,
+};
+
+/// Greedy maximal b-matching (Hougardy's linear-time approximation family):
+/// one pass over the edges, keeping {u,v} iff both endpoints are below
+/// their capacities. The result is maximal — degrees only grow during the
+/// pass, so any skipped edge stays blocked — and is a 1/2-approximation of
+/// the maximum b-matching.
+///
+/// `capacities[u]` is b(u) >= 0. Returns the EdgeIds of the matching, in
+/// increasing order. `rng` is only consulted for kShuffled.
+std::vector<graph::EdgeId> GreedyMaximalBMatching(
+    const graph::Graph& g, const std::vector<uint32_t>& capacities,
+    BMatchingEdgeOrder order = BMatchingEdgeOrder::kInputOrder,
+    Rng* rng = nullptr);
+
+/// True iff `edge_ids` satisfies every capacity: deg_H(u) <= b(u).
+bool IsBMatching(const graph::Graph& g,
+                 const std::vector<graph::EdgeId>& edge_ids,
+                 const std::vector<uint32_t>& capacities);
+
+/// True iff `edge_ids` is a *maximal* b-matching: a b-matching where every
+/// absent edge has at least one saturated endpoint.
+bool IsMaximalBMatching(const graph::Graph& g,
+                        const std::vector<graph::EdgeId>& edge_ids,
+                        const std::vector<uint32_t>& capacities);
+
+}  // namespace edgeshed::core
+
+#endif  // EDGESHED_CORE_B_MATCHING_H_

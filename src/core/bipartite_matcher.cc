@@ -1,0 +1,116 @@
+#include "core/bipartite_matcher.h"
+
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace edgeshed::core {
+
+double BipartiteGain(const DegreeDiscrepancy& discrepancy, graph::NodeId a,
+                     graph::NodeId b) {
+  const double dis_a = discrepancy.Dis(a);
+  const double dis_b = discrepancy.Dis(b);
+  return std::abs(dis_a) + 2.0 * std::abs(dis_b) - std::abs(dis_a + 1.0) -
+         1.0;
+}
+
+namespace {
+
+/// Gains are sums of values like 0.4·deg that are not exactly representable;
+/// comparisons against the paper's 0-gain boundary need a tolerance or
+/// borderline candidates flip on rounding noise.
+constexpr double kGainEpsilon = 1e-9;
+
+struct HeapEntry {
+  double gain;
+  uint32_t candidate;  // index into `candidates`
+  uint64_t version;    // a-side version at push time
+
+  /// Max-heap by gain; ties resolved by lower candidate index so results
+  /// are deterministic.
+  friend bool operator<(const HeapEntry& x, const HeapEntry& y) {
+    if (x.gain != y.gain) return x.gain < y.gain;
+    return x.candidate > y.candidate;
+  }
+};
+
+}  // namespace
+
+std::vector<graph::EdgeId> MaxGainBipartiteMatching(
+    const std::vector<BipartiteCandidate>& candidates,
+    DegreeDiscrepancy* discrepancy, const BipartiteMatcherOptions& options) {
+  EDGESHED_CHECK(discrepancy != nullptr);
+  const size_t m = candidates.size();
+
+  std::vector<bool> alive(m, false);
+  std::vector<double> gain(m, 0.0);
+  // Per-a candidate lists and version counters; per-b candidate lists for
+  // the "discard all edges incident to b" step. Node-keyed hash maps keep
+  // this proportional to the candidate set, not |V|.
+  std::unordered_map<graph::NodeId, std::vector<uint32_t>> by_a;
+  std::unordered_map<graph::NodeId, std::vector<uint32_t>> by_b;
+  std::unordered_map<graph::NodeId, uint64_t> version_of_a;
+
+  std::priority_queue<HeapEntry> heap;
+  for (uint32_t i = 0; i < m; ++i) {
+    const BipartiteCandidate& c = candidates[i];
+    double g = BipartiteGain(*discrepancy, c.a, c.b);
+    const bool keep = options.include_zero_gain ? g >= -kGainEpsilon
+                                                : g > kGainEpsilon;
+    if (!keep) continue;
+    alive[i] = true;
+    gain[i] = g;
+    by_a[c.a].push_back(i);
+    by_b[c.b].push_back(i);
+    version_of_a.try_emplace(c.a, 0);
+    heap.push(HeapEntry{g, i, 0});
+  }
+
+  std::vector<graph::EdgeId> matched;
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const uint32_t i = top.candidate;
+    if (!alive[i]) continue;
+    const BipartiteCandidate& c = candidates[i];
+    if (top.version != version_of_a[c.a]) continue;  // stale gain
+
+    // Commit edge (a, b): Algorithm 3 lines 4-7.
+    matched.push_back(c.id);
+    alive[i] = false;
+    discrepancy->AddEdge(c.a, c.b);
+
+    // b leaves group B; everything incident to b dies.
+    for (uint32_t j : by_b[c.b]) alive[j] = false;
+
+    const double new_dis_a = discrepancy->Dis(c.a);
+    if (new_dis_a <= -1.0) {
+      // Lemma 2: adjacent gains equal 2|dis(x)| and are unaffected.
+      continue;
+    }
+    if (new_dis_a < -0.5) {
+      // Recompute gains of a's surviving candidates; strictly positive
+      // gains are reinserted under a bumped version, others die.
+      const uint64_t new_version = ++version_of_a[c.a];
+      for (uint32_t j : by_a[c.a]) {
+        if (!alive[j]) continue;
+        double g = BipartiteGain(*discrepancy, candidates[j].a,
+                                 candidates[j].b);
+        if (g > kGainEpsilon) {
+          gain[j] = g;
+          heap.push(HeapEntry{g, j, new_version});
+        } else {
+          alive[j] = false;
+        }
+      }
+    } else {
+      // a no longer qualifies for group A; drop it and its edges.
+      for (uint32_t j : by_a[c.a]) alive[j] = false;
+    }
+  }
+  return matched;
+}
+
+}  // namespace edgeshed::core

@@ -1,0 +1,56 @@
+#ifndef EDGESHED_CORE_BIPARTITE_MATCHER_H_
+#define EDGESHED_CORE_BIPARTITE_MATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/discrepancy.h"
+#include "graph/graph.h"
+
+namespace edgeshed::core {
+
+/// One A-side/B-side candidate edge for BM2's Phase 2: `a` has dis(a) <= -0.5
+/// (group A), `b` has -0.5 < dis(b) < 0 (group B).
+struct BipartiteCandidate {
+  graph::EdgeId id = graph::kInvalidEdge;
+  graph::NodeId a = graph::kInvalidNode;
+  graph::NodeId b = graph::kInvalidNode;
+};
+
+/// Controls for the Algorithm-3 matcher.
+struct BipartiteMatcherOptions {
+  /// Keep candidates whose *initial* gain is exactly zero (Algorithm 2 uses
+  /// gain >= 0; the paper's Example 2 notes zero-gain edges may be taken or
+  /// skipped "according to user's preference"). Updated gains must be
+  /// strictly positive either way (Algorithm 3, line 11).
+  bool include_zero_gain = true;
+};
+
+/// The `bipartite` procedure of Algorithm 3: greedy maximum-weight bipartite
+/// matching with dynamic gain maintenance.
+///
+/// Edge weights are the Lemma-1 gains
+///   gain(a, b) = |dis(a)| + 2|dis(b)| − |dis(a)+1| − 1,
+/// read from `discrepancy` (which reflects the Phase-1 b-matching). The
+/// matcher repeatedly takes the highest-gain candidate (a, b), commits it
+/// through `discrepancy->AddEdge`, removes b and every candidate incident to
+/// b, and then handles a by the Lemma-2 case split on its *new* dis(a):
+///   * dis(a) <= −1        : adjacent gains are unchanged — do nothing;
+///   * −1 < dis(a) < −0.5  : recompute adjacent gains, drop non-positive;
+///   * dis(a) >= −0.5      : a leaves group A — drop all its candidates.
+///
+/// Implementation: a lazy max-heap with per-a version counters; stale
+/// entries are discarded on pop. Deterministic: ties broken by candidate
+/// order. O((|E*| + updates) log |E*|).
+std::vector<graph::EdgeId> MaxGainBipartiteMatching(
+    const std::vector<BipartiteCandidate>& candidates,
+    DegreeDiscrepancy* discrepancy,
+    const BipartiteMatcherOptions& options = {});
+
+/// The Lemma-1 gain of adding edge (a, b) given current discrepancies.
+double BipartiteGain(const DegreeDiscrepancy& discrepancy, graph::NodeId a,
+                     graph::NodeId b);
+
+}  // namespace edgeshed::core
+
+#endif  // EDGESHED_CORE_BIPARTITE_MATCHER_H_

@@ -1,0 +1,93 @@
+#include "core/bm2.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace edgeshed::core {
+
+std::vector<uint32_t> Bm2::Capacities(const graph::Graph& g, double p) {
+  std::vector<uint32_t> capacities(g.NumNodes());
+  for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    capacities[u] = static_cast<uint32_t>(
+        std::llround(p * static_cast<double>(g.Degree(u))));
+  }
+  return capacities;
+}
+
+StatusOr<SheddingResult> Bm2::Reduce(const graph::Graph& g, double p) const {
+  EDGESHED_RETURN_IF_ERROR(ValidatePreservationRatio(p));
+  Stopwatch total_watch;
+  SheddingResult result;
+
+  // ---- Phase 1: greedy maximal b-matching under rounded capacities. ----
+  Stopwatch phase1_watch;
+  const std::vector<uint32_t> capacities = Capacities(g, p);
+  Rng rng(options_.seed);
+  std::vector<graph::EdgeId> matching =
+      GreedyMaximalBMatching(g, capacities, options_.edge_order, &rng);
+  const double phase1_seconds = phase1_watch.ElapsedSeconds();
+
+  DegreeDiscrepancy discrepancy(g, p);
+  std::vector<bool> in_matching(g.NumEdges(), false);
+  for (graph::EdgeId e : matching) {
+    in_matching[e] = true;
+    discrepancy.AddEdge(g.edge(e).u, g.edge(e).v);
+  }
+
+  // ---- Phase 2: bipartite correction over unused A-B edges. ----
+  Stopwatch phase2_watch;
+  uint64_t phase2_added = 0;
+  if (options_.run_phase2) {
+    // Vertex groups (Algorithm 2, lines 8-16): A needs more edges, B would
+    // overshoot by < 1, C is at or above expectation. Only A-B edges can
+    // still pay off (Lemma 1); A-A edges were exhausted by the maximal
+    // b-matching, every other combination necessarily increases Δ.
+    auto group_a = [&](graph::NodeId u) { return discrepancy.Dis(u) <= -0.5; };
+    auto group_b = [&](graph::NodeId u) {
+      const double d = discrepancy.Dis(u);
+      return d > -0.5 && d < 0.0;
+    };
+    std::vector<BipartiteCandidate> candidates;
+    for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+      if (in_matching[e]) continue;
+      const graph::Edge& edge = g.edge(e);
+      graph::NodeId a = graph::kInvalidNode;
+      graph::NodeId b = graph::kInvalidNode;
+      if (group_a(edge.u) && group_b(edge.v)) {
+        a = edge.u;
+        b = edge.v;
+      } else if (group_a(edge.v) && group_b(edge.u)) {
+        a = edge.v;
+        b = edge.u;
+      } else {
+        continue;
+      }
+      candidates.push_back(BipartiteCandidate{e, a, b});
+    }
+    BipartiteMatcherOptions matcher_options;
+    matcher_options.include_zero_gain = options_.include_zero_gain;
+    std::vector<graph::EdgeId> added =
+        MaxGainBipartiteMatching(candidates, &discrepancy, matcher_options);
+    phase2_added = added.size();
+    matching.insert(matching.end(), added.begin(), added.end());
+  }
+  const double phase2_seconds = phase2_watch.ElapsedSeconds();
+
+  std::sort(matching.begin(), matching.end());
+  result.kept_edges = std::move(matching);
+  result.total_delta = discrepancy.TotalDelta();
+  result.average_delta = discrepancy.AverageDelta();
+  result.reduction_seconds = total_watch.ElapsedSeconds();
+  result.stats = {
+      {"phase1_seconds", phase1_seconds},
+      {"phase2_seconds", phase2_seconds},
+      {"phase1_edges", static_cast<double>(result.kept_edges.size() -
+                                           phase2_added)},
+      {"phase2_edges", static_cast<double>(phase2_added)},
+  };
+  return result;
+}
+
+}  // namespace edgeshed::core

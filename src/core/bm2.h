@@ -1,0 +1,52 @@
+#ifndef EDGESHED_CORE_BM2_H_
+#define EDGESHED_CORE_BM2_H_
+
+#include <cstdint>
+
+#include "core/b_matching.h"
+#include "core/bipartite_matcher.h"
+#include "core/shedding.h"
+
+namespace edgeshed::core {
+
+/// Configuration for B-Matching with Bipartite Matching.
+struct Bm2Options {
+  /// Scan order of the Phase-1 greedy b-matching (paper: input order).
+  BMatchingEdgeOrder edge_order = BMatchingEdgeOrder::kInputOrder;
+  /// Seed, used only when edge_order == kShuffled.
+  uint64_t seed = 42;
+  /// Run the Phase-2 bipartite correction (off = b-matching only; phase
+  /// ablation, DESIGN.md §6.3).
+  bool run_phase2 = true;
+  /// Zero-gain handling in Phase 2 (see BipartiteMatcherOptions).
+  bool include_zero_gain = true;
+};
+
+/// B-Matching with Bipartite Matching — Algorithms 2 and 3 of the paper.
+///
+/// Phase 1 rounds each expected degree to b(u) = round(p·deg_G(u)) and
+/// greedily builds a maximal b-matching E_m under those capacities. Phase 2
+/// classifies vertices by discrepancy into groups
+///   A (dis <= −0.5), B (−0.5 < dis < 0), C (dis >= 0),
+/// forms the weighted bipartite graph of unused A-B edges with the Lemma-1
+/// gains, and adds the edges chosen by the Algorithm-3 matcher:
+/// E' = E_m ∪ E_BP. Unlike CRR, |E'| is not pinned to round(p·|E|); the
+/// capacities enforce the expected degrees directly.
+class Bm2 : public EdgeShedder {
+ public:
+  explicit Bm2(Bm2Options options = {}) : options_(options) {}
+
+  std::string name() const override { return "bm2"; }
+  StatusOr<SheddingResult> Reduce(const graph::Graph& g,
+                                  double p) const override;
+
+  /// The rounded capacity vector b(u) = round(p·deg_G(u)).
+  static std::vector<uint32_t> Capacities(const graph::Graph& g, double p);
+
+ private:
+  Bm2Options options_;
+};
+
+}  // namespace edgeshed::core
+
+#endif  // EDGESHED_CORE_BM2_H_

@@ -1,0 +1,25 @@
+#include "core/bounds.h"
+
+#include "common/check.h"
+
+namespace edgeshed::core {
+
+namespace {
+
+double EdgesPerNode(const graph::Graph& g) {
+  EDGESHED_CHECK_GT(g.NumNodes(), 0u);
+  return static_cast<double>(g.NumEdges()) /
+         static_cast<double>(g.NumNodes());
+}
+
+}  // namespace
+
+double CrrAverageDeltaBound(const graph::Graph& g, double p) {
+  return 4.0 * p * (1.0 - p) * EdgesPerNode(g);
+}
+
+double Bm2AverageDeltaBound(const graph::Graph& g, double p) {
+  return 0.5 + (1.0 - p) * EdgesPerNode(g);
+}
+
+}  // namespace edgeshed::core

@@ -1,0 +1,18 @@
+#ifndef EDGESHED_CORE_BOUNDS_H_
+#define EDGESHED_CORE_BOUNDS_H_
+
+#include "graph/graph.h"
+
+namespace edgeshed::core {
+
+/// Theorem 1: the average absolute discrepancy of a CRR reduction is below
+/// 4·p·(1−p)·|E|/|V|.
+double CrrAverageDeltaBound(const graph::Graph& g, double p);
+
+/// Theorem 2: the average absolute discrepancy of a BM2 reduction is below
+/// 1/2 + (1−p)·|E|/|V|.
+double Bm2AverageDeltaBound(const graph::Graph& g, double p);
+
+}  // namespace edgeshed::core
+
+#endif  // EDGESHED_CORE_BOUNDS_H_

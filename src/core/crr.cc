@@ -1,0 +1,94 @@
+#include "core/crr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/discrepancy.h"
+
+namespace edgeshed::core {
+
+uint64_t Crr::StepsFor(const graph::Graph& g, double p) const {
+  if (options_.steps_override.has_value()) return *options_.steps_override;
+  const double kP = p * static_cast<double>(g.NumEdges());
+  const double steps = options_.steps_multiplier * kP;
+  return steps <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(steps));
+}
+
+StatusOr<SheddingResult> Crr::Reduce(const graph::Graph& g, double p) const {
+  EDGESHED_RETURN_IF_ERROR(ValidatePreservationRatio(p));
+  Stopwatch total_watch;
+  SheddingResult result;
+  const uint64_t num_edges = g.NumEdges();
+  const uint64_t target = TargetEdgeCount(g, p);
+  Rng rng(options_.seed);
+
+  // ---- Phase 1: rank edges and keep the top round(p|E|). ----
+  Stopwatch phase1_watch;
+  std::vector<graph::EdgeId> ranked;
+  if (options_.init_mode == CrrOptions::InitMode::kBetweenness) {
+    ranked = analytics::EdgesByBetweennessDescending(g, options_.betweenness);
+  } else {
+    ranked.resize(num_edges);
+    std::iota(ranked.begin(), ranked.end(), graph::EdgeId{0});
+    rng.Shuffle(&ranked);
+  }
+  std::vector<graph::EdgeId> kept(ranked.begin(),
+                                  ranked.begin() + static_cast<long>(target));
+  std::vector<graph::EdgeId> excluded(ranked.begin() + static_cast<long>(target),
+                                      ranked.end());
+  const double phase1_seconds = phase1_watch.ElapsedSeconds();
+
+  DegreeDiscrepancy discrepancy(g, p);
+  for (graph::EdgeId e : kept) {
+    discrepancy.AddEdge(g.edge(e).u, g.edge(e).v);
+  }
+
+  // ---- Phase 2: random swap attempts between E' and E \ E'. ----
+  Stopwatch phase2_watch;
+  const uint64_t steps = StepsFor(g, p);
+  uint64_t accepted = 0;
+  if (!kept.empty() && !excluded.empty()) {
+    for (uint64_t step = 0; step < steps; ++step) {
+      const size_t kept_index = rng.UniformIndex(kept.size());
+      const size_t excluded_index = rng.UniformIndex(excluded.size());
+      const graph::Edge removal = g.edge(kept[kept_index]);
+      const graph::Edge addition = g.edge(excluded[excluded_index]);
+
+      // d1, d2 exactly as Algorithm 1 lines 10-11: both evaluated against
+      // the current state. (When the two edges share an endpoint the true
+      // combined change can differ; the paper's acceptance test — which we
+      // follow — ignores that interaction, while our Δ bookkeeping below
+      // applies the two operations sequentially and stays exact.)
+      const double d1 = discrepancy.RemovalDelta(removal.u, removal.v);
+      const double d2 = discrepancy.AdditionDelta(addition.u, addition.v);
+      const double combined = d1 + d2;
+      const bool accept = options_.accept_zero_delta_swaps
+                              ? combined <= 0.0
+                              : combined < 0.0;
+      if (!accept) continue;
+      discrepancy.RemoveEdge(removal.u, removal.v);
+      discrepancy.AddEdge(addition.u, addition.v);
+      std::swap(kept[kept_index], excluded[excluded_index]);
+      ++accepted;
+    }
+  }
+  const double phase2_seconds = phase2_watch.ElapsedSeconds();
+
+  result.kept_edges = std::move(kept);
+  std::sort(result.kept_edges.begin(), result.kept_edges.end());
+  result.total_delta = discrepancy.TotalDelta();
+  result.average_delta = discrepancy.AverageDelta();
+  result.reduction_seconds = total_watch.ElapsedSeconds();
+  result.stats = {
+      {"phase1_seconds", phase1_seconds},
+      {"phase2_seconds", phase2_seconds},
+      {"steps", static_cast<double>(steps)},
+      {"swaps_accepted", static_cast<double>(accepted)},
+  };
+  return result;
+}
+
+}  // namespace edgeshed::core

@@ -1,0 +1,125 @@
+#include "core/extra_baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/discrepancy.h"
+
+namespace edgeshed::core {
+
+namespace {
+
+void FillResultMetrics(const graph::Graph& g, double p,
+                       SheddingResult* result) {
+  DegreeDiscrepancy discrepancy(g, p);
+  for (graph::EdgeId e : result->kept_edges) {
+    discrepancy.AddEdge(g.edge(e).u, g.edge(e).v);
+  }
+  result->total_delta = discrepancy.TotalDelta();
+  result->average_delta = discrepancy.AverageDelta();
+}
+
+}  // namespace
+
+StatusOr<SheddingResult> LocalDegreeShedding::Reduce(const graph::Graph& g,
+                                                     double p) const {
+  EDGESHED_RETURN_IF_ERROR(ValidatePreservationRatio(p));
+  Stopwatch watch;
+  SheddingResult result;
+  std::vector<bool> keep(g.NumEdges(), false);
+  std::vector<std::pair<uint64_t, graph::EdgeId>> ranked;  // (-ish) scratch
+  for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    const uint64_t degree = g.Degree(u);
+    if (degree == 0) continue;
+    const auto quota = static_cast<uint64_t>(
+        std::ceil(p * static_cast<double>(degree)));
+    auto neighbors = g.Neighbors(u);
+    auto incident = g.IncidentEdges(u);
+    ranked.clear();
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      ranked.emplace_back(g.Degree(neighbors[i]), incident[i]);
+    }
+    // Highest-degree neighbors first; ties by edge id for determinism.
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    for (uint64_t i = 0; i < std::min<uint64_t>(quota, ranked.size()); ++i) {
+      keep[ranked[i].second] = true;
+    }
+  }
+  for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (keep[e]) result.kept_edges.push_back(e);
+  }
+  FillResultMetrics(g, p, &result);
+  result.reduction_seconds = watch.ElapsedSeconds();
+  result.stats = {{"kept_fraction",
+                   g.NumEdges() == 0
+                       ? 0.0
+                       : static_cast<double>(result.kept_edges.size()) /
+                             static_cast<double>(g.NumEdges())}};
+  return result;
+}
+
+StatusOr<SheddingResult> SpanningForestShedding::Reduce(const graph::Graph& g,
+                                                        double p) const {
+  EDGESHED_RETURN_IF_ERROR(ValidatePreservationRatio(p));
+  Stopwatch watch;
+  Rng rng(seed_);
+  SheddingResult result;
+  const uint64_t target = TargetEdgeCount(g, p);
+
+  // Random spanning forest: scan edges in random order, keep tree edges
+  // (union-find).
+  std::vector<graph::EdgeId> order(g.NumEdges());
+  std::iota(order.begin(), order.end(), graph::EdgeId{0});
+  rng.Shuffle(&order);
+  std::vector<graph::NodeId> parent(g.NumNodes());
+  std::iota(parent.begin(), parent.end(), graph::NodeId{0});
+  std::function<graph::NodeId(graph::NodeId)> find =
+      [&](graph::NodeId x) {
+        while (parent[x] != x) {
+          parent[x] = parent[parent[x]];
+          x = parent[x];
+        }
+        return x;
+      };
+  std::vector<bool> keep(g.NumEdges(), false);
+  uint64_t forest_size = 0;
+  std::vector<graph::EdgeId> non_tree;
+  for (graph::EdgeId e : order) {
+    graph::NodeId ru = find(g.edge(e).u);
+    graph::NodeId rv = find(g.edge(e).v);
+    if (ru != rv) {
+      parent[ru] = rv;
+      keep[e] = true;
+      ++forest_size;
+    } else {
+      non_tree.push_back(e);
+    }
+  }
+
+  // Uniform fill with non-tree edges up to the target (if it fits).
+  if (target > forest_size) {
+    uint64_t need = target - forest_size;
+    // `non_tree` is already in random order (edges were shuffled).
+    for (uint64_t i = 0; i < std::min<uint64_t>(need, non_tree.size()); ++i) {
+      keep[non_tree[i]] = true;
+    }
+  }
+  for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (keep[e]) result.kept_edges.push_back(e);
+  }
+  FillResultMetrics(g, p, &result);
+  result.reduction_seconds = watch.ElapsedSeconds();
+  result.stats = {{"forest_edges", static_cast<double>(forest_size)},
+                  {"target", static_cast<double>(target)}};
+  return result;
+}
+
+}  // namespace edgeshed::core

@@ -1,0 +1,45 @@
+#ifndef EDGESHED_CORE_EXTRA_BASELINES_H_
+#define EDGESHED_CORE_EXTRA_BASELINES_H_
+
+#include <cstdint>
+
+#include "core/shedding.h"
+
+namespace edgeshed::core {
+
+/// Local-degree sparsification (Lindner et al., "Structure-preserving
+/// sparsification methods for social networks"): every vertex nominates its
+/// top ceil(p·deg(u)) incident edges ranked by the *other* endpoint's
+/// degree; an edge survives if either endpoint nominates it. Hub-centric:
+/// excellent at keeping the skeleton around high-degree vertices, but it
+/// does not control per-vertex discrepancy and typically overshoots
+/// round(p|E|). Included as a literature baseline for the comparison bench.
+class LocalDegreeShedding : public EdgeShedder {
+ public:
+  std::string name() const override { return "local-degree"; }
+  StatusOr<SheddingResult> Reduce(const graph::Graph& g,
+                                  double p) const override;
+};
+
+/// Spanning-forest + uniform fill: keeps a random spanning forest (one tree
+/// per connected component — the minimum edge set preserving reachability),
+/// then fills up to round(p·|E|) with uniformly sampled remaining edges.
+/// Connectivity-first baseline: hop-plots stay intact even at small p, at
+/// the cost of degree fidelity. Requires p|E| >= forest size to honor the
+/// target exactly; otherwise it returns just the forest (|E'| > round(p|E|))
+/// — recorded in the result stats.
+class SpanningForestShedding : public EdgeShedder {
+ public:
+  explicit SpanningForestShedding(uint64_t seed = 42) : seed_(seed) {}
+
+  std::string name() const override { return "spanning-forest"; }
+  StatusOr<SheddingResult> Reduce(const graph::Graph& g,
+                                  double p) const override;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace edgeshed::core
+
+#endif  // EDGESHED_CORE_EXTRA_BASELINES_H_

@@ -1,0 +1,32 @@
+#include "core/random_shedding.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/discrepancy.h"
+
+namespace edgeshed::core {
+
+StatusOr<SheddingResult> RandomShedding::Reduce(const graph::Graph& g,
+                                                double p) const {
+  EDGESHED_RETURN_IF_ERROR(ValidatePreservationRatio(p));
+  Stopwatch watch;
+  Rng rng(seed_);
+  const uint64_t target = TargetEdgeCount(g, p);
+
+  SheddingResult result;
+  result.kept_edges = rng.SampleIndices(g.NumEdges(), target);
+  std::sort(result.kept_edges.begin(), result.kept_edges.end());
+
+  DegreeDiscrepancy discrepancy(g, p);
+  for (graph::EdgeId e : result.kept_edges) {
+    discrepancy.AddEdge(g.edge(e).u, g.edge(e).v);
+  }
+  result.total_delta = discrepancy.TotalDelta();
+  result.average_delta = discrepancy.AverageDelta();
+  result.reduction_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace edgeshed::core

@@ -1,0 +1,28 @@
+#ifndef EDGESHED_CORE_RANDOM_SHEDDING_H_
+#define EDGESHED_CORE_RANDOM_SHEDDING_H_
+
+#include <cstdint>
+
+#include "core/shedding.h"
+
+namespace edgeshed::core {
+
+/// Uniform random edge shedding: keeps round(p·|E|) edges chosen uniformly
+/// at random. Not in the paper's comparison, but the natural naive baseline
+/// for ablations and examples: it matches the expected average degree
+/// (Eq. 2) yet makes no attempt to minimize per-vertex discrepancy.
+class RandomShedding : public EdgeShedder {
+ public:
+  explicit RandomShedding(uint64_t seed = 42) : seed_(seed) {}
+
+  std::string name() const override { return "random"; }
+  StatusOr<SheddingResult> Reduce(const graph::Graph& g,
+                                  double p) const override;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace edgeshed::core
+
+#endif  // EDGESHED_CORE_RANDOM_SHEDDING_H_

@@ -1,0 +1,22 @@
+#include "core/shedding.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace edgeshed::core {
+
+Status ValidatePreservationRatio(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    return Status::InvalidArgument(StrFormat(
+        "edge preservation ratio must be in (0,1), got %g", p));
+  }
+  return Status::OK();
+}
+
+uint64_t TargetEdgeCount(const graph::Graph& g, double p) {
+  return static_cast<uint64_t>(
+      std::llround(p * static_cast<double>(g.NumEdges())));
+}
+
+}  // namespace edgeshed::core

@@ -1,0 +1,58 @@
+#ifndef EDGESHED_CORE_SHEDDING_H_
+#define EDGESHED_CORE_SHEDDING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace edgeshed::core {
+
+/// Output of an edge-shedding run.
+struct SheddingResult {
+  /// EdgeIds of the parent graph retained in the reduced graph E'.
+  std::vector<graph::EdgeId> kept_edges;
+  /// Final total degree discrepancy Δ (Eq. 4).
+  double total_delta = 0.0;
+  /// Δ / |V| — the paper's "Average delta" quality metric.
+  double average_delta = 0.0;
+  /// Wall-clock seconds spent reducing.
+  double reduction_seconds = 0.0;
+  /// Free-form per-algorithm counters (swaps accepted, phase timings, ...).
+  std::vector<std::pair<std::string, double>> stats;
+
+  /// Materializes G' = (V, E') over the parent's full vertex set.
+  graph::Graph BuildReducedGraph(const graph::Graph& parent) const {
+    return graph::SubgraphFromEdgeIds(parent, kept_edges);
+  }
+};
+
+/// Interface shared by all graph-reduction methods in this library (CRR,
+/// BM2, random shedding, and the UDS baseline adapter), so the experiment
+/// harness can sweep methods uniformly.
+class EdgeShedder {
+ public:
+  virtual ~EdgeShedder() = default;
+
+  /// Short stable identifier ("crr", "bm2", ...).
+  virtual std::string name() const = 0;
+
+  /// Produces a reduced edge set for preservation ratio `p` in (0,1).
+  /// Implementations must keep |kept_edges| deterministic given their
+  /// configured seed.
+  virtual StatusOr<SheddingResult> Reduce(const graph::Graph& g,
+                                          double p) const = 0;
+};
+
+/// Validates a preservation ratio; shared by implementations.
+Status ValidatePreservationRatio(double p);
+
+/// round(p * |E|) — the paper's [P], the exact size of E'.
+uint64_t TargetEdgeCount(const graph::Graph& g, double p);
+
+}  // namespace edgeshed::core
+
+#endif  // EDGESHED_CORE_SHEDDING_H_

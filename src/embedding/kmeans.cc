@@ -1,0 +1,129 @@
+#include "embedding/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace edgeshed::embedding {
+
+namespace {
+
+double SquaredDistance(const float* a, const float* b, uint32_t dim) {
+  double sum = 0.0;
+  for (uint32_t d = 0; d < dim; ++d) {
+    const double diff = static_cast<double>(a[d]) - static_cast<double>(b[d]);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<float>& data, uint64_t num_rows,
+                    uint32_t dimensions, const KMeansOptions& options) {
+  EDGESHED_CHECK_EQ(data.size(), num_rows * dimensions);
+  KMeansResult result;
+  if (num_rows == 0 || options.clusters == 0) return result;
+  const uint32_t k =
+      static_cast<uint32_t>(std::min<uint64_t>(options.clusters, num_rows));
+  Rng rng(options.seed);
+
+  // k-means++ seeding.
+  result.centroids.assign(static_cast<size_t>(k) * dimensions, 0.0f);
+  std::vector<double> min_dist(num_rows, std::numeric_limits<double>::max());
+  uint64_t first = rng.UniformU64(num_rows);
+  std::copy_n(data.data() + first * dimensions, dimensions,
+              result.centroids.data());
+  for (uint32_t c = 1; c < k; ++c) {
+    const float* last_centroid =
+        result.centroids.data() + static_cast<size_t>(c - 1) * dimensions;
+    double total = 0.0;
+    for (uint64_t i = 0; i < num_rows; ++i) {
+      min_dist[i] = std::min(
+          min_dist[i],
+          SquaredDistance(data.data() + i * dimensions, last_centroid,
+                          dimensions));
+      total += min_dist[i];
+    }
+    uint64_t chosen = 0;
+    if (total > 0.0) {
+      double pick = rng.UniformDouble() * total;
+      for (uint64_t i = 0; i < num_rows; ++i) {
+        pick -= min_dist[i];
+        if (pick <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.UniformU64(num_rows);
+    }
+    std::copy_n(data.data() + chosen * dimensions, dimensions,
+                result.centroids.data() + static_cast<size_t>(c) * dimensions);
+  }
+
+  result.assignment.assign(num_rows, 0);
+  std::vector<double> sums(static_cast<size_t>(k) * dimensions);
+  std::vector<uint64_t> counts(k);
+  for (uint32_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    ++result.iterations;
+    uint64_t reassigned = 0;
+    result.inertia = 0.0;
+    for (uint64_t i = 0; i < num_rows; ++i) {
+      const float* row = data.data() + i * dimensions;
+      uint32_t best = 0;
+      double best_dist = std::numeric_limits<double>::max();
+      for (uint32_t c = 0; c < k; ++c) {
+        double dist = SquaredDistance(
+            row, result.centroids.data() + static_cast<size_t>(c) * dimensions,
+            dimensions);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        ++reassigned;
+      }
+      result.inertia += best_dist;
+    }
+
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (uint64_t i = 0; i < num_rows; ++i) {
+      const uint32_t c = result.assignment[i];
+      ++counts[c];
+      const float* row = data.data() + i * dimensions;
+      double* sum = sums.data() + static_cast<size_t>(c) * dimensions;
+      for (uint32_t d = 0; d < dimensions; ++d) sum[d] += row[d];
+    }
+    for (uint32_t c = 0; c < k; ++c) {
+      float* centroid =
+          result.centroids.data() + static_cast<size_t>(c) * dimensions;
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from a random point.
+        const uint64_t pick = rng.UniformU64(num_rows);
+        std::copy_n(data.data() + pick * dimensions, dimensions, centroid);
+        continue;
+      }
+      const double* sum = sums.data() + static_cast<size_t>(c) * dimensions;
+      for (uint32_t d = 0; d < dimensions; ++d) {
+        centroid[d] = static_cast<float>(sum[d] /
+                                         static_cast<double>(counts[c]));
+      }
+    }
+
+    if (static_cast<double>(reassigned) <
+        options.min_reassignment_fraction * static_cast<double>(num_rows)) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace edgeshed::embedding

@@ -1,0 +1,35 @@
+#ifndef EDGESHED_EMBEDDING_KMEANS_H_
+#define EDGESHED_EMBEDDING_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace edgeshed::embedding {
+
+/// Lloyd's k-means over row-major float vectors.
+struct KMeansOptions {
+  uint32_t clusters = 5;  // the paper's n_clusters for link prediction
+  uint32_t max_iterations = 50;
+  /// Stop early when fewer than this fraction of points change cluster.
+  double min_reassignment_fraction = 0.001;
+  uint64_t seed = 3;
+};
+
+struct KMeansResult {
+  /// assignment[i] in [0, clusters) for each input row.
+  std::vector<uint32_t> assignment;
+  /// Row-major centroids (clusters x dimensions).
+  std::vector<float> centroids;
+  uint32_t iterations = 0;
+  double inertia = 0.0;  // sum of squared distances to assigned centroids
+};
+
+/// Clusters `num_rows` points of `dimensions` floats each (row-major in
+/// `data`). Seeding is k-means++; empty clusters are re-seeded from the
+/// farthest point. Deterministic given the seed.
+KMeansResult KMeans(const std::vector<float>& data, uint64_t num_rows,
+                    uint32_t dimensions, const KMeansOptions& options = {});
+
+}  // namespace edgeshed::embedding
+
+#endif  // EDGESHED_EMBEDDING_KMEANS_H_

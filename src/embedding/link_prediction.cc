@@ -1,0 +1,108 @@
+#include "embedding/link_prediction.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace edgeshed::embedding {
+
+uint64_t PackPair(graph::NodeId a, graph::NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+std::vector<uint32_t> CommunityAssignments(
+    const graph::Graph& g, const LinkPredictionOptions& options) {
+  WalkCorpus corpus = GenerateWalks(g, options.walks);
+  NodeEmbeddings embeddings = TrainSkipGram(g, corpus, options.skipgram);
+  KMeansResult clusters =
+      KMeans(embeddings.vectors, g.NumNodes(), embeddings.dimensions,
+             options.kmeans);
+  return clusters.assignment;
+}
+
+PairSet PredictSameCommunityPairs(const graph::Graph& g,
+                                  const std::vector<uint32_t>& communities,
+                                  const LinkPredictionOptions& options) {
+  PairSet predicted;
+  Rng rng(options.pair_seed);
+  std::vector<graph::NodeId> two_hop;
+  std::vector<bool> marked(g.NumNodes(), false);
+  for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    // Collect distinct 2-hop neighbors v > u (each unordered pair once).
+    two_hop.clear();
+    for (graph::NodeId mid : g.Neighbors(u)) {
+      for (graph::NodeId v : g.Neighbors(mid)) {
+        if (v <= u || marked[v] || g.HasEdge(u, v)) continue;
+        marked[v] = true;
+        two_hop.push_back(v);
+      }
+    }
+    // Down-sampling around hubs (uniform, deterministic given pair_seed).
+    if (options.max_pairs_per_node > 0 &&
+        two_hop.size() > options.max_pairs_per_node) {
+      rng.Shuffle(&two_hop);
+      two_hop.resize(options.max_pairs_per_node);
+    }
+    for (graph::NodeId v : two_hop) {
+      if (communities[u] == communities[v]) {
+        predicted.insert(PackPair(u, v));
+      }
+    }
+    // Reset marks.
+    for (graph::NodeId mid : g.Neighbors(u)) {
+      for (graph::NodeId v : g.Neighbors(mid)) marked[v] = false;
+    }
+  }
+  return predicted;
+}
+
+double LinkPredictionUtility(const PairSet& original, const PairSet& reduced) {
+  if (original.empty()) return 0.0;
+  uint64_t shared = 0;
+  const PairSet& small = original.size() <= reduced.size() ? original : reduced;
+  const PairSet& large = original.size() <= reduced.size() ? reduced : original;
+  for (uint64_t pair : small) {
+    if (large.contains(pair)) ++shared;
+  }
+  return static_cast<double>(shared) / static_cast<double>(original.size());
+}
+
+bool AreTwoHop(const graph::Graph& g, graph::NodeId u, graph::NodeId v) {
+  if (u == v || u >= g.NumNodes() || v >= g.NumNodes()) return false;
+  if (g.HasEdge(u, v)) return false;
+  // Intersect sorted neighbor lists, scanning the smaller one.
+  if (g.Degree(u) > g.Degree(v)) std::swap(u, v);
+  auto nbrs_v = g.Neighbors(v);
+  for (graph::NodeId mid : g.Neighbors(u)) {
+    if (std::binary_search(nbrs_v.begin(), nbrs_v.end(), mid)) return true;
+  }
+  return false;
+}
+
+double LinkPredictionUtilityOverBase(
+    const PairSet& base, const graph::Graph& reduced,
+    const std::vector<uint32_t>& communities) {
+  if (base.empty()) return 0.0;
+  uint64_t shared = 0;
+  for (uint64_t packed : base) {
+    const auto a = static_cast<graph::NodeId>(packed >> 32);
+    const auto b = static_cast<graph::NodeId>(packed & 0xffffffffu);
+    if (communities[a] == communities[b] && AreTwoHop(reduced, a, b)) {
+      ++shared;
+    }
+  }
+  return static_cast<double>(shared) / static_cast<double>(base.size());
+}
+
+double EvaluateLinkPrediction(const graph::Graph& original,
+                              const graph::Graph& reduced,
+                              const LinkPredictionOptions& options) {
+  std::vector<uint32_t> communities_g = CommunityAssignments(original, options);
+  std::vector<uint32_t> communities_r = CommunityAssignments(reduced, options);
+  PairSet l = PredictSameCommunityPairs(original, communities_g, options);
+  PairSet ls = PredictSameCommunityPairs(reduced, communities_r, options);
+  return LinkPredictionUtility(l, ls);
+}
+
+}  // namespace edgeshed::embedding

@@ -1,0 +1,68 @@
+#ifndef EDGESHED_EMBEDDING_LINK_PREDICTION_H_
+#define EDGESHED_EMBEDDING_LINK_PREDICTION_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "embedding/kmeans.h"
+#include "embedding/random_walks.h"
+#include "embedding/skipgram.h"
+#include "graph/graph.h"
+
+namespace edgeshed::embedding {
+
+/// Pipeline parameters for the paper's task (7): node2vec (p = q = 1) ->
+/// skip-gram embeddings -> k-means (k = 5) -> same-community prediction
+/// over 2-hop vertex pairs.
+struct LinkPredictionOptions {
+  WalkOptions walks;
+  SkipGramOptions skipgram;
+  KMeansOptions kmeans;
+  /// Cap on 2-hop pairs collected per source vertex; bounds the quadratic
+  /// blow-up around hubs (DESIGN.md §3). 0 = unlimited.
+  uint32_t max_pairs_per_node = 128;
+  uint64_t pair_seed = 11;
+};
+
+/// Community labels for every vertex of `g` from the node2vec + k-means
+/// pipeline.
+std::vector<uint32_t> CommunityAssignments(const graph::Graph& g,
+                                           const LinkPredictionOptions& options);
+
+/// A set of unordered vertex pairs packed as (min << 32) | max.
+using PairSet = std::unordered_set<uint64_t>;
+
+uint64_t PackPair(graph::NodeId a, graph::NodeId b);
+
+/// All (capped) 2-hop pairs of `g` whose endpoints share a community label:
+/// the prediction set L (resp. L_s when run on a reduced graph).
+PairSet PredictSameCommunityPairs(const graph::Graph& g,
+                                  const std::vector<uint32_t>& communities,
+                                  const LinkPredictionOptions& options);
+
+/// The paper's link-prediction utility |L_s ∩ L| / |L| (0 when L is empty).
+double LinkPredictionUtility(const PairSet& original,
+                             const PairSet& reduced);
+
+/// True iff u and v are a 2-hop pair in `g`: distinct, non-adjacent, with at
+/// least one common neighbor (distance exactly 2).
+bool AreTwoHop(const graph::Graph& g, graph::NodeId u, graph::NodeId v);
+
+/// |L_s ∩ L| / |L| computed directly over the base set L: a pair of L is in
+/// L_s iff it is a 2-hop pair of `reduced` whose endpoints share a community
+/// under `communities`. Equivalent to intersecting full enumerations, but
+/// immune to per-node sampling mismatch between the two graphs (the
+/// intersection only ever needs L's own pairs).
+double LinkPredictionUtilityOverBase(const PairSet& base,
+                                     const graph::Graph& reduced,
+                                     const std::vector<uint32_t>& communities);
+
+/// End-to-end: runs the pipeline on both graphs and scores the reduced one.
+double EvaluateLinkPrediction(const graph::Graph& original,
+                              const graph::Graph& reduced,
+                              const LinkPredictionOptions& options = {});
+
+}  // namespace edgeshed::embedding
+
+#endif  // EDGESHED_EMBEDDING_LINK_PREDICTION_H_

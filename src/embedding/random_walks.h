@@ -1,0 +1,43 @@
+#ifndef EDGESHED_EMBEDDING_RANDOM_WALKS_H_
+#define EDGESHED_EMBEDDING_RANDOM_WALKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace edgeshed::embedding {
+
+/// node2vec walk parameters (Grover & Leskovec, KDD 2016). The paper's link
+/// prediction task uses p = q = 1 (plain second-order-free random walks);
+/// general p/q are supported via rejection sampling.
+struct WalkOptions {
+  uint32_t walks_per_node = 10;
+  uint32_t walk_length = 40;
+  /// Return parameter: likelihood of revisiting the previous vertex.
+  double p = 1.0;
+  /// In-out parameter: BFS-like (q > 1) vs DFS-like (q < 1) exploration.
+  double q = 1.0;
+  uint64_t seed = 99;
+  int threads = 0;
+};
+
+/// A corpus of random walks, flattened for cache-friendly training.
+struct WalkCorpus {
+  /// Concatenated walks.
+  std::vector<graph::NodeId> tokens;
+  /// offsets[i]..offsets[i+1] delimit walk i in `tokens`.
+  std::vector<uint64_t> offsets;
+
+  uint64_t NumWalks() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+};
+
+/// Generates node2vec walks from every vertex. Vertices of degree 0 produce
+/// no walks (nothing to embed). Deterministic given the seed.
+WalkCorpus GenerateWalks(const graph::Graph& g, const WalkOptions& options);
+
+}  // namespace edgeshed::embedding
+
+#endif  // EDGESHED_EMBEDDING_RANDOM_WALKS_H_

@@ -1,0 +1,53 @@
+#ifndef EDGESHED_EMBEDDING_SKIPGRAM_H_
+#define EDGESHED_EMBEDDING_SKIPGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "embedding/random_walks.h"
+#include "graph/graph.h"
+
+namespace edgeshed::embedding {
+
+/// Skip-gram with negative sampling (word2vec/node2vec training objective).
+struct SkipGramOptions {
+  uint32_t dimensions = 64;
+  uint32_t window = 5;
+  uint32_t negative_samples = 5;
+  uint32_t epochs = 2;
+  float initial_learning_rate = 0.025f;
+  /// Negative-sampling distribution exponent over vertex degree (word2vec
+  /// uses unigram^0.75).
+  double unigram_power = 0.75;
+  uint64_t seed = 7;
+  int threads = 0;
+};
+
+/// Dense per-vertex embeddings (row-major: vertex u occupies
+/// [u*dimensions, (u+1)*dimensions)). Vertices that never occur in the
+/// corpus keep their random initialization.
+struct NodeEmbeddings {
+  uint32_t dimensions = 0;
+  std::vector<float> vectors;
+
+  const float* Row(graph::NodeId u) const {
+    return vectors.data() + static_cast<size_t>(u) * dimensions;
+  }
+  uint64_t NumNodes() const {
+    return dimensions == 0 ? 0 : vectors.size() / dimensions;
+  }
+};
+
+/// Trains SGNS embeddings over a walk corpus with lock-free (Hogwild) SGD.
+/// Deterministic for threads == 1; multithreaded runs vary benignly in low
+/// bits, which is standard for this trainer family.
+NodeEmbeddings TrainSkipGram(const graph::Graph& g, const WalkCorpus& corpus,
+                             const SkipGramOptions& options = {});
+
+/// Cosine similarity between two embedding rows.
+float CosineSimilarity(const NodeEmbeddings& embeddings, graph::NodeId a,
+                       graph::NodeId b);
+
+}  // namespace edgeshed::embedding
+
+#endif  // EDGESHED_EMBEDDING_SKIPGRAM_H_

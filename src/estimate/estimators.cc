@@ -1,0 +1,103 @@
+#include "estimate/estimators.h"
+
+#include <cmath>
+
+#include "analytics/clustering.h"
+#include "analytics/components.h"
+#include "common/check.h"
+
+namespace edgeshed::estimate {
+
+namespace {
+
+void CheckRatio(double p) {
+  EDGESHED_CHECK(p > 0.0 && p < 1.0)
+      << "preservation ratio must be in (0,1), got " << p;
+}
+
+}  // namespace
+
+double EstimatedEdgeCount(const graph::Graph& reduced, double p) {
+  CheckRatio(p);
+  return static_cast<double>(reduced.NumEdges()) / p;
+}
+
+double EstimatedAverageDegree(const graph::Graph& reduced, double p) {
+  CheckRatio(p);
+  if (reduced.NumNodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(reduced.NumEdges()) /
+         (p * static_cast<double>(reduced.NumNodes()));
+}
+
+std::vector<double> EstimatedDegrees(const graph::Graph& reduced, double p) {
+  CheckRatio(p);
+  std::vector<double> estimates(reduced.NumNodes());
+  for (graph::NodeId u = 0; u < reduced.NumNodes(); ++u) {
+    estimates[u] = static_cast<double>(reduced.Degree(u)) / p;
+  }
+  return estimates;
+}
+
+double EstimatedTriangleCount(const graph::Graph& reduced, double p,
+                              int threads) {
+  CheckRatio(p);
+  std::vector<uint64_t> per_node =
+      analytics::TrianglesPerNode(reduced, threads);
+  uint64_t triple_counted = 0;
+  for (uint64_t t : per_node) triple_counted += t;
+  const double reduced_triangles = static_cast<double>(triple_counted) / 3.0;
+  return reduced_triangles / (p * p * p);
+}
+
+double EstimatedGlobalClustering(const graph::Graph& reduced, double p,
+                                 int threads) {
+  CheckRatio(p);
+  std::vector<uint64_t> per_node =
+      analytics::TrianglesPerNode(reduced, threads);
+  uint64_t triple_counted = 0;
+  for (uint64_t t : per_node) triple_counted += t;
+  double wedges = 0.0;
+  for (graph::NodeId u = 0; u < reduced.NumNodes(); ++u) {
+    const double d = static_cast<double>(reduced.Degree(u));
+    wedges += d * (d - 1.0) / 2.0;
+  }
+  if (wedges <= 0.0) return 0.0;
+  // Transitivity of G': 3T'/W'; correcting T by p^-3 and W by p^-2 leaves
+  // a net 1/p on the ratio.
+  const double reduced_transitivity =
+      static_cast<double>(triple_counted) / wedges;
+  return std::min(1.0, reduced_transitivity / p);
+}
+
+Histogram EstimatedDegreeHistogramSmoothed(const graph::Graph& reduced,
+                                           double p, int64_t cap) {
+  CheckRatio(p);
+  constexpr uint64_t kResolution = 1000;  // weight units per vertex
+  Histogram histogram(cap);
+  for (graph::NodeId u = 0; u < reduced.NumNodes(); ++u) {
+    const double estimate = static_cast<double>(reduced.Degree(u)) / p;
+    const auto floor_bin = static_cast<int64_t>(std::floor(estimate));
+    const double fraction = estimate - std::floor(estimate);
+    const auto upper_mass = static_cast<uint64_t>(
+        std::llround(fraction * static_cast<double>(kResolution)));
+    if (upper_mass < kResolution) {
+      histogram.Add(floor_bin, kResolution - upper_mass);
+    }
+    if (upper_mass > 0) {
+      histogram.Add(floor_bin + 1, upper_mass);
+    }
+  }
+  return histogram;
+}
+
+uint64_t ReachablePairsLowerBound(const graph::Graph& reduced) {
+  analytics::ComponentResult components =
+      analytics::ConnectedComponents(reduced);
+  uint64_t pairs = 0;
+  for (uint64_t size : components.sizes) {
+    pairs += size * (size - 1) / 2;
+  }
+  return pairs;
+}
+
+}  // namespace edgeshed::estimate

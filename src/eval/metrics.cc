@@ -1,0 +1,88 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace edgeshed::eval {
+
+std::vector<uint32_t> TopPercentNodes(const std::vector<double>& scores,
+                                      double t_percent,
+                                      const std::vector<bool>* eligible) {
+  std::vector<uint32_t> pool;
+  pool.reserve(scores.size());
+  for (uint32_t u = 0; u < scores.size(); ++u) {
+    if (eligible == nullptr || (*eligible)[u]) pool.push_back(u);
+  }
+  const auto k = static_cast<uint64_t>(std::llround(
+      t_percent / 100.0 * static_cast<double>(pool.size())));
+  const uint64_t take = std::min<uint64_t>(k, pool.size());
+  std::partial_sort(pool.begin(), pool.begin() + static_cast<long>(take),
+                    pool.end(), [&scores](uint32_t a, uint32_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  pool.resize(take);
+  return pool;
+}
+
+double OverlapUtility(const std::vector<uint32_t>& base,
+                      const std::vector<uint32_t>& other) {
+  if (base.empty()) return 0.0;
+  std::unordered_set<uint32_t> base_set(base.begin(), base.end());
+  uint64_t shared = 0;
+  for (uint32_t u : other) {
+    if (base_set.contains(u)) ++shared;
+  }
+  return static_cast<double>(shared) / static_cast<double>(base.size());
+}
+
+uint64_t NonIsolatedCount(const graph::Graph& g) {
+  uint64_t count = 0;
+  for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (g.Degree(u) > 0) ++count;
+  }
+  return count;
+}
+
+double TopKUtilityForReduced(const graph::Graph& original,
+                             const graph::Graph& reduced, double t_percent,
+                             const analytics::PageRankOptions& options) {
+  EDGESHED_CHECK_EQ(original.NumNodes(), reduced.NumNodes())
+      << "reduced graphs keep the original vertex set";
+  std::vector<double> original_scores = analytics::PageRank(original, options);
+  std::vector<double> reduced_scores = analytics::PageRank(reduced, options);
+  std::vector<bool> eligible(reduced.NumNodes());
+  for (graph::NodeId u = 0; u < reduced.NumNodes(); ++u) {
+    eligible[u] = reduced.Degree(u) > 0;
+  }
+  std::vector<uint32_t> base = TopPercentNodes(original_scores, t_percent);
+  std::vector<uint32_t> candidate =
+      TopPercentNodes(reduced_scores, t_percent, &eligible);
+  return OverlapUtility(base, candidate);
+}
+
+double TopKUtilityForUds(const graph::Graph& original,
+                         const baseline::UdsSummary& summary,
+                         double t_percent,
+                         const analytics::PageRankOptions& options) {
+  std::vector<double> original_scores = analytics::PageRank(original, options);
+  std::vector<double> summary_scores =
+      analytics::PageRank(summary.summary_graph, options);
+  // Expand supernode scores to original vertices: a supernode's rank is
+  // shared evenly among its members.
+  std::vector<double> expanded(original.NumNodes(), 0.0);
+  for (graph::NodeId u = 0; u < original.NumNodes(); ++u) {
+    const uint32_t s = summary.supernode_of[u];
+    const double size = static_cast<double>(summary.members[s].size());
+    expanded[u] = summary_scores[s] / size;
+  }
+  std::vector<uint32_t> base = TopPercentNodes(original_scores, t_percent);
+  std::vector<uint32_t> candidate = TopPercentNodes(expanded, t_percent);
+  return OverlapUtility(base, candidate);
+}
+
+}  // namespace edgeshed::eval

@@ -1,0 +1,47 @@
+#ifndef EDGESHED_EVAL_METRICS_H_
+#define EDGESHED_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/pagerank.h"
+#include "baseline/uds.h"
+#include "graph/graph.h"
+
+namespace edgeshed::eval {
+
+/// Vertices whose PageRank puts them in the top t% (paper task 6).
+/// `eligible` optionally restricts the candidate pool (the paper's V' is
+/// the reduced graph's non-isolated vertex set); k is computed as
+/// round(t% · |pool|).
+std::vector<uint32_t> TopPercentNodes(const std::vector<double>& scores,
+                                      double t_percent,
+                                      const std::vector<bool>* eligible =
+                                          nullptr);
+
+/// |base ∩ other| / |base| (0 when base is empty).
+double OverlapUtility(const std::vector<uint32_t>& base,
+                      const std::vector<uint32_t>& other);
+
+/// End-to-end Top-t% utility of a reduced graph: PageRank both graphs, take
+/// the top t% of V (original) and of the reduced graph's non-isolated
+/// vertices, and return the overlap fraction
+///   |V_t% ∩ V'_t%| / k   (k from the original graph).
+double TopKUtilityForReduced(const graph::Graph& original,
+                             const graph::Graph& reduced, double t_percent,
+                             const analytics::PageRankOptions& options = {});
+
+/// Top-t% utility for a UDS summary via its supernode processing: PageRank
+/// on the summary graph, each original vertex scored as its supernode's
+/// rank divided by the supernode size, then the same overlap ratio.
+double TopKUtilityForUds(const graph::Graph& original,
+                         const baseline::UdsSummary& summary,
+                         double t_percent,
+                         const analytics::PageRankOptions& options = {});
+
+/// Count of non-isolated vertices (the paper's |V'| for a reduced graph).
+uint64_t NonIsolatedCount(const graph::Graph& g);
+
+}  // namespace edgeshed::eval
+
+#endif  // EDGESHED_EVAL_METRICS_H_

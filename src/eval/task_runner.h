@@ -1,0 +1,48 @@
+#ifndef EDGESHED_EVAL_TASK_RUNNER_H_
+#define EDGESHED_EVAL_TASK_RUNNER_H_
+
+#include <string>
+
+#include "analytics/betweenness.h"
+#include "analytics/pagerank.h"
+#include "analytics/shortest_paths.h"
+#include "embedding/link_prediction.h"
+#include "graph/graph.h"
+
+namespace edgeshed::eval {
+
+/// The paper's seven evaluation tasks (§V-A).
+enum class Task {
+  kVertexDegree,
+  kSpDistance,
+  kBetweenness,
+  kClusteringCoefficient,
+  kHopPlot,
+  kTopK,
+  kLinkPrediction,
+};
+
+/// "Vertex degree", "SP distance", ... — the paper's table labels.
+std::string TaskName(Task task);
+
+/// All seven tasks in the paper's table order.
+std::vector<Task> AllTasks();
+
+/// Shared knobs for timed task execution.
+struct TaskOptions {
+  analytics::BetweennessOptions betweenness;
+  analytics::DistanceProfileOptions distances;
+  analytics::PageRankOptions pagerank;
+  embedding::LinkPredictionOptions link_prediction;
+  double top_percent = 10.0;
+};
+
+/// Executes `task` on `g` and returns the wall-clock seconds it took. Task
+/// outputs are computed fully but discarded — this is the "graph analysis
+/// time" measured by the paper's Tables IV-VII.
+double RunTaskTimed(const graph::Graph& g, Task task,
+                    const TaskOptions& options = {});
+
+}  // namespace edgeshed::eval
+
+#endif  // EDGESHED_EVAL_TASK_RUNNER_H_

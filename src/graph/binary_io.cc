@@ -1,0 +1,97 @@
+#include "graph/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace edgeshed::graph {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'D', 'G', 'S', 'H', 'E', 'D', '1'};
+
+void PutU64(std::ofstream& out, uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  out.write(bytes, 8);
+}
+
+bool GetU64(std::ifstream& in, uint64_t* value) {
+  char bytes[8];
+  if (!in.read(bytes, 8)) return false;
+  *value = 0;
+  for (int i = 0; i < 8; ++i) {
+    *value |= static_cast<uint64_t>(static_cast<unsigned char>(bytes[i]))
+              << (8 * i);
+  }
+  return true;
+}
+
+void PutU32(std::ofstream& out, uint32_t value) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  out.write(bytes, 4);
+}
+
+bool GetU32(std::ifstream& in, uint32_t* value) {
+  char bytes[4];
+  if (!in.read(bytes, 4)) return false;
+  *value = 0;
+  for (int i = 0; i < 4; ++i) {
+    *value |= static_cast<uint32_t>(static_cast<unsigned char>(bytes[i]))
+              << (8 * i);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status SaveBinaryGraph(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  PutU64(out, graph.NumNodes());
+  PutU64(out, graph.NumEdges());
+  for (const Edge& e : graph.edges()) {
+    PutU32(out, e.u);
+    PutU32(out, e.v);
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Graph> LoadBinaryGraph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  char magic[8];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an edgeshed binary graph: " + path);
+  }
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  if (!GetU64(in, &num_nodes) || !GetU64(in, &num_edges)) {
+    return Status::InvalidArgument("truncated header: " + path);
+  }
+  if (num_nodes > static_cast<uint64_t>(kInvalidNode)) {
+    return Status::InvalidArgument("node count exceeds NodeId range");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    uint32_t u = 0;
+    uint32_t v = 0;
+    if (!GetU32(in, &u) || !GetU32(in, &v)) {
+      return Status::InvalidArgument("truncated edge section: " + path);
+    }
+    edges.push_back(Edge{u, v});
+  }
+  // Graph::FromEdges re-validates bounds, self-loops, duplicates.
+  return Graph::FromEdges(static_cast<NodeId>(num_nodes), std::move(edges));
+}
+
+}  // namespace edgeshed::graph

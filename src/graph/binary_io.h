@@ -1,0 +1,28 @@
+#ifndef EDGESHED_GRAPH_BINARY_IO_H_
+#define EDGESHED_GRAPH_BINARY_IO_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace edgeshed::graph {
+
+/// Compact binary snapshot of a graph for fast reload (the "reduce once,
+/// reuse many times" workflow): magic + version + node/edge counts + the
+/// canonical edge list, all little-endian fixed-width integers.
+///
+/// Format (version 1):
+///   bytes 0-7   : magic "EDGSHED1"
+///   bytes 8-15  : uint64 node count
+///   bytes 16-23 : uint64 edge count
+///   then edge count * 2 * uint32 (u, v) pairs, canonical (u < v), sorted.
+Status SaveBinaryGraph(const Graph& graph, const std::string& path);
+
+/// Loads a snapshot written by SaveBinaryGraph. Validates magic, counts,
+/// canonical form, and bounds; corrupt files return InvalidArgument/IOError.
+StatusOr<Graph> LoadBinaryGraph(const std::string& path);
+
+}  // namespace edgeshed::graph
+
+#endif  // EDGESHED_GRAPH_BINARY_IO_H_

@@ -1,0 +1,88 @@
+#include "graph/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "graph/edge_list_io.h"
+#include "graph/generators/generators.h"
+
+namespace edgeshed::graph {
+
+namespace {
+
+const DatasetSpec kSpecs[] = {
+    {DatasetId::kCaGrQc, "ca-GrQc", 5242, 14496, "Collaboration network",
+     "PowerlawCluster(m=3, pt=0.5)"},
+    {DatasetId::kCaHepPh, "ca-HepPh", 12008, 118521, "Collaboration network",
+     "PowerlawCluster(m=10, pt=0.6)"},
+    {DatasetId::kEmailEnron, "email-Enron", 36692, 183831,
+     "Email communication network", "BarabasiAlbert(m=5)"},
+    {DatasetId::kComLiveJournal, "com-LiveJournal", 3997962, 34681189,
+     "Online social network", "R-MAT(edge_factor=8)"},
+};
+
+}  // namespace
+
+const DatasetSpec& GetDatasetSpec(DatasetId id) {
+  for (const DatasetSpec& spec : kSpecs) {
+    if (spec.id == id) return spec;
+  }
+  EDGESHED_CHECK(false) << "unknown dataset id";
+  // Unreachable; CHECK aborts.
+  return kSpecs[0];
+}
+
+std::vector<DatasetId> AllDatasets() {
+  return {DatasetId::kCaGrQc, DatasetId::kCaHepPh, DatasetId::kEmailEnron,
+          DatasetId::kComLiveJournal};
+}
+
+std::vector<DatasetId> SmallDatasets() {
+  return {DatasetId::kCaGrQc, DatasetId::kCaHepPh, DatasetId::kEmailEnron};
+}
+
+Graph MakeDataset(DatasetId id, const DatasetOptions& options) {
+  EDGESHED_CHECK_GT(options.scale, 0.0);
+  const DatasetSpec& spec = GetDatasetSpec(id);
+  const auto scaled_nodes = static_cast<NodeId>(std::max<uint64_t>(
+      16, static_cast<uint64_t>(
+              std::llround(static_cast<double>(spec.paper_nodes) *
+                           options.scale))));
+  Rng rng(options.seed ^ (static_cast<uint64_t>(id) << 32));
+  switch (id) {
+    case DatasetId::kCaGrQc:
+      return PowerlawCluster(scaled_nodes, 3, 0.5, rng);
+    case DatasetId::kCaHepPh:
+      return PowerlawCluster(scaled_nodes, 10, 0.6, rng);
+    case DatasetId::kEmailEnron:
+      return BarabasiAlbert(scaled_nodes, 5, rng);
+    case DatasetId::kComLiveJournal: {
+      // Pick the R-MAT scale whose 2^s is closest to the requested size.
+      uint32_t rmat_scale = 1;
+      while ((uint64_t{1} << (rmat_scale + 1)) <= scaled_nodes &&
+             rmat_scale < 26) {
+        ++rmat_scale;
+      }
+      if ((scaled_nodes - (uint64_t{1} << rmat_scale)) >
+          ((uint64_t{1} << (rmat_scale + 1)) - scaled_nodes)) {
+        ++rmat_scale;
+      }
+      return RMat(rmat_scale, /*edge_factor=*/8, 0.57, 0.19, 0.19, rng);
+    }
+  }
+  EDGESHED_CHECK(false) << "unknown dataset id";
+  return Graph();
+}
+
+Graph MakeDatasetOrLoad(DatasetId id, const std::string& path,
+                        const DatasetOptions& options) {
+  if (!path.empty()) {
+    auto loaded = LoadEdgeList(path);
+    if (loaded.ok()) return std::move(loaded)->graph;
+  }
+  return MakeDataset(id, options);
+}
+
+}  // namespace edgeshed::graph

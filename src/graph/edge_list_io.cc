@@ -1,0 +1,67 @@
+#include "graph/edge_list_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "graph/graph_builder.h"
+
+namespace edgeshed::graph {
+
+StatusOr<LoadedGraph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open edge list file: " + path);
+  }
+
+  GraphBuilder builder;
+  std::unordered_map<uint64_t, NodeId> dense_id;
+  std::vector<uint64_t> original_ids;
+  auto intern = [&](uint64_t raw) -> NodeId {
+    auto [it, inserted] =
+        dense_id.emplace(raw, static_cast<NodeId>(original_ids.size()));
+    if (inserted) original_ids.push_back(raw);
+    return it->second;
+  };
+
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') continue;
+    std::istringstream fields{std::string(trimmed)};
+    uint64_t raw_u = 0;
+    uint64_t raw_v = 0;
+    if (!(fields >> raw_u >> raw_v)) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected 'src dst'", path.c_str(), line_number));
+    }
+    // Intern in reading order (function-argument evaluation order is
+    // unspecified, and ids should be assigned first-seen-first).
+    NodeId u = intern(raw_u);
+    NodeId v = intern(raw_v);
+    builder.AddEdge(u, v);
+  }
+  return LoadedGraph{builder.Build(), std::move(original_ids)};
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open file for writing: " + path);
+  }
+  out << "# Undirected simple graph: " << graph.NumNodes() << " nodes, "
+      << graph.NumEdges() << " edges\n";
+  for (const Edge& e : graph.edges()) {
+    out << e.u << '\t' << e.v << '\n';
+  }
+  if (!out) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace edgeshed::graph

@@ -1,0 +1,32 @@
+#ifndef EDGESHED_GRAPH_EDGE_LIST_IO_H_
+#define EDGESHED_GRAPH_EDGE_LIST_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace edgeshed::graph {
+
+/// Result of loading a SNAP-style edge-list file.
+struct LoadedGraph {
+  Graph graph;
+  /// original_ids[i] is the id the input file used for dense node i; node
+  /// ids in SNAP files are arbitrary and sparse, so loaders remap them.
+  std::vector<uint64_t> original_ids;
+};
+
+/// Loads a whitespace-separated edge list in the SNAP download format:
+/// lines starting with '#' or '%' are comments, each remaining line holds
+/// "src dst" (extra columns ignored). Directed duplicates (a b / b a),
+/// parallel edges and self-loops are collapsed/dropped, matching how the
+/// paper's snap.py pipeline materializes undirected simple graphs.
+StatusOr<LoadedGraph> LoadEdgeList(const std::string& path);
+
+/// Writes `graph` as "u v" lines (dense ids), with a small header comment.
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace edgeshed::graph
+
+#endif  // EDGESHED_GRAPH_EDGE_LIST_IO_H_

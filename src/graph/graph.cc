@@ -1,0 +1,93 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/strings.h"
+
+namespace edgeshed::graph {
+
+StatusOr<Graph> Graph::FromEdges(NodeId num_nodes, std::vector<Edge> edges) {
+  for (Edge& e : edges) {
+    if (e.u >= num_nodes || e.v >= num_nodes) {
+      return Status::InvalidArgument(
+          StrFormat("edge (%u, %u) has endpoint outside [0, %u)", e.u, e.v,
+                    num_nodes));
+    }
+    if (e.u == e.v) {
+      return Status::InvalidArgument(
+          StrFormat("self-loop at node %u; simple graphs only", e.u));
+    }
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::vector<Edge> sorted = edges;
+  std::sort(sorted.begin(), sorted.end());
+  auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+  if (dup != sorted.end()) {
+    return Status::InvalidArgument(
+        StrFormat("duplicate edge (%u, %u)", dup->u, dup->v));
+  }
+  return Graph(num_nodes, std::move(sorted));
+}
+
+Graph::Graph(NodeId num_nodes, std::vector<Edge> edges)
+    : edges_(std::move(edges)) {
+  offsets_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+
+  adjacency_.resize(2 * edges_.size());
+  incident_.resize(2 * edges_.size());
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    const Edge& e = edges_[id];
+    adjacency_[cursor[e.u]] = e.v;
+    incident_[cursor[e.u]++] = id;
+    adjacency_[cursor[e.v]] = e.u;
+    incident_[cursor[e.v]++] = id;
+  }
+  // Edges were sorted by (u, v); the u-side adjacency is already ascending,
+  // but the v-side entries arrive in u-order which is also ascending per
+  // vertex, so each adjacency list is sorted without an extra pass. Verify
+  // in debug builds.
+#ifndef NDEBUG
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    auto nbrs = Neighbors(u);
+    EDGESHED_DCHECK(std::is_sorted(nbrs.begin(), nbrs.end()));
+  }
+#endif
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  return FindEdge(u, v) != kInvalidEdge;
+}
+
+EdgeId Graph::FindEdge(NodeId u, NodeId v) const {
+  if (u >= NumNodes() || v >= NumNodes() || u == v) return kInvalidEdge;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kInvalidEdge;
+  return IncidentEdges(u)[static_cast<size_t>(it - nbrs.begin())];
+}
+
+Graph SubgraphFromEdgeIds(const Graph& parent,
+                          const std::vector<EdgeId>& edge_ids) {
+  std::vector<Edge> kept;
+  kept.reserve(edge_ids.size());
+  for (EdgeId id : edge_ids) {
+    EDGESHED_CHECK_LT(id, parent.NumEdges());
+    kept.push_back(parent.edge(id));
+  }
+  auto result = Graph::FromEdges(static_cast<NodeId>(parent.NumNodes()),
+                                 std::move(kept));
+  // Parent edges are unique, so a subset cannot introduce duplicates unless
+  // the caller passed repeated ids — a programming error.
+  EDGESHED_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+}  // namespace edgeshed::graph

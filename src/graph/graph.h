@@ -1,0 +1,124 @@
+#ifndef EDGESHED_GRAPH_GRAPH_H_
+#define EDGESHED_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/statusor.h"
+
+namespace edgeshed::graph {
+
+/// Vertex identifier: dense, 0-based.
+using NodeId = uint32_t;
+/// Edge identifier: index into the graph's canonical edge list.
+using EdgeId = uint64_t;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// An undirected edge. Canonical form has u <= v; the Graph constructor
+/// canonicalizes.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  }
+};
+
+/// Immutable simple undirected graph in CSR (compressed sparse row) form.
+///
+/// Design notes (see DESIGN.md §1):
+///  * The node set is dense [0, NumNodes()); isolated vertices are legal —
+///    reduced graphs keep the original vertex set and may have degree-0
+///    nodes, exactly as in the paper's G' = (V, E').
+///  * Every undirected edge {u,v} is stored once in `edges()` (u <= v) and
+///    twice in the adjacency arrays (at u and at v). Each adjacency slot
+///    also records the EdgeId, so edge-centric algorithms (edge betweenness,
+///    shedding) can map a traversal step back to its undirected edge in O(1).
+///  * Self-loops and duplicate edges are rejected at construction: the
+///    paper's datasets and algorithms assume a simple graph.
+class Graph {
+ public:
+  /// Builds a graph over `num_nodes` vertices from an arbitrary-order edge
+  /// list. Returns InvalidArgument on self-loops, duplicates, or endpoints
+  /// outside [0, num_nodes). Use GraphBuilder to clean raw data first.
+  static StatusOr<Graph> FromEdges(NodeId num_nodes, std::vector<Edge> edges);
+
+  /// Empty graph (0 nodes, 0 edges).
+  Graph() = default;
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
+
+  uint64_t NumNodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  uint64_t NumEdges() const { return edges_.size(); }
+
+  uint64_t Degree(NodeId u) const {
+    EDGESHED_DCHECK_LT(u, NumNodes());
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  /// Neighbors of `u`, sorted ascending.
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    EDGESHED_DCHECK_LT(u, NumNodes());
+    return {adjacency_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  /// EdgeIds incident to `u`, aligned with Neighbors(u): IncidentEdges(u)[i]
+  /// is the undirected edge {u, Neighbors(u)[i]}.
+  std::span<const EdgeId> IncidentEdges(NodeId u) const {
+    EDGESHED_DCHECK_LT(u, NumNodes());
+    return {incident_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  /// Canonical edge list; edges()[e] has u <= v.
+  const std::vector<Edge>& edges() const { return edges_; }
+  const Edge& edge(EdgeId e) const {
+    EDGESHED_DCHECK_LT(e, edges_.size());
+    return edges_[e];
+  }
+
+  /// True iff {u, v} is an edge. O(log deg(u)) via binary search on the
+  /// sorted adjacency of the lower-degree endpoint.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// EdgeId of {u, v}, or kInvalidEdge when absent.
+  EdgeId FindEdge(NodeId u, NodeId v) const;
+
+  /// Sum of all vertex degrees = 2|E|.
+  uint64_t TotalDegree() const { return 2 * NumEdges(); }
+
+  /// Average degree 2|E| / |V| (0 for the empty graph).
+  double AverageDegree() const {
+    return NumNodes() == 0 ? 0.0
+                           : static_cast<double>(TotalDegree()) /
+                                 static_cast<double>(NumNodes());
+  }
+
+ private:
+  Graph(NodeId num_nodes, std::vector<Edge> edges);
+
+  std::vector<uint64_t> offsets_;   // size NumNodes()+1
+  std::vector<NodeId> adjacency_;   // size 2*NumEdges()
+  std::vector<EdgeId> incident_;    // size 2*NumEdges(), parallel to adjacency_
+  std::vector<Edge> edges_;         // canonical (u <= v), size NumEdges()
+};
+
+/// Builds the subgraph of `parent` that keeps the whole vertex set and only
+/// the edges in `edge_ids` (indices into parent.edges()). Duplicate ids are
+/// a programming error. This is the paper's reduced graph G' = (V, E').
+Graph SubgraphFromEdgeIds(const Graph& parent,
+                          const std::vector<EdgeId>& edge_ids);
+
+}  // namespace edgeshed::graph
+
+#endif  // EDGESHED_GRAPH_GRAPH_H_

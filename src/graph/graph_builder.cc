@@ -1,0 +1,37 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace edgeshed::graph {
+
+void GraphBuilder::ReserveNodes(NodeId num_nodes) {
+  max_node_bound_ = std::max(max_node_bound_, num_nodes);
+}
+
+void GraphBuilder::ReserveEdges(size_t num_edges) {
+  edges_.reserve(num_edges);
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  max_node_bound_ = std::max(max_node_bound_, static_cast<NodeId>(v + 1));
+  edges_.push_back(Edge{u, v});
+}
+
+Graph GraphBuilder::Build() {
+  std::vector<Edge> edges = std::move(edges_);
+  edges_.clear();
+  // Drop self-loops, then collapse parallel edges.
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const Edge& e) { return e.u == e.v; }),
+              edges.end());
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  auto graph = Graph::FromEdges(max_node_bound_, std::move(edges));
+  EDGESHED_CHECK(graph.ok()) << graph.status().ToString();
+  max_node_bound_ = 0;
+  return std::move(graph).value();
+}
+
+}  // namespace edgeshed::graph

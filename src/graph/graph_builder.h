@@ -1,0 +1,41 @@
+#ifndef EDGESHED_GRAPH_GRAPH_BUILDER_H_
+#define EDGESHED_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace edgeshed::graph {
+
+/// Accumulates raw (possibly messy) edge data and produces a clean simple
+/// Graph: self-loops dropped, parallel edges collapsed, node count inferred.
+///
+/// Generators and file loaders use this so `Graph` itself can stay strict.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-declares at least `num_nodes` vertices (isolated vertices are kept).
+  void ReserveNodes(NodeId num_nodes);
+
+  /// Hints the expected number of edges (avoids reallocation).
+  void ReserveEdges(size_t num_edges);
+
+  /// Adds an undirected edge; order of endpoints is irrelevant. Self-loops
+  /// and duplicates are tolerated here and removed by Build().
+  void AddEdge(NodeId u, NodeId v);
+
+  /// Number of edges added so far (before dedup).
+  size_t PendingEdges() const { return edges_.size(); }
+
+  /// Produces the cleaned graph. The builder is left empty.
+  Graph Build();
+
+ private:
+  NodeId max_node_bound_ = 0;  // one past the largest node id seen/declared
+  std::vector<Edge> edges_;
+};
+
+}  // namespace edgeshed::graph
+
+#endif  // EDGESHED_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,107 @@
+#include "graph/operations.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "graph/graph_builder.h"
+
+namespace edgeshed::graph {
+
+namespace {
+
+uint64_t PackEdge(const Edge& e) {
+  return (static_cast<uint64_t>(e.u) << 32) | e.v;
+}
+
+std::unordered_set<uint64_t> EdgeKeySet(const Graph& g) {
+  std::unordered_set<uint64_t> keys;
+  keys.reserve(g.NumEdges() * 2);
+  for (const Edge& e : g.edges()) keys.insert(PackEdge(e));
+  return keys;
+}
+
+}  // namespace
+
+StatusOr<InducedSubgraph> InduceByNodes(const Graph& g,
+                                        const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> dense(g.NumNodes(), kInvalidNode);
+  InducedSubgraph result;
+  result.original_of.reserve(nodes.size());
+  for (NodeId u : nodes) {
+    if (u >= g.NumNodes()) {
+      return Status::InvalidArgument(
+          StrFormat("node %u outside [0, %llu)", u,
+                    static_cast<unsigned long long>(g.NumNodes())));
+    }
+    if (dense[u] != kInvalidNode) {
+      return Status::InvalidArgument(StrFormat("duplicate node %u", u));
+    }
+    dense[u] = static_cast<NodeId>(result.original_of.size());
+    result.original_of.push_back(u);
+  }
+  GraphBuilder builder;
+  builder.ReserveNodes(static_cast<NodeId>(nodes.size()));
+  for (const Edge& e : g.edges()) {
+    if (dense[e.u] != kInvalidNode && dense[e.v] != kInvalidNode) {
+      builder.AddEdge(dense[e.u], dense[e.v]);
+    }
+  }
+  result.graph = builder.Build();
+  return result;
+}
+
+Graph GraphUnion(const Graph& a, const Graph& b) {
+  GraphBuilder builder;
+  builder.ReserveNodes(
+      static_cast<NodeId>(std::max(a.NumNodes(), b.NumNodes())));
+  for (const Edge& e : a.edges()) builder.AddEdge(e.u, e.v);
+  for (const Edge& e : b.edges()) builder.AddEdge(e.u, e.v);
+  return builder.Build();
+}
+
+Graph GraphIntersection(const Graph& a, const Graph& b) {
+  const Graph& small = a.NumEdges() <= b.NumEdges() ? a : b;
+  const Graph& large = a.NumEdges() <= b.NumEdges() ? b : a;
+  std::unordered_set<uint64_t> large_keys = EdgeKeySet(large);
+  GraphBuilder builder;
+  builder.ReserveNodes(
+      static_cast<NodeId>(std::max(a.NumNodes(), b.NumNodes())));
+  for (const Edge& e : small.edges()) {
+    if (large_keys.contains(PackEdge(e))) builder.AddEdge(e.u, e.v);
+  }
+  return builder.Build();
+}
+
+Graph GraphDifference(const Graph& a, const Graph& b) {
+  std::unordered_set<uint64_t> b_keys = EdgeKeySet(b);
+  GraphBuilder builder;
+  builder.ReserveNodes(static_cast<NodeId>(a.NumNodes()));
+  for (const Edge& e : a.edges()) {
+    if (!b_keys.contains(PackEdge(e))) builder.AddEdge(e.u, e.v);
+  }
+  return builder.Build();
+}
+
+InducedSubgraph DropIsolated(const Graph& g) {
+  std::vector<NodeId> keep;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (g.Degree(u) > 0) keep.push_back(u);
+  }
+  auto result = InduceByNodes(g, keep);
+  EDGESHED_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+double EdgeJaccard(const Graph& a, const Graph& b) {
+  if (a.NumEdges() == 0 && b.NumEdges() == 0) return 1.0;
+  std::unordered_set<uint64_t> b_keys = EdgeKeySet(b);
+  uint64_t shared = 0;
+  for (const Edge& e : a.edges()) {
+    if (b_keys.contains(PackEdge(e))) ++shared;
+  }
+  const uint64_t unioned = a.NumEdges() + b.NumEdges() - shared;
+  return static_cast<double>(shared) / static_cast<double>(unioned);
+}
+
+}  // namespace edgeshed::graph

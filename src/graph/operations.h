@@ -1,0 +1,41 @@
+#ifndef EDGESHED_GRAPH_OPERATIONS_H_
+#define EDGESHED_GRAPH_OPERATIONS_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace edgeshed::graph {
+
+/// Node-induced subgraph: keeps the listed vertices (relabeled densely in
+/// the order given) and every edge of `g` with both endpoints selected.
+/// Returns InvalidArgument on out-of-range or duplicate vertices.
+struct InducedSubgraph {
+  Graph graph;
+  /// original_of[i] = vertex of `g` that became dense id i.
+  std::vector<NodeId> original_of;
+};
+StatusOr<InducedSubgraph> InduceByNodes(const Graph& g,
+                                        const std::vector<NodeId>& nodes);
+
+/// Union of two graphs over max(|V_a|, |V_b|) vertices: edge set E_a ∪ E_b.
+Graph GraphUnion(const Graph& a, const Graph& b);
+
+/// Intersection: edges present in both graphs, over max(|V_a|, |V_b|).
+Graph GraphIntersection(const Graph& a, const Graph& b);
+
+/// Difference: edges of `a` not present in `b`, over |V_a| vertices.
+Graph GraphDifference(const Graph& a, const Graph& b);
+
+/// Drops isolated vertices and relabels the rest densely (preserving
+/// relative order). The inverse mapping is returned alongside.
+InducedSubgraph DropIsolated(const Graph& g);
+
+/// Jaccard similarity of the two edge sets |E_a ∩ E_b| / |E_a ∪ E_b|
+/// (1.0 when both are empty). Handy for comparing reductions.
+double EdgeJaccard(const Graph& a, const Graph& b);
+
+}  // namespace edgeshed::graph
+
+#endif  // EDGESHED_GRAPH_OPERATIONS_H_

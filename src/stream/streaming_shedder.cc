@@ -1,0 +1,126 @@
+#include "stream/streaming_shedder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "graph/graph_builder.h"
+
+namespace edgeshed::stream {
+
+StreamingShedder::StreamingShedder(double p, Options options)
+    : p_(p), options_(options), rng_(options.seed) {
+  EDGESHED_CHECK(p > 0.0 && p < 1.0)
+      << "edge preservation ratio must be in (0,1), got " << p;
+  EDGESHED_CHECK(options_.eviction_samples > 0);
+}
+
+uint64_t StreamingShedder::Budget() const {
+  return static_cast<uint64_t>(
+      std::llround(p_ * static_cast<double>(edges_seen_)));
+}
+
+double StreamingShedder::AverageDelta() const {
+  return deg_seen_.empty()
+             ? 0.0
+             : total_delta_ / static_cast<double>(deg_seen_.size());
+}
+
+void StreamingShedder::EnsureNode(graph::NodeId u) {
+  if (u >= deg_seen_.size()) {
+    deg_seen_.resize(u + 1, 0);
+    deg_kept_.resize(u + 1, 0);
+  }
+}
+
+void StreamingShedder::AdjustDeltaForSeen(graph::NodeId u) {
+  // deg_seen_[u] was just incremented: dis(u) moved by -p.
+  const double dis_after = Dis(u);
+  const double dis_before = dis_after + p_;
+  total_delta_ += std::abs(dis_after) - std::abs(dis_before);
+}
+
+void StreamingShedder::KeepEdge(graph::NodeId u, graph::NodeId v) {
+  const double before = std::abs(Dis(u)) + std::abs(Dis(v));
+  ++deg_kept_[u];
+  ++deg_kept_[v];
+  total_delta_ += std::abs(Dis(u)) + std::abs(Dis(v)) - before;
+  kept_.push_back(graph::Edge{std::min(u, v), std::max(u, v)});
+  kept_keys_.insert((static_cast<uint64_t>(std::min(u, v)) << 32) |
+                    std::max(u, v));
+}
+
+void StreamingShedder::EvictWorstSampled() {
+  EDGESHED_DCHECK(!kept_.empty());
+  size_t best_index = 0;
+  double best_change = 1e300;
+  const uint32_t samples =
+      static_cast<uint32_t>(std::min<uint64_t>(options_.eviction_samples,
+                                               kept_.size()));
+  for (uint32_t i = 0; i < samples; ++i) {
+    const size_t index = rng_.UniformIndex(kept_.size());
+    const graph::Edge& e = kept_[index];
+    const double change = std::abs(Dis(e.u) - 1.0) + std::abs(Dis(e.v) - 1.0)
+                          - (std::abs(Dis(e.u)) + std::abs(Dis(e.v)));
+    if (change < best_change) {
+      best_change = change;
+      best_index = index;
+    }
+  }
+  const graph::Edge evicted = kept_[best_index];
+  const double before = std::abs(Dis(evicted.u)) + std::abs(Dis(evicted.v));
+  --deg_kept_[evicted.u];
+  --deg_kept_[evicted.v];
+  total_delta_ +=
+      std::abs(Dis(evicted.u)) + std::abs(Dis(evicted.v)) - before;
+  kept_keys_.erase((static_cast<uint64_t>(evicted.u) << 32) | evicted.v);
+  kept_[best_index] = kept_.back();
+  kept_.pop_back();
+}
+
+void StreamingShedder::AddEdge(graph::NodeId u, graph::NodeId v) {
+  if (u == v) return;  // simple graphs only
+  EnsureNode(std::max(u, v));
+  // Ignore duplicates of an edge we currently hold; re-arrivals of shed
+  // edges pass through as fresh stream mass.
+  const uint64_t key =
+      (static_cast<uint64_t>(std::min(u, v)) << 32) | std::max(u, v);
+  if (kept_keys_.contains(key)) return;
+  ++edges_seen_;
+  ++deg_seen_[u];
+  AdjustDeltaForSeen(u);
+  ++deg_seen_[v];
+  AdjustDeltaForSeen(v);
+
+  // Admit, then shrink back to budget. Admitting first lets a strongly
+  // beneficial arrival displace a weak incumbent via the eviction step.
+  const double addition_change =
+      std::abs(Dis(u) + 1.0) + std::abs(Dis(v) + 1.0) -
+      (std::abs(Dis(u)) + std::abs(Dis(v)));
+  const uint64_t budget = Budget();
+  if (kept_.size() < budget) {
+    KeepEdge(u, v);
+  } else if (addition_change < 0.0 && !kept_.empty()) {
+    KeepEdge(u, v);
+  }
+  while (kept_.size() > budget) {
+    EvictWorstSampled();
+  }
+}
+
+double StreamingShedder::RecomputeTotalDelta() const {
+  double total = 0.0;
+  for (graph::NodeId u = 0; u < deg_seen_.size(); ++u) {
+    total += std::abs(Dis(u));
+  }
+  return total;
+}
+
+graph::Graph StreamingShedder::SnapshotGraph() const {
+  graph::GraphBuilder builder;
+  builder.ReserveNodes(static_cast<graph::NodeId>(deg_seen_.size()));
+  for (const graph::Edge& e : kept_) builder.AddEdge(e.u, e.v);
+  return builder.Build();
+}
+
+}  // namespace edgeshed::stream

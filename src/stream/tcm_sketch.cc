@@ -1,0 +1,64 @@
+#include "stream/tcm_sketch.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace edgeshed::stream {
+
+TcmSketch::TcmSketch(Options options) : options_(options) {
+  EDGESHED_CHECK_GT(options_.width, 0u);
+  EDGESHED_CHECK_GT(options_.depth, 0u);
+  uint64_t seed = options_.seed;
+  for (uint32_t layer = 0; layer < options_.depth; ++layer) {
+    hash_seeds_.push_back(SplitMix64Next(&seed));
+    cells_.emplace_back(
+        static_cast<size_t>(options_.width) * options_.width, 0.0);
+    rows_.emplace_back(options_.width, 0.0);
+  }
+}
+
+uint32_t TcmSketch::Bucket(uint32_t layer, graph::NodeId node) const {
+  uint64_t state = hash_seeds_[layer] ^ (static_cast<uint64_t>(node) + 1);
+  return static_cast<uint32_t>(SplitMix64Next(&state) % options_.width);
+}
+
+void TcmSketch::AddEdge(graph::NodeId u, graph::NodeId v, double weight) {
+  total_weight_ += weight;
+  for (uint32_t layer = 0; layer < options_.depth; ++layer) {
+    const uint32_t bu = Bucket(layer, u);
+    const uint32_t bv = Bucket(layer, v);
+    // Undirected: store each edge once under the canonical (min, max)
+    // bucket pair, and credit both endpoint rows.
+    const uint32_t row = std::min(bu, bv);
+    const uint32_t col = std::max(bu, bv);
+    cells_[layer][static_cast<size_t>(row) * options_.width + col] += weight;
+    rows_[layer][bu] += weight;
+    if (bv != bu) rows_[layer][bv] += weight;
+  }
+}
+
+double TcmSketch::EdgeWeight(graph::NodeId u, graph::NodeId v) const {
+  double best = std::numeric_limits<double>::max();
+  for (uint32_t layer = 0; layer < options_.depth; ++layer) {
+    const uint32_t bu = Bucket(layer, u);
+    const uint32_t bv = Bucket(layer, v);
+    const uint32_t row = std::min(bu, bv);
+    const uint32_t col = std::max(bu, bv);
+    best = std::min(
+        best, cells_[layer][static_cast<size_t>(row) * options_.width + col]);
+  }
+  return best;
+}
+
+double TcmSketch::NodeWeight(graph::NodeId u) const {
+  double best = std::numeric_limits<double>::max();
+  for (uint32_t layer = 0; layer < options_.depth; ++layer) {
+    best = std::min(best, rows_[layer][Bucket(layer, u)]);
+  }
+  return best;
+}
+
+}  // namespace edgeshed::stream

@@ -1,0 +1,63 @@
+#ifndef EDGESHED_STREAM_TCM_SKETCH_H_
+#define EDGESHED_STREAM_TCM_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace edgeshed::stream {
+
+/// TCM-style graph-stream sketch (Tang, Chen & Mitra, SIGMOD 2016 — cited
+/// by the paper's related work as the graph-stream alternative to edge
+/// shedding). `depth` independent W x W count matrices, each indexed by a
+/// pairwise-independent hash of the endpoints; edge-weight queries return
+/// the minimum over matrices (count-min guarantee: never an
+/// underestimate). Constant memory regardless of stream length — the
+/// trade-off against shedding is that the output is a sketch to query, not
+/// a graph to run algorithms on, which is precisely the paper's argument
+/// for shedding.
+class TcmSketch {
+ public:
+  struct Options {
+    uint32_t width = 256;  // W: each matrix is W x W counters
+    uint32_t depth = 3;    // independent matrices
+    uint64_t seed = 17;
+  };
+
+  explicit TcmSketch(Options options);
+
+  /// Records an undirected edge occurrence with the given weight.
+  /// Multi-edges accumulate (stream semantics).
+  void AddEdge(graph::NodeId u, graph::NodeId v, double weight = 1.0);
+
+  /// Estimated total weight of edge {u, v}; >= the true weight (count-min
+  /// one-sided error).
+  double EdgeWeight(graph::NodeId u, graph::NodeId v) const;
+
+  /// Estimated total weight incident to `u` (its weighted degree); >= the
+  /// true value. Maintained per matrix as row sums.
+  double NodeWeight(graph::NodeId u) const;
+
+  /// Total stream weight ingested (exact).
+  double TotalWeight() const { return total_weight_; }
+
+  /// Memory footprint in counter cells (width^2 * depth).
+  uint64_t Cells() const {
+    return static_cast<uint64_t>(options_.width) * options_.width *
+           options_.depth;
+  }
+
+ private:
+  uint32_t Bucket(uint32_t layer, graph::NodeId node) const;
+
+  Options options_;
+  double total_weight_ = 0.0;
+  std::vector<uint64_t> hash_seeds_;        // one per layer
+  std::vector<std::vector<double>> cells_;  // [layer][row * W + col]
+  std::vector<std::vector<double>> rows_;   // [layer][row] aggregated
+};
+
+}  // namespace edgeshed::stream
+
+#endif  // EDGESHED_STREAM_TCM_SKETCH_H_

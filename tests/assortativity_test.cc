@@ -1,0 +1,117 @@
+#include "analytics/assortativity.h"
+
+#include <gtest/gtest.h>
+
+#include "analytics/eigenvector.h"
+#include "graph/generators/generators.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::analytics {
+namespace {
+
+using ::edgeshed::testing::Clique;
+using ::edgeshed::testing::Cycle;
+using ::edgeshed::testing::MustBuild;
+using ::edgeshed::testing::Star;
+
+TEST(AssortativityTest, RegularGraphIsDegenerate) {
+  // All degrees equal: zero variance -> defined as 0.
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(Cycle(10)), 0.0);
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(Clique(6)), 0.0);
+}
+
+TEST(AssortativityTest, StarIsPerfectlyDisassortative) {
+  // Every edge joins degree n-1 with degree 1: r = -1.
+  EXPECT_NEAR(DegreeAssortativity(Star(10)), -1.0, 1e-9);
+}
+
+TEST(AssortativityTest, TwoCliquesJoinedByPath) {
+  // Hub-hub and leaf-leaf links -> positive assortativity.
+  // Two triangles (deg 2) plus a chain of degree-2 vertices: build a graph
+  // where high-degree vertices attach to each other.
+  auto g = MustBuild(6, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}, {3, 5},
+                         {4, 5}});
+  double r = DegreeAssortativity(g);
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+}
+
+TEST(AssortativityTest, BarabasiAlbertIsDisassortativeIsh) {
+  Rng rng(51);
+  auto g = graph::BarabasiAlbert(2000, 3, rng);
+  double r = DegreeAssortativity(g);
+  // Preferential attachment without aging gives r <= 0 (hubs connect to
+  // leaves).
+  EXPECT_LT(r, 0.05);
+  EXPECT_GT(r, -1.0);
+}
+
+TEST(AssortativityTest, FewerThanTwoEdges) {
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(MustBuild(3, {{0, 1}})), 0.0);
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(graph::Graph()), 0.0);
+}
+
+TEST(AverageNeighborDegreesTest, StarValues) {
+  auto values = AverageNeighborDegrees(Star(5));
+  EXPECT_DOUBLE_EQ(values[0], 1.0);   // center's neighbors are leaves
+  for (int u = 1; u < 5; ++u) EXPECT_DOUBLE_EQ(values[u], 4.0);
+}
+
+TEST(AverageNeighborDegreesTest, IsolatedIsZero) {
+  auto g = MustBuild(3, {{0, 1}});
+  auto values = AverageNeighborDegrees(g);
+  EXPECT_DOUBLE_EQ(values[2], 0.0);
+}
+
+TEST(EigenvectorTest, RegularGraphIsUniform) {
+  auto scores = EigenvectorCentrality(Cycle(8));
+  for (double s : scores) {
+    EXPECT_NEAR(s, scores[0], 1e-8);
+    EXPECT_GT(s, 0.0);
+  }
+}
+
+TEST(EigenvectorTest, NormIsOne) {
+  Rng rng(52);
+  auto g = graph::BarabasiAlbert(200, 3, rng);
+  auto scores = EigenvectorCentrality(g);
+  double norm = 0.0;
+  for (double s : scores) norm += s * s;
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(EigenvectorTest, StarCenterDominates) {
+  auto scores = EigenvectorCentrality(Star(10));
+  for (int u = 1; u < 10; ++u) {
+    EXPECT_GT(scores[0], scores[u]);
+    EXPECT_NEAR(scores[u], scores[1], 1e-9);
+  }
+}
+
+TEST(EigenvectorTest, HubsOutrankLeavesOnBa) {
+  Rng rng(53);
+  auto g = graph::BarabasiAlbert(500, 3, rng);
+  auto scores = EigenvectorCentrality(g);
+  // The max-degree vertex should be near the top of the centrality order.
+  graph::NodeId hub = 0;
+  for (graph::NodeId u = 1; u < g.NumNodes(); ++u) {
+    if (g.Degree(u) > g.Degree(hub)) hub = u;
+  }
+  uint32_t better = 0;
+  for (double s : scores) {
+    if (s > scores[hub]) ++better;
+  }
+  EXPECT_LT(better, 10u);
+}
+
+TEST(EigenvectorTest, EdgelessGraphIsZero) {
+  auto scores = EigenvectorCentrality(MustBuild(5, {}));
+  for (double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(EigenvectorTest, EmptyGraph) {
+  EXPECT_TRUE(EigenvectorCentrality(graph::Graph()).empty());
+}
+
+}  // namespace
+}  // namespace edgeshed::analytics

@@ -1,0 +1,126 @@
+#include "core/b_matching.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bm2.h"
+#include "graph/generators/generators.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::core {
+namespace {
+
+using ::edgeshed::testing::Clique;
+using ::edgeshed::testing::PaperExampleGraph;
+using ::edgeshed::testing::Star;
+
+TEST(BMatchingTest, RespectsCapacities) {
+  auto g = Clique(6);
+  std::vector<uint32_t> capacities(6, 2);
+  auto matched = GreedyMaximalBMatching(g, capacities);
+  EXPECT_TRUE(IsBMatching(g, matched, capacities));
+}
+
+TEST(BMatchingTest, IsMaximal) {
+  auto g = Clique(6);
+  std::vector<uint32_t> capacities(6, 2);
+  auto matched = GreedyMaximalBMatching(g, capacities);
+  EXPECT_TRUE(IsMaximalBMatching(g, matched, capacities));
+}
+
+TEST(BMatchingTest, ZeroCapacitiesMatchNothing) {
+  auto g = Clique(4);
+  std::vector<uint32_t> capacities(4, 0);
+  auto matched = GreedyMaximalBMatching(g, capacities);
+  EXPECT_TRUE(matched.empty());
+  EXPECT_TRUE(IsMaximalBMatching(g, matched, capacities));
+}
+
+TEST(BMatchingTest, UnboundedCapacitiesTakeAllEdges) {
+  auto g = Clique(5);
+  std::vector<uint32_t> capacities(5, 100);
+  auto matched = GreedyMaximalBMatching(g, capacities);
+  EXPECT_EQ(matched.size(), g.NumEdges());
+}
+
+TEST(BMatchingTest, StarLimitedByCenter) {
+  auto g = Star(10);
+  std::vector<uint32_t> capacities(10, 1);
+  capacities[0] = 3;
+  auto matched = GreedyMaximalBMatching(g, capacities);
+  EXPECT_EQ(matched.size(), 3u);
+  EXPECT_TRUE(IsMaximalBMatching(g, matched, capacities));
+}
+
+TEST(BMatchingTest, PaperExampleCapacities) {
+  auto g = PaperExampleGraph();
+  auto capacities = Bm2::Capacities(g, 0.4);
+  // round(0.4 * deg): u7 -> 3, u9 -> 2, u8/u10 -> 1, leaves -> 0.
+  EXPECT_EQ(capacities[6], 3u);
+  EXPECT_EQ(capacities[8], 2u);
+  EXPECT_EQ(capacities[7], 1u);
+  EXPECT_EQ(capacities[9], 1u);
+  for (graph::NodeId leaf : {0u, 1u, 2u, 3u, 4u, 5u, 10u}) {
+    EXPECT_EQ(capacities[leaf], 0u);
+  }
+  auto matched = GreedyMaximalBMatching(g, capacities);
+  EXPECT_TRUE(IsMaximalBMatching(g, matched, capacities));
+  // Only u7, u8, u9, u10 have nonzero capacity; their induced subgraph has
+  // edges (u7,u9),(u8,u9),(u8,u10),(u9,u10). Greedy takes 2 of them.
+  EXPECT_EQ(matched.size(), 2u);
+}
+
+TEST(BMatchingTest, ShuffledOrderStillValid) {
+  auto g = Clique(8);
+  std::vector<uint32_t> capacities(8, 3);
+  Rng rng(5);
+  auto matched = GreedyMaximalBMatching(
+      g, capacities, BMatchingEdgeOrder::kShuffled, &rng);
+  EXPECT_TRUE(IsMaximalBMatching(g, matched, capacities));
+}
+
+TEST(BMatchingTest, LowDegreeFirstStillValid) {
+  Rng rng(6);
+  auto g = graph::BarabasiAlbert(200, 3, rng);
+  auto capacities = Bm2::Capacities(g, 0.5);
+  auto matched = GreedyMaximalBMatching(
+      g, capacities, BMatchingEdgeOrder::kLowDegreeEndpointFirst);
+  EXPECT_TRUE(IsMaximalBMatching(g, matched, capacities));
+}
+
+TEST(BMatchingTest, ResultIsSortedUniqueEdgeIds) {
+  auto g = Clique(7);
+  std::vector<uint32_t> capacities(7, 2);
+  Rng rng(9);
+  auto matched = GreedyMaximalBMatching(
+      g, capacities, BMatchingEdgeOrder::kShuffled, &rng);
+  EXPECT_TRUE(std::is_sorted(matched.begin(), matched.end()));
+  EXPECT_TRUE(std::adjacent_find(matched.begin(), matched.end()) ==
+              matched.end());
+}
+
+TEST(BMatchingTest, IsBMatchingDetectsViolation) {
+  auto g = Star(4);
+  std::vector<uint32_t> capacities(4, 1);
+  // Two spokes exceed the center capacity of 1.
+  EXPECT_FALSE(IsBMatching(g, {0, 1}, capacities));
+}
+
+TEST(BMatchingTest, IsMaximalDetectsNonMaximal) {
+  auto g = Clique(4);
+  std::vector<uint32_t> capacities(4, 3);
+  // Empty matching is valid but not maximal.
+  EXPECT_TRUE(IsBMatching(g, {}, capacities));
+  EXPECT_FALSE(IsMaximalBMatching(g, {}, capacities));
+}
+
+TEST(BMatchingTest, HeterogeneousCapacities) {
+  Rng rng(7);
+  auto g = graph::ErdosRenyi(100, 300, rng);
+  std::vector<uint32_t> capacities(100);
+  for (uint32_t i = 0; i < 100; ++i) capacities[i] = i % 4;
+  auto matched = GreedyMaximalBMatching(g, capacities);
+  EXPECT_TRUE(IsMaximalBMatching(g, matched, capacities));
+}
+
+}  // namespace
+}  // namespace edgeshed::core

@@ -1,0 +1,192 @@
+#include "analytics/betweenness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "graph/generators/generators.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::analytics {
+namespace {
+
+using ::edgeshed::testing::Clique;
+using ::edgeshed::testing::Cycle;
+using ::edgeshed::testing::Path;
+using ::edgeshed::testing::Star;
+using ::edgeshed::testing::TwoTrianglesWithBridge;
+
+TEST(BetweennessTest, PathOfThreeNodeScores) {
+  auto scores = Betweenness(Path(3), BetweennessOptions::Exact());
+  EXPECT_DOUBLE_EQ(scores.node[0], 0.0);
+  EXPECT_DOUBLE_EQ(scores.node[1], 1.0);  // the single (0,2) pair
+  EXPECT_DOUBLE_EQ(scores.node[2], 0.0);
+}
+
+TEST(BetweennessTest, PathOfThreeEdgeScores) {
+  auto g = Path(3);
+  auto scores = Betweenness(g, BetweennessOptions::Exact());
+  // Each edge carries its endpoint pair plus the (0,2) pair.
+  for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_DOUBLE_EQ(scores.edge[e], 2.0);
+  }
+}
+
+TEST(BetweennessTest, PathOfFiveMiddleDominates) {
+  auto scores = Betweenness(Path(5), BetweennessOptions::Exact());
+  // Node 2 mediates pairs (0,3),(0,4),(1,3),(1,4) = 4.
+  EXPECT_DOUBLE_EQ(scores.node[2], 4.0);
+  EXPECT_DOUBLE_EQ(scores.node[1], 3.0);
+  EXPECT_DOUBLE_EQ(scores.node[0], 0.0);
+}
+
+TEST(BetweennessTest, StarCenter) {
+  const int n = 8;
+  auto scores = Betweenness(Star(n), BetweennessOptions::Exact());
+  // Center mediates all C(n-1, 2) leaf pairs.
+  EXPECT_DOUBLE_EQ(scores.node[0], (n - 1) * (n - 2) / 2.0);
+  for (int u = 1; u < n; ++u) EXPECT_DOUBLE_EQ(scores.node[u], 0.0);
+}
+
+TEST(BetweennessTest, StarEdges) {
+  const int n = 8;
+  auto g = Star(n);
+  auto scores = Betweenness(g, BetweennessOptions::Exact());
+  // Each spoke carries its own pair plus (n-2) leaf pairs.
+  for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_DOUBLE_EQ(scores.edge[e], static_cast<double>(n - 1));
+  }
+}
+
+TEST(BetweennessTest, CliqueNodesAreZero) {
+  auto scores = Betweenness(Clique(6), BetweennessOptions::Exact());
+  for (double s : scores.node) EXPECT_DOUBLE_EQ(s, 0.0);
+  // Every edge carries exactly its endpoint pair.
+  for (double s : scores.edge) EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(BetweennessTest, CycleSplitsPaths) {
+  auto scores = Betweenness(Cycle(4), BetweennessOptions::Exact());
+  // Each opposite pair has two shortest paths; each mediates 1/2.
+  for (double s : scores.node) EXPECT_DOUBLE_EQ(s, 0.5);
+}
+
+TEST(BetweennessTest, BridgeHasMaximumEdgeScore) {
+  auto g = TwoTrianglesWithBridge();
+  auto scores = Betweenness(g, BetweennessOptions::Exact());
+  graph::EdgeId bridge = g.FindEdge(2, 3);
+  ASSERT_NE(bridge, graph::kInvalidEdge);
+  for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (e != bridge) {
+      EXPECT_LT(scores.edge[e], scores.edge[bridge]);
+    }
+  }
+  // 3x3 cross pairs all cross the bridge, plus its endpoint pair is (2,3).
+  EXPECT_DOUBLE_EQ(scores.edge[bridge], 9.0);
+}
+
+TEST(BetweennessTest, BridgeEndpointsHaveMaxNodeScore) {
+  auto g = TwoTrianglesWithBridge();
+  auto scores = Betweenness(g, BetweennessOptions::Exact());
+  EXPECT_GT(scores.node[2], scores.node[0]);
+  EXPECT_DOUBLE_EQ(scores.node[2], scores.node[3]);
+}
+
+TEST(BetweennessTest, DisconnectedGraphIsFine) {
+  auto g = edgeshed::testing::MustBuild(6, {{0, 1}, {1, 2}, {3, 4}});
+  auto scores = Betweenness(g, BetweennessOptions::Exact());
+  EXPECT_DOUBLE_EQ(scores.node[1], 1.0);
+  EXPECT_DOUBLE_EQ(scores.node[4], 0.0);
+}
+
+TEST(BetweennessTest, EmptyGraph) {
+  graph::Graph g;
+  auto scores = Betweenness(g);
+  EXPECT_TRUE(scores.node.empty());
+  EXPECT_TRUE(scores.edge.empty());
+}
+
+TEST(BetweennessTest, ThreadCountDoesNotChangeResult) {
+  Rng rng(31);
+  graph::Graph g = graph::ErdosRenyi(200, 800, rng);
+  BetweennessOptions one = BetweennessOptions::Exact();
+  one.threads = 1;
+  BetweennessOptions many = BetweennessOptions::Exact();
+  many.threads = 4;
+  auto a = Betweenness(g, one);
+  auto b = Betweenness(g, many);
+  for (size_t i = 0; i < a.node.size(); ++i) {
+    EXPECT_NEAR(a.node[i], b.node[i], 1e-7);
+  }
+  for (size_t i = 0; i < a.edge.size(); ++i) {
+    EXPECT_NEAR(a.edge[i], b.edge[i], 1e-7);
+  }
+}
+
+TEST(BetweennessTest, SampledEstimatesRankHubsHighly) {
+  Rng rng(32);
+  graph::Graph g = graph::BarabasiAlbert(2000, 3, rng);
+  auto exact = Betweenness(g, BetweennessOptions::Exact());
+
+  BetweennessOptions sampled_options;
+  sampled_options.exact_node_threshold = 1;  // force sampling
+  sampled_options.sample_sources = 256;
+  auto sampled = Betweenness(g, sampled_options);
+
+  auto top_nodes = [](const std::vector<double>& scores, size_t k) {
+    std::vector<uint32_t> ids(scores.size());
+    std::iota(ids.begin(), ids.end(), 0u);
+    std::partial_sort(ids.begin(), ids.begin() + static_cast<long>(k),
+                      ids.end(), [&](uint32_t a, uint32_t b) {
+                        return scores[a] > scores[b];
+                      });
+    ids.resize(k);
+    return ids;
+  };
+  auto exact_top = top_nodes(exact.node, 10);
+  auto sampled_top = top_nodes(sampled.node, 40);
+  std::unordered_set<uint32_t> sampled_set(sampled_top.begin(),
+                                           sampled_top.end());
+  int hits = 0;
+  for (uint32_t u : exact_top) hits += sampled_set.contains(u);
+  EXPECT_GE(hits, 6);  // sampled ranking finds most true top nodes
+}
+
+TEST(BetweennessTest, SampledMagnitudeIsUnbiasedScale) {
+  Rng rng(33);
+  graph::Graph g = graph::ErdosRenyi(1000, 4000, rng);
+  auto exact = Betweenness(g, BetweennessOptions::Exact());
+  BetweennessOptions sampled_options;
+  sampled_options.exact_node_threshold = 1;
+  sampled_options.sample_sources = 500;
+  auto sampled = Betweenness(g, sampled_options);
+  double exact_sum = 0;
+  double sampled_sum = 0;
+  for (double s : exact.node) exact_sum += s;
+  for (double s : sampled.node) sampled_sum += s;
+  EXPECT_NEAR(sampled_sum / exact_sum, 1.0, 0.15);
+}
+
+TEST(EdgesByBetweennessTest, DescendingAndComplete) {
+  auto g = TwoTrianglesWithBridge();
+  auto order = EdgesByBetweennessDescending(g, BetweennessOptions::Exact());
+  EXPECT_EQ(order.size(), g.NumEdges());
+  EXPECT_EQ(order[0], g.FindEdge(2, 3));  // bridge first
+  auto scores = Betweenness(g, BetweennessOptions::Exact());
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(scores.edge[order[i - 1]], scores.edge[order[i]]);
+  }
+}
+
+TEST(EdgesByBetweennessTest, TiesBrokenByEdgeId) {
+  auto g = Clique(5);  // all edges tie
+  auto order = EdgesByBetweennessDescending(g, BetweennessOptions::Exact());
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+}  // namespace
+}  // namespace edgeshed::analytics

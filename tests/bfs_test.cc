@@ -1,0 +1,91 @@
+#include "analytics/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace edgeshed::analytics {
+namespace {
+
+using ::edgeshed::testing::Clique;
+using ::edgeshed::testing::Cycle;
+using ::edgeshed::testing::MustBuild;
+using ::edgeshed::testing::Path;
+using ::edgeshed::testing::Star;
+
+TEST(BfsTest, PathDistances) {
+  auto g = Path(5);
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist, (std::vector<int32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(BfsTest, PathFromMiddle) {
+  auto g = Path(5);
+  auto dist = BfsDistances(g, 2);
+  EXPECT_EQ(dist, (std::vector<int32_t>{2, 1, 0, 1, 2}));
+}
+
+TEST(BfsTest, CycleWrapsAround) {
+  auto g = Cycle(6);
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist, (std::vector<int32_t>{0, 1, 2, 3, 2, 1}));
+}
+
+TEST(BfsTest, StarIsDepthOneFromCenter) {
+  auto g = Star(8);
+  auto dist = BfsDistances(g, 0);
+  for (graph::NodeId u = 1; u < 8; ++u) EXPECT_EQ(dist[u], 1);
+}
+
+TEST(BfsTest, StarIsDepthTwoBetweenLeaves) {
+  auto g = Star(8);
+  auto dist = BfsDistances(g, 3);
+  EXPECT_EQ(dist[0], 1);
+  for (graph::NodeId u = 1; u < 8; ++u) {
+    if (u != 3) EXPECT_EQ(dist[u], 2);
+  }
+}
+
+TEST(BfsTest, DisconnectedComponentUnreachable) {
+  auto g = MustBuild(5, {{0, 1}, {2, 3}});
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(BfsTest, IsolatedSource) {
+  auto g = MustBuild(3, {{0, 1}});
+  auto dist = BfsDistances(g, 2);
+  EXPECT_EQ(dist[2], 0);
+  EXPECT_EQ(dist[0], kUnreachable);
+}
+
+TEST(BfsTest, CliqueAllAtDistanceOne) {
+  auto g = Clique(6);
+  auto dist = BfsDistances(g, 0);
+  for (graph::NodeId u = 1; u < 6; ++u) EXPECT_EQ(dist[u], 1);
+}
+
+TEST(BfsTest, ScratchReuseMatchesFresh) {
+  auto g = Cycle(10);
+  std::vector<int32_t> distances;
+  std::vector<graph::NodeId> queue;
+  BfsDistancesInto(g, 4, &distances, &queue);
+  EXPECT_EQ(distances, BfsDistances(g, 4));
+  // Reuse the scratch for another source.
+  BfsDistancesInto(g, 7, &distances, &queue);
+  EXPECT_EQ(distances, BfsDistances(g, 7));
+}
+
+TEST(BfsTest, QueueContainsExactlyReachableNodes) {
+  auto g = MustBuild(6, {{0, 1}, {1, 2}, {3, 4}});
+  std::vector<int32_t> distances;
+  std::vector<graph::NodeId> queue;
+  BfsDistancesInto(g, 0, &distances, &queue);
+  EXPECT_EQ(queue.size(), 3u);  // 0, 1, 2
+}
+
+}  // namespace
+}  // namespace edgeshed::analytics

@@ -1,0 +1,98 @@
+#include "graph/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "graph/generators/generators.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::graph {
+namespace {
+
+using ::edgeshed::testing::PaperExampleGraph;
+
+class BinaryIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(BinaryIoTest, RoundTripPreservesEverything) {
+  auto g = PaperExampleGraph();
+  const std::string path = TempPath("paper.esg");
+  ASSERT_TRUE(SaveBinaryGraph(g, path).ok());
+  auto loaded = LoadBinaryGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumNodes(), g.NumNodes());
+  EXPECT_EQ(loaded->edges(), g.edges());
+}
+
+TEST_F(BinaryIoTest, RoundTripKeepsIsolatedVertices) {
+  auto g = edgeshed::testing::MustBuild(10, {{0, 1}});
+  const std::string path = TempPath("isolated.esg");
+  ASSERT_TRUE(SaveBinaryGraph(g, path).ok());
+  auto loaded = LoadBinaryGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumNodes(), 10u);  // unlike text edge lists
+}
+
+TEST_F(BinaryIoTest, RoundTripLargeRandomGraph) {
+  Rng rng(9);
+  Graph g = ErdosRenyi(2000, 8000, rng);
+  const std::string path = TempPath("large.esg");
+  ASSERT_TRUE(SaveBinaryGraph(g, path).ok());
+  auto loaded = LoadBinaryGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->edges(), g.edges());
+}
+
+TEST_F(BinaryIoTest, EmptyGraphRoundTrip) {
+  Graph g;
+  const std::string path = TempPath("empty.esg");
+  ASSERT_TRUE(SaveBinaryGraph(g, path).ok());
+  auto loaded = LoadBinaryGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumNodes(), 0u);
+  EXPECT_EQ(loaded->NumEdges(), 0u);
+}
+
+TEST_F(BinaryIoTest, MissingFileIsIOError) {
+  auto loaded = LoadBinaryGraph(TempPath("missing.esg"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(BinaryIoTest, WrongMagicRejected) {
+  const std::string path = TempPath("bad_magic.esg");
+  std::ofstream(path) << "definitely not a graph file, sorry";
+  auto loaded = LoadBinaryGraph(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinaryIoTest, TruncatedFileRejected) {
+  auto g = PaperExampleGraph();
+  const std::string path = TempPath("trunc.esg");
+  ASSERT_TRUE(SaveBinaryGraph(g, path).ok());
+  // Chop off the last 6 bytes.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<long>(bytes.size() - 6));
+  out.close();
+  auto loaded = LoadBinaryGraph(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinaryIoTest, SaveToBadPathFails) {
+  auto g = PaperExampleGraph();
+  EXPECT_FALSE(SaveBinaryGraph(g, "/no_such_dir_xyz/g.esg").ok());
+}
+
+}  // namespace
+}  // namespace edgeshed::graph

@@ -1,0 +1,56 @@
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace edgeshed::core {
+namespace {
+
+using ::edgeshed::testing::PaperExampleGraph;
+
+TEST(BoundsTest, CrrBoundFormula) {
+  auto g = PaperExampleGraph();  // |E| = 11, |V| = 11
+  EXPECT_NEAR(CrrAverageDeltaBound(g, 0.5), 4 * 0.5 * 0.5 * 1.0, 1e-12);
+  EXPECT_NEAR(CrrAverageDeltaBound(g, 0.1), 4 * 0.1 * 0.9 * 1.0, 1e-12);
+}
+
+TEST(BoundsTest, CrrBoundSymmetricInP) {
+  auto g = PaperExampleGraph();
+  EXPECT_NEAR(CrrAverageDeltaBound(g, 0.3), CrrAverageDeltaBound(g, 0.7),
+              1e-12);
+}
+
+TEST(BoundsTest, CrrBoundMaximalAtHalf) {
+  auto g = PaperExampleGraph();
+  EXPECT_GT(CrrAverageDeltaBound(g, 0.5), CrrAverageDeltaBound(g, 0.4));
+  EXPECT_GT(CrrAverageDeltaBound(g, 0.5), CrrAverageDeltaBound(g, 0.6));
+}
+
+TEST(BoundsTest, Bm2BoundFormula) {
+  auto g = PaperExampleGraph();
+  EXPECT_NEAR(Bm2AverageDeltaBound(g, 0.5), 0.5 + 0.5 * 1.0, 1e-12);
+  EXPECT_NEAR(Bm2AverageDeltaBound(g, 0.9), 0.5 + 0.1 * 1.0, 1e-12);
+}
+
+TEST(BoundsTest, Bm2BoundDecreasesInP) {
+  auto g = PaperExampleGraph();
+  double previous = 1e100;
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    double bound = Bm2AverageDeltaBound(g, p);
+    EXPECT_LT(bound, previous);
+    previous = bound;
+  }
+}
+
+TEST(BoundsTest, ScalesWithDensity) {
+  auto sparse = PaperExampleGraph();                       // |E|/|V| = 1
+  auto dense = edgeshed::testing::Clique(11);              // |E|/|V| = 5
+  EXPECT_GT(CrrAverageDeltaBound(dense, 0.5),
+            CrrAverageDeltaBound(sparse, 0.5));
+  EXPECT_GT(Bm2AverageDeltaBound(dense, 0.5),
+            Bm2AverageDeltaBound(sparse, 0.5));
+}
+
+}  // namespace
+}  // namespace edgeshed::core

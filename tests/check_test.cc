@@ -1,0 +1,80 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+
+namespace edgeshed {
+namespace {
+
+TEST(CheckTest, PassingConditionIsSilent) {
+  EDGESHED_CHECK(true);
+  EDGESHED_CHECK(1 + 1 == 2) << "never evaluated";
+  EDGESHED_CHECK_EQ(3, 3);
+  EDGESHED_CHECK_NE(3, 4);
+  EDGESHED_CHECK_LT(1, 2);
+  EDGESHED_CHECK_LE(2, 2);
+  EDGESHED_CHECK_GT(2, 1);
+  EDGESHED_CHECK_GE(2, 2);
+}
+
+TEST(CheckDeathTest, FailureAbortsWithCondition) {
+  EXPECT_DEATH({ EDGESHED_CHECK(false); }, "CHECK failed: false");
+}
+
+TEST(CheckDeathTest, FailureIncludesStreamedMessage) {
+  EXPECT_DEATH({ EDGESHED_CHECK(false) << "custom context 42"; },
+               "custom context 42");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosAbort) {
+  EXPECT_DEATH({ EDGESHED_CHECK_EQ(1, 2); }, "CHECK failed");
+  EXPECT_DEATH({ EDGESHED_CHECK_LT(5, 3); }, "CHECK failed");
+}
+
+TEST(CheckTest, OperandsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto bump = [&calls]() { return ++calls; };
+  EDGESHED_CHECK_GE(bump(), 1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, DcheckPassesInAnyBuildMode) {
+  EDGESHED_DCHECK(true);
+  EDGESHED_DCHECK_EQ(1, 1);
+  EDGESHED_DCHECK_LE(1, 2);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  // Burn a little CPU deterministically.
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<uint64_t>(i);
+  const double elapsed = watch.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_LT(elapsed, 10.0);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
+              watch.ElapsedSeconds() * 1e3 * 0.5);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<uint64_t>(i);
+  const double before = watch.ElapsedSeconds();
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), before + 1e-3);
+}
+
+TEST(StopwatchTest, MonotoneNonDecreasing) {
+  Stopwatch watch;
+  double previous = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    double now = watch.ElapsedSeconds();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+}  // namespace
+}  // namespace edgeshed

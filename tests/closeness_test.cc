@@ -1,0 +1,96 @@
+#include "analytics/closeness.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators/generators.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::analytics {
+namespace {
+
+using ::edgeshed::testing::Clique;
+using ::edgeshed::testing::MustBuild;
+using ::edgeshed::testing::Path;
+using ::edgeshed::testing::Star;
+
+TEST(HarmonicTest, StarCenter) {
+  const int n = 9;
+  auto h = HarmonicCentrality(Star(n));
+  // Center: 8 neighbors at distance 1 -> 8. Leaf: 1 + 7/2 = 4.5.
+  EXPECT_NEAR(h[0], 8.0, 1e-9);
+  for (int u = 1; u < n; ++u) EXPECT_NEAR(h[u], 4.5, 1e-9);
+}
+
+TEST(HarmonicTest, PathOfThree) {
+  auto h = HarmonicCentrality(Path(3));
+  EXPECT_NEAR(h[1], 2.0, 1e-9);       // two at distance 1
+  EXPECT_NEAR(h[0], 1.5, 1e-9);       // 1 + 1/2
+}
+
+TEST(HarmonicTest, DisconnectedPairsContributeZero) {
+  auto g = MustBuild(4, {{0, 1}});
+  auto h = HarmonicCentrality(g);
+  EXPECT_NEAR(h[0], 1.0, 1e-9);
+  EXPECT_NEAR(h[2], 0.0, 1e-9);
+}
+
+TEST(HarmonicTest, SampledApproximatesExact) {
+  Rng rng(93);
+  auto g = graph::BarabasiAlbert(3000, 3, rng);
+  ClosenessOptions exact;
+  exact.exact_node_threshold = 1 << 20;
+  auto truth = HarmonicCentrality(g, exact);
+  ClosenessOptions sampled;
+  sampled.exact_node_threshold = 1;
+  sampled.sample_sources = 600;
+  auto estimate = HarmonicCentrality(g, sampled);
+  // Aggregate estimate should be close; per-node noisier.
+  double truth_sum = 0;
+  double estimate_sum = 0;
+  for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    truth_sum += truth[u];
+    estimate_sum += estimate[u];
+  }
+  EXPECT_NEAR(estimate_sum / truth_sum, 1.0, 0.1);
+}
+
+TEST(HarmonicTest, EmptyGraph) {
+  EXPECT_TRUE(HarmonicCentrality(graph::Graph()).empty());
+}
+
+TEST(ClosenessTest, CliqueValues) {
+  const int n = 6;
+  auto c = ClosenessCentrality(Clique(n));
+  // All distances 1: C = (n-1)/(n-1) * (n-1)/(n-1) = 1.
+  for (double value : c) EXPECT_NEAR(value, 1.0, 1e-9);
+}
+
+TEST(ClosenessTest, PathEndsLessCentral) {
+  auto c = ClosenessCentrality(Path(5));
+  EXPECT_GT(c[2], c[0]);
+  EXPECT_NEAR(c[0], c[4], 1e-12);
+}
+
+TEST(ClosenessTest, ComponentCorrectionPenalizesSmallComponents) {
+  // Two components: an edge pair and a triangle. Triangle members reach 2
+  // vertices at distance 1 (r=3), pair members 1 (r=2); the
+  // Wasserman-Faust factor keeps small-component scores modest.
+  auto g = MustBuild(5, {{0, 1}, {2, 3}, {3, 4}, {2, 4}});
+  auto c = ClosenessCentrality(g);
+  EXPECT_GT(c[2], c[0]);
+}
+
+TEST(ClosenessTest, IsolatedVertexIsZero) {
+  auto g = MustBuild(3, {{0, 1}});
+  auto c = ClosenessCentrality(g);
+  EXPECT_DOUBLE_EQ(c[2], 0.0);
+}
+
+TEST(ClosenessTest, SingleVertexGraph) {
+  auto c = ClosenessCentrality(MustBuild(1, {}));
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+}
+
+}  // namespace
+}  // namespace edgeshed::analytics

@@ -1,0 +1,81 @@
+#include "analytics/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace edgeshed::analytics {
+namespace {
+
+using ::edgeshed::testing::Clique;
+using ::edgeshed::testing::MustBuild;
+using ::edgeshed::testing::Path;
+using ::edgeshed::testing::Star;
+
+TEST(ClusteringTest, CliqueIsFullyClustered) {
+  auto coefficients = LocalClusteringCoefficients(Clique(6));
+  for (double c : coefficients) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(Clique(6)), 1.0);
+}
+
+TEST(ClusteringTest, StarHasNoTriangles) {
+  auto coefficients = LocalClusteringCoefficients(Star(8));
+  for (double c : coefficients) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(ClusteringTest, PathDegreesBelowTwoAreZero) {
+  auto coefficients = LocalClusteringCoefficients(Path(4));
+  for (double c : coefficients) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(ClusteringTest, TriangleWithTail) {
+  // Triangle 0-1-2 plus tail 2-3.
+  auto g = MustBuild(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  auto coefficients = LocalClusteringCoefficients(g);
+  EXPECT_DOUBLE_EQ(coefficients[0], 1.0);
+  EXPECT_DOUBLE_EQ(coefficients[1], 1.0);
+  EXPECT_DOUBLE_EQ(coefficients[2], 1.0 / 3.0);  // one triangle of C(3,2)
+  EXPECT_DOUBLE_EQ(coefficients[3], 0.0);
+}
+
+TEST(TrianglesPerNodeTest, CountsExactly) {
+  auto g = MustBuild(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}});
+  auto triangles = TrianglesPerNode(g);
+  EXPECT_EQ(triangles[0], 1u);
+  EXPECT_EQ(triangles[1], 1u);
+  EXPECT_EQ(triangles[2], 2u);
+  EXPECT_EQ(triangles[3], 1u);
+  EXPECT_EQ(triangles[4], 1u);
+}
+
+TEST(TrianglesPerNodeTest, CliqueCount) {
+  auto triangles = TrianglesPerNode(Clique(6));
+  // Each vertex of K6 is in C(5,2) = 10 triangles.
+  for (uint64_t t : triangles) EXPECT_EQ(t, 10u);
+}
+
+TEST(ClusteringByDegreeTest, GroupsByDegree) {
+  // Triangle 0-1-2 plus tail 2-3: degrees 2,2,3,1.
+  auto g = MustBuild(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  auto by_degree = ClusteringByDegree(g);
+  EXPECT_DOUBLE_EQ(by_degree.at(2), 1.0);
+  EXPECT_DOUBLE_EQ(by_degree.at(3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(by_degree.at(1), 0.0);
+  EXPECT_FALSE(by_degree.contains(4));
+}
+
+TEST(ClusteringTest, EmptyGraph) {
+  graph::Graph g;
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 0.0);
+  EXPECT_TRUE(ClusteringByDegree(g).empty());
+}
+
+TEST(ClusteringTest, ThreadCountDoesNotChangeResult) {
+  auto g = Clique(12);
+  auto serial = LocalClusteringCoefficients(g, 1);
+  auto parallel = LocalClusteringCoefficients(g, 4);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace edgeshed::analytics

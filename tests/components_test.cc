@@ -1,0 +1,72 @@
+#include "analytics/components.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace edgeshed::analytics {
+namespace {
+
+using ::edgeshed::testing::Clique;
+using ::edgeshed::testing::MustBuild;
+using ::edgeshed::testing::Path;
+
+TEST(ComponentsTest, SingleComponent) {
+  auto g = Path(6);
+  auto result = ConnectedComponents(g);
+  EXPECT_EQ(result.NumComponents(), 1u);
+  EXPECT_EQ(result.sizes[0], 6u);
+}
+
+TEST(ComponentsTest, TwoComponents) {
+  auto g = MustBuild(5, {{0, 1}, {2, 3}});
+  auto result = ConnectedComponents(g);
+  EXPECT_EQ(result.NumComponents(), 3u);  // {0,1}, {2,3}, {4}
+  EXPECT_EQ(result.component[0], result.component[1]);
+  EXPECT_EQ(result.component[2], result.component[3]);
+  EXPECT_NE(result.component[0], result.component[2]);
+  EXPECT_NE(result.component[4], result.component[0]);
+}
+
+TEST(ComponentsTest, IsolatedVerticesAreSingletons) {
+  auto g = MustBuild(4, {});
+  auto result = ConnectedComponents(g);
+  EXPECT_EQ(result.NumComponents(), 4u);
+  for (uint64_t size : result.sizes) EXPECT_EQ(size, 1u);
+}
+
+TEST(ComponentsTest, SizesSumToNodeCount) {
+  auto g = MustBuild(10, {{0, 1}, {1, 2}, {4, 5}, {7, 8}, {8, 9}});
+  auto result = ConnectedComponents(g);
+  uint64_t total = 0;
+  for (uint64_t size : result.sizes) total += size;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(ComponentsTest, LargestComponent) {
+  auto g = MustBuild(7, {{0, 1}, {1, 2}, {2, 3}, {5, 6}});
+  auto result = ConnectedComponents(g);
+  EXPECT_EQ(result.sizes[result.LargestComponent()], 4u);
+}
+
+TEST(ComponentsTest, CliqueIsOneComponent) {
+  auto result = ConnectedComponents(Clique(8));
+  EXPECT_EQ(result.NumComponents(), 1u);
+}
+
+TEST(ComponentsTest, ComponentIdsAreDense) {
+  auto g = MustBuild(6, {{0, 5}, {1, 4}});
+  auto result = ConnectedComponents(g);
+  for (uint32_t id : result.component) {
+    EXPECT_LT(id, result.NumComponents());
+  }
+}
+
+TEST(ComponentsTest, EmptyGraph) {
+  graph::Graph g;
+  auto result = ConnectedComponents(g);
+  EXPECT_EQ(result.NumComponents(), 0u);
+}
+
+}  // namespace
+}  // namespace edgeshed::analytics

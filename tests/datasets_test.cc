@@ -1,0 +1,96 @@
+#include "graph/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace edgeshed::graph {
+namespace {
+
+TEST(DatasetsTest, SpecsMatchPaperTable2) {
+  const DatasetSpec& grqc = GetDatasetSpec(DatasetId::kCaGrQc);
+  EXPECT_EQ(grqc.name, "ca-GrQc");
+  EXPECT_EQ(grqc.paper_nodes, 5242u);
+  EXPECT_EQ(grqc.paper_edges, 14496u);
+
+  const DatasetSpec& hepph = GetDatasetSpec(DatasetId::kCaHepPh);
+  EXPECT_EQ(hepph.paper_nodes, 12008u);
+  EXPECT_EQ(hepph.paper_edges, 118521u);
+
+  const DatasetSpec& enron = GetDatasetSpec(DatasetId::kEmailEnron);
+  EXPECT_EQ(enron.paper_nodes, 36692u);
+  EXPECT_EQ(enron.paper_edges, 183831u);
+
+  const DatasetSpec& lj = GetDatasetSpec(DatasetId::kComLiveJournal);
+  EXPECT_EQ(lj.paper_nodes, 3997962u);
+  EXPECT_EQ(lj.paper_edges, 34681189u);
+}
+
+TEST(DatasetsTest, AllAndSmallLists) {
+  EXPECT_EQ(AllDatasets().size(), 4u);
+  EXPECT_EQ(SmallDatasets().size(), 3u);
+}
+
+TEST(DatasetsTest, GrQcSurrogateMatchesScale) {
+  Graph g = MakeDataset(DatasetId::kCaGrQc);
+  EXPECT_EQ(g.NumNodes(), 5242u);
+  // PowerlawCluster(m=3): about 3 edges per node.
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()), 14496.0, 14496.0 * 0.15);
+}
+
+TEST(DatasetsTest, HepPhSurrogateDenser) {
+  DatasetOptions options;
+  options.scale = 0.5;  // half size for test speed
+  Graph g = MakeDataset(DatasetId::kCaHepPh, options);
+  EXPECT_EQ(g.NumNodes(), 6004u);
+  EXPECT_GT(g.AverageDegree(), 15.0);
+}
+
+TEST(DatasetsTest, EnronSurrogateAverageDegree) {
+  DatasetOptions options;
+  options.scale = 0.25;
+  Graph g = MakeDataset(DatasetId::kEmailEnron, options);
+  // BA(m=5): average degree about 10, matching Table II's 2|E|/|V|.
+  EXPECT_NEAR(g.AverageDegree(), 10.0, 1.0);
+}
+
+TEST(DatasetsTest, LiveJournalSurrogateIsPowerOfTwo) {
+  DatasetOptions options;
+  options.scale = 0.01;  // ~40k nodes -> nearest power of two
+  Graph g = MakeDataset(DatasetId::kComLiveJournal, options);
+  EXPECT_NE(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumNodes() & (g.NumNodes() - 1), 0u);
+}
+
+TEST(DatasetsTest, ScaleShrinksGraphs) {
+  DatasetOptions small;
+  small.scale = 0.1;
+  Graph g_small = MakeDataset(DatasetId::kCaGrQc, small);
+  Graph g_full = MakeDataset(DatasetId::kCaGrQc);
+  EXPECT_LT(g_small.NumNodes(), g_full.NumNodes());
+}
+
+TEST(DatasetsTest, DeterministicForFixedSeed) {
+  Graph a = MakeDataset(DatasetId::kCaGrQc);
+  Graph b = MakeDataset(DatasetId::kCaGrQc);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(DatasetsTest, DifferentSeedsDiffer) {
+  DatasetOptions other;
+  other.seed = 1;
+  Graph a = MakeDataset(DatasetId::kCaGrQc);
+  Graph b = MakeDataset(DatasetId::kCaGrQc, other);
+  EXPECT_NE(a.edges(), b.edges());
+}
+
+TEST(DatasetsTest, MakeDatasetOrLoadFallsBack) {
+  DatasetOptions options;
+  options.scale = 0.05;
+  Graph g = MakeDatasetOrLoad(DatasetId::kCaGrQc, "/no/such/file.txt",
+                              options);
+  EXPECT_GT(g.NumNodes(), 0u);
+}
+
+}  // namespace
+}  // namespace edgeshed::graph

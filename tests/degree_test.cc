@@ -1,0 +1,57 @@
+#include "analytics/degree.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace edgeshed::analytics {
+namespace {
+
+using ::edgeshed::testing::MustBuild;
+using ::edgeshed::testing::PaperExampleGraph;
+using ::edgeshed::testing::Star;
+
+TEST(DegreeDistributionTest, StarShape) {
+  auto h = DegreeDistribution(Star(10));
+  EXPECT_EQ(h.CountFor(9), 1u);   // center
+  EXPECT_EQ(h.CountFor(1), 9u);   // leaves
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(DegreeDistributionTest, PaperExample) {
+  auto h = DegreeDistribution(PaperExampleGraph());
+  EXPECT_EQ(h.CountFor(1), 7u);
+  EXPECT_EQ(h.CountFor(2), 2u);
+  EXPECT_EQ(h.CountFor(4), 1u);
+  EXPECT_EQ(h.CountFor(7), 1u);
+}
+
+TEST(DegreeDistributionTest, IsolatedNodesCountAtZero) {
+  auto g = MustBuild(5, {{0, 1}});
+  auto h = DegreeDistribution(g);
+  EXPECT_EQ(h.CountFor(0), 3u);
+  EXPECT_EQ(h.CountFor(1), 2u);
+}
+
+TEST(DegreeDistributionTest, CapAggregation) {
+  auto h = DegreeDistribution(Star(500), /*cap=*/300);
+  EXPECT_EQ(h.CountFor(300), 1u);  // 499-degree hub folded into the cap
+  EXPECT_EQ(h.CountFor(499), 0u);
+}
+
+TEST(DegreeDistributionTest, FractionsSumToOne) {
+  auto h = DegreeDistribution(PaperExampleGraph());
+  double sum = 0;
+  for (const auto& [key, fraction] : h.Fractions()) sum += fraction;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(MaxDegreeTest, Values) {
+  EXPECT_EQ(MaxDegree(Star(10)), 9u);
+  EXPECT_EQ(MaxDegree(PaperExampleGraph()), 7u);
+  EXPECT_EQ(MaxDegree(MustBuild(3, {})), 0u);
+  EXPECT_EQ(MaxDegree(graph::Graph()), 0u);
+}
+
+}  // namespace
+}  // namespace edgeshed::analytics

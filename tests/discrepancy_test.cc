@@ -1,0 +1,124 @@
+#include "core/discrepancy.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace edgeshed::core {
+namespace {
+
+using ::edgeshed::testing::PaperExampleGraph;
+using ::edgeshed::testing::Star;
+
+TEST(DiscrepancyTest, InitialStateIsEmptyReducedGraph) {
+  auto g = PaperExampleGraph();
+  DegreeDiscrepancy d(g, 0.4);
+  // dis(u) = -p * deg(u); Δ = 2p|E| = 2 * 0.4 * 11 = 8.8.
+  EXPECT_NEAR(d.TotalDelta(), 8.8, 1e-12);
+  EXPECT_NEAR(d.Dis(6), -2.8, 1e-12);   // u7
+  EXPECT_NEAR(d.Dis(8), -1.6, 1e-12);   // u9
+  EXPECT_NEAR(d.Dis(0), -0.4, 1e-12);   // leaf
+  EXPECT_EQ(d.ReducedDegree(6), 0u);
+}
+
+TEST(DiscrepancyTest, ExpectedDegreeMatchesEquationOne) {
+  auto g = PaperExampleGraph();
+  DegreeDiscrepancy d(g, 0.4);
+  for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_NEAR(d.ExpectedDegree(u), 0.4 * static_cast<double>(g.Degree(u)),
+                1e-12);
+  }
+}
+
+TEST(DiscrepancyTest, AddEdgeUpdatesBothEndpoints) {
+  auto g = PaperExampleGraph();
+  DegreeDiscrepancy d(g, 0.4);
+  d.AddEdge(6, 8);  // u7 - u9
+  EXPECT_EQ(d.ReducedDegree(6), 1u);
+  EXPECT_EQ(d.ReducedDegree(8), 1u);
+  EXPECT_NEAR(d.Dis(6), -1.8, 1e-12);
+  EXPECT_NEAR(d.Dis(8), -0.6, 1e-12);
+  // Δ dropped by 2 (both below expectation).
+  EXPECT_NEAR(d.TotalDelta(), 6.8, 1e-12);
+}
+
+TEST(DiscrepancyTest, RemoveEdgeInverts) {
+  auto g = PaperExampleGraph();
+  DegreeDiscrepancy d(g, 0.4);
+  d.AddEdge(6, 8);
+  d.RemoveEdge(6, 8);
+  EXPECT_NEAR(d.TotalDelta(), 8.8, 1e-12);
+  EXPECT_EQ(d.ReducedDegree(6), 0u);
+}
+
+TEST(DiscrepancyTest, AdditionDeltaMatchesAppliedChange) {
+  auto g = PaperExampleGraph();
+  DegreeDiscrepancy d(g, 0.4);
+  d.AddEdge(6, 8);
+  const double predicted = d.AdditionDelta(0, 6);
+  const double before = d.TotalDelta();
+  d.AddEdge(0, 6);
+  EXPECT_NEAR(d.TotalDelta(), before + predicted, 1e-12);
+}
+
+TEST(DiscrepancyTest, RemovalDeltaMatchesAppliedChange) {
+  auto g = PaperExampleGraph();
+  DegreeDiscrepancy d(g, 0.4);
+  d.AddEdge(6, 8);
+  d.AddEdge(0, 6);
+  const double predicted = d.RemovalDelta(0, 6);
+  const double before = d.TotalDelta();
+  d.RemoveEdge(0, 6);
+  EXPECT_NEAR(d.TotalDelta(), before + predicted, 1e-12);
+}
+
+TEST(DiscrepancyTest, OvershootIncreasesDelta) {
+  auto g = Star(4);  // center degree 3, leaves 1
+  DegreeDiscrepancy d(g, 0.5);
+  // Leaf expected degree 0.5; adding one edge overshoots to +0.5.
+  d.AddEdge(0, 1);
+  EXPECT_NEAR(d.Dis(1), 0.5, 1e-12);
+  const double before = d.TotalDelta();
+  // Adding another edge at node 1 is impossible in a star (simple graph);
+  // but at the center more additions still reduce while below 1.5.
+  d.AddEdge(0, 2);
+  EXPECT_LT(d.TotalDelta(), before + 2.0);
+}
+
+TEST(DiscrepancyTest, IncrementalMatchesRecompute) {
+  auto g = PaperExampleGraph();
+  DegreeDiscrepancy d(g, 0.3);
+  d.AddEdge(6, 8);
+  d.AddEdge(0, 6);
+  d.AddEdge(7, 9);
+  d.RemoveEdge(0, 6);
+  d.AddEdge(8, 10);
+  EXPECT_NEAR(d.TotalDelta(), d.RecomputeTotalDelta(), 1e-9);
+}
+
+TEST(DiscrepancyTest, AverageDelta) {
+  auto g = PaperExampleGraph();
+  DegreeDiscrepancy d(g, 0.4);
+  EXPECT_NEAR(d.AverageDelta(), 8.8 / 11.0, 1e-12);
+}
+
+TEST(DiscrepancyDeathTest, RejectsInvalidRatio) {
+  auto g = PaperExampleGraph();
+  EXPECT_DEATH({ DegreeDiscrepancy d(g, 0.0); }, "");
+  EXPECT_DEATH({ DegreeDiscrepancy d(g, 1.0); }, "");
+  EXPECT_DEATH({ DegreeDiscrepancy d(g, -0.5); }, "");
+}
+
+TEST(DiscrepancyTest, ManyOperationsStayConsistent) {
+  auto g = PaperExampleGraph();
+  DegreeDiscrepancy d(g, 0.7);
+  for (int round = 0; round < 100; ++round) {
+    for (const graph::Edge& e : g.edges()) d.AddEdge(e.u, e.v);
+    for (const graph::Edge& e : g.edges()) d.RemoveEdge(e.u, e.v);
+  }
+  EXPECT_NEAR(d.TotalDelta(), d.RecomputeTotalDelta(), 1e-7);
+  EXPECT_NEAR(d.TotalDelta(), 2 * 0.7 * 11, 1e-7);
+}
+
+}  // namespace
+}  // namespace edgeshed::core

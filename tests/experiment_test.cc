@@ -1,0 +1,74 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace edgeshed::eval {
+namespace {
+
+Flags MakeFlags(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "bench");
+  std::vector<char*> argv;
+  for (auto& arg : storage) argv.push_back(arg.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchConfigTest, Defaults) {
+  BenchConfig config = ParseBenchConfig(MakeFlags({}));
+  EXPECT_DOUBLE_EQ(config.scale, 1.0);
+  EXPECT_FALSE(config.full);
+  EXPECT_EQ(config.seed, 20210419u);
+  EXPECT_TRUE(config.data_dir.empty());
+}
+
+TEST(BenchConfigTest, ParsesFlags) {
+  BenchConfig config = ParseBenchConfig(
+      MakeFlags({"--scale=0.25", "--full", "--seed=7", "--data_dir=/tmp/x"}));
+  EXPECT_DOUBLE_EQ(config.scale, 0.25);
+  EXPECT_TRUE(config.full);
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_EQ(config.data_dir, "/tmp/x");
+}
+
+TEST(DefaultDatasetScaleTest, FullModeIsPaperScale) {
+  for (graph::DatasetId id : graph::AllDatasets()) {
+    EXPECT_DOUBLE_EQ(DefaultDatasetScale(id, true), 1.0);
+  }
+}
+
+TEST(DefaultDatasetScaleTest, LiveJournalShrinksByDefault) {
+  EXPECT_DOUBLE_EQ(
+      DefaultDatasetScale(graph::DatasetId::kComLiveJournal, false),
+      1.0 / 32.0);
+  EXPECT_DOUBLE_EQ(DefaultDatasetScale(graph::DatasetId::kCaGrQc, false),
+                   1.0);
+}
+
+TEST(LoadBenchGraphTest, ProducesSurrogate) {
+  BenchConfig config;
+  config.scale = 0.1;
+  graph::Graph g = LoadBenchGraph(graph::DatasetId::kCaGrQc, config);
+  EXPECT_NEAR(static_cast<double>(g.NumNodes()), 524.0, 5.0);
+}
+
+TEST(LoadBenchGraphTest, MissingDataDirFallsBackToSurrogate) {
+  BenchConfig config;
+  config.scale = 0.1;
+  config.data_dir = "/no/such/dir";
+  graph::Graph g = LoadBenchGraph(graph::DatasetId::kCaGrQc, config);
+  EXPECT_GT(g.NumNodes(), 0u);
+}
+
+TEST(PaperPreservationRatiosTest, NineValuesDescending) {
+  auto ratios = PaperPreservationRatios();
+  ASSERT_EQ(ratios.size(), 9u);
+  EXPECT_DOUBLE_EQ(ratios.front(), 0.9);
+  EXPECT_DOUBLE_EQ(ratios.back(), 0.1);
+  for (size_t i = 1; i < ratios.size(); ++i) {
+    EXPECT_LT(ratios[i], ratios[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace edgeshed::eval

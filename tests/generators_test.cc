@@ -1,0 +1,206 @@
+#include "graph/generators/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/clustering.h"
+#include "analytics/degree.h"
+
+namespace edgeshed::graph {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  Rng rng(1);
+  Graph g = ErdosRenyi(100, 250, rng);
+  EXPECT_EQ(g.NumNodes(), 100u);
+  EXPECT_EQ(g.NumEdges(), 250u);
+}
+
+TEST(ErdosRenyiTest, CompleteGraphPossible) {
+  Rng rng(1);
+  Graph g = ErdosRenyi(10, 45, rng);
+  EXPECT_EQ(g.NumEdges(), 45u);
+  for (NodeId u = 0; u < 10; ++u) EXPECT_EQ(g.Degree(u), 9u);
+}
+
+TEST(ErdosRenyiTest, DeterministicGivenSeed) {
+  Rng rng1(42);
+  Rng rng2(42);
+  Graph a = ErdosRenyi(50, 100, rng1);
+  Graph b = ErdosRenyi(50, 100, rng2);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(ErdosRenyiTest, ZeroEdges) {
+  Rng rng(1);
+  Graph g = ErdosRenyi(10, 0, rng);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(BarabasiAlbertTest, EdgeCountFormula) {
+  Rng rng(2);
+  const NodeId n = 500;
+  const uint32_t m = 4;
+  Graph g = BarabasiAlbert(n, m, rng);
+  EXPECT_EQ(g.NumNodes(), n);
+  // Seed clique C(m+1,2) edges plus m per additional node.
+  const uint64_t expected =
+      static_cast<uint64_t>(m + 1) * m / 2 + static_cast<uint64_t>(n - m - 1) * m;
+  EXPECT_EQ(g.NumEdges(), expected);
+}
+
+TEST(BarabasiAlbertTest, MinimumDegreeIsM) {
+  Rng rng(3);
+  Graph g = BarabasiAlbert(300, 3, rng);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_GE(g.Degree(u), 3u);
+  }
+}
+
+TEST(BarabasiAlbertTest, ProducesHubs) {
+  Rng rng(4);
+  Graph g = BarabasiAlbert(2000, 2, rng);
+  uint64_t max_degree = 0;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    max_degree = std::max(max_degree, g.Degree(u));
+  }
+  // Preferential attachment produces hubs far above the mean degree (4).
+  EXPECT_GT(max_degree, 40u);
+}
+
+TEST(BarabasiAlbertTest, Deterministic) {
+  Rng rng1(5);
+  Rng rng2(5);
+  EXPECT_EQ(BarabasiAlbert(200, 3, rng1).edges(),
+            BarabasiAlbert(200, 3, rng2).edges());
+}
+
+TEST(PowerlawClusterTest, HigherClusteringThanBa) {
+  Rng rng1(6);
+  Rng rng2(6);
+  Graph ba = BarabasiAlbert(1000, 4, rng1);
+  Graph pc = PowerlawCluster(1000, 4, 0.9, rng2);
+  double cc_ba = analytics::AverageClusteringCoefficient(ba);
+  double cc_pc = analytics::AverageClusteringCoefficient(pc);
+  EXPECT_GT(cc_pc, cc_ba);
+}
+
+TEST(PowerlawClusterTest, ApproximateEdgeCount) {
+  Rng rng(7);
+  Graph g = PowerlawCluster(1000, 3, 0.5, rng);
+  // Allows for the bounded-retry shortfall.
+  EXPECT_GE(g.NumEdges(), 2900u);
+  EXPECT_LE(g.NumEdges(), 3003u);
+}
+
+TEST(WattsStrogatzTest, LatticeWithoutRewiring) {
+  Rng rng(8);
+  Graph g = WattsStrogatz(20, 4, 0.0, rng);
+  EXPECT_EQ(g.NumEdges(), 40u);
+  for (NodeId u = 0; u < 20; ++u) EXPECT_EQ(g.Degree(u), 4u);
+}
+
+TEST(WattsStrogatzTest, RewiringPreservesEdgeCount) {
+  Rng rng(9);
+  Graph g = WattsStrogatz(100, 6, 0.3, rng);
+  EXPECT_EQ(g.NumEdges(), 300u);
+}
+
+TEST(WattsStrogatzTest, FullRewiringBreaksLattice) {
+  Rng rng(10);
+  Graph g = WattsStrogatz(200, 4, 1.0, rng);
+  // Some vertex should deviate from lattice degree 4.
+  bool deviates = false;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (g.Degree(u) != 4) deviates = true;
+  }
+  EXPECT_TRUE(deviates);
+}
+
+TEST(RMatTest, SizeAndSkew) {
+  Rng rng(11);
+  Graph g = RMat(12, 8, 0.57, 0.19, 0.19, rng);
+  EXPECT_EQ(g.NumNodes(), 4096u);
+  // Dedup and self-loop removal shave some edges off the nominal count.
+  EXPECT_GT(g.NumEdges(), 4096u * 8 / 2);
+  EXPECT_LE(g.NumEdges(), 4096u * 8);
+  uint64_t max_degree = 0;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    max_degree = std::max(max_degree, g.Degree(u));
+  }
+  EXPECT_GT(max_degree, 50u);  // hubs from recursive skew
+}
+
+TEST(RMatTest, UniformQuadrantsApproximateErdosRenyi) {
+  Rng rng(12);
+  Graph g = RMat(10, 8, 0.25, 0.25, 0.25, rng);
+  uint64_t max_degree = 0;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    max_degree = std::max(max_degree, g.Degree(u));
+  }
+  EXPECT_LT(max_degree, 50u);  // no hubs without skew
+}
+
+TEST(PlantedPartitionTest, IntraDensityExceedsInter) {
+  Rng rng(13);
+  const NodeId n = 500;
+  const uint32_t k = 5;
+  Graph g = PlantedPartition(n, k, 0.2, 0.01, rng);
+  const NodeId block = (n + k - 1) / k;
+  uint64_t intra = 0;
+  uint64_t inter = 0;
+  for (const Edge& e : g.edges()) {
+    if (e.u / block == e.v / block) ++intra;
+    else ++inter;
+  }
+  // Expected intra ≈ 5 * C(100,2) * 0.2 = 4950; inter ≈ C(500,2)*0.8*0.01.
+  EXPECT_GT(intra, inter);
+  EXPECT_NEAR(static_cast<double>(intra), 4950.0, 4950.0 * 0.25);
+}
+
+TEST(PlantedPartitionTest, ZeroProbabilitiesGiveEmptyGraph) {
+  Rng rng(14);
+  Graph g = PlantedPartition(100, 4, 0.0, 0.0, rng);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.NumNodes(), 100u);
+}
+
+TEST(PlantedPartitionTest, FullIntraProbabilityGivesBlockCliques) {
+  Rng rng(15);
+  Graph g = PlantedPartition(20, 4, 1.0, 0.0, rng);
+  // 4 blocks of 5 nodes: 4 * C(5,2) = 40 edges.
+  EXPECT_EQ(g.NumEdges(), 40u);
+}
+
+TEST(PlantedPartitionTest, SingleCommunityMatchesGnp) {
+  Rng rng(16);
+  Graph g = PlantedPartition(200, 1, 0.1, 0.0, rng);
+  const double expected = 0.1 * 200 * 199 / 2;
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()), expected, expected * 0.2);
+}
+
+TEST(GeneratorsTest, AllProduceSimpleGraphs) {
+  Rng rng(17);
+  std::vector<Graph> graphs;
+  graphs.push_back(ErdosRenyi(100, 300, rng));
+  graphs.push_back(BarabasiAlbert(100, 3, rng));
+  graphs.push_back(PowerlawCluster(100, 3, 0.5, rng));
+  graphs.push_back(WattsStrogatz(100, 4, 0.2, rng));
+  graphs.push_back(RMat(7, 8, 0.57, 0.19, 0.19, rng));
+  graphs.push_back(PlantedPartition(100, 4, 0.3, 0.02, rng));
+  for (const Graph& g : graphs) {
+    for (const Edge& e : g.edges()) {
+      EXPECT_LT(e.u, e.v);  // canonical and no self-loops
+    }
+    // Graph::FromEdges would have rejected duplicates already; spot-check.
+    auto edges = g.edges();
+    auto sorted = edges;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+  }
+}
+
+}  // namespace
+}  // namespace edgeshed::graph

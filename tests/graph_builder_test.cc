@@ -1,0 +1,80 @@
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace edgeshed::graph {
+namespace {
+
+TEST(GraphBuilderTest, EmptyBuilder) {
+  GraphBuilder builder;
+  Graph g = builder.Build();
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphBuilderTest, InfersNodeCount) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 7);
+  Graph g = builder.Build();
+  EXPECT_EQ(g.NumNodes(), 8u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphBuilderTest, ReserveNodesKeepsIsolatedVertices) {
+  GraphBuilder builder;
+  builder.ReserveNodes(10);
+  builder.AddEdge(0, 1);
+  Graph g = builder.Build();
+  EXPECT_EQ(g.NumNodes(), 10u);
+  EXPECT_EQ(g.Degree(9), 0u);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoops) {
+  GraphBuilder builder;
+  builder.AddEdge(2, 2);
+  builder.AddEdge(0, 1);
+  Graph g = builder.Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphBuilderTest, CollapsesParallelEdges) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(0, 1);
+  Graph g = builder.Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphBuilderTest, PendingEdgesCountsRawAdds) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  EXPECT_EQ(builder.PendingEdges(), 2u);
+}
+
+TEST(GraphBuilderTest, BuilderResetsAfterBuild) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  (void)builder.Build();
+  Graph empty = builder.Build();
+  EXPECT_EQ(empty.NumNodes(), 0u);
+  EXPECT_EQ(empty.NumEdges(), 0u);
+}
+
+TEST(GraphBuilderTest, LargerMixedInput) {
+  GraphBuilder builder;
+  builder.ReserveEdges(16);
+  for (NodeId u = 0; u < 8; ++u) {
+    builder.AddEdge(u, (u + 1) % 8);   // cycle
+    builder.AddEdge((u + 1) % 8, u);   // duplicate reversed
+    builder.AddEdge(u, u);             // self-loop
+  }
+  Graph g = builder.Build();
+  EXPECT_EQ(g.NumNodes(), 8u);
+  EXPECT_EQ(g.NumEdges(), 8u);
+  for (NodeId u = 0; u < 8; ++u) EXPECT_EQ(g.Degree(u), 2u);
+}
+
+}  // namespace
+}  // namespace edgeshed::graph

@@ -1,0 +1,169 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "testing/test_graphs.h"
+
+namespace edgeshed::graph {
+namespace {
+
+using ::edgeshed::testing::MustBuild;
+using ::edgeshed::testing::PaperExampleGraph;
+using ::edgeshed::testing::Star;
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 0.0);
+}
+
+TEST(GraphTest, NodesWithoutEdges) {
+  auto g = MustBuild(5, {});
+  EXPECT_EQ(g.NumNodes(), 5u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(g.Degree(u), 0u);
+}
+
+TEST(GraphTest, TriangleBasics) {
+  auto g = MustBuild(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.TotalDegree(), 6u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0);
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(g.Degree(u), 2u);
+}
+
+TEST(GraphTest, EdgesAreCanonicalized) {
+  auto g = MustBuild(3, {{2, 0}, {1, 0}});
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(e.u, e.v);
+  }
+}
+
+TEST(GraphTest, NeighborsSortedAscending) {
+  auto g = MustBuild(6, {{3, 0}, {3, 5}, {3, 1}, {3, 4}, {3, 2}});
+  auto nbrs = g.Neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 5u);
+}
+
+TEST(GraphTest, IncidentEdgesAlignWithNeighbors) {
+  auto g = PaperExampleGraph();
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    auto inc = g.IncidentEdges(u);
+    ASSERT_EQ(nbrs.size(), inc.size());
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const Edge& e = g.edge(inc[i]);
+      EXPECT_TRUE((e.u == u && e.v == nbrs[i]) ||
+                  (e.v == u && e.u == nbrs[i]));
+    }
+  }
+}
+
+TEST(GraphTest, RejectsSelfLoop) {
+  auto result = Graph::FromEdges(3, {{1, 1}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, RejectsDuplicateEdges) {
+  auto result = Graph::FromEdges(3, {{0, 1}, {1, 0}});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoint) {
+  auto result = Graph::FromEdges(3, {{0, 3}});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GraphTest, FindEdgePresentAndAbsent) {
+  auto g = PaperExampleGraph();
+  EdgeId found = g.FindEdge(0, 6);  // u1 - u7
+  ASSERT_NE(found, kInvalidEdge);
+  EXPECT_EQ(g.edge(found).u, 0u);
+  EXPECT_EQ(g.edge(found).v, 6u);
+  // Symmetric lookup.
+  EXPECT_EQ(g.FindEdge(6, 0), found);
+  // Absent pairs.
+  EXPECT_EQ(g.FindEdge(0, 1), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(0, 0), kInvalidEdge);
+}
+
+TEST(GraphTest, HasEdgeMatchesFindEdge) {
+  auto g = PaperExampleGraph();
+  EXPECT_TRUE(g.HasEdge(7, 9));   // u8 - u10
+  EXPECT_FALSE(g.HasEdge(7, 6));  // u8 - u7
+}
+
+TEST(GraphTest, PaperExampleShape) {
+  auto g = PaperExampleGraph();
+  EXPECT_EQ(g.NumNodes(), 11u);
+  EXPECT_EQ(g.NumEdges(), 11u);
+  EXPECT_EQ(g.Degree(6), 7u);   // u7 hub
+  EXPECT_EQ(g.Degree(8), 4u);   // u9
+  EXPECT_EQ(g.Degree(7), 2u);   // u8
+  EXPECT_EQ(g.Degree(9), 2u);   // u10
+  for (NodeId leaf : {0u, 1u, 2u, 3u, 4u, 5u, 10u}) {
+    EXPECT_EQ(g.Degree(leaf), 1u) << "leaf " << leaf;
+  }
+}
+
+TEST(GraphTest, StarDegrees) {
+  auto g = Star(10);
+  EXPECT_EQ(g.Degree(0), 9u);
+  for (NodeId u = 1; u < 10; ++u) EXPECT_EQ(g.Degree(u), 1u);
+}
+
+TEST(SubgraphTest, KeepsVertexSetDropsEdges) {
+  auto g = PaperExampleGraph();
+  Graph reduced = SubgraphFromEdgeIds(g, {0, 2, 6});
+  EXPECT_EQ(reduced.NumNodes(), g.NumNodes());
+  EXPECT_EQ(reduced.NumEdges(), 3u);
+}
+
+TEST(SubgraphTest, EmptySelectionGivesEdgelessGraph) {
+  auto g = PaperExampleGraph();
+  Graph reduced = SubgraphFromEdgeIds(g, {});
+  EXPECT_EQ(reduced.NumNodes(), 11u);
+  EXPECT_EQ(reduced.NumEdges(), 0u);
+  for (NodeId u = 0; u < reduced.NumNodes(); ++u) {
+    EXPECT_EQ(reduced.Degree(u), 0u);
+  }
+}
+
+TEST(SubgraphTest, FullSelectionReproducesGraph) {
+  auto g = PaperExampleGraph();
+  std::vector<EdgeId> all(g.NumEdges());
+  std::iota(all.begin(), all.end(), EdgeId{0});
+  Graph copy = SubgraphFromEdgeIds(g, all);
+  EXPECT_EQ(copy.NumEdges(), g.NumEdges());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_EQ(copy.Degree(u), g.Degree(u));
+  }
+}
+
+TEST(SubgraphTest, SubgraphEdgesExistInParent) {
+  auto g = PaperExampleGraph();
+  Graph reduced = SubgraphFromEdgeIds(g, {1, 3, 5, 7});
+  for (const Edge& e : reduced.edges()) {
+    EXPECT_TRUE(g.HasEdge(e.u, e.v));
+  }
+}
+
+TEST(EdgeTest, OrderingAndEquality) {
+  Edge a{0, 1};
+  Edge b{0, 2};
+  Edge c{0, 1};
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(a == c);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace edgeshed::graph

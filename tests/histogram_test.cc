@@ -1,0 +1,115 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace edgeshed {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.CountFor(3), 0u);
+  EXPECT_DOUBLE_EQ(h.FractionFor(3), 0.0);
+  EXPECT_TRUE(h.Keys().empty());
+}
+
+TEST(HistogramTest, AddAndCount) {
+  Histogram h;
+  h.Add(1);
+  h.Add(1);
+  h.Add(2);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.CountFor(1), 2u);
+  EXPECT_EQ(h.CountFor(2), 1u);
+  EXPECT_DOUBLE_EQ(h.FractionFor(1), 2.0 / 3.0);
+}
+
+TEST(HistogramTest, AddWithWeight) {
+  Histogram h;
+  h.Add(5, 10);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.CountFor(5), 10u);
+}
+
+TEST(HistogramTest, CapAggregatesTail) {
+  Histogram h(/*cap=*/300);
+  h.Add(299);
+  h.Add(300);
+  h.Add(301);
+  h.Add(5000);
+  EXPECT_EQ(h.CountFor(299), 1u);
+  EXPECT_EQ(h.CountFor(300), 3u);  // 300, 301, 5000 all fold to 300
+  EXPECT_EQ(h.CountFor(301), 0u);
+}
+
+TEST(HistogramTest, KeysSorted) {
+  Histogram h;
+  h.Add(9);
+  h.Add(1);
+  h.Add(4);
+  EXPECT_EQ(h.Keys(), (std::vector<int64_t>{1, 4, 9}));
+}
+
+TEST(HistogramTest, Fractions) {
+  Histogram h;
+  h.Add(1, 1);
+  h.Add(2, 3);
+  auto fractions = h.Fractions();
+  ASSERT_EQ(fractions.size(), 2u);
+  EXPECT_EQ(fractions[0].first, 1);
+  EXPECT_DOUBLE_EQ(fractions[0].second, 0.25);
+  EXPECT_DOUBLE_EQ(fractions[1].second, 0.75);
+}
+
+TEST(HistogramTest, CumulativeFraction) {
+  Histogram h;
+  h.Add(1, 2);
+  h.Add(3, 2);
+  h.Add(5, 4);
+  EXPECT_DOUBLE_EQ(h.CumulativeFractionUpTo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.CumulativeFractionUpTo(1), 0.25);
+  EXPECT_DOUBLE_EQ(h.CumulativeFractionUpTo(3), 0.5);
+  EXPECT_DOUBLE_EQ(h.CumulativeFractionUpTo(4), 0.5);
+  EXPECT_DOUBLE_EQ(h.CumulativeFractionUpTo(5), 1.0);
+  EXPECT_DOUBLE_EQ(h.CumulativeFractionUpTo(100), 1.0);
+}
+
+TEST(HistogramTest, L1DistanceIdentical) {
+  Histogram a;
+  Histogram b;
+  a.Add(1, 5);
+  a.Add(2, 5);
+  b.Add(1, 50);
+  b.Add(2, 50);
+  // Same normalized shape despite different masses.
+  EXPECT_DOUBLE_EQ(Histogram::L1Distance(a, b), 0.0);
+}
+
+TEST(HistogramTest, L1DistanceDisjointIsTwo) {
+  Histogram a;
+  Histogram b;
+  a.Add(1);
+  b.Add(2);
+  EXPECT_DOUBLE_EQ(Histogram::L1Distance(a, b), 2.0);
+}
+
+TEST(HistogramTest, L1DistanceSymmetric) {
+  Histogram a;
+  Histogram b;
+  a.Add(1, 3);
+  a.Add(2, 1);
+  b.Add(1, 1);
+  b.Add(3, 1);
+  EXPECT_DOUBLE_EQ(Histogram::L1Distance(a, b), Histogram::L1Distance(b, a));
+}
+
+TEST(HistogramTest, L1DistanceAgainstEmpty) {
+  Histogram a;
+  Histogram empty;
+  a.Add(1);
+  EXPECT_DOUBLE_EQ(Histogram::L1Distance(a, empty), 1.0);
+}
+
+}  // namespace
+}  // namespace edgeshed

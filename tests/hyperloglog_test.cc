@@ -1,0 +1,128 @@
+#include "analytics/hyperloglog.h"
+
+#include <gtest/gtest.h>
+
+#include "analytics/approx_neighborhood.h"
+#include "analytics/shortest_paths.h"
+#include "common/random.h"
+#include "graph/generators/generators.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::analytics {
+namespace {
+
+using ::edgeshed::testing::Clique;
+using ::edgeshed::testing::Cycle;
+using ::edgeshed::testing::Path;
+
+uint64_t Hash(uint64_t value) {
+  uint64_t state = value;
+  return SplitMix64Next(&state);
+}
+
+TEST(HyperLogLogTest, EmptyEstimatesZero) {
+  HyperLogLog hll(10);
+  EXPECT_NEAR(hll.Estimate(), 0.0, 1e-9);
+}
+
+TEST(HyperLogLogTest, SmallCardinalityExact) {
+  HyperLogLog hll(12);
+  for (uint64_t i = 0; i < 100; ++i) hll.AddHashed(Hash(i));
+  // Linear-counting regime: near-exact for small sets.
+  EXPECT_NEAR(hll.Estimate(), 100.0, 5.0);
+}
+
+TEST(HyperLogLogTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll(10);
+  for (int round = 0; round < 50; ++round) {
+    for (uint64_t i = 0; i < 20; ++i) hll.AddHashed(Hash(i));
+  }
+  EXPECT_NEAR(hll.Estimate(), 20.0, 3.0);
+}
+
+TEST(HyperLogLogTest, LargeCardinalityWithinErrorBound) {
+  HyperLogLog hll(12);  // ~1.6% standard error
+  constexpr uint64_t kN = 200000;
+  for (uint64_t i = 0; i < kN; ++i) hll.AddHashed(Hash(i));
+  EXPECT_NEAR(hll.Estimate(), static_cast<double>(kN), kN * 0.06);
+}
+
+TEST(HyperLogLogTest, MergeEqualsUnion) {
+  HyperLogLog a(11);
+  HyperLogLog b(11);
+  HyperLogLog direct(11);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    a.AddHashed(Hash(i));
+    direct.AddHashed(Hash(i));
+  }
+  for (uint64_t i = 2500; i < 7500; ++i) {
+    b.AddHashed(Hash(i));
+    direct.AddHashed(Hash(i));
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.Estimate(), direct.Estimate(), 1e-9);
+}
+
+TEST(HyperLogLogTest, MergeReportsChange) {
+  HyperLogLog a(10);
+  HyperLogLog b(10);
+  b.AddHashed(Hash(1));
+  EXPECT_TRUE(a.Merge(b));
+  EXPECT_FALSE(a.Merge(b));  // second merge changes nothing
+}
+
+TEST(HyperLogLogDeathTest, PrecisionBounds) {
+  EXPECT_DEATH({ HyperLogLog hll(3); }, "");
+  EXPECT_DEATH({ HyperLogLog hll(17); }, "");
+}
+
+TEST(ApproxNeighborhoodTest, CliqueConvergesAtOne) {
+  auto nf = ApproximateNeighborhoodFunction(Clique(20));
+  // All 20*19 ordered pairs reachable at distance 1.
+  EXPECT_NEAR(nf.pairs_within.back(), 380.0, 380.0 * 0.15);
+  EXPECT_NEAR(nf.HopFraction(1), 1.0, 0.02);
+}
+
+TEST(ApproxNeighborhoodTest, PathGrowsLinearly) {
+  auto nf = ApproximateNeighborhoodFunction(Path(50));
+  ASSERT_GE(nf.pairs_within.size(), 3u);
+  EXPECT_GT(nf.pairs_within[2], nf.pairs_within[1]);
+  // Total ordered reachable pairs = 50*49.
+  EXPECT_NEAR(nf.pairs_within.back(), 2450.0, 2450.0 * 0.15);
+}
+
+TEST(ApproxNeighborhoodTest, MatchesExactHopPlot) {
+  Rng rng(5);
+  graph::Graph g = graph::BarabasiAlbert(1500, 3, rng);
+  auto nf = ApproximateNeighborhoodFunction(g);
+  Histogram exact = DistanceProfile(g);
+  for (uint32_t k = 1; k <= 5; ++k) {
+    EXPECT_NEAR(nf.HopFraction(k), HopPlotFraction(exact, k), 0.08)
+        << "k = " << k;
+  }
+}
+
+TEST(ApproxNeighborhoodTest, EffectiveDiameterReasonable) {
+  auto nf = ApproximateNeighborhoodFunction(Cycle(64));
+  // Cycle of 64: max distance 32; 90% of pairs within ~29.
+  double d90 = nf.EffectiveDiameter(0.9);
+  EXPECT_GT(d90, 20.0);
+  EXPECT_LE(d90, 33.0);
+}
+
+TEST(ApproxNeighborhoodTest, EmptyGraph) {
+  graph::Graph g;
+  auto nf = ApproximateNeighborhoodFunction(g);
+  EXPECT_DOUBLE_EQ(nf.HopFraction(3), 0.0);
+  EXPECT_DOUBLE_EQ(nf.EffectiveDiameter(), 0.0);
+}
+
+TEST(ApproxNeighborhoodTest, EdgelessGraphHasNoPairs) {
+  auto g = edgeshed::testing::MustBuild(10, {});
+  auto nf = ApproximateNeighborhoodFunction(g);
+  // Per-vertex singleton sketches carry ~1e-4 estimation noise.
+  EXPECT_NEAR(nf.pairs_within.back(), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace edgeshed::analytics

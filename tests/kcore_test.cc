@@ -1,0 +1,118 @@
+#include "analytics/kcore.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators/generators.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::analytics {
+namespace {
+
+using ::edgeshed::testing::Clique;
+using ::edgeshed::testing::Cycle;
+using ::edgeshed::testing::MustBuild;
+using ::edgeshed::testing::Path;
+using ::edgeshed::testing::Star;
+
+TEST(KCoreTest, CliqueCoreness) {
+  auto core = CoreDecomposition(Clique(6));
+  for (uint32_t c : core) EXPECT_EQ(c, 5u);
+  EXPECT_EQ(Degeneracy(Clique(6)), 5u);
+}
+
+TEST(KCoreTest, PathIsOneCore) {
+  auto core = CoreDecomposition(Path(7));
+  for (uint32_t c : core) EXPECT_EQ(c, 1u);
+}
+
+TEST(KCoreTest, CycleIsTwoCore) {
+  auto core = CoreDecomposition(Cycle(8));
+  for (uint32_t c : core) EXPECT_EQ(c, 2u);
+}
+
+TEST(KCoreTest, StarIsOneCore) {
+  auto core = CoreDecomposition(Star(10));
+  for (uint32_t c : core) EXPECT_EQ(c, 1u);
+}
+
+TEST(KCoreTest, IsolatedVerticesAreZeroCore) {
+  auto g = MustBuild(4, {{0, 1}});
+  auto core = CoreDecomposition(g);
+  EXPECT_EQ(core[0], 1u);
+  EXPECT_EQ(core[1], 1u);
+  EXPECT_EQ(core[2], 0u);
+  EXPECT_EQ(core[3], 0u);
+}
+
+TEST(KCoreTest, TriangleWithPendant) {
+  // Triangle {0,1,2} plus pendant 3 attached to 2: triangle in 2-core,
+  // pendant in 1-core.
+  auto g = MustBuild(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  auto core = CoreDecomposition(g);
+  EXPECT_EQ(core[0], 2u);
+  EXPECT_EQ(core[1], 2u);
+  EXPECT_EQ(core[2], 2u);
+  EXPECT_EQ(core[3], 1u);
+}
+
+TEST(KCoreTest, CliqueWithTail) {
+  // K4 {0..3} with tail 3-4-5.
+  auto g = MustBuild(6, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+                         {3, 4}, {4, 5}});
+  auto core = CoreDecomposition(g);
+  EXPECT_EQ(core[0], 3u);
+  EXPECT_EQ(core[3], 3u);
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(core[5], 1u);
+  EXPECT_EQ(Degeneracy(g), 3u);
+}
+
+TEST(KCoreTest, CorenessNeverExceedsDegree) {
+  Rng rng(41);
+  auto g = graph::BarabasiAlbert(500, 4, rng);
+  auto core = CoreDecomposition(g);
+  for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_LE(core[u], g.Degree(u));
+  }
+}
+
+TEST(KCoreTest, CoreSubgraphHasMinDegreeK) {
+  // Definition check: within the k-core (vertices with coreness >= k),
+  // every vertex has >= k neighbors inside the core.
+  Rng rng(42);
+  auto g = graph::PowerlawCluster(400, 4, 0.5, rng);
+  auto core = CoreDecomposition(g);
+  const uint32_t k = Degeneracy(g);
+  for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (core[u] < k) continue;
+    uint32_t inside = 0;
+    for (graph::NodeId v : g.Neighbors(u)) {
+      if (core[v] >= k) ++inside;
+    }
+    EXPECT_GE(inside, k) << "node " << u;
+  }
+}
+
+TEST(KCoreTest, BarabasiAlbertCoreIsM) {
+  // BA(m): every vertex joins with m edges; the graph is exactly m-core
+  // (peeling the youngest vertex always finds degree m).
+  Rng rng(43);
+  auto g = graph::BarabasiAlbert(300, 3, rng);
+  EXPECT_EQ(Degeneracy(g), 3u);
+}
+
+TEST(KCoreTest, DistributionMassEqualsNodeCount) {
+  Rng rng(44);
+  auto g = graph::ErdosRenyi(200, 600, rng);
+  auto histogram = CorenessDistribution(g);
+  EXPECT_EQ(histogram.total(), g.NumNodes());
+}
+
+TEST(KCoreTest, EmptyGraph) {
+  graph::Graph g;
+  EXPECT_TRUE(CoreDecomposition(g).empty());
+  EXPECT_EQ(Degeneracy(g), 0u);
+}
+
+}  // namespace
+}  // namespace edgeshed::analytics

@@ -1,0 +1,126 @@
+#include "embedding/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace edgeshed::embedding {
+namespace {
+
+/// Three well-separated 2-D blobs of `per_blob` points each.
+std::vector<float> MakeBlobs(int per_blob, Rng& rng) {
+  std::vector<float> data;
+  const float centers[3][2] = {{0.f, 0.f}, {10.f, 10.f}, {-10.f, 10.f}};
+  for (int blob = 0; blob < 3; ++blob) {
+    for (int i = 0; i < per_blob; ++i) {
+      data.push_back(centers[blob][0] +
+                     static_cast<float>(rng.UniformDouble()) - 0.5f);
+      data.push_back(centers[blob][1] +
+                     static_cast<float>(rng.UniformDouble()) - 0.5f);
+    }
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  Rng rng(91);
+  const int per_blob = 50;
+  auto data = MakeBlobs(per_blob, rng);
+  KMeansOptions options;
+  options.clusters = 3;
+  auto result = KMeans(data, 3 * per_blob, 2, options);
+  // All points in a blob share a label, and the three labels differ.
+  for (int blob = 0; blob < 3; ++blob) {
+    uint32_t label = result.assignment[blob * per_blob];
+    for (int i = 1; i < per_blob; ++i) {
+      EXPECT_EQ(result.assignment[blob * per_blob + i], label);
+    }
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[per_blob]);
+  EXPECT_NE(result.assignment[0], result.assignment[2 * per_blob]);
+  EXPECT_NE(result.assignment[per_blob], result.assignment[2 * per_blob]);
+}
+
+TEST(KMeansTest, InertiaIsLowForTightBlobs) {
+  Rng rng(92);
+  auto data = MakeBlobs(30, rng);
+  KMeansOptions options;
+  options.clusters = 3;
+  auto result = KMeans(data, 90, 2, options);
+  // Each point is within ~0.7 of its blob center.
+  EXPECT_LT(result.inertia / 90.0, 1.0);
+}
+
+TEST(KMeansTest, MoreClustersNeverIncreaseInertia) {
+  Rng rng(93);
+  auto data = MakeBlobs(40, rng);
+  KMeansOptions k3;
+  k3.clusters = 3;
+  KMeansOptions k6;
+  k6.clusters = 6;
+  auto r3 = KMeans(data, 120, 2, k3);
+  auto r6 = KMeans(data, 120, 2, k6);
+  EXPECT_LE(r6.inertia, r3.inertia * 1.05);  // small slack for local optima
+}
+
+TEST(KMeansTest, KLargerThanPoints) {
+  std::vector<float> data{0.f, 0.f, 1.f, 1.f};
+  KMeansOptions options;
+  options.clusters = 10;
+  auto result = KMeans(data, 2, 2, options);
+  EXPECT_EQ(result.assignment.size(), 2u);
+  for (uint32_t label : result.assignment) EXPECT_LT(label, 2u);
+}
+
+TEST(KMeansTest, EmptyInput) {
+  auto result = KMeans({}, 0, 2);
+  EXPECT_TRUE(result.assignment.empty());
+}
+
+TEST(KMeansTest, SinglePoint) {
+  std::vector<float> data{3.f, 4.f};
+  KMeansOptions options;
+  options.clusters = 1;
+  auto result = KMeans(data, 1, 2, options);
+  EXPECT_EQ(result.assignment[0], 0u);
+  EXPECT_FLOAT_EQ(result.centroids[0], 3.f);
+  EXPECT_FLOAT_EQ(result.centroids[1], 4.f);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  Rng rng(94);
+  auto data = MakeBlobs(20, rng);
+  auto a = KMeans(data, 60, 2);
+  auto b = KMeans(data, 60, 2);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(KMeansTest, IdenticalPointsOneCluster) {
+  std::vector<float> data(20, 5.0f);  // 10 identical 2-D points
+  KMeansOptions options;
+  options.clusters = 3;
+  auto result = KMeans(data, 10, 2, options);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, AssignmentLabelsAreInRange) {
+  Rng rng(95);
+  auto data = MakeBlobs(25, rng);
+  KMeansOptions options;
+  options.clusters = 5;
+  auto result = KMeans(data, 75, 2, options);
+  for (uint32_t label : result.assignment) EXPECT_LT(label, 5u);
+}
+
+TEST(KMeansTest, IterationsBounded) {
+  Rng rng(96);
+  auto data = MakeBlobs(30, rng);
+  KMeansOptions options;
+  options.clusters = 3;
+  options.max_iterations = 2;
+  auto result = KMeans(data, 90, 2, options);
+  EXPECT_LE(result.iterations, 2u);
+}
+
+}  // namespace
+}  // namespace edgeshed::embedding

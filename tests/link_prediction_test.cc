@@ -1,0 +1,144 @@
+#include "embedding/link_prediction.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators/generators.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::embedding {
+namespace {
+
+using ::edgeshed::testing::MustBuild;
+using ::edgeshed::testing::Path;
+
+LinkPredictionOptions FastOptions() {
+  LinkPredictionOptions options;
+  options.walks.walks_per_node = 5;
+  options.walks.walk_length = 10;
+  options.skipgram.dimensions = 16;
+  options.skipgram.epochs = 1;
+  options.kmeans.clusters = 3;
+  return options;
+}
+
+TEST(PackPairTest, CanonicalAndUnique) {
+  EXPECT_EQ(PackPair(1, 2), PackPair(2, 1));
+  EXPECT_NE(PackPair(1, 2), PackPair(1, 3));
+  EXPECT_EQ(PackPair(0, 5), (uint64_t{0} << 32) | 5);
+}
+
+TEST(PredictPairsTest, OnlyTwoHopNonAdjacentPairs) {
+  // Path 0-1-2-3: 2-hop pairs are (0,2) and (1,3).
+  auto g = Path(4);
+  std::vector<uint32_t> communities(4, 0);  // everyone same community
+  LinkPredictionOptions options;
+  auto pairs = PredictSameCommunityPairs(g, communities, options);
+  EXPECT_EQ(pairs.size(), 2u);
+  EXPECT_TRUE(pairs.contains(PackPair(0, 2)));
+  EXPECT_TRUE(pairs.contains(PackPair(1, 3)));
+}
+
+TEST(PredictPairsTest, DifferentCommunitiesExcluded) {
+  auto g = Path(4);
+  std::vector<uint32_t> communities{0, 0, 1, 1};
+  auto pairs = PredictSameCommunityPairs(g, communities, {});
+  // (0,2) crosses communities; (1,3) crosses too.
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(PredictPairsTest, AdjacentPairsNeverIncluded) {
+  auto g = edgeshed::testing::Clique(5);
+  std::vector<uint32_t> communities(5, 0);
+  auto pairs = PredictSameCommunityPairs(g, communities, {});
+  EXPECT_TRUE(pairs.empty());  // every 2-hop pair is also adjacent
+}
+
+TEST(PredictPairsTest, HubCapLimitsPairs) {
+  auto g = edgeshed::testing::Star(100);
+  std::vector<uint32_t> communities(100, 0);
+  LinkPredictionOptions capped;
+  capped.max_pairs_per_node = 10;
+  auto pairs = PredictSameCommunityPairs(g, communities, capped);
+  // Without the cap there are C(99,2) leaf pairs; the per-source cap keeps
+  // roughly 10 per source.
+  EXPECT_LE(pairs.size(), 99u * 10u);
+  LinkPredictionOptions uncapped;
+  uncapped.max_pairs_per_node = 0;
+  auto all_pairs = PredictSameCommunityPairs(g, communities, uncapped);
+  EXPECT_EQ(all_pairs.size(), 99u * 98u / 2u);
+}
+
+TEST(LinkPredictionUtilityTest, Bounds) {
+  PairSet l{PackPair(0, 2), PackPair(1, 3)};
+  PairSet same = l;
+  EXPECT_DOUBLE_EQ(LinkPredictionUtility(l, same), 1.0);
+  PairSet empty;
+  EXPECT_DOUBLE_EQ(LinkPredictionUtility(l, empty), 0.0);
+  EXPECT_DOUBLE_EQ(LinkPredictionUtility(empty, l), 0.0);
+  PairSet half{PackPair(0, 2), PackPair(5, 7)};
+  EXPECT_DOUBLE_EQ(LinkPredictionUtility(l, half), 0.5);
+}
+
+TEST(AreTwoHopTest, PathGraph) {
+  auto g = Path(4);
+  EXPECT_TRUE(AreTwoHop(g, 0, 2));
+  EXPECT_TRUE(AreTwoHop(g, 2, 0));  // symmetric
+  EXPECT_FALSE(AreTwoHop(g, 0, 1));  // adjacent
+  EXPECT_FALSE(AreTwoHop(g, 0, 3));  // distance 3
+  EXPECT_FALSE(AreTwoHop(g, 1, 1));  // same vertex
+}
+
+TEST(AreTwoHopTest, OutOfRangeIsFalse) {
+  auto g = Path(3);
+  EXPECT_FALSE(AreTwoHop(g, 0, 99));
+}
+
+TEST(LinkPredictionUtilityOverBaseTest, MatchesSetIntersection) {
+  // Base pairs from a path; reduced graph = same path, one community.
+  auto g = Path(5);
+  PairSet base{PackPair(0, 2), PackPair(1, 3), PackPair(2, 4),
+               PackPair(0, 3)};  // (0,3) is distance 3: not 2-hop
+  std::vector<uint32_t> communities(5, 0);
+  // 3 of 4 base pairs are 2-hop in g and same-community.
+  EXPECT_DOUBLE_EQ(LinkPredictionUtilityOverBase(base, g, communities), 0.75);
+}
+
+TEST(LinkPredictionUtilityOverBaseTest, CommunityMismatchExcludes) {
+  auto g = Path(5);
+  PairSet base{PackPair(0, 2)};
+  std::vector<uint32_t> communities{0, 0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(LinkPredictionUtilityOverBase(base, g, communities), 0.0);
+}
+
+TEST(LinkPredictionUtilityOverBaseTest, EmptyBaseIsZero) {
+  auto g = Path(3);
+  std::vector<uint32_t> communities(3, 0);
+  EXPECT_DOUBLE_EQ(LinkPredictionUtilityOverBase({}, g, communities), 0.0);
+}
+
+TEST(CommunityAssignmentsTest, LabelsWithinRange) {
+  Rng rng(101);
+  auto g = graph::PlantedPartition(60, 3, 0.4, 0.02, rng);
+  auto communities = CommunityAssignments(g, FastOptions());
+  EXPECT_EQ(communities.size(), 60u);
+  for (uint32_t label : communities) EXPECT_LT(label, 3u);
+}
+
+TEST(EvaluateLinkPredictionTest, IdenticalGraphsScoreHigh) {
+  Rng rng(102);
+  auto g = graph::PlantedPartition(80, 2, 0.4, 0.02, rng);
+  double utility = EvaluateLinkPrediction(g, g, FastOptions());
+  // Same graph, same seeds, same pipeline -> identical prediction sets.
+  EXPECT_DOUBLE_EQ(utility, 1.0);
+}
+
+TEST(EvaluateLinkPredictionTest, EmptyReducedGraphScoresLow) {
+  Rng rng(103);
+  auto g = graph::PlantedPartition(60, 2, 0.4, 0.05, rng);
+  auto empty = edgeshed::testing::MustBuild(60, {});
+  double utility = EvaluateLinkPrediction(g, empty, FastOptions());
+  EXPECT_DOUBLE_EQ(utility, 0.0);
+}
+
+}  // namespace
+}  // namespace edgeshed::embedding

@@ -1,0 +1,143 @@
+#include "analytics/louvain.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/generators/generators.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::analytics {
+namespace {
+
+using ::edgeshed::testing::Clique;
+using ::edgeshed::testing::MustBuild;
+
+/// Two k-cliques joined by one bridge edge.
+graph::Graph TwoCliquesBridged(int k) {
+  std::vector<graph::Edge> edges;
+  for (graph::NodeId u = 0; u < static_cast<graph::NodeId>(k); ++u) {
+    for (graph::NodeId v = u + 1; v < static_cast<graph::NodeId>(k); ++v) {
+      edges.push_back({u, v});
+      edges.push_back({static_cast<graph::NodeId>(u + k),
+                       static_cast<graph::NodeId>(v + k)});
+    }
+  }
+  edges.push_back({static_cast<graph::NodeId>(k - 1),
+                   static_cast<graph::NodeId>(k)});
+  return edgeshed::testing::MustBuild(2 * k, std::move(edges));
+}
+
+TEST(ModularityTest, SingleCommunityIsZero) {
+  auto g = Clique(5);
+  std::vector<uint32_t> one(5, 0);
+  EXPECT_NEAR(Modularity(g, one), 0.0, 1e-12);
+}
+
+TEST(ModularityTest, PerfectSplitOfDisconnectedCliques) {
+  // Two disconnected triangles, split correctly: Q = 1/2.
+  auto g = MustBuild(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  std::vector<uint32_t> split{0, 0, 0, 1, 1, 1};
+  EXPECT_NEAR(Modularity(g, split), 0.5, 1e-12);
+}
+
+TEST(ModularityTest, BadPartitionIsNegative) {
+  auto g = MustBuild(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  // Mix the triangles: every edge crosses.
+  std::vector<uint32_t> bad{0, 1, 0, 1, 0, 1};
+  EXPECT_LT(Modularity(g, bad), 0.0);
+}
+
+TEST(ModularityTest, EmptyGraphIsZero) {
+  EXPECT_DOUBLE_EQ(Modularity(graph::Graph(), {}), 0.0);
+}
+
+TEST(LouvainTest, SeparatesBridgedCliques) {
+  auto g = TwoCliquesBridged(8);
+  auto result = Louvain(g);
+  EXPECT_EQ(result.num_communities, 2u);
+  // Each clique uniform.
+  for (int u = 1; u < 8; ++u) {
+    EXPECT_EQ(result.community[u], result.community[0]);
+  }
+  for (int u = 9; u < 16; ++u) {
+    EXPECT_EQ(result.community[u], result.community[8]);
+  }
+  EXPECT_NE(result.community[0], result.community[8]);
+  EXPECT_GT(result.modularity, 0.3);
+}
+
+TEST(LouvainTest, RecoversPlantedPartition) {
+  Rng rng(95);
+  const uint32_t k = 4;
+  auto g = graph::PlantedPartition(400, k, 0.25, 0.005, rng);
+  auto result = Louvain(g);
+  // Count label purity per planted block.
+  const graph::NodeId block = 100;
+  uint32_t agreements = 0;
+  for (uint32_t b = 0; b < k; ++b) {
+    std::map<uint32_t, uint32_t> votes;
+    for (graph::NodeId u = b * block; u < (b + 1) * block; ++u) {
+      ++votes[result.community[u]];
+    }
+    uint32_t best = 0;
+    for (const auto& [label, count] : votes) best = std::max(best, count);
+    agreements += best;
+  }
+  EXPECT_GT(agreements, 360u);  // >90% purity
+  EXPECT_GT(result.modularity, 0.4);
+}
+
+TEST(LouvainTest, CliqueCollapsesToOneCommunity) {
+  auto result = Louvain(Clique(10));
+  EXPECT_EQ(result.num_communities, 1u);
+}
+
+TEST(LouvainTest, DisconnectedComponentsSeparate) {
+  auto g = MustBuild(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  auto result = Louvain(g);
+  EXPECT_EQ(result.num_communities, 2u);
+  EXPECT_NEAR(result.modularity, 0.5, 1e-9);
+}
+
+TEST(LouvainTest, LabelsAreDense) {
+  Rng rng(96);
+  auto g = graph::BarabasiAlbert(300, 3, rng);
+  auto result = Louvain(g);
+  std::set<uint32_t> labels(result.community.begin(),
+                            result.community.end());
+  EXPECT_EQ(labels.size(), result.num_communities);
+  for (uint32_t label : labels) EXPECT_LT(label, result.num_communities);
+}
+
+TEST(LouvainTest, DeterministicGivenSeed) {
+  Rng rng(97);
+  auto g = graph::PlantedPartition(200, 4, 0.2, 0.01, rng);
+  auto a = Louvain(g);
+  auto b = Louvain(g);
+  EXPECT_EQ(a.community, b.community);
+  EXPECT_DOUBLE_EQ(a.modularity, b.modularity);
+}
+
+TEST(LouvainTest, ModularityFieldMatchesRecomputation) {
+  Rng rng(98);
+  auto g = graph::WattsStrogatz(200, 6, 0.1, rng);
+  auto result = Louvain(g);
+  EXPECT_NEAR(result.modularity, Modularity(g, result.community), 1e-9);
+}
+
+TEST(LouvainTest, EdgelessGraphAllSingletons) {
+  auto g = MustBuild(5, {});
+  auto result = Louvain(g);
+  EXPECT_EQ(result.num_communities, 5u);
+  EXPECT_DOUBLE_EQ(result.modularity, 0.0);
+}
+
+TEST(LouvainTest, EmptyGraph) {
+  auto result = Louvain(graph::Graph());
+  EXPECT_EQ(result.num_communities, 0u);
+}
+
+}  // namespace
+}  // namespace edgeshed::analytics

@@ -1,0 +1,115 @@
+#include "graph/operations.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace edgeshed::graph {
+namespace {
+
+using ::edgeshed::testing::Clique;
+using ::edgeshed::testing::MustBuild;
+using ::edgeshed::testing::PaperExampleGraph;
+using ::edgeshed::testing::Path;
+
+TEST(InduceByNodesTest, KeepsInternalEdgesOnly) {
+  auto g = PaperExampleGraph();
+  // u7 (6), u9 (8), u8 (7): edges u7-u9 and u8-u9 survive.
+  auto induced = InduceByNodes(g, {6, 8, 7});
+  ASSERT_TRUE(induced.ok());
+  EXPECT_EQ(induced->graph.NumNodes(), 3u);
+  EXPECT_EQ(induced->graph.NumEdges(), 2u);
+  EXPECT_EQ(induced->original_of[0], 6u);
+  // Dense ids follow input order: 6->0, 8->1, 7->2.
+  EXPECT_TRUE(induced->graph.HasEdge(0, 1));
+  EXPECT_TRUE(induced->graph.HasEdge(1, 2));
+  EXPECT_FALSE(induced->graph.HasEdge(0, 2));
+}
+
+TEST(InduceByNodesTest, RejectsOutOfRange) {
+  auto g = Path(3);
+  EXPECT_FALSE(InduceByNodes(g, {0, 5}).ok());
+}
+
+TEST(InduceByNodesTest, RejectsDuplicates) {
+  auto g = Path(3);
+  EXPECT_FALSE(InduceByNodes(g, {0, 0}).ok());
+}
+
+TEST(InduceByNodesTest, EmptySelection) {
+  auto g = Path(3);
+  auto induced = InduceByNodes(g, {});
+  ASSERT_TRUE(induced.ok());
+  EXPECT_EQ(induced->graph.NumNodes(), 0u);
+}
+
+TEST(GraphUnionTest, CombinesEdges) {
+  auto a = MustBuild(4, {{0, 1}, {1, 2}});
+  auto b = MustBuild(5, {{1, 2}, {3, 4}});
+  Graph u = GraphUnion(a, b);
+  EXPECT_EQ(u.NumNodes(), 5u);
+  EXPECT_EQ(u.NumEdges(), 3u);
+  EXPECT_TRUE(u.HasEdge(0, 1));
+  EXPECT_TRUE(u.HasEdge(3, 4));
+}
+
+TEST(GraphIntersectionTest, SharedEdgesOnly) {
+  auto a = MustBuild(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto b = MustBuild(4, {{1, 2}, {2, 3}, {0, 3}});
+  Graph inter = GraphIntersection(a, b);
+  EXPECT_EQ(inter.NumEdges(), 2u);
+  EXPECT_TRUE(inter.HasEdge(1, 2));
+  EXPECT_TRUE(inter.HasEdge(2, 3));
+  EXPECT_FALSE(inter.HasEdge(0, 1));
+}
+
+TEST(GraphDifferenceTest, RemovesSharedEdges) {
+  auto a = MustBuild(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto b = MustBuild(4, {{1, 2}});
+  Graph diff = GraphDifference(a, b);
+  EXPECT_EQ(diff.NumEdges(), 2u);
+  EXPECT_FALSE(diff.HasEdge(1, 2));
+}
+
+TEST(GraphOperationsTest, UnionIntersectionDifferencePartition) {
+  // |A ∪ B| = |A ∩ B| + |A \ B| + |B \ A| for any pair.
+  auto a = Clique(5);
+  auto b = MustBuild(5, {{0, 1}, {0, 2}, {3, 4}, {1, 4}});
+  EXPECT_EQ(GraphUnion(a, b).NumEdges(),
+            GraphIntersection(a, b).NumEdges() +
+                GraphDifference(a, b).NumEdges() +
+                GraphDifference(b, a).NumEdges());
+}
+
+TEST(DropIsolatedTest, RemovesAndRelabels) {
+  auto g = MustBuild(6, {{1, 4}, {4, 5}});
+  auto compact = DropIsolated(g);
+  EXPECT_EQ(compact.graph.NumNodes(), 3u);
+  EXPECT_EQ(compact.graph.NumEdges(), 2u);
+  EXPECT_EQ(compact.original_of, (std::vector<NodeId>{1, 4, 5}));
+}
+
+TEST(DropIsolatedTest, NoOpOnDenseGraph) {
+  auto g = Clique(4);
+  auto compact = DropIsolated(g);
+  EXPECT_EQ(compact.graph.NumNodes(), 4u);
+  EXPECT_EQ(compact.graph.NumEdges(), 6u);
+}
+
+TEST(EdgeJaccardTest, Values) {
+  auto a = MustBuild(4, {{0, 1}, {1, 2}});
+  auto b = MustBuild(4, {{1, 2}, {2, 3}});
+  EXPECT_DOUBLE_EQ(EdgeJaccard(a, b), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(EdgeJaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(EdgeJaccard(a, MustBuild(4, {{0, 3}})), 0.0);
+  EXPECT_DOUBLE_EQ(EdgeJaccard(Graph(), Graph()), 1.0);
+}
+
+TEST(EdgeJaccardTest, Symmetric) {
+  auto a = MustBuild(5, {{0, 1}, {1, 2}, {3, 4}});
+  auto b = MustBuild(5, {{1, 2}, {0, 4}});
+  EXPECT_DOUBLE_EQ(EdgeJaccard(a, b), EdgeJaccard(b, a));
+}
+
+}  // namespace
+}  // namespace edgeshed::graph

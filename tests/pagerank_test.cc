@@ -1,0 +1,99 @@
+#include "analytics/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "testing/test_graphs.h"
+
+namespace edgeshed::analytics {
+namespace {
+
+using ::edgeshed::testing::Clique;
+using ::edgeshed::testing::Cycle;
+using ::edgeshed::testing::MustBuild;
+using ::edgeshed::testing::Star;
+
+double Sum(const std::vector<double>& values) {
+  return std::accumulate(values.begin(), values.end(), 0.0);
+}
+
+TEST(PageRankTest, ScoresSumToOne) {
+  auto scores = PageRank(Star(10));
+  EXPECT_NEAR(Sum(scores), 1.0, 1e-9);
+}
+
+TEST(PageRankTest, SymmetricGraphIsUniform) {
+  auto scores = PageRank(Cycle(8));
+  for (double s : scores) EXPECT_NEAR(s, 1.0 / 8.0, 1e-9);
+}
+
+TEST(PageRankTest, CliqueIsUniform) {
+  auto scores = PageRank(Clique(5));
+  for (double s : scores) EXPECT_NEAR(s, 0.2, 1e-9);
+}
+
+TEST(PageRankTest, StarCenterDominates) {
+  auto scores = PageRank(Star(10));
+  for (graph::NodeId u = 1; u < 10; ++u) {
+    EXPECT_GT(scores[0], scores[u]);
+    EXPECT_NEAR(scores[u], scores[1], 1e-12);  // leaves symmetric
+  }
+}
+
+TEST(PageRankTest, DanglingNodesGetBaseMassOnly) {
+  auto g = MustBuild(4, {{0, 1}});
+  auto scores = PageRank(g);
+  EXPECT_NEAR(Sum(scores), 1.0, 1e-9);
+  EXPECT_GT(scores[0], scores[2]);
+  EXPECT_NEAR(scores[2], scores[3], 1e-12);
+}
+
+TEST(PageRankTest, AllIsolatedIsUniform) {
+  auto scores = PageRank(MustBuild(5, {}));
+  for (double s : scores) EXPECT_NEAR(s, 0.2, 1e-9);
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  EXPECT_TRUE(PageRank(graph::Graph()).empty());
+}
+
+TEST(PageRankTest, HigherDegreeHigherRankOnTree) {
+  // Two-level tree: 0 - {1,2,3}, 1 - {4,5}.
+  auto g = MustBuild(6, {{0, 1}, {0, 2}, {0, 3}, {1, 4}, {1, 5}});
+  auto scores = PageRank(g);
+  EXPECT_GT(scores[0], scores[2]);
+  EXPECT_GT(scores[1], scores[4]);
+}
+
+TEST(PageRankTest, ConvergesUnderLooseTolerance) {
+  PageRankOptions options;
+  options.tolerance = 1e-3;
+  options.max_iterations = 200;
+  auto scores = PageRank(Star(50), options);
+  EXPECT_NEAR(Sum(scores), 1.0, 1e-6);
+}
+
+TEST(TopKIndicesTest, SelectsLargest) {
+  std::vector<double> scores{0.1, 0.9, 0.5, 0.7};
+  auto top = TopKIndices(scores, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+}
+
+TEST(TopKIndicesTest, TiesBrokenByLowerIndex) {
+  std::vector<double> scores{0.5, 0.5, 0.5};
+  auto top = TopKIndices(scores, 2);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+TEST(TopKIndicesTest, KLargerThanSize) {
+  std::vector<double> scores{0.3, 0.1};
+  auto top = TopKIndices(scores, 10);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+}  // namespace
+}  // namespace edgeshed::analytics

@@ -1,0 +1,151 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace edgeshed {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformU64CoversRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformU64(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformU64IsRoughlyUniform) {
+  Rng rng(99);
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformU64(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 8, kDraws / 8 * 0.1);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.UniformInt(7, 7), 7);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(5);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits, kDraws * 0.3, kDraws * 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(11);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  std::vector<int> original = values;
+  rng.Shuffle(&values);
+  EXPECT_NE(values, original);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndInRange) {
+  Rng rng(13);
+  auto sample = rng.SampleIndices(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (uint64_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleIndicesFullPopulation) {
+  Rng rng(13);
+  auto sample = rng.SampleIndices(10, 10);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleIndicesZero) {
+  Rng rng(13);
+  EXPECT_TRUE(rng.SampleIndices(10, 0).empty());
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(17);
+  Rng child = parent.Fork();
+  // The child should not replay the parent's stream.
+  Rng parent_copy(17);
+  (void)parent_copy.Next();  // advance like the fork did
+  int same = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (child.Next() == parent_copy.Next()) ++same;
+  }
+  EXPECT_LT(same, 16);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 42;
+  uint64_t s2 = 42;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64Next(&s1), SplitMix64Next(&s2));
+  }
+}
+
+}  // namespace
+}  // namespace edgeshed

@@ -1,0 +1,133 @@
+#include "embedding/random_walks.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators/generators.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::embedding {
+namespace {
+
+using ::edgeshed::testing::Clique;
+using ::edgeshed::testing::MustBuild;
+using ::edgeshed::testing::Path;
+
+TEST(RandomWalksTest, CorpusShape) {
+  auto g = Clique(10);
+  WalkOptions options;
+  options.walks_per_node = 4;
+  options.walk_length = 10;
+  auto corpus = GenerateWalks(g, options);
+  EXPECT_EQ(corpus.NumWalks(), 40u);
+  EXPECT_EQ(corpus.tokens.size(), 400u);
+}
+
+TEST(RandomWalksTest, WalksFollowEdges) {
+  auto g = Path(20);
+  WalkOptions options;
+  options.walks_per_node = 2;
+  options.walk_length = 8;
+  auto corpus = GenerateWalks(g, options);
+  for (uint64_t w = 0; w < corpus.NumWalks(); ++w) {
+    for (uint64_t i = corpus.offsets[w] + 1; i < corpus.offsets[w + 1]; ++i) {
+      EXPECT_TRUE(g.HasEdge(corpus.tokens[i - 1], corpus.tokens[i]));
+    }
+  }
+}
+
+TEST(RandomWalksTest, IsolatedNodesProduceNoWalks) {
+  auto g = MustBuild(5, {{0, 1}});
+  WalkOptions options;
+  options.walks_per_node = 3;
+  options.walk_length = 5;
+  auto corpus = GenerateWalks(g, options);
+  EXPECT_EQ(corpus.NumWalks(), 6u);  // only nodes 0 and 1 walk
+  for (graph::NodeId token : corpus.tokens) {
+    EXPECT_LE(token, 1u);
+  }
+}
+
+TEST(RandomWalksTest, EveryConnectedNodeStartsWalks) {
+  auto g = Clique(6);
+  WalkOptions options;
+  options.walks_per_node = 2;
+  options.walk_length = 3;
+  auto corpus = GenerateWalks(g, options);
+  std::set<graph::NodeId> starts;
+  for (uint64_t w = 0; w < corpus.NumWalks(); ++w) {
+    starts.insert(corpus.tokens[corpus.offsets[w]]);
+  }
+  EXPECT_EQ(starts.size(), 6u);
+}
+
+TEST(RandomWalksTest, DeterministicGivenSeed) {
+  auto g = Clique(8);
+  WalkOptions options;
+  options.seed = 77;
+  auto a = GenerateWalks(g, options);
+  auto b = GenerateWalks(g, options);
+  EXPECT_EQ(a.tokens, b.tokens);
+  EXPECT_EQ(a.offsets, b.offsets);
+}
+
+TEST(RandomWalksTest, ThreadsDoNotChangeCorpus) {
+  auto g = Clique(8);
+  WalkOptions serial;
+  serial.threads = 1;
+  WalkOptions parallel;
+  parallel.threads = 4;
+  EXPECT_EQ(GenerateWalks(g, serial).tokens,
+            GenerateWalks(g, parallel).tokens);
+}
+
+TEST(RandomWalksTest, HighPDiscouragesBacktracking) {
+  // On a cycle, with p huge (returning is unlikely) walks should rarely
+  // revisit the previous node; with p tiny they return constantly.
+  auto g = edgeshed::testing::Cycle(30);
+  WalkOptions discourage;
+  discourage.p = 100.0;
+  discourage.q = 1.0;
+  discourage.walks_per_node = 5;
+  discourage.walk_length = 20;
+  WalkOptions encourage = discourage;
+  encourage.p = 0.01;
+
+  auto count_backtracks = [](const WalkCorpus& corpus) {
+    uint64_t backtracks = 0;
+    uint64_t steps = 0;
+    for (uint64_t w = 0; w < corpus.NumWalks(); ++w) {
+      for (uint64_t i = corpus.offsets[w] + 2; i < corpus.offsets[w + 1];
+           ++i) {
+        ++steps;
+        if (corpus.tokens[i] == corpus.tokens[i - 2]) ++backtracks;
+      }
+    }
+    return steps == 0 ? 0.0
+                      : static_cast<double>(backtracks) /
+                            static_cast<double>(steps);
+  };
+  double low_return = count_backtracks(GenerateWalks(g, discourage));
+  double high_return = count_backtracks(GenerateWalks(g, encourage));
+  EXPECT_LT(low_return, 0.2);
+  EXPECT_GT(high_return, 0.8);
+}
+
+TEST(RandomWalksTest, EmptyGraphProducesEmptyCorpus) {
+  graph::Graph g;
+  auto corpus = GenerateWalks(g, {});
+  EXPECT_EQ(corpus.NumWalks(), 0u);
+  EXPECT_TRUE(corpus.tokens.empty());
+}
+
+TEST(RandomWalksTest, ZeroLengthProducesEmptyCorpus) {
+  auto g = Clique(4);
+  WalkOptions options;
+  options.walk_length = 0;
+  auto corpus = GenerateWalks(g, options);
+  EXPECT_EQ(corpus.NumWalks(), 0u);
+}
+
+}  // namespace
+}  // namespace edgeshed::embedding

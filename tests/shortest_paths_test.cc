@@ -1,0 +1,103 @@
+#include "analytics/shortest_paths.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators/generators.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::analytics {
+namespace {
+
+using ::edgeshed::testing::Clique;
+using ::edgeshed::testing::Cycle;
+using ::edgeshed::testing::MustBuild;
+using ::edgeshed::testing::Path;
+
+TEST(DistanceProfileTest, PathGraphExactCounts) {
+  // Path of 4: ordered reachable pairs per distance: d1: 6, d2: 4, d3: 2.
+  auto profile = DistanceProfile(Path(4));
+  EXPECT_EQ(profile.CountFor(1), 6u);
+  EXPECT_EQ(profile.CountFor(2), 4u);
+  EXPECT_EQ(profile.CountFor(3), 2u);
+  EXPECT_EQ(profile.total(), 12u);
+}
+
+TEST(DistanceProfileTest, CliqueAllDistanceOne) {
+  auto profile = DistanceProfile(Clique(6));
+  EXPECT_EQ(profile.CountFor(1), 30u);  // 6*5 ordered pairs
+  EXPECT_EQ(profile.CountFor(2), 0u);
+}
+
+TEST(DistanceProfileTest, CycleDistances) {
+  auto profile = DistanceProfile(Cycle(6));
+  // Each vertex: two at distance 1, two at 2, one at 3.
+  EXPECT_EQ(profile.CountFor(1), 12u);
+  EXPECT_EQ(profile.CountFor(2), 12u);
+  EXPECT_EQ(profile.CountFor(3), 6u);
+}
+
+TEST(DistanceProfileTest, DisconnectedPairsExcluded) {
+  auto g = MustBuild(4, {{0, 1}, {2, 3}});
+  auto profile = DistanceProfile(g);
+  EXPECT_EQ(profile.total(), 4u);  // only the two intra-component pairs x2
+}
+
+TEST(DistanceProfileTest, EmptyGraph) {
+  graph::Graph g;
+  auto profile = DistanceProfile(g);
+  EXPECT_TRUE(profile.empty());
+}
+
+TEST(DistanceProfileTest, EdgelessGraphHasNoPairs) {
+  auto profile = DistanceProfile(MustBuild(5, {}));
+  EXPECT_TRUE(profile.empty());
+}
+
+TEST(DistanceProfileTest, SampledApproximatesExactShape) {
+  Rng rng(21);
+  graph::Graph g = graph::BarabasiAlbert(3000, 3, rng);
+  DistanceProfileOptions exact_options;
+  exact_options.exact_node_threshold = 1 << 20;
+  auto exact = DistanceProfile(g, exact_options);
+
+  DistanceProfileOptions sampled_options;
+  sampled_options.exact_node_threshold = 1;  // force sampling
+  sampled_options.sample_sources = 512;
+  auto sampled = DistanceProfile(g, sampled_options);
+
+  // The normalized distributions should be close in L1.
+  EXPECT_LT(Histogram::L1Distance(exact, sampled), 0.1);
+}
+
+TEST(DistanceProfileTest, SampleSourcesAboveNodeCountRunsExact) {
+  auto g = Path(10);
+  DistanceProfileOptions options;
+  options.exact_node_threshold = 1;
+  options.sample_sources = 100;  // > n: falls back to exact
+  auto profile = DistanceProfile(g, options);
+  EXPECT_EQ(profile.CountFor(1), 18u);
+}
+
+TEST(HopPlotTest, CumulativeOfProfile) {
+  auto profile = DistanceProfile(Path(4));
+  EXPECT_DOUBLE_EQ(HopPlotFraction(profile, 0), 0.0);
+  EXPECT_DOUBLE_EQ(HopPlotFraction(profile, 1), 0.5);
+  EXPECT_DOUBLE_EQ(HopPlotFraction(profile, 2), 10.0 / 12.0);
+  EXPECT_DOUBLE_EQ(HopPlotFraction(profile, 3), 1.0);
+  EXPECT_DOUBLE_EQ(HopPlotFraction(profile, 10), 1.0);
+}
+
+TEST(HopPlotTest, MonotoneNonDecreasing) {
+  Rng rng(22);
+  graph::Graph g = graph::ErdosRenyi(300, 600, rng);
+  auto profile = DistanceProfile(g);
+  double previous = 0.0;
+  for (int64_t h = 0; h <= 10; ++h) {
+    double fraction = HopPlotFraction(profile, h);
+    EXPECT_GE(fraction, previous);
+    previous = fraction;
+  }
+}
+
+}  // namespace
+}  // namespace edgeshed::analytics

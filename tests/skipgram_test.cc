@@ -1,0 +1,128 @@
+#include "embedding/skipgram.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators/generators.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::embedding {
+namespace {
+
+using ::edgeshed::testing::MustBuild;
+
+/// Two 8-cliques joined by a single bridge edge — embeddings should place
+/// same-clique vertices closer than cross-clique vertices.
+graph::Graph TwoCliques() {
+  std::vector<graph::Edge> edges;
+  for (graph::NodeId u = 0; u < 8; ++u) {
+    for (graph::NodeId v = u + 1; v < 8; ++v) edges.push_back({u, v});
+  }
+  for (graph::NodeId u = 8; u < 16; ++u) {
+    for (graph::NodeId v = u + 1; v < 16; ++v) edges.push_back({u, v});
+  }
+  edges.push_back({7, 8});
+  return edgeshed::testing::MustBuild(16, std::move(edges));
+}
+
+TEST(SkipGramTest, OutputShape) {
+  auto g = TwoCliques();
+  WalkOptions walk_options;
+  walk_options.walks_per_node = 5;
+  walk_options.walk_length = 10;
+  auto corpus = GenerateWalks(g, walk_options);
+  SkipGramOptions options;
+  options.dimensions = 16;
+  auto embeddings = TrainSkipGram(g, corpus, options);
+  EXPECT_EQ(embeddings.dimensions, 16u);
+  EXPECT_EQ(embeddings.NumNodes(), 16u);
+  EXPECT_EQ(embeddings.vectors.size(), 16u * 16u);
+}
+
+TEST(SkipGramTest, TrainingMovesVectors) {
+  auto g = TwoCliques();
+  auto corpus = GenerateWalks(g, {});
+  SkipGramOptions options;
+  options.dimensions = 8;
+  options.epochs = 1;
+  auto trained = TrainSkipGram(g, corpus, options);
+  // Untrained baseline: empty corpus leaves initialization untouched.
+  WalkCorpus empty;
+  empty.offsets.push_back(0);
+  auto untrained = TrainSkipGram(g, empty, options);
+  EXPECT_NE(trained.vectors, untrained.vectors);
+}
+
+TEST(SkipGramTest, CommunityStructureSeparates) {
+  auto g = TwoCliques();
+  WalkOptions walk_options;
+  walk_options.walks_per_node = 20;
+  walk_options.walk_length = 20;
+  walk_options.threads = 1;
+  auto corpus = GenerateWalks(g, walk_options);
+  SkipGramOptions options;
+  options.dimensions = 32;
+  options.epochs = 3;
+  options.threads = 1;
+  auto embeddings = TrainSkipGram(g, corpus, options);
+  // Average same-clique similarity should exceed cross-clique similarity.
+  double same = 0.0;
+  double cross = 0.0;
+  int same_n = 0;
+  int cross_n = 0;
+  for (graph::NodeId a = 0; a < 16; ++a) {
+    for (graph::NodeId b = a + 1; b < 16; ++b) {
+      const bool same_clique = (a < 8) == (b < 8);
+      const double sim = CosineSimilarity(embeddings, a, b);
+      if (same_clique) {
+        same += sim;
+        ++same_n;
+      } else {
+        cross += sim;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+TEST(SkipGramTest, SingleThreadDeterministic) {
+  auto g = TwoCliques();
+  WalkOptions walk_options;
+  walk_options.threads = 1;
+  auto corpus = GenerateWalks(g, walk_options);
+  SkipGramOptions options;
+  options.threads = 1;
+  options.dimensions = 8;
+  auto a = TrainSkipGram(g, corpus, options);
+  auto b = TrainSkipGram(g, corpus, options);
+  EXPECT_EQ(a.vectors, b.vectors);
+}
+
+TEST(SkipGramTest, CosineSimilarityBounds) {
+  auto g = TwoCliques();
+  auto corpus = GenerateWalks(g, {});
+  SkipGramOptions options;
+  options.dimensions = 8;
+  auto embeddings = TrainSkipGram(g, corpus, options);
+  for (graph::NodeId a = 0; a < 16; ++a) {
+    for (graph::NodeId b = 0; b < 16; ++b) {
+      float sim = CosineSimilarity(embeddings, a, b);
+      EXPECT_GE(sim, -1.0f - 1e-5f);
+      EXPECT_LE(sim, 1.0f + 1e-5f);
+    }
+  }
+  EXPECT_NEAR(CosineSimilarity(embeddings, 3, 3), 1.0f, 1e-5f);
+}
+
+TEST(SkipGramTest, EdgelessGraphKeepsInitialization) {
+  auto g = MustBuild(4, {});
+  WalkCorpus corpus;
+  corpus.offsets.push_back(0);
+  SkipGramOptions options;
+  options.dimensions = 4;
+  auto embeddings = TrainSkipGram(g, corpus, options);
+  EXPECT_EQ(embeddings.NumNodes(), 4u);
+}
+
+}  // namespace
+}  // namespace edgeshed::embedding

@@ -1,0 +1,78 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace edgeshed {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table("My title");
+  table.SetHeader({"p", "UDS", "CRR"});
+  table.AddRow({"0.9", "15.2", "14.8"});
+  table.AddRow({"0.1", "365.7", "13.2"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("My title"), std::string::npos);
+  EXPECT_NE(out.find("UDS"), std::string::npos);
+  EXPECT_NE(out.find("365.7"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAreAligned) {
+  TablePrinter table;
+  table.SetHeader({"aa", "b"});
+  table.AddRow({"x", "yyyyy"});
+  std::string out = table.ToString();
+  // Both data and header rows contain the separator at the same offset.
+  size_t header_bar = out.find('|');
+  size_t second_line = out.find('\n');
+  size_t row_bar = out.find('|', out.find('\n', second_line + 1) + 1);
+  ASSERT_NE(header_bar, std::string::npos);
+  ASSERT_NE(row_bar, std::string::npos);
+}
+
+TEST(TablePrinterTest, RaggedRowsArePadded) {
+  TablePrinter table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"1"});
+  EXPECT_NO_FATAL_FAILURE({ std::string out = table.ToString(); });
+}
+
+TEST(TablePrinterTest, SeparatorLine) {
+  TablePrinter table;
+  table.SetHeader({"a"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  std::string out = table.ToString();
+  // Separator lines are dashes.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ToCsvBasic) {
+  TablePrinter table;
+  table.SetHeader({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, CsvEscapesCommasAndQuotes) {
+  TablePrinter table;
+  table.AddRow({"x,y", "he said \"hi\""});
+  EXPECT_EQ(table.ToCsv(), "\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(TablePrinterTest, CsvSkipsSeparators) {
+  TablePrinter table;
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  EXPECT_EQ(table.ToCsv(), "1\n2\n");
+}
+
+TEST(TablePrinterTest, EmptyTable) {
+  TablePrinter table;
+  EXPECT_EQ(table.ToCsv(), "");
+  EXPECT_NO_FATAL_FAILURE({ std::string out = table.ToString(); });
+}
+
+}  // namespace
+}  // namespace edgeshed

@@ -1,0 +1,60 @@
+#include "eval/task_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators/generators.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::eval {
+namespace {
+
+TaskOptions FastTaskOptions() {
+  TaskOptions options;
+  options.link_prediction.walks.walks_per_node = 2;
+  options.link_prediction.walks.walk_length = 5;
+  options.link_prediction.skipgram.dimensions = 8;
+  options.link_prediction.skipgram.epochs = 1;
+  return options;
+}
+
+TEST(TaskRunnerTest, AllTasksListedOnce) {
+  auto tasks = AllTasks();
+  EXPECT_EQ(tasks.size(), 7u);
+}
+
+TEST(TaskRunnerTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (Task task : AllTasks()) names.insert(TaskName(task));
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(TaskRunnerTest, PaperTableLabels) {
+  EXPECT_EQ(TaskName(Task::kSpDistance), "SP distance");
+  EXPECT_EQ(TaskName(Task::kTopK), "Top-k");
+  EXPECT_EQ(TaskName(Task::kVertexDegree), "Vertex degree");
+  EXPECT_EQ(TaskName(Task::kLinkPrediction), "Link prediction");
+  EXPECT_EQ(TaskName(Task::kBetweenness), "Betweenness centrality");
+  EXPECT_EQ(TaskName(Task::kClusteringCoefficient), "Clustering coefficient");
+  EXPECT_EQ(TaskName(Task::kHopPlot), "Hop-plot");
+}
+
+TEST(TaskRunnerTest, EveryTaskRunsAndReturnsTime) {
+  Rng rng(121);
+  auto g = graph::BarabasiAlbert(100, 3, rng);
+  for (Task task : AllTasks()) {
+    double seconds = RunTaskTimed(g, task, FastTaskOptions());
+    EXPECT_GE(seconds, 0.0) << TaskName(task);
+    EXPECT_LT(seconds, 60.0) << TaskName(task);
+  }
+}
+
+TEST(TaskRunnerTest, RunsOnEdgelessGraph) {
+  auto g = edgeshed::testing::MustBuild(20, {});
+  for (Task task : AllTasks()) {
+    EXPECT_GE(RunTaskTimed(g, task, FastTaskOptions()), 0.0)
+        << TaskName(task);
+  }
+}
+
+}  // namespace
+}  // namespace edgeshed::eval

@@ -1,0 +1,112 @@
+#include "stream/tcm_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators/generators.h"
+
+namespace edgeshed::stream {
+namespace {
+
+TcmSketch::Options WideOptions() {
+  TcmSketch::Options options;
+  options.width = 512;
+  options.depth = 4;
+  return options;
+}
+
+TEST(TcmSketchTest, NeverUnderestimatesEdgeWeight) {
+  Rng rng(81);
+  graph::Graph g = graph::ErdosRenyi(300, 1000, rng);
+  TcmSketch sketch({/*width=*/64, /*depth=*/3, /*seed=*/17});
+  for (const graph::Edge& e : g.edges()) sketch.AddEdge(e.u, e.v);
+  for (const graph::Edge& e : g.edges()) {
+    EXPECT_GE(sketch.EdgeWeight(e.u, e.v), 1.0);
+  }
+}
+
+TEST(TcmSketchTest, ExactOnSparseStreamWithWideSketch) {
+  TcmSketch sketch(WideOptions());
+  sketch.AddEdge(1, 2, 5.0);
+  sketch.AddEdge(3, 4, 2.0);
+  sketch.AddEdge(1, 2, 1.0);
+  EXPECT_DOUBLE_EQ(sketch.EdgeWeight(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(sketch.EdgeWeight(3, 4), 2.0);
+}
+
+TEST(TcmSketchTest, SymmetricQueries) {
+  TcmSketch sketch(WideOptions());
+  sketch.AddEdge(7, 9, 3.0);
+  EXPECT_DOUBLE_EQ(sketch.EdgeWeight(7, 9), sketch.EdgeWeight(9, 7));
+}
+
+TEST(TcmSketchTest, NodeWeightAggregatesIncidentEdges) {
+  TcmSketch sketch(WideOptions());
+  sketch.AddEdge(0, 1, 2.0);
+  sketch.AddEdge(0, 2, 3.0);
+  sketch.AddEdge(5, 6, 10.0);
+  EXPECT_GE(sketch.NodeWeight(0), 5.0);
+  // Wide sketch: likely exact.
+  EXPECT_NEAR(sketch.NodeWeight(0), 5.0, 1e-9);
+}
+
+TEST(TcmSketchTest, SelfEdgeCountsOnceInRow) {
+  TcmSketch sketch(WideOptions());
+  sketch.AddEdge(4, 4, 2.0);
+  EXPECT_DOUBLE_EQ(sketch.NodeWeight(4), 2.0);
+  EXPECT_DOUBLE_EQ(sketch.EdgeWeight(4, 4), 2.0);
+}
+
+TEST(TcmSketchTest, TotalWeightIsExact) {
+  TcmSketch sketch({/*width=*/16, /*depth=*/2, /*seed=*/3});
+  Rng rng(82);
+  double total = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    double w = rng.UniformDouble();
+    sketch.AddEdge(static_cast<graph::NodeId>(rng.UniformU64(100)),
+                   static_cast<graph::NodeId>(rng.UniformU64(100)), w);
+    total += w;
+  }
+  EXPECT_NEAR(sketch.TotalWeight(), total, 1e-9);
+}
+
+TEST(TcmSketchTest, ErrorShrinksWithWidth) {
+  Rng rng(83);
+  graph::Graph g = graph::BarabasiAlbert(2000, 4, rng);
+  auto mean_error = [&](uint32_t width) {
+    TcmSketch sketch({width, 3, 17});
+    for (const graph::Edge& e : g.edges()) sketch.AddEdge(e.u, e.v);
+    double error = 0.0;
+    for (const graph::Edge& e : g.edges()) {
+      error += sketch.EdgeWeight(e.u, e.v) - 1.0;  // one-sided
+    }
+    return error / static_cast<double>(g.NumEdges());
+  };
+  EXPECT_LT(mean_error(512), mean_error(32));
+}
+
+TEST(TcmSketchTest, ConstantMemoryRegardlessOfStream) {
+  TcmSketch sketch({128, 3, 1});
+  const uint64_t cells = sketch.Cells();
+  for (int i = 0; i < 10000; ++i) {
+    sketch.AddEdge(static_cast<graph::NodeId>(i),
+                   static_cast<graph::NodeId>(i + 1));
+  }
+  EXPECT_EQ(sketch.Cells(), cells);
+  EXPECT_EQ(cells, 128ull * 128 * 3);
+}
+
+TEST(TcmSketchTest, UnseenEdgeUsuallyZeroOnWideSketch) {
+  TcmSketch sketch(WideOptions());
+  sketch.AddEdge(1, 2);
+  // A completely unrelated pair should read 0 with overwhelming
+  // probability at width 512, depth 4.
+  EXPECT_DOUBLE_EQ(sketch.EdgeWeight(100, 200), 0.0);
+}
+
+TEST(TcmSketchDeathTest, InvalidDimensions) {
+  EXPECT_DEATH({ TcmSketch sketch({0, 3, 1}); }, "");
+  EXPECT_DEATH({ TcmSketch sketch({16, 0, 1}); }, "");
+}
+
+}  // namespace
+}  // namespace edgeshed::stream

@@ -1,0 +1,82 @@
+#ifndef EDGESHED_TESTS_TESTING_TEST_GRAPHS_H_
+#define EDGESHED_TESTS_TESTING_TEST_GRAPHS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace edgeshed::testing {
+
+/// Builds a graph or aborts — for fixtures whose edge lists are known good.
+inline graph::Graph MustBuild(graph::NodeId num_nodes,
+                              std::vector<graph::Edge> edges) {
+  auto result = graph::Graph::FromEdges(num_nodes, std::move(edges));
+  EDGESHED_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Path 0-1-2-...-(n-1).
+inline graph::Graph Path(graph::NodeId n) {
+  std::vector<graph::Edge> edges;
+  for (graph::NodeId u = 0; u + 1 < n; ++u) edges.push_back({u, u + 1});
+  return MustBuild(n, std::move(edges));
+}
+
+/// Cycle 0-1-...-(n-1)-0.
+inline graph::Graph Cycle(graph::NodeId n) {
+  std::vector<graph::Edge> edges;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    edges.push_back({u, static_cast<graph::NodeId>((u + 1) % n)});
+  }
+  return MustBuild(n, std::move(edges));
+}
+
+/// Star with center 0 and n-1 leaves.
+inline graph::Graph Star(graph::NodeId n) {
+  std::vector<graph::Edge> edges;
+  for (graph::NodeId u = 1; u < n; ++u) edges.push_back({0, u});
+  return MustBuild(n, std::move(edges));
+}
+
+/// Complete graph K_n.
+inline graph::Graph Clique(graph::NodeId n) {
+  std::vector<graph::Edge> edges;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (graph::NodeId v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  return MustBuild(n, std::move(edges));
+}
+
+/// Two triangles {0,1,2} and {3,4,5} joined by the bridge 2-3. The bridge
+/// has the maximum edge betweenness by construction.
+inline graph::Graph TwoTrianglesWithBridge() {
+  return MustBuild(6, {{0, 1}, {0, 2}, {1, 2}, {3, 4}, {3, 5}, {4, 5}, {2, 3}});
+}
+
+/// The paper's running-example graph (Figs. 1-3), reconstructed from the
+/// worked examples: vertices u1..u11 mapped to ids 0..10.
+///   u7 (id 6): hub of degree 7 — leaves u1..u6 plus u9.
+///   u9 (id 8): degree 4 — u7, u8, u10, u11.
+///   u8 (id 7), u10 (id 9): degree 2 — u9 and each other.
+///   u1..u6 (ids 0..5), u11 (id 10): degree 1.
+/// With p = 0.4 the expected degrees are u7: 2.8, u9: 1.6, u8/u10: 0.8,
+/// leaves: 0.4, and [P] = round(0.4 * 11) = 4 — matching Example 1.
+inline graph::Graph PaperExampleGraph() {
+  const graph::NodeId u1 = 0, u2 = 1, u3 = 2, u4 = 3, u5 = 4, u6 = 5;
+  const graph::NodeId u7 = 6, u8 = 7, u9 = 8, u10 = 9, u11 = 10;
+  return MustBuild(11, {{u1, u7},
+                        {u2, u7},
+                        {u3, u7},
+                        {u4, u7},
+                        {u5, u7},
+                        {u6, u7},
+                        {u7, u9},
+                        {u8, u9},
+                        {u8, u10},
+                        {u9, u10},
+                        {u9, u11}});
+}
+
+}  // namespace edgeshed::testing
+
+#endif  // EDGESHED_TESTS_TESTING_TEST_GRAPHS_H_

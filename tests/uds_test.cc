@@ -1,0 +1,132 @@
+#include "baseline/uds.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators/generators.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::baseline {
+namespace {
+
+using ::edgeshed::testing::PaperExampleGraph;
+
+TEST(UdsTest, RejectsInvalidThreshold) {
+  auto g = PaperExampleGraph();
+  Uds uds;
+  EXPECT_FALSE(uds.Summarize(g, 0.0).ok());
+  EXPECT_FALSE(uds.Summarize(g, 1.0).ok());
+  EXPECT_FALSE(uds.Summarize(g, -0.2).ok());
+}
+
+TEST(UdsTest, UtilityStaysAboveThreshold) {
+  Rng rng(81);
+  auto g = graph::BarabasiAlbert(200, 3, rng);
+  Uds uds;
+  for (double tau : {0.3, 0.6, 0.9}) {
+    auto summary = uds.Summarize(g, tau);
+    ASSERT_TRUE(summary.ok());
+    EXPECT_GE(summary->utility, tau - 1e-9) << "tau = " << tau;
+  }
+}
+
+TEST(UdsTest, LowerThresholdCompressesMore) {
+  Rng rng(82);
+  auto g = graph::BarabasiAlbert(300, 3, rng);
+  Uds uds;
+  auto strict = uds.Summarize(g, 0.9);
+  auto loose = uds.Summarize(g, 0.2);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_LE(loose->members.size(), strict->members.size());
+  EXPECT_GE(loose->merges, strict->merges);
+}
+
+TEST(UdsTest, MembershipIsAPartition) {
+  Rng rng(83);
+  auto g = graph::ErdosRenyi(150, 450, rng);
+  auto summary = Uds().Summarize(g, 0.4);
+  ASSERT_TRUE(summary.ok());
+  std::set<graph::NodeId> seen;
+  for (const auto& members : summary->members) {
+    EXPECT_FALSE(members.empty());
+    for (graph::NodeId u : members) {
+      EXPECT_TRUE(seen.insert(u).second) << "node in two supernodes";
+    }
+  }
+  EXPECT_EQ(seen.size(), g.NumNodes());
+}
+
+TEST(UdsTest, SupernodeOfIsConsistentWithMembers) {
+  Rng rng(84);
+  auto g = graph::ErdosRenyi(100, 300, rng);
+  auto summary = Uds().Summarize(g, 0.5);
+  ASSERT_TRUE(summary.ok());
+  for (uint32_t s = 0; s < summary->members.size(); ++s) {
+    for (graph::NodeId u : summary->members[s]) {
+      EXPECT_EQ(summary->supernode_of[u], s);
+    }
+  }
+}
+
+TEST(UdsTest, SummaryGraphHasOneVertexPerSupernode) {
+  Rng rng(85);
+  auto g = graph::BarabasiAlbert(200, 3, rng);
+  auto summary = Uds().Summarize(g, 0.5);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->summary_graph.NumNodes(), summary->members.size());
+}
+
+TEST(UdsTest, SummaryIsSmallerThanOriginal) {
+  Rng rng(86);
+  auto g = graph::BarabasiAlbert(300, 4, rng);
+  auto summary = Uds().Summarize(g, 0.3);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_LT(summary->members.size(), g.NumNodes());
+  EXPECT_LT(summary->summary_graph.NumEdges(), g.NumEdges());
+}
+
+TEST(UdsTest, HighThresholdMayKeepEverythingSeparate) {
+  Rng rng(87);
+  auto g = graph::ErdosRenyi(60, 120, rng);
+  auto summary = Uds().Summarize(g, 0.999);
+  ASSERT_TRUE(summary.ok());
+  // Nearly no merge budget: most vertices stay singletons.
+  EXPECT_GT(summary->members.size(), g.NumNodes() / 2);
+}
+
+TEST(UdsTest, DeterministicGivenSeed) {
+  Rng rng(88);
+  auto g = graph::ErdosRenyi(100, 250, rng);
+  auto a = Uds().Summarize(g, 0.5);
+  auto b = Uds().Summarize(g, 0.5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->supernode_of, b->supernode_of);
+  EXPECT_DOUBLE_EQ(a->utility, b->utility);
+}
+
+TEST(UdsTest, ReductionSecondsPopulated) {
+  auto g = PaperExampleGraph();
+  auto summary = Uds().Summarize(g, 0.5);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_GE(summary->reduction_seconds, 0.0);
+  EXPECT_GE(summary->evaluations, 1u);
+}
+
+TEST(UdsTest, SmallerThresholdCostsMoreTime) {
+  // The paper's Table III shape: UDS gets *slower* as the target utility
+  // shrinks (more merge work). Use merges as a time proxy to avoid flaky
+  // wall-clock assertions.
+  Rng rng(89);
+  auto g = graph::BarabasiAlbert(400, 4, rng);
+  auto strict = Uds().Summarize(g, 0.8);
+  auto loose = Uds().Summarize(g, 0.2);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_GT(loose->merges, strict->merges);
+}
+
+}  // namespace
+}  // namespace edgeshed::baseline

@@ -1,0 +1,85 @@
+// Tests for the UDS reconstruction views (estimated degree distribution and
+// member-pair distance profile) used by the figure benches.
+
+#include <gtest/gtest.h>
+
+#include "baseline/uds.h"
+#include "graph/generators/generators.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::baseline {
+namespace {
+
+/// Builds a hand-made summary: supernodes {0,1}, {2}, {3,4} over a 5-node
+/// base, summary graph a path S0 - S1 - S2.
+UdsSummary HandMadeSummary() {
+  UdsSummary summary;
+  summary.members = {{0, 1}, {2}, {3, 4}};
+  summary.supernode_of = {0, 0, 1, 2, 2};
+  auto sg = graph::Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  EDGESHED_CHECK(sg.ok());
+  summary.summary_graph = std::move(sg).value();
+  return summary;
+}
+
+TEST(UdsEstimatedDegreeTest, ExpectedReconstructionDegrees) {
+  UdsSummary summary = HandMadeSummary();
+  Histogram h = UdsEstimatedDegreeDistribution(summary);
+  // Members of S0 (2 nodes): neighbors = S1 of size 1 -> est 1.
+  // Member of S1: neighbors S0 + S2 -> est 4.
+  // Members of S2 (2 nodes): neighbors S1 -> est 1.
+  EXPECT_EQ(h.CountFor(1), 4u);
+  EXPECT_EQ(h.CountFor(4), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(UdsEstimatedDegreeTest, CapFoldsTail) {
+  UdsSummary summary = HandMadeSummary();
+  Histogram h = UdsEstimatedDegreeDistribution(summary, /*cap=*/2);
+  EXPECT_EQ(h.CountFor(2), 1u);  // the est-4 member folds into cap
+  EXPECT_EQ(h.CountFor(4), 0u);
+}
+
+TEST(UdsDistanceProfileTest, MemberWeightedDistances) {
+  UdsSummary summary = HandMadeSummary();
+  Histogram profile = UdsDistanceProfile(summary);
+  // Ordered pairs:
+  //  distance 1: intra-S0 (2), intra-S2 (2), S0-S1 (2*1*2=4... ordered:
+  //  each (S,T) BFS visit counts |S||T| per direction: S0->S1 2, S1->S0 2,
+  //  S1->S2 2, S2->S1 2) = 2+2+8 = 12.
+  //  distance 2: S0->S2 4, S2->S0 4 = 8.
+  EXPECT_EQ(profile.CountFor(1), 12u);
+  EXPECT_EQ(profile.CountFor(2), 8u);
+  EXPECT_EQ(profile.total(), 20u);  // 5*4 ordered pairs
+}
+
+TEST(UdsDistanceProfileTest, RealSummaryCoversAllReachablePairs) {
+  Rng rng(99);
+  auto g = graph::BarabasiAlbert(150, 3, rng);
+  auto summary = Uds().Summarize(g, 0.4);
+  ASSERT_TRUE(summary.ok());
+  Histogram profile = UdsDistanceProfile(*summary);
+  // Reconstruction implies every pair of vertices whose supernodes are in
+  // one summary component is reachable; at least all ordered pairs inside
+  // supernodes of size > 1 appear.
+  EXPECT_GT(profile.total(), 0u);
+}
+
+TEST(UdsDistanceProfileTest, SingletonSummaryMatchesGraphDistances) {
+  // Summary where every vertex is its own supernode and the summary graph
+  // equals G: the profile must match the plain distance profile.
+  auto g = edgeshed::testing::Path(4);
+  UdsSummary summary;
+  summary.summary_graph = g;
+  for (graph::NodeId u = 0; u < 4; ++u) {
+    summary.members.push_back({u});
+    summary.supernode_of.push_back(u);
+  }
+  Histogram profile = UdsDistanceProfile(summary);
+  EXPECT_EQ(profile.CountFor(1), 6u);
+  EXPECT_EQ(profile.CountFor(2), 4u);
+  EXPECT_EQ(profile.CountFor(3), 2u);
+}
+
+}  // namespace
+}  // namespace edgeshed::baseline

@@ -1,0 +1,290 @@
+// edgeshed — command-line front end for the library.
+//
+// Commands:
+//   edgeshed reduce  --input=G.txt --method=crr|bm2|random|local-degree|
+//                    spanning-forest --p=0.5 [--output=R.txt] [--seed=42]
+//                    [--binary_output=R.esg]
+//   edgeshed analyze --input=G.txt [--tasks=degree,components,clustering,
+//                    pagerank,distance] [--top=10]
+//   edgeshed stats   --input=G.txt
+//   edgeshed convert --input=G.txt --binary_output=G.esg   (and back via
+//                    --binary_input/--output)
+//   edgeshed generate --dataset=grqc|hepph|enron|livejournal --scale=1.0
+//                    --output=G.txt [--seed=...]
+//
+// Text inputs are SNAP-format edge lists; .esg is the library's binary
+// snapshot format (graph/binary_io.h).
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "analytics/clustering.h"
+#include "analytics/components.h"
+#include "analytics/degree.h"
+#include "analytics/pagerank.h"
+#include "analytics/shortest_paths.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/bm2.h"
+#include "core/crr.h"
+#include "core/extra_baselines.h"
+#include "core/random_shedding.h"
+#include "eval/flags.h"
+#include "graph/binary_io.h"
+#include "graph/datasets.h"
+#include "graph/edge_list_io.h"
+
+using namespace edgeshed;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: edgeshed <reduce|analyze|stats|convert|generate> "
+               "[flags]\n"
+               "  reduce   --input=G.txt --method=crr --p=0.5 "
+               "[--output=R.txt] [--binary_output=R.esg] [--seed=42]\n"
+               "  analyze  --input=G.txt [--tasks=degree,components,"
+               "clustering,pagerank,distance] [--top=10]\n"
+               "  stats    --input=G.txt\n"
+               "  convert  --input=G.txt --binary_output=G.esg | "
+               "--binary_input=G.esg --output=G.txt\n"
+               "  generate --dataset=grqc|hepph|enron|livejournal "
+               "--scale=1.0 --output=G.txt [--seed=N]\n");
+  return 2;
+}
+
+StatusOr<graph::Graph> LoadInput(const eval::Flags& flags) {
+  const std::string binary_input = flags.GetString("binary_input", "");
+  if (!binary_input.empty()) {
+    return graph::LoadBinaryGraph(binary_input);
+  }
+  const std::string input = flags.GetString("input", "");
+  if (input.empty()) {
+    return Status::InvalidArgument("--input (or --binary_input) is required");
+  }
+  auto loaded = graph::LoadEdgeList(input);
+  if (!loaded.ok()) return loaded.status();
+  return std::move(loaded)->graph;
+}
+
+std::unique_ptr<core::EdgeShedder> MakeShedder(const std::string& method,
+                                               uint64_t seed) {
+  if (method == "crr") {
+    core::CrrOptions options;
+    options.seed = seed;
+    return std::make_unique<core::Crr>(options);
+  }
+  if (method == "bm2") {
+    core::Bm2Options options;
+    options.seed = seed;
+    return std::make_unique<core::Bm2>(options);
+  }
+  if (method == "random") {
+    return std::make_unique<core::RandomShedding>(seed);
+  }
+  if (method == "local-degree") {
+    return std::make_unique<core::LocalDegreeShedding>();
+  }
+  if (method == "spanning-forest") {
+    return std::make_unique<core::SpanningForestShedding>(seed);
+  }
+  return nullptr;
+}
+
+int CmdReduce(const eval::Flags& flags) {
+  auto input = LoadInput(flags);
+  if (!input.ok()) {
+    std::cerr << input.status() << "\n";
+    return 1;
+  }
+  const std::string method = flags.GetString("method", "crr");
+  const double p = flags.GetDouble("p", 0.5);
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  std::unique_ptr<core::EdgeShedder> shedder = MakeShedder(method, seed);
+  if (shedder == nullptr) {
+    std::cerr << "unknown method: " << method << "\n";
+    return Usage();
+  }
+  auto result = shedder->Reduce(*input, p);
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+  graph::Graph reduced = result->BuildReducedGraph(*input);
+  std::printf("%s: kept %s / %s edges in %.3fs (avg delta %.4f)\n",
+              shedder->name().c_str(),
+              FormatWithCommas(reduced.NumEdges()).c_str(),
+              FormatWithCommas(input->NumEdges()).c_str(),
+              result->reduction_seconds, result->average_delta);
+  const std::string output = flags.GetString("output", "");
+  if (!output.empty()) {
+    Status status = graph::SaveEdgeList(reduced, output);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::printf("wrote %s\n", output.c_str());
+  }
+  const std::string binary_output = flags.GetString("binary_output", "");
+  if (!binary_output.empty()) {
+    Status status = graph::SaveBinaryGraph(reduced, binary_output);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::printf("wrote %s\n", binary_output.c_str());
+  }
+  return 0;
+}
+
+int CmdStats(const eval::Flags& flags) {
+  auto input = LoadInput(flags);
+  if (!input.ok()) {
+    std::cerr << input.status() << "\n";
+    return 1;
+  }
+  const graph::Graph& g = *input;
+  auto components = analytics::ConnectedComponents(g);
+  std::printf("nodes:       %s\n", FormatWithCommas(g.NumNodes()).c_str());
+  std::printf("edges:       %s\n", FormatWithCommas(g.NumEdges()).c_str());
+  std::printf("avg degree:  %.3f\n", g.AverageDegree());
+  std::printf("max degree:  %s\n",
+              FormatWithCommas(analytics::MaxDegree(g)).c_str());
+  std::printf("components:  %u (largest %s)\n", components.NumComponents(),
+              components.NumComponents() == 0
+                  ? "0"
+                  : FormatWithCommas(
+                        components.sizes[components.LargestComponent()])
+                        .c_str());
+  return 0;
+}
+
+int CmdAnalyze(const eval::Flags& flags) {
+  auto input = LoadInput(flags);
+  if (!input.ok()) {
+    std::cerr << input.status() << "\n";
+    return 1;
+  }
+  const graph::Graph& g = *input;
+  const std::string tasks =
+      flags.GetString("tasks", "degree,components,clustering,pagerank");
+  Stopwatch watch;
+  for (std::string_view task : StrSplit(tasks, ',')) {
+    Stopwatch task_watch;
+    if (task == "degree") {
+      auto histogram = analytics::DegreeDistribution(g);
+      std::printf("[degree] distinct degrees: %zu (%.3fs)\n",
+                  histogram.Keys().size(), task_watch.ElapsedSeconds());
+    } else if (task == "components") {
+      auto components = analytics::ConnectedComponents(g);
+      std::printf("[components] %u components (%.3fs)\n",
+                  components.NumComponents(), task_watch.ElapsedSeconds());
+    } else if (task == "clustering") {
+      double cc = analytics::AverageClusteringCoefficient(g);
+      std::printf("[clustering] average coefficient %.4f (%.3fs)\n", cc,
+                  task_watch.ElapsedSeconds());
+    } else if (task == "pagerank") {
+      auto scores = analytics::PageRank(g);
+      const auto top = static_cast<uint64_t>(flags.GetInt("top", 10));
+      auto indices = analytics::TopKIndices(scores, top);
+      std::printf("[pagerank] top-%llu:",
+                  static_cast<unsigned long long>(top));
+      for (uint32_t u : indices) std::printf(" %u", u);
+      std::printf(" (%.3fs)\n", task_watch.ElapsedSeconds());
+    } else if (task == "distance") {
+      auto profile = analytics::DistanceProfile(g);
+      std::printf("[distance] median hop fraction at k=3: %.4f (%.3fs)\n",
+                  analytics::HopPlotFraction(profile, 3),
+                  task_watch.ElapsedSeconds());
+    } else {
+      std::fprintf(stderr, "unknown task: %.*s\n",
+                   static_cast<int>(task.size()), task.data());
+      return Usage();
+    }
+  }
+  std::printf("total %.3fs\n", watch.ElapsedSeconds());
+  return 0;
+}
+
+int CmdConvert(const eval::Flags& flags) {
+  auto input = LoadInput(flags);
+  if (!input.ok()) {
+    std::cerr << input.status() << "\n";
+    return 1;
+  }
+  const std::string binary_output = flags.GetString("binary_output", "");
+  const std::string output = flags.GetString("output", "");
+  if (binary_output.empty() && output.empty()) {
+    std::cerr << "convert needs --binary_output or --output\n";
+    return Usage();
+  }
+  if (!binary_output.empty()) {
+    Status status = graph::SaveBinaryGraph(*input, binary_output);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::printf("wrote %s\n", binary_output.c_str());
+  }
+  if (!output.empty()) {
+    Status status = graph::SaveEdgeList(*input, output);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::printf("wrote %s\n", output.c_str());
+  }
+  return 0;
+}
+
+int CmdGenerate(const eval::Flags& flags) {
+  const std::string name = flags.GetString("dataset", "grqc");
+  graph::DatasetId id;
+  if (name == "grqc") {
+    id = graph::DatasetId::kCaGrQc;
+  } else if (name == "hepph") {
+    id = graph::DatasetId::kCaHepPh;
+  } else if (name == "enron") {
+    id = graph::DatasetId::kEmailEnron;
+  } else if (name == "livejournal") {
+    id = graph::DatasetId::kComLiveJournal;
+  } else {
+    std::cerr << "unknown dataset: " << name << "\n";
+    return Usage();
+  }
+  graph::DatasetOptions options;
+  options.scale = flags.GetDouble("scale", 1.0);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 20210419));
+  graph::Graph g = graph::MakeDataset(id, options);
+  std::printf("generated %s surrogate: %s nodes, %s edges\n",
+              graph::GetDatasetSpec(id).name.c_str(),
+              FormatWithCommas(g.NumNodes()).c_str(),
+              FormatWithCommas(g.NumEdges()).c_str());
+  const std::string output = flags.GetString("output", "");
+  if (!output.empty()) {
+    Status status = graph::SaveEdgeList(g, output);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::printf("wrote %s\n", output.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eval::Flags flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string& command = flags.positional()[0];
+  if (command == "reduce") return CmdReduce(flags);
+  if (command == "analyze") return CmdAnalyze(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "convert") return CmdConvert(flags);
+  if (command == "generate") return CmdGenerate(flags);
+  return Usage();
+}
