@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_structure.dir/bench_ext_structure.cc.o"
+  "CMakeFiles/bench_ext_structure.dir/bench_ext_structure.cc.o.d"
+  "bench_ext_structure"
+  "bench_ext_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

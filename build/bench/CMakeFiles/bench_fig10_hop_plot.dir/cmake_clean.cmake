@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_hop_plot.dir/bench_fig10_hop_plot.cc.o"
+  "CMakeFiles/bench_fig10_hop_plot.dir/bench_fig10_hop_plot.cc.o.d"
+  "bench_fig10_hop_plot"
+  "bench_fig10_hop_plot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_hop_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

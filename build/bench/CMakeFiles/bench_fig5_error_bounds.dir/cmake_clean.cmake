@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_error_bounds.dir/bench_fig5_error_bounds.cc.o"
+  "CMakeFiles/bench_fig5_error_bounds.dir/bench_fig5_error_bounds.cc.o.d"
+  "bench_fig5_error_bounds"
+  "bench_fig5_error_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_error_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_betweenness.dir/bench_fig8_betweenness.cc.o"
+  "CMakeFiles/bench_fig8_betweenness.dir/bench_fig8_betweenness.cc.o.d"
+  "bench_fig8_betweenness"
+  "bench_fig8_betweenness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_betweenness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

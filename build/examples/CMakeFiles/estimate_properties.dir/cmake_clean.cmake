@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimate_properties.dir/estimate_properties.cpp.o"
+  "CMakeFiles/estimate_properties.dir/estimate_properties.cpp.o.d"
+  "estimate_properties"
+  "estimate_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimate_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

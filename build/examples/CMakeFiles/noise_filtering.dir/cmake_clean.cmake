@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_filtering.dir/noise_filtering.cpp.o"
+  "CMakeFiles/noise_filtering.dir/noise_filtering.cpp.o.d"
+  "noise_filtering"
+  "noise_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_constrained_pipeline.dir/resource_constrained_pipeline.cpp.o"
+  "CMakeFiles/resource_constrained_pipeline.dir/resource_constrained_pipeline.cpp.o.d"
+  "resource_constrained_pipeline"
+  "resource_constrained_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_constrained_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

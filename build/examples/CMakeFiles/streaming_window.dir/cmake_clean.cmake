@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_window.dir/streaming_window.cpp.o"
+  "CMakeFiles/streaming_window.dir/streaming_window.cpp.o.d"
+  "streaming_window"
+  "streaming_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/approx_neighborhood.cc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/approx_neighborhood.cc.o" "gcc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/approx_neighborhood.cc.o.d"
+  "/root/repo/src/analytics/assortativity.cc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/assortativity.cc.o" "gcc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/assortativity.cc.o.d"
+  "/root/repo/src/analytics/betweenness.cc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/betweenness.cc.o" "gcc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/betweenness.cc.o.d"
+  "/root/repo/src/analytics/bfs.cc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/bfs.cc.o" "gcc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/bfs.cc.o.d"
+  "/root/repo/src/analytics/closeness.cc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/closeness.cc.o" "gcc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/closeness.cc.o.d"
+  "/root/repo/src/analytics/clustering.cc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/clustering.cc.o" "gcc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/clustering.cc.o.d"
+  "/root/repo/src/analytics/components.cc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/components.cc.o" "gcc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/components.cc.o.d"
+  "/root/repo/src/analytics/degree.cc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/degree.cc.o" "gcc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/degree.cc.o.d"
+  "/root/repo/src/analytics/eigenvector.cc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/eigenvector.cc.o" "gcc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/eigenvector.cc.o.d"
+  "/root/repo/src/analytics/hyperloglog.cc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/hyperloglog.cc.o" "gcc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/hyperloglog.cc.o.d"
+  "/root/repo/src/analytics/kcore.cc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/kcore.cc.o" "gcc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/kcore.cc.o.d"
+  "/root/repo/src/analytics/louvain.cc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/louvain.cc.o" "gcc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/louvain.cc.o.d"
+  "/root/repo/src/analytics/pagerank.cc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/pagerank.cc.o" "gcc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/pagerank.cc.o.d"
+  "/root/repo/src/analytics/shortest_paths.cc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/shortest_paths.cc.o" "gcc" "src/analytics/CMakeFiles/edgeshed_analytics.dir/shortest_paths.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/edgeshed_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edgeshed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

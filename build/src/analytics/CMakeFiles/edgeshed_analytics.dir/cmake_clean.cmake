@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeshed_analytics.dir/approx_neighborhood.cc.o"
+  "CMakeFiles/edgeshed_analytics.dir/approx_neighborhood.cc.o.d"
+  "CMakeFiles/edgeshed_analytics.dir/assortativity.cc.o"
+  "CMakeFiles/edgeshed_analytics.dir/assortativity.cc.o.d"
+  "CMakeFiles/edgeshed_analytics.dir/betweenness.cc.o"
+  "CMakeFiles/edgeshed_analytics.dir/betweenness.cc.o.d"
+  "CMakeFiles/edgeshed_analytics.dir/bfs.cc.o"
+  "CMakeFiles/edgeshed_analytics.dir/bfs.cc.o.d"
+  "CMakeFiles/edgeshed_analytics.dir/closeness.cc.o"
+  "CMakeFiles/edgeshed_analytics.dir/closeness.cc.o.d"
+  "CMakeFiles/edgeshed_analytics.dir/clustering.cc.o"
+  "CMakeFiles/edgeshed_analytics.dir/clustering.cc.o.d"
+  "CMakeFiles/edgeshed_analytics.dir/components.cc.o"
+  "CMakeFiles/edgeshed_analytics.dir/components.cc.o.d"
+  "CMakeFiles/edgeshed_analytics.dir/degree.cc.o"
+  "CMakeFiles/edgeshed_analytics.dir/degree.cc.o.d"
+  "CMakeFiles/edgeshed_analytics.dir/eigenvector.cc.o"
+  "CMakeFiles/edgeshed_analytics.dir/eigenvector.cc.o.d"
+  "CMakeFiles/edgeshed_analytics.dir/hyperloglog.cc.o"
+  "CMakeFiles/edgeshed_analytics.dir/hyperloglog.cc.o.d"
+  "CMakeFiles/edgeshed_analytics.dir/kcore.cc.o"
+  "CMakeFiles/edgeshed_analytics.dir/kcore.cc.o.d"
+  "CMakeFiles/edgeshed_analytics.dir/louvain.cc.o"
+  "CMakeFiles/edgeshed_analytics.dir/louvain.cc.o.d"
+  "CMakeFiles/edgeshed_analytics.dir/pagerank.cc.o"
+  "CMakeFiles/edgeshed_analytics.dir/pagerank.cc.o.d"
+  "CMakeFiles/edgeshed_analytics.dir/shortest_paths.cc.o"
+  "CMakeFiles/edgeshed_analytics.dir/shortest_paths.cc.o.d"
+  "libedgeshed_analytics.a"
+  "libedgeshed_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeshed_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

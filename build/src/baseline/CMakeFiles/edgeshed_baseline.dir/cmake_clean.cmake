@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeshed_baseline.dir/uds.cc.o"
+  "CMakeFiles/edgeshed_baseline.dir/uds.cc.o.d"
+  "libedgeshed_baseline.a"
+  "libedgeshed_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeshed_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/histogram.cc" "src/common/CMakeFiles/edgeshed_common.dir/histogram.cc.o" "gcc" "src/common/CMakeFiles/edgeshed_common.dir/histogram.cc.o.d"
+  "/root/repo/src/common/parallel_for.cc" "src/common/CMakeFiles/edgeshed_common.dir/parallel_for.cc.o" "gcc" "src/common/CMakeFiles/edgeshed_common.dir/parallel_for.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/common/CMakeFiles/edgeshed_common.dir/random.cc.o" "gcc" "src/common/CMakeFiles/edgeshed_common.dir/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/edgeshed_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/edgeshed_common.dir/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/common/CMakeFiles/edgeshed_common.dir/strings.cc.o" "gcc" "src/common/CMakeFiles/edgeshed_common.dir/strings.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/common/CMakeFiles/edgeshed_common.dir/table.cc.o" "gcc" "src/common/CMakeFiles/edgeshed_common.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeshed_common.dir/histogram.cc.o"
+  "CMakeFiles/edgeshed_common.dir/histogram.cc.o.d"
+  "CMakeFiles/edgeshed_common.dir/parallel_for.cc.o"
+  "CMakeFiles/edgeshed_common.dir/parallel_for.cc.o.d"
+  "CMakeFiles/edgeshed_common.dir/random.cc.o"
+  "CMakeFiles/edgeshed_common.dir/random.cc.o.d"
+  "CMakeFiles/edgeshed_common.dir/status.cc.o"
+  "CMakeFiles/edgeshed_common.dir/status.cc.o.d"
+  "CMakeFiles/edgeshed_common.dir/strings.cc.o"
+  "CMakeFiles/edgeshed_common.dir/strings.cc.o.d"
+  "CMakeFiles/edgeshed_common.dir/table.cc.o"
+  "CMakeFiles/edgeshed_common.dir/table.cc.o.d"
+  "libedgeshed_common.a"
+  "libedgeshed_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeshed_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/b_matching.cc" "src/core/CMakeFiles/edgeshed_core.dir/b_matching.cc.o" "gcc" "src/core/CMakeFiles/edgeshed_core.dir/b_matching.cc.o.d"
+  "/root/repo/src/core/bipartite_matcher.cc" "src/core/CMakeFiles/edgeshed_core.dir/bipartite_matcher.cc.o" "gcc" "src/core/CMakeFiles/edgeshed_core.dir/bipartite_matcher.cc.o.d"
+  "/root/repo/src/core/bm2.cc" "src/core/CMakeFiles/edgeshed_core.dir/bm2.cc.o" "gcc" "src/core/CMakeFiles/edgeshed_core.dir/bm2.cc.o.d"
+  "/root/repo/src/core/bounds.cc" "src/core/CMakeFiles/edgeshed_core.dir/bounds.cc.o" "gcc" "src/core/CMakeFiles/edgeshed_core.dir/bounds.cc.o.d"
+  "/root/repo/src/core/crr.cc" "src/core/CMakeFiles/edgeshed_core.dir/crr.cc.o" "gcc" "src/core/CMakeFiles/edgeshed_core.dir/crr.cc.o.d"
+  "/root/repo/src/core/discrepancy.cc" "src/core/CMakeFiles/edgeshed_core.dir/discrepancy.cc.o" "gcc" "src/core/CMakeFiles/edgeshed_core.dir/discrepancy.cc.o.d"
+  "/root/repo/src/core/extra_baselines.cc" "src/core/CMakeFiles/edgeshed_core.dir/extra_baselines.cc.o" "gcc" "src/core/CMakeFiles/edgeshed_core.dir/extra_baselines.cc.o.d"
+  "/root/repo/src/core/random_shedding.cc" "src/core/CMakeFiles/edgeshed_core.dir/random_shedding.cc.o" "gcc" "src/core/CMakeFiles/edgeshed_core.dir/random_shedding.cc.o.d"
+  "/root/repo/src/core/shedding.cc" "src/core/CMakeFiles/edgeshed_core.dir/shedding.cc.o" "gcc" "src/core/CMakeFiles/edgeshed_core.dir/shedding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analytics/CMakeFiles/edgeshed_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/edgeshed_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edgeshed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeshed_core.dir/b_matching.cc.o"
+  "CMakeFiles/edgeshed_core.dir/b_matching.cc.o.d"
+  "CMakeFiles/edgeshed_core.dir/bipartite_matcher.cc.o"
+  "CMakeFiles/edgeshed_core.dir/bipartite_matcher.cc.o.d"
+  "CMakeFiles/edgeshed_core.dir/bm2.cc.o"
+  "CMakeFiles/edgeshed_core.dir/bm2.cc.o.d"
+  "CMakeFiles/edgeshed_core.dir/bounds.cc.o"
+  "CMakeFiles/edgeshed_core.dir/bounds.cc.o.d"
+  "CMakeFiles/edgeshed_core.dir/crr.cc.o"
+  "CMakeFiles/edgeshed_core.dir/crr.cc.o.d"
+  "CMakeFiles/edgeshed_core.dir/discrepancy.cc.o"
+  "CMakeFiles/edgeshed_core.dir/discrepancy.cc.o.d"
+  "CMakeFiles/edgeshed_core.dir/extra_baselines.cc.o"
+  "CMakeFiles/edgeshed_core.dir/extra_baselines.cc.o.d"
+  "CMakeFiles/edgeshed_core.dir/random_shedding.cc.o"
+  "CMakeFiles/edgeshed_core.dir/random_shedding.cc.o.d"
+  "CMakeFiles/edgeshed_core.dir/shedding.cc.o"
+  "CMakeFiles/edgeshed_core.dir/shedding.cc.o.d"
+  "libedgeshed_core.a"
+  "libedgeshed_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeshed_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

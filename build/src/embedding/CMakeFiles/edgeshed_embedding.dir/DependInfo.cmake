@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/kmeans.cc" "src/embedding/CMakeFiles/edgeshed_embedding.dir/kmeans.cc.o" "gcc" "src/embedding/CMakeFiles/edgeshed_embedding.dir/kmeans.cc.o.d"
+  "/root/repo/src/embedding/link_prediction.cc" "src/embedding/CMakeFiles/edgeshed_embedding.dir/link_prediction.cc.o" "gcc" "src/embedding/CMakeFiles/edgeshed_embedding.dir/link_prediction.cc.o.d"
+  "/root/repo/src/embedding/random_walks.cc" "src/embedding/CMakeFiles/edgeshed_embedding.dir/random_walks.cc.o" "gcc" "src/embedding/CMakeFiles/edgeshed_embedding.dir/random_walks.cc.o.d"
+  "/root/repo/src/embedding/skipgram.cc" "src/embedding/CMakeFiles/edgeshed_embedding.dir/skipgram.cc.o" "gcc" "src/embedding/CMakeFiles/edgeshed_embedding.dir/skipgram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/edgeshed_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edgeshed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeshed_embedding.dir/kmeans.cc.o"
+  "CMakeFiles/edgeshed_embedding.dir/kmeans.cc.o.d"
+  "CMakeFiles/edgeshed_embedding.dir/link_prediction.cc.o"
+  "CMakeFiles/edgeshed_embedding.dir/link_prediction.cc.o.d"
+  "CMakeFiles/edgeshed_embedding.dir/random_walks.cc.o"
+  "CMakeFiles/edgeshed_embedding.dir/random_walks.cc.o.d"
+  "CMakeFiles/edgeshed_embedding.dir/skipgram.cc.o"
+  "CMakeFiles/edgeshed_embedding.dir/skipgram.cc.o.d"
+  "libedgeshed_embedding.a"
+  "libedgeshed_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeshed_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimate/estimators.cc" "src/estimate/CMakeFiles/edgeshed_estimate.dir/estimators.cc.o" "gcc" "src/estimate/CMakeFiles/edgeshed_estimate.dir/estimators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analytics/CMakeFiles/edgeshed_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/edgeshed_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edgeshed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeshed_estimate.dir/estimators.cc.o"
+  "CMakeFiles/edgeshed_estimate.dir/estimators.cc.o.d"
+  "libedgeshed_estimate.a"
+  "libedgeshed_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeshed_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

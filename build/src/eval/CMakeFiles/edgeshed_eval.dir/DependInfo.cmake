@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/edgeshed_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/edgeshed_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/flags.cc" "src/eval/CMakeFiles/edgeshed_eval.dir/flags.cc.o" "gcc" "src/eval/CMakeFiles/edgeshed_eval.dir/flags.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/edgeshed_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/edgeshed_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/task_runner.cc" "src/eval/CMakeFiles/edgeshed_eval.dir/task_runner.cc.o" "gcc" "src/eval/CMakeFiles/edgeshed_eval.dir/task_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/edgeshed_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/edgeshed_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/edgeshed_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/edgeshed_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edgeshed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

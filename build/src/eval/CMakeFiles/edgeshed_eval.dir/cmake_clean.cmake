@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeshed_eval.dir/experiment.cc.o"
+  "CMakeFiles/edgeshed_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/edgeshed_eval.dir/flags.cc.o"
+  "CMakeFiles/edgeshed_eval.dir/flags.cc.o.d"
+  "CMakeFiles/edgeshed_eval.dir/metrics.cc.o"
+  "CMakeFiles/edgeshed_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/edgeshed_eval.dir/task_runner.cc.o"
+  "CMakeFiles/edgeshed_eval.dir/task_runner.cc.o.d"
+  "libedgeshed_eval.a"
+  "libedgeshed_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeshed_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

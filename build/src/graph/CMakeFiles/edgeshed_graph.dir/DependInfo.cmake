@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/binary_io.cc" "src/graph/CMakeFiles/edgeshed_graph.dir/binary_io.cc.o" "gcc" "src/graph/CMakeFiles/edgeshed_graph.dir/binary_io.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "src/graph/CMakeFiles/edgeshed_graph.dir/datasets.cc.o" "gcc" "src/graph/CMakeFiles/edgeshed_graph.dir/datasets.cc.o.d"
+  "/root/repo/src/graph/edge_list_io.cc" "src/graph/CMakeFiles/edgeshed_graph.dir/edge_list_io.cc.o" "gcc" "src/graph/CMakeFiles/edgeshed_graph.dir/edge_list_io.cc.o.d"
+  "/root/repo/src/graph/generators/generators.cc" "src/graph/CMakeFiles/edgeshed_graph.dir/generators/generators.cc.o" "gcc" "src/graph/CMakeFiles/edgeshed_graph.dir/generators/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/edgeshed_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/edgeshed_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/graph/CMakeFiles/edgeshed_graph.dir/graph_builder.cc.o" "gcc" "src/graph/CMakeFiles/edgeshed_graph.dir/graph_builder.cc.o.d"
+  "/root/repo/src/graph/operations.cc" "src/graph/CMakeFiles/edgeshed_graph.dir/operations.cc.o" "gcc" "src/graph/CMakeFiles/edgeshed_graph.dir/operations.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edgeshed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

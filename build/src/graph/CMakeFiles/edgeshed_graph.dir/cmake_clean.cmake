@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeshed_graph.dir/binary_io.cc.o"
+  "CMakeFiles/edgeshed_graph.dir/binary_io.cc.o.d"
+  "CMakeFiles/edgeshed_graph.dir/datasets.cc.o"
+  "CMakeFiles/edgeshed_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/edgeshed_graph.dir/edge_list_io.cc.o"
+  "CMakeFiles/edgeshed_graph.dir/edge_list_io.cc.o.d"
+  "CMakeFiles/edgeshed_graph.dir/generators/generators.cc.o"
+  "CMakeFiles/edgeshed_graph.dir/generators/generators.cc.o.d"
+  "CMakeFiles/edgeshed_graph.dir/graph.cc.o"
+  "CMakeFiles/edgeshed_graph.dir/graph.cc.o.d"
+  "CMakeFiles/edgeshed_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/edgeshed_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/edgeshed_graph.dir/operations.cc.o"
+  "CMakeFiles/edgeshed_graph.dir/operations.cc.o.d"
+  "libedgeshed_graph.a"
+  "libedgeshed_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeshed_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedgeshed_graph.a"
+)

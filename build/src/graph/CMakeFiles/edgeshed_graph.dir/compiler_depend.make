@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for edgeshed_graph.
+# This may be replaced when dependencies are built.

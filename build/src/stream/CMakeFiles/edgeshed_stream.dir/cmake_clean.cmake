@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeshed_stream.dir/streaming_shedder.cc.o"
+  "CMakeFiles/edgeshed_stream.dir/streaming_shedder.cc.o.d"
+  "CMakeFiles/edgeshed_stream.dir/tcm_sketch.cc.o"
+  "CMakeFiles/edgeshed_stream.dir/tcm_sketch.cc.o.d"
+  "libedgeshed_stream.a"
+  "libedgeshed_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeshed_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assortativity_test.dir/assortativity_test.cc.o"
+  "CMakeFiles/assortativity_test.dir/assortativity_test.cc.o.d"
+  "assortativity_test"
+  "assortativity_test.pdb"
+  "assortativity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assortativity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

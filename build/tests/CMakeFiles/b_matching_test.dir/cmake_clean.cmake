@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b_matching_test.dir/b_matching_test.cc.o"
+  "CMakeFiles/b_matching_test.dir/b_matching_test.cc.o.d"
+  "b_matching_test"
+  "b_matching_test.pdb"
+  "b_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bipartite_matcher_test.dir/bipartite_matcher_test.cc.o"
+  "CMakeFiles/bipartite_matcher_test.dir/bipartite_matcher_test.cc.o.d"
+  "bipartite_matcher_test"
+  "bipartite_matcher_test.pdb"
+  "bipartite_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bipartite_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

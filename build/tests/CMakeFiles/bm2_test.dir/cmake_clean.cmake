@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm2_test.dir/bm2_test.cc.o"
+  "CMakeFiles/bm2_test.dir/bm2_test.cc.o.d"
+  "bm2_test"
+  "bm2_test.pdb"
+  "bm2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closeness_test.dir/closeness_test.cc.o"
+  "CMakeFiles/closeness_test.dir/closeness_test.cc.o.d"
+  "closeness_test"
+  "closeness_test.pdb"
+  "closeness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closeness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_model_test.dir/config_model_test.cc.o"
+  "CMakeFiles/config_model_test.dir/config_model_test.cc.o.d"
+  "config_model_test"
+  "config_model_test.pdb"
+  "config_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cross_invariants_test.cc" "tests/CMakeFiles/cross_invariants_test.dir/cross_invariants_test.cc.o" "gcc" "tests/CMakeFiles/cross_invariants_test.dir/cross_invariants_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/edgeshed_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/edgeshed_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimate/CMakeFiles/edgeshed_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/edgeshed_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/edgeshed_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/edgeshed_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/edgeshed_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/edgeshed_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edgeshed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_invariants_test.dir/cross_invariants_test.cc.o"
+  "CMakeFiles/cross_invariants_test.dir/cross_invariants_test.cc.o.d"
+  "cross_invariants_test"
+  "cross_invariants_test.pdb"
+  "cross_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

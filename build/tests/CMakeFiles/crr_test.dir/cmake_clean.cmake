@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crr_test.dir/crr_test.cc.o"
+  "CMakeFiles/crr_test.dir/crr_test.cc.o.d"
+  "crr_test"
+  "crr_test.pdb"
+  "crr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discrepancy_test.dir/discrepancy_test.cc.o"
+  "CMakeFiles/discrepancy_test.dir/discrepancy_test.cc.o.d"
+  "discrepancy_test"
+  "discrepancy_test.pdb"
+  "discrepancy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discrepancy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

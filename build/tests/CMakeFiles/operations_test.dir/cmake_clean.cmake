@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operations_test.dir/operations_test.cc.o"
+  "CMakeFiles/operations_test.dir/operations_test.cc.o.d"
+  "operations_test"
+  "operations_test.pdb"
+  "operations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shortest_paths_test.dir/shortest_paths_test.cc.o"
+  "CMakeFiles/shortest_paths_test.dir/shortest_paths_test.cc.o.d"
+  "shortest_paths_test"
+  "shortest_paths_test.pdb"
+  "shortest_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shortest_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcm_sketch_test.dir/tcm_sketch_test.cc.o"
+  "CMakeFiles/tcm_sketch_test.dir/tcm_sketch_test.cc.o.d"
+  "tcm_sketch_test"
+  "tcm_sketch_test.pdb"
+  "tcm_sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcm_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uds_test.dir/uds_test.cc.o"
+  "CMakeFiles/uds_test.dir/uds_test.cc.o.d"
+  "uds_test"
+  "uds_test.pdb"
+  "uds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

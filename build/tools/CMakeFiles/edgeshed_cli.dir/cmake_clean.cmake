@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeshed_cli.dir/edgeshed_cli.cc.o"
+  "CMakeFiles/edgeshed_cli.dir/edgeshed_cli.cc.o.d"
+  "edgeshed"
+  "edgeshed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeshed_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
