@@ -18,6 +18,9 @@ enum class StatusCode {
   kInternal = 5,
   kUnimplemented = 6,
   kIOError = 7,
+  kResourceExhausted = 8,
+  kDeadlineExceeded = 9,
+  kCancelled = 10,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -61,6 +64,15 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

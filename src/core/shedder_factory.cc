@@ -1,0 +1,40 @@
+#include "core/shedder_factory.h"
+
+#include "common/strings.h"
+#include "core/bm2.h"
+#include "core/crr.h"
+#include "core/extra_baselines.h"
+#include "core/random_shedding.h"
+
+namespace edgeshed::core {
+
+StatusOr<std::unique_ptr<EdgeShedder>> MakeShedderByName(
+    const std::string& method, uint64_t seed) {
+  std::unique_ptr<EdgeShedder> shedder;
+  if (method == "crr") {
+    CrrOptions options;
+    options.seed = seed;
+    shedder = std::make_unique<Crr>(options);
+  } else if (method == "bm2") {
+    Bm2Options options;
+    options.seed = seed;
+    shedder = std::make_unique<Bm2>(options);
+  } else if (method == "random") {
+    shedder = std::make_unique<RandomShedding>(seed);
+  } else if (method == "local-degree") {
+    shedder = std::make_unique<LocalDegreeShedding>();
+  } else if (method == "spanning-forest") {
+    shedder = std::make_unique<SpanningForestShedding>(seed);
+  } else {
+    return Status::InvalidArgument(StrFormat(
+        "unknown shedding method '%s' (known: %s)", method.c_str(),
+        StrJoin(KnownShedderNames(), ", ").c_str()));
+  }
+  return shedder;
+}
+
+std::vector<std::string> KnownShedderNames() {
+  return {"bm2", "crr", "local-degree", "random", "spanning-forest"};
+}
+
+}  // namespace edgeshed::core

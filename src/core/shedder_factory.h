@@ -1,0 +1,26 @@
+#ifndef EDGESHED_CORE_SHEDDER_FACTORY_H_
+#define EDGESHED_CORE_SHEDDER_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/shedding.h"
+
+namespace edgeshed::core {
+
+/// Constructs the shedder registered under `method` ("crr", "bm2", "random",
+/// "local-degree", "spanning-forest") with its default options and the given
+/// seed. InvalidArgument for unknown names. Shared by the CLI and the
+/// service layer so method dispatch lives in one place.
+StatusOr<std::unique_ptr<EdgeShedder>> MakeShedderByName(
+    const std::string& method, uint64_t seed);
+
+/// Names accepted by MakeShedderByName, sorted.
+std::vector<std::string> KnownShedderNames();
+
+}  // namespace edgeshed::core
+
+#endif  // EDGESHED_CORE_SHEDDER_FACTORY_H_

@@ -47,10 +47,13 @@ class EdgeShedder {
                                           double p) const = 0;
 };
 
-/// Validates a preservation ratio; shared by implementations.
+/// Validates a preservation ratio; shared by implementations. NaN and
+/// values outside (0,1) are rejected with InvalidArgument.
 Status ValidatePreservationRatio(double p);
 
-/// round(p * |E|) — the paper's [P], the exact size of E'.
+/// round(p * |E|) — the paper's [P], the exact size of E' — clamped to at
+/// least 1 on non-empty graphs so a tiny graph with a small valid p never
+/// rounds down to an empty reduced edge set.
 uint64_t TargetEdgeCount(const graph::Graph& g, double p);
 
 }  // namespace edgeshed::core

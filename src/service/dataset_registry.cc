@@ -1,0 +1,35 @@
+#include "service/dataset_registry.h"
+
+#include <utility>
+
+#include "graph/edge_list_io.h"
+
+namespace edgeshed::service {
+
+Status RegisterSurrogateDatasets(GraphStore& store,
+                                 const graph::DatasetOptions& options) {
+  const std::pair<const char*, graph::DatasetId> catalog[] = {
+      {"grqc", graph::DatasetId::kCaGrQc},
+      {"hepph", graph::DatasetId::kCaHepPh},
+      {"enron", graph::DatasetId::kEmailEnron},
+      {"livejournal", graph::DatasetId::kComLiveJournal},
+  };
+  for (const auto& [name, id] : catalog) {
+    EDGESHED_RETURN_IF_ERROR(store.Register(
+        name, [id = id, options]() -> StatusOr<graph::Graph> {
+          return graph::MakeDataset(id, options);
+        }));
+  }
+  return Status::OK();
+}
+
+Status RegisterEdgeListDataset(GraphStore& store, const std::string& name,
+                               const std::string& path) {
+  return store.Register(name, [path]() -> StatusOr<graph::Graph> {
+    auto loaded = graph::LoadEdgeList(path);
+    if (!loaded.ok()) return loaded.status();
+    return std::move(loaded)->graph;
+  });
+}
+
+}  // namespace edgeshed::service

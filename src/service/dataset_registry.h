@@ -1,0 +1,27 @@
+#ifndef EDGESHED_SERVICE_DATASET_REGISTRY_H_
+#define EDGESHED_SERVICE_DATASET_REGISTRY_H_
+
+#include <string>
+
+#include "graph/datasets.h"
+#include "service/graph_store.h"
+
+namespace edgeshed::service {
+
+/// Registers the four paper surrogates in `store` under the CLI's dataset
+/// names ("grqc", "hepph", "enron", "livejournal"). Each loader calls
+/// graph::MakeDataset with `options` on first use; nothing is generated up
+/// front. Callers serving livejournal should pick `options.scale` with care
+/// — the full-size surrogate is ~35M edges.
+Status RegisterSurrogateDatasets(GraphStore& store,
+                                 const graph::DatasetOptions& options = {});
+
+/// Registers `name` as a lazily-loaded SNAP edge-list file. The file is
+/// read (and validated) on first Get; a missing file surfaces as that Get's
+/// error, not here.
+Status RegisterEdgeListDataset(GraphStore& store, const std::string& name,
+                               const std::string& path);
+
+}  // namespace edgeshed::service
+
+#endif  // EDGESHED_SERVICE_DATASET_REGISTRY_H_

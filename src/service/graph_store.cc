@@ -1,0 +1,143 @@
+#include "service/graph_store.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace edgeshed::service {
+
+GraphStore::GraphStore(GraphStoreOptions options, MetricsRegistry* metrics)
+    : options_(options), metrics_(metrics) {}
+
+Status GraphStore::Register(const std::string& name, Loader loader) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must be non-empty");
+  }
+  if (loader == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("null loader for dataset '%s'", name.c_str()));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (!inserted) {
+    return Status::FailedPrecondition(
+        StrFormat("dataset '%s' is already registered", name.c_str()));
+  }
+  it->second.loader = std::move(loader);
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const graph::Graph>> GraphStore::Get(
+    const std::string& name) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound(
+        StrFormat("dataset '%s' is not registered", name.c_str()));
+  }
+  // `entries_` never erases nodes, so this reference stays valid across the
+  // unlocked load below.
+  Entry& entry = it->second;
+  bool waited = false;
+  while (entry.graph == nullptr && entry.loading) {
+    waited = true;
+    load_done_.wait(lock);
+  }
+  if (entry.graph != nullptr) {
+    lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+    if (metrics_ != nullptr) {
+      metrics_->IncrementCounter(waited ? "store.wait_hit" : "store.hit");
+    }
+    return entry.graph;
+  }
+
+  // Miss: this thread loads, outside the lock.
+  entry.loading = true;
+  lock.unlock();
+  Stopwatch watch;
+  StatusOr<graph::Graph> loaded = entry.loader();
+  const double load_seconds = watch.ElapsedSeconds();
+  lock.lock();
+  entry.loading = false;
+  load_done_.notify_all();
+  if (!loaded.ok()) {
+    if (metrics_ != nullptr) metrics_->IncrementCounter("store.load_failure");
+    return loaded.status();
+  }
+  entry.graph =
+      std::make_shared<const graph::Graph>(std::move(loaded).value());
+  entry.bytes = ApproxBytes(*entry.graph);
+  bytes_resident_ += entry.bytes;
+  lru_.push_front(name);
+  entry.lru_pos = lru_.begin();
+  if (metrics_ != nullptr) {
+    metrics_->IncrementCounter("store.miss");
+    metrics_->RecordLatency("store.load_seconds", load_seconds);
+  }
+  EvictLocked(name);
+  PublishGaugesLocked();
+  return entry.graph;
+}
+
+bool GraphStore::IsResident(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.graph != nullptr;
+}
+
+std::vector<std::string> GraphStore::RegisteredNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+void GraphStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    entry.graph.reset();
+    entry.bytes = 0;
+  }
+  lru_.clear();
+  bytes_resident_ = 0;
+  PublishGaugesLocked();
+}
+
+uint64_t GraphStore::bytes_resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_resident_;
+}
+
+uint64_t GraphStore::ApproxBytes(const graph::Graph& g) {
+  const uint64_t n = g.NumNodes();
+  const uint64_t e = g.NumEdges();
+  // offsets: (n+1) x uint64; adjacency: 2e x uint32; incident: 2e x uint64;
+  // canonical edge list: e x {uint32, uint32}.
+  return (n + 1) * sizeof(uint64_t) + 2 * e * sizeof(graph::NodeId) +
+         2 * e * sizeof(graph::EdgeId) + e * sizeof(graph::Edge);
+}
+
+void GraphStore::EvictLocked(const std::string& keep) {
+  while (bytes_resident_ > options_.byte_budget && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    if (victim == keep) break;  // `keep` is at the front unless it is alone
+    Entry& entry = entries_.at(victim);
+    bytes_resident_ -= entry.bytes;
+    entry.bytes = 0;
+    entry.graph.reset();  // leases held by running jobs keep the data alive
+    lru_.pop_back();
+    if (metrics_ != nullptr) metrics_->IncrementCounter("store.eviction");
+  }
+}
+
+void GraphStore::PublishGaugesLocked() {
+  if (metrics_ == nullptr) return;
+  metrics_->SetGauge("store.bytes_resident",
+                     static_cast<int64_t>(bytes_resident_));
+  metrics_->SetGauge("store.graphs_resident",
+                     static_cast<int64_t>(lru_.size()));
+}
+
+}  // namespace edgeshed::service

@@ -1,0 +1,113 @@
+#ifndef EDGESHED_SERVICE_GRAPH_STORE_H_
+#define EDGESHED_SERVICE_GRAPH_STORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+#include "service/metrics_registry.h"
+
+namespace edgeshed::service {
+
+/// Configuration for GraphStore.
+struct GraphStoreOptions {
+  /// Approximate cap on summed GraphStore::ApproxBytes() of resident graphs.
+  uint64_t byte_budget = 256ull << 20;
+};
+
+/// Thread-safe LRU cache of loaded/generated graphs, keyed by dataset name.
+///
+/// Every entry point of the library used to reload (or regenerate) its input
+/// graph per run; a long-lived service cannot afford that. GraphStore owns
+/// one lazily-loaded `Graph` per registered name and hands out
+/// `shared_ptr<const Graph>` leases, so a graph can be evicted while jobs
+/// still hold it — the lease keeps the storage alive, the store merely
+/// forgets it and reloads on the next request.
+///
+/// Concurrency contract:
+///  * `Get` for a resident name is a cheap map lookup under the store mutex.
+///  * A miss runs the registered loader *outside* the mutex, so distinct
+///    datasets load in parallel. Concurrent misses on the same name are
+///    coalesced: one thread loads, the rest block on a condition variable
+///    and share the result (counted as `store.wait_hit`).
+///  * Eviction is LRU by last `Get`, triggered after each insert while
+///    resident bytes exceed `Options::byte_budget`. The entry just inserted
+///    is never evicted by its own insert, so a single over-budget graph
+///    still gets served (and is dropped by the *next* insert).
+///
+/// Metrics (when a registry is supplied): `store.hit`, `store.miss`,
+/// `store.wait_hit`, `store.load_failure`, `store.eviction` counters;
+/// `store.bytes_resident` and `store.graphs_resident` gauges;
+/// `store.load_seconds` latency.
+class GraphStore {
+ public:
+  /// Produces the graph for a registered name; called outside the store
+  /// lock. Must be safe to invoke concurrently with loaders of other names.
+  using Loader = std::function<StatusOr<graph::Graph>()>;
+  using Options = GraphStoreOptions;
+
+  explicit GraphStore(GraphStoreOptions options = {},
+                      MetricsRegistry* metrics = nullptr);
+
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  /// Registers `loader` under `name`. InvalidArgument on empty name,
+  /// FailedPrecondition if the name is already registered.
+  Status Register(const std::string& name, Loader loader);
+
+  /// Returns the graph for `name`, loading it on a miss. NotFound for
+  /// unregistered names; loader failures are returned verbatim (and not
+  /// cached — the next Get retries).
+  StatusOr<std::shared_ptr<const graph::Graph>> Get(const std::string& name);
+
+  /// True iff `name` is currently resident (testing / introspection).
+  bool IsResident(const std::string& name) const;
+
+  /// Registered dataset names, sorted.
+  std::vector<std::string> RegisteredNames() const;
+
+  /// Drops every resident graph (registrations survive).
+  void Clear();
+
+  uint64_t bytes_resident() const;
+  uint64_t byte_budget() const { return options_.byte_budget; }
+
+  /// CSR footprint estimate: offsets + adjacency + incident + edge list.
+  static uint64_t ApproxBytes(const graph::Graph& g);
+
+ private:
+  struct Entry {
+    Loader loader;
+    std::shared_ptr<const graph::Graph> graph;  // null when not resident
+    uint64_t bytes = 0;
+    bool loading = false;  // a thread is running `loader` right now
+    // Position in lru_ when resident; valid iff graph != nullptr.
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  /// Evicts LRU entries (never `keep`) until within budget. Caller holds mu_.
+  void EvictLocked(const std::string& keep);
+  void PublishGaugesLocked();
+
+  const GraphStoreOptions options_;
+  MetricsRegistry* const metrics_;  // may be null
+
+  mutable std::mutex mu_;
+  std::condition_variable load_done_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  uint64_t bytes_resident_ = 0;
+};
+
+}  // namespace edgeshed::service
+
+#endif  // EDGESHED_SERVICE_GRAPH_STORE_H_

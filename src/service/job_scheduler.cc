@@ -1,0 +1,365 @@
+#include "service/job_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/parallel_for.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/shedder_factory.h"
+
+namespace edgeshed::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+std::string_view JobStateToString(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+JobScheduler::JobScheduler(GraphStore* store, MetricsRegistry* metrics,
+                           JobSchedulerOptions options)
+    : store_(store), metrics_(metrics), options_(options) {
+  int workers = options_.workers > 0 ? options_.workers : DefaultThreadCount();
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  if (metrics_ != nullptr) {
+    metrics_->SetGauge("scheduler.workers", workers);
+    metrics_->SetGauge("scheduler.queue_depth", 0);
+  }
+}
+
+JobScheduler::~JobScheduler() { Shutdown(); }
+
+std::string JobScheduler::CacheKey(const JobSpec& spec) {
+  // %a renders the exact bits of p, so 0.1 and 0.1000000001 never collide.
+  return StrFormat("%s|%s|%a|%llu", spec.dataset.c_str(),
+                   spec.method.c_str(), spec.p,
+                   static_cast<unsigned long long>(spec.seed));
+}
+
+StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
+  EDGESHED_RETURN_IF_ERROR(core::ValidatePreservationRatio(spec.p));
+  if (spec.dataset.empty()) {
+    return Status::InvalidArgument("job spec needs a dataset name");
+  }
+  const auto known = core::KnownShedderNames();
+  if (std::find(known.begin(), known.end(), spec.method) == known.end()) {
+    return Status::InvalidArgument(
+        StrFormat("unknown shedding method '%s'", spec.method.c_str()));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return Status::FailedPrecondition("scheduler is shut down");
+  }
+  const auto now = Clock::now();
+  Job job;
+  job.id = next_id_;
+  job.spec = spec;
+  job.cache_key = CacheKey(spec);
+  job.submit_time = now;
+  job.deadline = spec.deadline.count() > 0 ? now + spec.deadline
+                                           : Clock::time_point::max();
+
+  if (options_.enable_result_cache) {
+    auto cached = result_cache_.find(job.cache_key);
+    if (cached != result_cache_.end()) {
+      job.state = JobState::kDone;
+      job.result = cached->second;
+      job.deduplicated = true;
+      if (metrics_ != nullptr) {
+        metrics_->IncrementCounter("scheduler.submitted");
+        metrics_->IncrementCounter("scheduler.result_cache_hit");
+        metrics_->IncrementCounter("scheduler.jobs_done");
+      }
+      const JobId id = next_id_++;
+      jobs_.emplace(id, std::move(job));
+      return id;
+    }
+  }
+
+  auto inflight = inflight_.find(job.cache_key);
+  if (inflight != inflight_.end()) {
+    // An identical job is queued or running: ride along instead of doing the
+    // same work twice. The follower shares the primary's outcome.
+    job.primary = inflight->second;
+    job.deduplicated = true;
+    const JobId id = next_id_++;
+    jobs_.at(job.primary).followers.push_back(id);
+    jobs_.emplace(id, std::move(job));
+    if (metrics_ != nullptr) {
+      metrics_->IncrementCounter("scheduler.submitted");
+      metrics_->IncrementCounter("scheduler.coalesced");
+    }
+    return id;
+  }
+
+  if (live_queued_ >= options_.queue_capacity) {
+    if (metrics_ != nullptr) {
+      metrics_->IncrementCounter("scheduler.rejected_queue_full");
+    }
+    return Status::ResourceExhausted(
+        StrFormat("submission queue is full (%zu jobs)",
+                  options_.queue_capacity));
+  }
+
+  const JobId id = next_id_++;
+  inflight_[job.cache_key] = id;
+  jobs_.emplace(id, std::move(job));
+  queue_.push_back(id);
+  ++live_queued_;
+  PublishQueueDepthLocked();
+  if (metrics_ != nullptr) metrics_->IncrementCounter("scheduler.submitted");
+  work_available_.notify_one();
+  return id;
+}
+
+StatusOr<JobResult> JobScheduler::Wait(JobId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound(StrFormat(
+        "unknown job id %llu", static_cast<unsigned long long>(id)));
+  }
+  job_terminal_.wait(lock, [&] { return IsTerminal(it->second.state); });
+  const Job& job = it->second;
+  if (job.state == JobState::kDone) return job.result;
+  return job.status;
+}
+
+Status JobScheduler::Cancel(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound(StrFormat(
+        "unknown job id %llu", static_cast<unsigned long long>(id)));
+  }
+  Job& job = it->second;
+  if (IsTerminal(job.state)) {
+    return Status::FailedPrecondition(
+        StrFormat("job %llu is already %s",
+                  static_cast<unsigned long long>(id),
+                  std::string(JobStateToString(job.state)).c_str()));
+  }
+  job.cancel_requested = true;
+  if (job.state == JobState::kQueued) {
+    // Queued (or coalesced) jobs cancel immediately; their id stays in
+    // queue_ and is skipped by the worker that pops it.
+    if (job.primary == 0) {
+      --live_queued_;
+      PublishQueueDepthLocked();
+    }
+    FinishLocked(job, JobState::kCancelled,
+                 Status::Cancelled("cancelled by caller"), nullptr);
+  }
+  // Running jobs finish their reduction; the flag discards the result.
+  return Status::OK();
+}
+
+StatusOr<JobStatus> JobScheduler::GetStatus(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound(StrFormat(
+        "unknown job id %llu", static_cast<unsigned long long>(id)));
+  }
+  const Job& job = it->second;
+  JobStatus status;
+  status.id = job.id;
+  status.state = job.state;
+  status.status = job.status;
+  status.deduplicated = job.deduplicated;
+  status.queue_seconds = job.queue_seconds;
+  status.run_seconds = job.run_seconds;
+  return status;
+}
+
+size_t JobScheduler::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_queued_;
+}
+
+void JobScheduler::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    for (JobId id : queue_) {
+      Job& job = jobs_.at(id);
+      if (IsTerminal(job.state)) continue;
+      FinishLocked(job, JobState::kCancelled,
+                   Status::Cancelled("scheduler shutdown"), nullptr);
+    }
+    queue_.clear();
+    live_queued_ = 0;
+    PublishQueueDepthLocked();
+    work_available_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void JobScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_available_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    const JobId id = queue_.front();
+    queue_.pop_front();
+    Job& job = jobs_.at(id);  // map nodes are stable across the unlock below
+    if (IsTerminal(job.state)) continue;  // cancelled while queued
+    --live_queued_;
+    PublishQueueDepthLocked();
+    const auto picked_up = Clock::now();
+    job.queue_seconds = SecondsBetween(job.submit_time, picked_up);
+    if (job.cancel_requested) {
+      FinishLocked(job, JobState::kCancelled,
+                   Status::Cancelled("cancelled by caller"), nullptr);
+      continue;
+    }
+    if (picked_up > job.deadline) {
+      if (metrics_ != nullptr) {
+        metrics_->IncrementCounter("scheduler.deadline_expired");
+      }
+      FinishLocked(job, JobState::kCancelled,
+                   Status::DeadlineExceeded(
+                       "deadline passed before the job was dispatched"),
+                   nullptr);
+      continue;
+    }
+    job.state = JobState::kRunning;
+    const JobSpec spec = job.spec;  // worker's copy; run with no lock held
+    lock.unlock();
+    double run_seconds = 0.0;
+    StatusOr<core::SheddingResult> outcome = Execute(spec, &run_seconds);
+    lock.lock();
+    job.run_seconds = run_seconds;
+    if (job.cancel_requested) {
+      FinishLocked(job, JobState::kCancelled,
+                   Status::Cancelled("cancelled while running"), nullptr);
+    } else if (!outcome.ok()) {
+      FinishLocked(job, JobState::kFailed, outcome.status(), nullptr);
+    } else {
+      FinishLocked(job, JobState::kDone, Status::OK(),
+                   std::make_shared<const core::SheddingResult>(
+                       std::move(outcome).value()));
+    }
+  }
+}
+
+StatusOr<core::SheddingResult> JobScheduler::Execute(const JobSpec& spec,
+                                                     double* run_seconds) {
+  Stopwatch watch;
+  auto graph = store_->Get(spec.dataset);
+  if (!graph.ok()) {
+    *run_seconds = watch.ElapsedSeconds();
+    return graph.status();
+  }
+  auto shedder = core::MakeShedderByName(spec.method, spec.seed);
+  if (!shedder.ok()) {
+    *run_seconds = watch.ElapsedSeconds();
+    return shedder.status();
+  }
+  StatusOr<core::SheddingResult> result = (*shedder)->Reduce(**graph, spec.p);
+  *run_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+void JobScheduler::FinishLocked(Job& job, JobState state, Status status,
+                                JobResult result) {
+  const auto now = Clock::now();
+  job.state = state;
+  job.status = std::move(status);
+  job.result = result;
+  if (job.queue_seconds == 0.0) {
+    job.queue_seconds = SecondsBetween(job.submit_time, now);
+  }
+  if (!job.cache_key.empty()) {
+    auto inflight = inflight_.find(job.cache_key);
+    if (inflight != inflight_.end() && inflight->second == job.id) {
+      inflight_.erase(inflight);
+    }
+  }
+  if (state == JobState::kDone && options_.enable_result_cache) {
+    result_cache_[job.cache_key] = result;
+  }
+  if (metrics_ != nullptr) {
+    switch (state) {
+      case JobState::kDone:
+        metrics_->IncrementCounter("scheduler.jobs_done");
+        break;
+      case JobState::kFailed:
+        metrics_->IncrementCounter("scheduler.jobs_failed");
+        break;
+      case JobState::kCancelled:
+        metrics_->IncrementCounter("scheduler.jobs_cancelled");
+        break;
+      default:
+        break;
+    }
+    metrics_->RecordLatency("scheduler.queue_seconds", job.queue_seconds);
+    if (job.run_seconds > 0.0) {
+      metrics_->RecordLatency("scheduler.run_seconds", job.run_seconds);
+    }
+  }
+  for (JobId follower_id : job.followers) {
+    Job& follower = jobs_.at(follower_id);
+    if (IsTerminal(follower.state)) continue;  // cancelled individually
+    follower.state = state;
+    follower.status = job.status;
+    follower.result = result;
+    follower.queue_seconds = SecondsBetween(follower.submit_time, now);
+    if (metrics_ != nullptr) {
+      switch (state) {
+        case JobState::kDone:
+          metrics_->IncrementCounter("scheduler.jobs_done");
+          break;
+        case JobState::kFailed:
+          metrics_->IncrementCounter("scheduler.jobs_failed");
+          break;
+        case JobState::kCancelled:
+          metrics_->IncrementCounter("scheduler.jobs_cancelled");
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  job.followers.clear();
+  job_terminal_.notify_all();
+}
+
+void JobScheduler::PublishQueueDepthLocked() {
+  if (metrics_ != nullptr) {
+    metrics_->SetGauge("scheduler.queue_depth",
+                       static_cast<int64_t>(live_queued_));
+  }
+}
+
+}  // namespace edgeshed::service

@@ -1,0 +1,193 @@
+#ifndef EDGESHED_SERVICE_JOB_SCHEDULER_H_
+#define EDGESHED_SERVICE_JOB_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/shedding.h"
+#include "service/graph_store.h"
+#include "service/metrics_registry.h"
+
+namespace edgeshed::service {
+
+/// Lifecycle of a shedding job. Terminal states are kDone, kFailed,
+/// kCancelled.
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+std::string_view JobStateToString(JobState state);
+
+/// Configuration for JobScheduler.
+struct JobSchedulerOptions {
+  /// Worker threads; 0 uses DefaultThreadCount().
+  int workers = 0;
+  /// Max jobs queued (excluding running/coalesced/cached submissions).
+  size_t queue_capacity = 256;
+  bool enable_result_cache = true;
+};
+
+/// One shedding request: reduce `dataset` with `method` at ratio `p`.
+struct JobSpec {
+  /// GraphStore dataset name the job runs against.
+  std::string dataset;
+  /// Shedder name accepted by core::MakeShedderByName.
+  std::string method = "crr";
+  double p = 0.5;
+  uint64_t seed = 42;
+  /// Wall-clock budget measured from submission; zero means none. Deadlines
+  /// are enforced at dispatch: a job still queued when its deadline passes
+  /// is cancelled (DeadlineExceeded) instead of run. A job that already
+  /// started is never aborted mid-reduction (cancellation is cooperative).
+  std::chrono::milliseconds deadline{0};
+};
+
+using JobId = uint64_t;
+/// Shared so cached results can be handed to many callers without copies.
+using JobResult = std::shared_ptr<const core::SheddingResult>;
+
+/// Point-in-time view of one job, returned by JobScheduler::GetStatus.
+struct JobStatus {
+  JobId id = 0;
+  JobState state = JobState::kQueued;
+  /// Failure/cancellation reason; OK while non-terminal or done.
+  Status status;
+  /// True when the result came from the result cache or was coalesced onto
+  /// an identical in-flight job rather than executed by this job.
+  bool deduplicated = false;
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+};
+
+/// Fixed-pool asynchronous executor for shedding jobs.
+///
+/// Architecture (DESIGN.md "Service layer"):
+///  * `Options::workers` threads (default common/parallel_for.h's
+///    DefaultThreadCount) pull JobIds from a bounded FIFO submission queue;
+///    Submit fails with ResourceExhausted when the queue is full rather than
+///    blocking the caller.
+///  * Results are cached under the key `(dataset, method, p, seed)` — every
+///    shedder is deterministic given its seed, so identical requests must
+///    produce identical results. A Submit that matches a cached result
+///    completes immediately (`scheduler.result_cache_hit`); one that matches
+///    a *queued or running* job is coalesced onto it (`scheduler.coalesced`)
+///    and shares its outcome, whatever that turns out to be.
+///  * Cancellation is cooperative: Cancel on a queued job takes effect
+///    immediately, Cancel on a running job is honored when the reduction
+///    returns (the result is discarded). Terminal jobs cannot be cancelled.
+///  * Shutdown (also run by the destructor) stops intake, cancels all
+///    still-queued jobs, lets running jobs finish, and joins the pool.
+///
+/// All public methods are thread-safe. Job records are kept for the
+/// scheduler's lifetime, so GetStatus/Wait on completed jobs keep working.
+class JobScheduler {
+ public:
+  using Options = JobSchedulerOptions;
+
+  /// `store` must outlive the scheduler; `metrics` may be null.
+  JobScheduler(GraphStore* store, MetricsRegistry* metrics,
+               JobSchedulerOptions options = {});
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Validates the spec, then enqueues (or dedupes) it. Errors:
+  /// InvalidArgument (bad p / unknown method), ResourceExhausted (queue
+  /// full), FailedPrecondition (after Shutdown).
+  StatusOr<JobId> Submit(const JobSpec& spec);
+
+  /// Blocks until `id` reaches a terminal state. Returns the result for
+  /// kDone, the failure status for kFailed/kCancelled, NotFound for unknown
+  /// ids.
+  StatusOr<JobResult> Wait(JobId id);
+
+  /// Requests cancellation. OK if the request was recorded (the job may
+  /// still complete if it is already running); FailedPrecondition when the
+  /// job is already terminal; NotFound for unknown ids.
+  Status Cancel(JobId id);
+
+  StatusOr<JobStatus> GetStatus(JobId id) const;
+
+  /// Jobs queued and not yet picked up (excludes running).
+  size_t QueueDepth() const;
+
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Stops intake, cancels queued jobs, drains running ones, joins workers.
+  /// Idempotent.
+  void Shutdown();
+
+ private:
+  struct Job {
+    JobId id = 0;
+    JobSpec spec;
+    std::string cache_key;
+    JobState state = JobState::kQueued;
+    Status status;
+    JobResult result;
+    bool deduplicated = false;
+    bool cancel_requested = false;
+    /// Non-zero when this job was coalesced onto an identical in-flight job
+    /// and never entered the queue itself.
+    JobId primary = 0;
+    /// Jobs coalesced onto this one; resolved when this job finishes.
+    std::vector<JobId> followers;
+    std::chrono::steady_clock::time_point submit_time;
+    std::chrono::steady_clock::time_point deadline;  // max() = none
+    double queue_seconds = 0.0;
+    double run_seconds = 0.0;
+  };
+
+  static std::string CacheKey(const JobSpec& spec);
+  static bool IsTerminal(JobState state) { return state >= JobState::kDone; }
+
+  void WorkerLoop();
+  /// Runs `job`'s reduction with no scheduler lock held; returns the
+  /// outcome. `job` fields other than `spec` must not be touched here.
+  StatusOr<core::SheddingResult> Execute(const JobSpec& spec,
+                                         double* run_seconds);
+  /// Moves `job` to `state`, resolves followers and the result cache,
+  /// updates metrics, wakes waiters. Caller holds mu_.
+  void FinishLocked(Job& job, JobState state, Status status,
+                    JobResult result);
+  void PublishQueueDepthLocked();
+
+  GraphStore* const store_;
+  MetricsRegistry* const metrics_;  // may be null
+  const JobSchedulerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable job_terminal_;
+  std::map<JobId, Job> jobs_;  // stable nodes: worker holds refs across ops
+  std::deque<JobId> queue_;
+  size_t live_queued_ = 0;  // queue_ minus cancelled-while-queued entries
+  std::unordered_map<std::string, JobId> inflight_;
+  std::unordered_map<std::string, JobResult> result_cache_;
+  JobId next_id_ = 1;
+  bool shutdown_ = false;
+
+  /// Serializes Shutdown callers (join must happen exactly once).
+  std::mutex shutdown_mu_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace edgeshed::service
+
+#endif  // EDGESHED_SERVICE_JOB_SCHEDULER_H_

@@ -1,0 +1,89 @@
+#include "service/metrics_registry.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace edgeshed::service {
+
+void MetricsRegistry::IncrementCounter(const std::string& name,
+                                       uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::AddToGauge(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] += delta;
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+int64_t MetricsRegistry::LatencyBucket(double seconds) {
+  const double micros = seconds * 1e6;
+  if (!(micros > 1.0)) return 0;  // sub-microsecond (and NaN) -> bucket 0
+  return static_cast<int64_t>(std::floor(std::log2(micros)));
+}
+
+void MetricsRegistry::RecordLatency(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LatencySeries& series = latencies_[name];
+  LatencySnapshot& s = series.stats;
+  if (s.count == 0 || seconds < s.min_seconds) s.min_seconds = seconds;
+  if (s.count == 0 || seconds > s.max_seconds) s.max_seconds = seconds;
+  s.sum_seconds += seconds;
+  ++s.count;
+  series.buckets.Add(LatencyBucket(seconds));
+}
+
+LatencySnapshot MetricsRegistry::LatencyValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latencies_.find(name);
+  return it == latencies_.end() ? LatencySnapshot{} : it->second.stats;
+}
+
+std::string MetricsRegistry::TextSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += StrFormat("counter %s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : gauges_) {
+    out += StrFormat("gauge   %s %lld\n", name.c_str(),
+                     static_cast<long long>(value));
+  }
+  for (const auto& [name, series] : latencies_) {
+    const LatencySnapshot& s = series.stats;
+    out += StrFormat(
+        "latency %s count=%llu mean=%.6fs min=%.6fs max=%.6fs\n", name.c_str(),
+        static_cast<unsigned long long>(s.count), s.MeanSeconds(),
+        s.min_seconds, s.max_seconds);
+  }
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) names.push_back(name);
+  return names;
+}
+
+}  // namespace edgeshed::service

@@ -1,0 +1,96 @@
+#include "analytics/approx_neighborhood.h"
+
+#include <gtest/gtest.h>
+
+#include "analytics/shortest_paths.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::analytics {
+namespace {
+
+ApproxNeighborhoodOptions HighPrecision() {
+  ApproxNeighborhoodOptions options;
+  options.precision = 12;  // ~1.6% standard error, plenty for small graphs
+  options.seed = 7;
+  return options;
+}
+
+TEST(ApproxNeighborhoodTest, EmptyGraphHasNoPairs) {
+  graph::Graph g;
+  auto nf = ApproximateNeighborhoodFunction(g, HighPrecision());
+  EXPECT_DOUBLE_EQ(nf.HopFraction(1), 0.0);
+  EXPECT_DOUBLE_EQ(nf.HopFraction(10), 0.0);
+}
+
+TEST(ApproxNeighborhoodTest, CliqueConvergesAtDistanceOne) {
+  const graph::Graph g = testing::Clique(20);
+  auto nf = ApproximateNeighborhoodFunction(g, HighPrecision());
+  ASSERT_GE(nf.pairs_within.size(), 2u);
+  // All 20*19 ordered pairs are within one hop.
+  EXPECT_NEAR(nf.pairs_within.back(), 380.0, 380.0 * 0.1);
+  EXPECT_NEAR(nf.HopFraction(1), 1.0, 0.05);
+  // Effective diameter of a clique is ~1.
+  EXPECT_LE(nf.EffectiveDiameter(), 1.05);
+}
+
+TEST(ApproxNeighborhoodTest, HopFractionIsMonotoneAndCapsAtOne) {
+  const graph::Graph g = testing::Path(32);
+  auto nf = ApproximateNeighborhoodFunction(g, HighPrecision());
+  double prev = 0.0;
+  for (uint32_t k = 0; k < 40; ++k) {
+    const double frac = nf.HopFraction(k);
+    EXPECT_GE(frac, prev - 1e-12);
+    EXPECT_LE(frac, 1.0 + 1e-12);
+    prev = frac;
+  }
+  EXPECT_DOUBLE_EQ(nf.HopFraction(1000), 1.0);
+}
+
+TEST(ApproxNeighborhoodTest, TracksExactDistanceProfileOnAPath) {
+  const graph::Graph g = testing::Path(24);
+  auto nf = ApproximateNeighborhoodFunction(g, HighPrecision());
+  const auto profile = DistanceProfile(g);
+  // Exact ordered pairs within k on a path of n nodes: sum over d<=k of
+  // 2*(n-d). Compare the sketch at a few distances.
+  const uint64_t n = g.NumNodes();
+  for (uint32_t k : {1u, 3u, 8u}) {
+    uint64_t exact = 0;
+    for (uint32_t d = 1; d <= k; ++d) exact += 2 * (n - d);
+    ASSERT_GT(nf.pairs_within.size(), k);
+    EXPECT_NEAR(nf.pairs_within[k], static_cast<double>(exact),
+                static_cast<double>(exact) * 0.15)
+        << "k=" << k;
+  }
+  // And the hop-plot fractions agree with the exact profile.
+  EXPECT_NEAR(nf.HopFraction(4), HopPlotFraction(profile, 4), 0.1);
+}
+
+TEST(ApproxNeighborhoodTest, DisconnectedPairsNeverCounted) {
+  // Two far-apart cliques: reachable ordered pairs = 2 * 6*5 = 60.
+  const graph::Graph g = testing::MustBuild(
+      12, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {1, 2}, {1, 3}, {1, 4},
+           {1, 5}, {2, 3}, {2, 4}, {2, 5}, {3, 4}, {3, 5}, {4, 5},
+           {6, 7}, {6, 8}, {6, 9}, {6, 10}, {6, 11}, {7, 8}, {7, 9},
+           {7, 10}, {7, 11}, {8, 9}, {8, 10}, {8, 11}, {9, 10}, {9, 11},
+           {10, 11}});
+  auto nf = ApproximateNeighborhoodFunction(g, HighPrecision());
+  EXPECT_NEAR(nf.pairs_within.back(), 60.0, 60.0 * 0.15);
+}
+
+TEST(ApproxNeighborhoodTest, DeterministicGivenSeed) {
+  const graph::Graph g = testing::Path(16);
+  auto a = ApproximateNeighborhoodFunction(g, HighPrecision());
+  auto b = ApproximateNeighborhoodFunction(g, HighPrecision());
+  EXPECT_EQ(a.pairs_within, b.pairs_within);
+}
+
+TEST(ApproxNeighborhoodTest, MaxDistanceCapsIterations) {
+  const graph::Graph g = testing::Path(64);  // diameter 63
+  ApproxNeighborhoodOptions options = HighPrecision();
+  options.max_distance = 5;
+  auto nf = ApproximateNeighborhoodFunction(g, options);
+  EXPECT_LE(nf.pairs_within.size(), 6u + 1u);  // index 0 + at most 5 rounds (+slack)
+}
+
+}  // namespace
+}  // namespace edgeshed::analytics

@@ -1,0 +1,86 @@
+#include "analytics/eigenvector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace edgeshed::analytics {
+namespace {
+
+double L2Norm(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) sum += x * x;
+  return std::sqrt(sum);
+}
+
+TEST(EigenvectorTest, EmptyGraph) {
+  graph::Graph g;
+  EXPECT_TRUE(EigenvectorCentrality(g).empty());
+}
+
+TEST(EigenvectorTest, CliqueIsUniform) {
+  const graph::Graph g = testing::Clique(4);
+  auto scores = EigenvectorCentrality(g);
+  ASSERT_EQ(scores.size(), 4u);
+  // Regular graph: the principal eigenvector is uniform, so L2
+  // normalization gives 1/sqrt(n) everywhere.
+  for (double s : scores) EXPECT_NEAR(s, 0.5, 1e-6);
+}
+
+TEST(EigenvectorTest, CycleIsUniform) {
+  const graph::Graph g = testing::Cycle(8);
+  auto scores = EigenvectorCentrality(g);
+  ASSERT_EQ(scores.size(), 8u);
+  const double expected = 1.0 / std::sqrt(8.0);
+  for (double s : scores) EXPECT_NEAR(s, expected, 1e-6);
+}
+
+TEST(EigenvectorTest, StarCenterDominates) {
+  const graph::Graph g = testing::Star(6);
+  auto scores = EigenvectorCentrality(g);
+  ASSERT_EQ(scores.size(), 6u);
+  for (size_t leaf = 1; leaf < scores.size(); ++leaf) {
+    EXPECT_GT(scores[0], scores[leaf]);
+    EXPECT_NEAR(scores[leaf], scores[1], 1e-9);  // leaves are symmetric
+  }
+  // Analytic solution for a star: center = 1/sqrt(2), each of the n-1
+  // leaves = 1/sqrt(2(n-1)).
+  EXPECT_NEAR(scores[0], 1.0 / std::sqrt(2.0), 1e-6);
+  EXPECT_NEAR(scores[1], 1.0 / std::sqrt(10.0), 1e-6);
+}
+
+TEST(EigenvectorTest, OutputIsL2NormalizedAndNonNegative) {
+  const graph::Graph g = testing::TwoTrianglesWithBridge();
+  auto scores = EigenvectorCentrality(g);
+  ASSERT_EQ(scores.size(), 6u);
+  EXPECT_NEAR(L2Norm(scores), 1.0, 1e-9);
+  for (double s : scores) EXPECT_GE(s, 0.0);
+}
+
+TEST(EigenvectorTest, IsolatedVerticesScoreZero) {
+  // A triangle {0,1,2} plus two isolated vertices.
+  const graph::Graph g =
+      testing::MustBuild(5, {{0, 1}, {0, 2}, {1, 2}});
+  auto scores = EigenvectorCentrality(g);
+  ASSERT_EQ(scores.size(), 5u);
+  EXPECT_DOUBLE_EQ(scores[3], 0.0);
+  EXPECT_DOUBLE_EQ(scores[4], 0.0);
+  for (int u = 0; u < 3; ++u) EXPECT_GT(scores[u], 0.0);
+}
+
+TEST(EigenvectorTest, MassConcentratesOnDenserComponent) {
+  // K4 (spectral radius 3) next to a disjoint edge (spectral radius 1):
+  // the standard power-iteration behavior puts all mass on the K4.
+  const graph::Graph g = testing::MustBuild(
+      6, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {4, 5}});
+  auto scores = EigenvectorCentrality(g);
+  ASSERT_EQ(scores.size(), 6u);
+  for (int u = 0; u < 4; ++u) EXPECT_GT(scores[u], 0.1);
+  EXPECT_NEAR(scores[4], 0.0, 1e-6);
+  EXPECT_NEAR(scores[5], 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace edgeshed::analytics

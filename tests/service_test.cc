@@ -1,0 +1,583 @@
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/shedder_factory.h"
+#include "service/dataset_registry.h"
+#include "service/graph_store.h"
+#include "service/job_scheduler.h"
+#include "service/metrics_registry.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::service {
+namespace {
+
+using testing::Clique;
+using testing::MustBuild;
+using testing::Path;
+
+/// Registers a deterministic in-memory graph under `name`.
+void RegisterGraph(GraphStore& store, const std::string& name,
+                   graph::Graph g) {
+  ASSERT_TRUE(store
+                  .Register(name,
+                            [g = std::move(g)]() -> StatusOr<graph::Graph> {
+                              return g;
+                            })
+                  .ok());
+}
+
+/// Loader that sleeps, to keep a worker busy for scheduling tests.
+void RegisterSlowGraph(GraphStore& store, const std::string& name,
+                       std::chrono::milliseconds delay) {
+  ASSERT_TRUE(store
+                  .Register(name,
+                            [delay]() -> StatusOr<graph::Graph> {
+                              std::this_thread::sleep_for(delay);
+                              return Clique(8);
+                            })
+                  .ok());
+}
+
+/// Polls until the job leaves the queue (a worker picked it up), so tests
+/// that depend on "this job occupies a worker" are deterministic even on
+/// single-core machines where the pool may lag behind Submit.
+void WaitUntilDispatched(JobScheduler& scheduler, JobId id) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto status = scheduler.GetStatus(id);
+    ASSERT_TRUE(status.ok());
+    if (status->state != JobState::kQueued) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "job " << id << " was never dispatched";
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, CountersGaugesLatencies) {
+  MetricsRegistry metrics;
+  EXPECT_EQ(metrics.CounterValue("absent"), 0u);
+  metrics.IncrementCounter("hits");
+  metrics.IncrementCounter("hits", 4);
+  EXPECT_EQ(metrics.CounterValue("hits"), 5u);
+
+  EXPECT_EQ(metrics.GaugeValue("depth"), 0);
+  metrics.SetGauge("depth", 7);
+  metrics.AddToGauge("depth", -3);
+  EXPECT_EQ(metrics.GaugeValue("depth"), 4);
+
+  metrics.RecordLatency("lat", 0.002);
+  metrics.RecordLatency("lat", 0.004);
+  auto lat = metrics.LatencyValue("lat");
+  EXPECT_EQ(lat.count, 2u);
+  EXPECT_DOUBLE_EQ(lat.sum_seconds, 0.006);
+  EXPECT_DOUBLE_EQ(lat.min_seconds, 0.002);
+  EXPECT_DOUBLE_EQ(lat.max_seconds, 0.004);
+  EXPECT_DOUBLE_EQ(lat.MeanSeconds(), 0.003);
+}
+
+TEST(MetricsRegistryTest, LatencyBuckets) {
+  // 1024 us = 2^10 us -> bucket 10; sub-microsecond collapses to 0.
+  EXPECT_EQ(MetricsRegistry::LatencyBucket(1024e-6), 10);
+  EXPECT_EQ(MetricsRegistry::LatencyBucket(1e-9), 0);
+}
+
+TEST(MetricsRegistryTest, TextSnapshotListsEveryInstrument) {
+  MetricsRegistry metrics;
+  metrics.IncrementCounter("a.count", 2);
+  metrics.SetGauge("b.depth", -1);
+  metrics.RecordLatency("c.lat", 0.5);
+  const std::string snapshot = metrics.TextSnapshot();
+  EXPECT_NE(snapshot.find("counter a.count 2"), std::string::npos);
+  EXPECT_NE(snapshot.find("gauge   b.depth -1"), std::string::npos);
+  EXPECT_NE(snapshot.find("latency c.lat count=1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsDoNotLoseUpdates) {
+  MetricsRegistry metrics;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&metrics] {
+      for (int i = 0; i < 1000; ++i) metrics.IncrementCounter("n");
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(metrics.CounterValue("n"), 8000u);
+}
+
+// ---------------------------------------------------------------------------
+// GraphStore
+
+TEST(GraphStoreTest, RegisterRejectsBadArgsAndDuplicates) {
+  GraphStore store;
+  EXPECT_EQ(store.Register("", [] { return Clique(3); }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Register("g", nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(store.Register("g", [] { return Clique(3); }).ok());
+  EXPECT_EQ(store.Register("g", [] { return Clique(4); }).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GraphStoreTest, GetLoadsOnceThenHits) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  RegisterGraph(store, "clique", Clique(10));
+  EXPECT_FALSE(store.IsResident("clique"));
+
+  auto first = store.Get("clique");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ((*first)->NumEdges(), 45u);
+  auto second = store.Get("clique");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // same resident instance
+  EXPECT_EQ(metrics.CounterValue("store.miss"), 1u);
+  EXPECT_EQ(metrics.CounterValue("store.hit"), 1u);
+  EXPECT_TRUE(store.IsResident("clique"));
+}
+
+TEST(GraphStoreTest, UnknownNameIsNotFound) {
+  GraphStore store;
+  EXPECT_EQ(store.Get("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphStoreTest, LoaderFailureIsReturnedAndRetried) {
+  GraphStore store;
+  int calls = 0;
+  ASSERT_TRUE(store
+                  .Register("flaky",
+                            [&calls]() -> StatusOr<graph::Graph> {
+                              if (++calls == 1) {
+                                return Status::IOError("disk on fire");
+                              }
+                              return Clique(4);
+                            })
+                  .ok());
+  EXPECT_EQ(store.Get("flaky").status().code(), StatusCode::kIOError);
+  EXPECT_TRUE(store.Get("flaky").ok());  // not cached as failed
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(GraphStoreTest, EvictsLruUnderByteBudgetAndReloadsTransparently) {
+  MetricsRegistry metrics;
+  GraphStoreOptions options;
+  // Fits one Clique(30) (435 edges) but not two.
+  options.byte_budget = GraphStore::ApproxBytes(Clique(30)) + 100;
+  GraphStore store(options, &metrics);
+  RegisterGraph(store, "a", Clique(30));
+  RegisterGraph(store, "b", Clique(30));
+
+  ASSERT_TRUE(store.Get("a").ok());
+  EXPECT_TRUE(store.IsResident("a"));
+  ASSERT_TRUE(store.Get("b").ok());  // loading b evicts a (LRU)
+  EXPECT_FALSE(store.IsResident("a"));
+  EXPECT_TRUE(store.IsResident("b"));
+  EXPECT_EQ(metrics.CounterValue("store.eviction"), 1u);
+  EXPECT_LE(store.bytes_resident(), options.byte_budget);
+  EXPECT_EQ(metrics.GaugeValue("store.graphs_resident"), 1);
+
+  // The evicted graph reloads transparently on the next request.
+  auto again = store.Get("a");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->NumEdges(), 435u);
+  EXPECT_EQ(metrics.CounterValue("store.miss"), 3u);
+  EXPECT_FALSE(store.IsResident("b"));
+}
+
+TEST(GraphStoreTest, EvictionKeepsLeasesAlive) {
+  GraphStoreOptions options;
+  options.byte_budget = 1;  // evict on every insert
+  GraphStore store(options);
+  RegisterGraph(store, "a", Path(50));
+  RegisterGraph(store, "b", Path(60));
+  auto a = store.Get("a");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(store.Get("b").ok());  // evicts a from the store
+  EXPECT_FALSE(store.IsResident("a"));
+  EXPECT_EQ((*a)->NumEdges(), 49u);  // the lease still works
+}
+
+TEST(GraphStoreTest, ConcurrentMissesLoadOnce) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  std::atomic<int> loads{0};
+  ASSERT_TRUE(store
+                  .Register("g",
+                            [&loads]() -> StatusOr<graph::Graph> {
+                              ++loads;
+                              std::this_thread::sleep_for(
+                                  std::chrono::milliseconds(20));
+                              return Clique(12);
+                            })
+                  .ok());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&store] {
+      auto g = store.Get("g");
+      ASSERT_TRUE(g.ok());
+      EXPECT_EQ((*g)->NumEdges(), 66u);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(loads.load(), 1);
+  EXPECT_EQ(metrics.CounterValue("store.miss"), 1u);
+}
+
+TEST(GraphStoreTest, ClearDropsResidency) {
+  GraphStore store;
+  RegisterGraph(store, "g", Clique(5));
+  ASSERT_TRUE(store.Get("g").ok());
+  store.Clear();
+  EXPECT_FALSE(store.IsResident("g"));
+  EXPECT_EQ(store.bytes_resident(), 0u);
+  EXPECT_TRUE(store.Get("g").ok());  // registration survives
+}
+
+TEST(GraphStoreTest, SurrogateRegistryNamesMatchCli) {
+  GraphStore store;
+  ASSERT_TRUE(RegisterSurrogateDatasets(store).ok());
+  EXPECT_EQ(store.RegisteredNames(),
+            (std::vector<std::string>{"enron", "grqc", "hepph",
+                                      "livejournal"}));
+}
+
+// ---------------------------------------------------------------------------
+// JobScheduler
+
+TEST(JobSchedulerTest, SubmitValidatesSpecs) {
+  GraphStore store;
+  RegisterGraph(store, "g", Clique(10));
+  JobScheduler scheduler(&store, nullptr, {.workers = 1});
+  EXPECT_EQ(scheduler.Submit({"g", "crr", 1.5}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(scheduler.Submit({"g", "crr", std::nan("")}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(scheduler.Submit({"g", "definitely-not-a-method", 0.5})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(scheduler.Submit({"", "crr", 0.5}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(JobSchedulerTest, UnknownDatasetFailsTheJobNotTheSubmit) {
+  GraphStore store;
+  JobScheduler scheduler(&store, nullptr, {.workers = 1});
+  auto id = scheduler.Submit({"missing", "random", 0.5});
+  ASSERT_TRUE(id.ok());
+  auto result = scheduler.Wait(*id);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  auto status = scheduler.GetStatus(*id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kFailed);
+}
+
+TEST(JobSchedulerTest, UnknownIdsAreNotFound) {
+  GraphStore store;
+  JobScheduler scheduler(&store, nullptr, {.workers = 1});
+  EXPECT_EQ(scheduler.Wait(999).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(scheduler.Cancel(999).code(), StatusCode::kNotFound);
+  EXPECT_EQ(scheduler.GetStatus(999).status().code(), StatusCode::kNotFound);
+}
+
+// Acceptance: >= 32 jobs submitted from >= 4 threads all complete, with
+// results identical to direct EdgeShedder::Reduce calls.
+TEST(JobSchedulerTest, ConcurrentSubmissionsMatchDirectReduce) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  const graph::Graph clique = Clique(24);
+  const graph::Graph paper = testing::PaperExampleGraph();
+  RegisterGraph(store, "clique", clique);
+  RegisterGraph(store, "paper", paper);
+  JobScheduler scheduler(&store, &metrics, {.workers = 4});
+
+  struct Case {
+    JobSpec spec;
+    JobId id = 0;
+  };
+  // 2 datasets x 2 methods x 3 p x 2 seeds = 24 distinct specs; thread t of
+  // 4 submits a rotated copy of all of them (96 submissions, 32+ unique-ish
+  // ids per run).
+  std::vector<JobSpec> specs;
+  for (const char* dataset : {"clique", "paper"}) {
+    for (const char* method : {"random", "bm2", "crr"}) {
+      for (double p : {0.25, 0.5, 0.75}) {
+        for (uint64_t seed : {1u, 2u}) {
+          specs.push_back({dataset, method, p, seed});
+        }
+      }
+    }
+  }
+  ASSERT_GE(specs.size() * 4, 32u);
+
+  std::vector<std::vector<Case>> per_thread(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&specs, &scheduler, &per_thread, t] {
+      auto& mine = per_thread[t];
+      for (size_t i = 0; i < specs.size(); ++i) {
+        Case c;
+        c.spec = specs[(i + static_cast<size_t>(t) * 7) % specs.size()];
+        auto id = scheduler.Submit(c.spec);
+        ASSERT_TRUE(id.ok()) << id.status();
+        c.id = *id;
+        mine.push_back(c);
+      }
+      for (const Case& c : mine) {
+        ASSERT_TRUE(scheduler.Wait(c.id).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (const auto& thread_cases : per_thread) {
+    for (const Case& c : thread_cases) {
+      auto result = scheduler.Wait(c.id);
+      ASSERT_TRUE(result.ok()) << result.status();
+      auto shedder = core::MakeShedderByName(c.spec.method, c.spec.seed);
+      ASSERT_TRUE(shedder.ok());
+      const graph::Graph& g = c.spec.dataset == "clique" ? clique : paper;
+      auto direct = (*shedder)->Reduce(g, c.spec.p);
+      ASSERT_TRUE(direct.ok()) << direct.status();
+      EXPECT_EQ((*result)->kept_edges, direct->kept_edges)
+          << c.spec.dataset << " " << c.spec.method << " p=" << c.spec.p
+          << " seed=" << c.spec.seed;
+      EXPECT_DOUBLE_EQ((*result)->total_delta, direct->total_delta);
+    }
+  }
+  // Every submission terminated, and all of them succeeded.
+  EXPECT_EQ(metrics.CounterValue("scheduler.jobs_done"), specs.size() * 4);
+  EXPECT_EQ(metrics.CounterValue("scheduler.jobs_failed"), 0u);
+  // 4x duplication means at least 3/4 of submissions were deduplicated.
+  EXPECT_GE(metrics.CounterValue("scheduler.result_cache_hit") +
+                metrics.CounterValue("scheduler.coalesced"),
+            specs.size() * 3);
+}
+
+// Acceptance: duplicate submissions hit the result cache, observed through
+// MetricsRegistry counters.
+TEST(JobSchedulerTest, DuplicateSubmissionHitsResultCache) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  RegisterGraph(store, "g", Clique(16));
+  JobScheduler scheduler(&store, &metrics, {.workers = 2});
+
+  JobSpec spec{"g", "random", 0.5, 77};
+  auto first = scheduler.Submit(spec);
+  ASSERT_TRUE(first.ok());
+  auto first_result = scheduler.Wait(*first);
+  ASSERT_TRUE(first_result.ok());
+  EXPECT_EQ(metrics.CounterValue("scheduler.result_cache_hit"), 0u);
+
+  auto second = scheduler.Submit(spec);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(*second, *first);  // a new job id...
+  auto second_result = scheduler.Wait(*second);
+  ASSERT_TRUE(second_result.ok());
+  // ...but the same cached result object, no second execution.
+  EXPECT_EQ(first_result->get(), second_result->get());
+  EXPECT_EQ(metrics.CounterValue("scheduler.result_cache_hit"), 1u);
+  auto status = scheduler.GetStatus(*second);
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->deduplicated);
+  EXPECT_EQ(status->state, JobState::kDone);
+
+  // A different seed is a different key: it must run, not hit the cache.
+  JobSpec other = spec;
+  other.seed = 78;
+  auto third = scheduler.Submit(other);
+  ASSERT_TRUE(third.ok());
+  ASSERT_TRUE(scheduler.Wait(*third).ok());
+  EXPECT_EQ(metrics.CounterValue("scheduler.result_cache_hit"), 1u);
+}
+
+TEST(JobSchedulerTest, InFlightDuplicatesCoalesce) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  RegisterSlowGraph(store, "sleepy", std::chrono::milliseconds(100));
+  JobScheduler scheduler(&store, &metrics, {.workers = 1});
+
+  JobSpec spec{"sleepy", "random", 0.5, 1};
+  auto first = scheduler.Submit(spec);
+  auto second = scheduler.Submit(spec);  // first is still loading the graph
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  auto r1 = scheduler.Wait(*first);
+  auto r2 = scheduler.Wait(*second);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->get(), r2->get());
+  EXPECT_EQ(metrics.CounterValue("scheduler.coalesced"), 1u);
+}
+
+// Acceptance: a job whose deadline expired while queued reports kCancelled
+// without blocking the pool.
+TEST(JobSchedulerTest, ExpiredDeadlineCancelsWithoutBlockingPool) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  RegisterSlowGraph(store, "sleepy", std::chrono::milliseconds(150));
+  RegisterGraph(store, "fast", Clique(10));
+  JobScheduler scheduler(&store, &metrics, {.workers = 1});
+
+  // Occupy the only worker, then queue a job that can only start after its
+  // 1 ms deadline has long passed.
+  auto blocker = scheduler.Submit({"sleepy", "random", 0.5, 1});
+  ASSERT_TRUE(blocker.ok());
+  JobSpec doomed{"fast", "random", 0.5, 2, std::chrono::milliseconds(1)};
+  auto doomed_id = scheduler.Submit(doomed);
+  ASSERT_TRUE(doomed_id.ok());
+  auto follow_up = scheduler.Submit({"fast", "random", 0.5, 3});
+  ASSERT_TRUE(follow_up.ok());
+
+  auto doomed_result = scheduler.Wait(*doomed_id);
+  EXPECT_FALSE(doomed_result.ok());
+  EXPECT_EQ(doomed_result.status().code(), StatusCode::kDeadlineExceeded);
+  auto doomed_status = scheduler.GetStatus(*doomed_id);
+  ASSERT_TRUE(doomed_status.ok());
+  EXPECT_EQ(doomed_status->state, JobState::kCancelled);
+  EXPECT_EQ(metrics.CounterValue("scheduler.deadline_expired"), 1u);
+
+  // The pool kept going: the jobs around the doomed one both completed.
+  EXPECT_TRUE(scheduler.Wait(*blocker).ok());
+  EXPECT_TRUE(scheduler.Wait(*follow_up).ok());
+}
+
+TEST(JobSchedulerTest, CancelQueuedJobIsImmediate) {
+  GraphStore store;
+  RegisterSlowGraph(store, "sleepy", std::chrono::milliseconds(100));
+  RegisterGraph(store, "fast", Clique(10));
+  JobScheduler scheduler(&store, nullptr, {.workers = 1});
+
+  auto blocker = scheduler.Submit({"sleepy", "random", 0.5, 1});
+  ASSERT_TRUE(blocker.ok());
+  auto queued = scheduler.Submit({"fast", "random", 0.5, 2});
+  ASSERT_TRUE(queued.ok());
+  EXPECT_TRUE(scheduler.Cancel(*queued).ok());
+  auto result = scheduler.Wait(*queued);
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  // Cancelling a terminal job is a FailedPrecondition.
+  EXPECT_EQ(scheduler.Cancel(*queued).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(scheduler.Wait(*blocker).ok());
+}
+
+TEST(JobSchedulerTest, BoundedQueueRejectsWhenFull) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  RegisterSlowGraph(store, "sleepy", std::chrono::milliseconds(150));
+  RegisterGraph(store, "fast", Clique(10));
+  JobScheduler scheduler(&store, &metrics,
+                         {.workers = 1, .queue_capacity = 1});
+
+  auto blocker = scheduler.Submit({"sleepy", "random", 0.5, 1});
+  ASSERT_TRUE(blocker.ok());
+  // Make sure the blocker occupies the single worker rather than the queue;
+  // after that at most one extra distinct job fits, and the one after that
+  // must be rejected.
+  WaitUntilDispatched(scheduler, *blocker);
+  auto q1 = scheduler.Submit({"fast", "random", 0.3, 2});
+  auto q2 = scheduler.Submit({"fast", "random", 0.4, 3});
+  EXPECT_TRUE(q1.ok() || q2.ok());
+  StatusOr<JobId>* rejected = q1.ok() ? &q2 : &q1;
+  if (q1.ok() && q2.ok()) {
+    // Worker drained fast enough to accept both; force a full queue.
+    auto q3 = scheduler.Submit({"fast", "random", 0.6, 4});
+    auto q4 = scheduler.Submit({"fast", "random", 0.7, 5});
+    rejected = !q3.ok() ? &q3 : &q4;
+  }
+  EXPECT_FALSE(rejected->ok());
+  EXPECT_EQ(rejected->status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(metrics.CounterValue("scheduler.rejected_queue_full"), 1u);
+  EXPECT_TRUE(scheduler.Wait(*blocker).ok());
+}
+
+TEST(JobSchedulerTest, ShutdownCancelsQueuedJobsAndStopsIntake) {
+  GraphStore store;
+  RegisterSlowGraph(store, "sleepy", std::chrono::milliseconds(100));
+  RegisterGraph(store, "fast", Clique(10));
+  JobScheduler scheduler(&store, nullptr, {.workers = 1});
+
+  auto running = scheduler.Submit({"sleepy", "random", 0.5, 1});
+  ASSERT_TRUE(running.ok());
+  WaitUntilDispatched(scheduler, *running);
+  auto queued = scheduler.Submit({"fast", "random", 0.5, 2});
+  ASSERT_TRUE(queued.ok());
+  scheduler.Shutdown();
+
+  // The running job finished; the queued one was cancelled.
+  EXPECT_TRUE(scheduler.Wait(*running).ok());
+  EXPECT_EQ(scheduler.Wait(*queued).status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(scheduler.Submit({"fast", "random", 0.5, 3}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// End-to-end: scheduler + store under a tiny budget — evictions and reloads
+// happen mid-stream and every job still returns the right answer.
+TEST(JobSchedulerTest, JobsSurviveStoreEvictionsMidStream) {
+  MetricsRegistry metrics;
+  GraphStoreOptions store_options;
+  store_options.byte_budget = GraphStore::ApproxBytes(Clique(20)) + 100;
+  GraphStore store(store_options, &metrics);
+  const graph::Graph a = Clique(20);
+  const graph::Graph b = Clique(18);
+  RegisterGraph(store, "a", a);
+  RegisterGraph(store, "b", b);
+  JobScheduler scheduler(&store, &metrics, {.workers = 2});
+
+  std::vector<std::pair<JobId, const graph::Graph*>> jobs;
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      auto ia = scheduler.Submit(
+          {"a", "random", 0.5, 1000 + round * 10 + seed});
+      auto ib = scheduler.Submit(
+          {"b", "random", 0.5, 2000 + round * 10 + seed});
+      ASSERT_TRUE(ia.ok());
+      ASSERT_TRUE(ib.ok());
+      jobs.emplace_back(*ia, &a);
+      jobs.emplace_back(*ib, &b);
+    }
+  }
+  for (const auto& [id, g] : jobs) {
+    auto result = scheduler.Wait(id);
+    ASSERT_TRUE(result.ok()) << result.status();
+    // Every kept edge must be a valid id of the right parent graph.
+    for (graph::EdgeId e : (*result)->kept_edges) {
+      ASSERT_LT(e, g->NumEdges());
+    }
+  }
+  EXPECT_GE(metrics.CounterValue("store.eviction"), 1u);
+  EXPECT_GE(metrics.CounterValue("store.miss"), 2u);
+}
+
+TEST(JobSchedulerTest, QueueSecondsAndRunSecondsArePopulated) {
+  GraphStore store;
+  RegisterGraph(store, "g", Clique(12));
+  JobScheduler scheduler(&store, nullptr, {.workers = 1});
+  auto id = scheduler.Submit({"g", "crr", 0.5, 5});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(scheduler.Wait(*id).ok());
+  auto status = scheduler.GetStatus(*id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kDone);
+  EXPECT_GT(status->run_seconds, 0.0);
+  EXPECT_GE(status->queue_seconds, 0.0);
+}
+
+TEST(JobSchedulerTest, JobStateNames) {
+  EXPECT_EQ(JobStateToString(JobState::kQueued), "queued");
+  EXPECT_EQ(JobStateToString(JobState::kRunning), "running");
+  EXPECT_EQ(JobStateToString(JobState::kDone), "done");
+  EXPECT_EQ(JobStateToString(JobState::kFailed), "failed");
+  EXPECT_EQ(JobStateToString(JobState::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace edgeshed::service

@@ -1,0 +1,67 @@
+#include "core/shedding.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/random_shedding.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::core {
+namespace {
+
+TEST(ValidatePreservationRatioTest, AcceptsInteriorValues) {
+  EXPECT_TRUE(ValidatePreservationRatio(0.5).ok());
+  EXPECT_TRUE(ValidatePreservationRatio(0.0001).ok());
+  EXPECT_TRUE(ValidatePreservationRatio(0.9999).ok());
+}
+
+TEST(ValidatePreservationRatioTest, RejectsBoundariesAndOutside) {
+  for (double p : {0.0, 1.0, -0.3, 1.7,
+                   std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity()}) {
+    EXPECT_EQ(ValidatePreservationRatio(p).code(),
+              StatusCode::kInvalidArgument)
+        << "p=" << p;
+  }
+}
+
+TEST(ValidatePreservationRatioTest, RejectsNanExplicitly) {
+  const Status status = ValidatePreservationRatio(std::nan(""));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("NaN"), std::string::npos);
+}
+
+TEST(TargetEdgeCountTest, RoundsHalfUp) {
+  const graph::Graph g = testing::PaperExampleGraph();  // 11 edges
+  EXPECT_EQ(TargetEdgeCount(g, 0.4), 4u);   // 4.4 -> 4
+  EXPECT_EQ(TargetEdgeCount(g, 0.5), 6u);   // 5.5 -> 6
+  EXPECT_EQ(TargetEdgeCount(g, 0.9), 10u);  // 9.9 -> 10
+}
+
+// Regression: round(p * |E|) < 0.5 used to produce an empty E', making
+// every shedder degenerate on tiny graphs with perfectly valid p.
+TEST(TargetEdgeCountTest, NeverZeroOnNonEmptyGraphs) {
+  const graph::Graph tiny = testing::Path(4);  // 3 edges
+  EXPECT_EQ(TargetEdgeCount(tiny, 0.1), 1u);   // round(0.3) would be 0
+  EXPECT_EQ(TargetEdgeCount(tiny, 0.05), 1u);
+  const graph::Graph single = testing::Path(2);  // 1 edge
+  EXPECT_EQ(TargetEdgeCount(single, 0.01), 1u);
+}
+
+TEST(TargetEdgeCountTest, EmptyGraphStaysZero) {
+  const graph::Graph empty = testing::MustBuild(5, {});
+  EXPECT_EQ(TargetEdgeCount(empty, 0.5), 0u);
+}
+
+TEST(TargetEdgeCountTest, SheddersKeepAtLeastOneEdgeOnTinyGraphs) {
+  const graph::Graph tiny = testing::Path(4);
+  RandomShedding shedder(/*seed=*/1);
+  auto result = shedder.Reduce(tiny, 0.1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->kept_edges.size(), 1u);
+}
+
+}  // namespace
+}  // namespace edgeshed::core

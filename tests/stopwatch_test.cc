@@ -1,0 +1,47 @@
+#include "common/stopwatch.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace edgeshed {
+namespace {
+
+TEST(StopwatchTest, StartsAtRoughlyZero) {
+  Stopwatch watch;
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+  EXPECT_LT(watch.ElapsedSeconds(), 1.0);
+}
+
+TEST(StopwatchTest, ElapsedGrowsMonotonically) {
+  Stopwatch watch;
+  const double first = watch.ElapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double second = watch.ElapsedSeconds();
+  EXPECT_GE(second, first + 0.005);
+  EXPECT_GE(watch.ElapsedSeconds(), second);
+}
+
+TEST(StopwatchTest, MillisMatchSeconds) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double seconds = watch.ElapsedSeconds();
+  const double millis = watch.ElapsedMillis();
+  // Two separate now() calls: allow a little skew.
+  EXPECT_NEAR(millis, seconds * 1e3, 5.0);
+  EXPECT_GE(millis, 5.0);
+}
+
+TEST(StopwatchTest, RestartResetsTheOrigin) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double before = watch.ElapsedSeconds();
+  watch.Restart();
+  const double after = watch.ElapsedSeconds();
+  EXPECT_LT(after, before);
+  EXPECT_LT(after, 0.015);
+}
+
+}  // namespace
+}  // namespace edgeshed

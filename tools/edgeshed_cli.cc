@@ -11,14 +11,23 @@
 //                    --binary_input/--output)
 //   edgeshed generate --dataset=grqc|hepph|enron|livejournal --scale=1.0
 //                    --output=G.txt [--seed=...]
+//   edgeshed service --jobs=jobs.txt [--workers=N] [--queue=K]
+//                    [--store_budget_mb=M] [--scale=1.0]
 //
 // Text inputs are SNAP-format edge lists; .esg is the library's binary
-// snapshot format (graph/binary_io.h).
+// snapshot format (graph/binary_io.h). `service` runs a batch of shedding
+// jobs concurrently through src/service/ (GraphStore + JobScheduler) and
+// prints the metrics snapshot; each jobs-file line reads
+//   dataset method p [seed] [deadline_ms]
+// with '#' comments. Without --jobs a built-in demo batch is used.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "analytics/clustering.h"
 #include "analytics/components.h"
@@ -27,14 +36,15 @@
 #include "analytics/shortest_paths.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
-#include "core/bm2.h"
-#include "core/crr.h"
-#include "core/extra_baselines.h"
-#include "core/random_shedding.h"
+#include "core/shedder_factory.h"
 #include "eval/flags.h"
 #include "graph/binary_io.h"
 #include "graph/datasets.h"
 #include "graph/edge_list_io.h"
+#include "service/dataset_registry.h"
+#include "service/graph_store.h"
+#include "service/job_scheduler.h"
+#include "service/metrics_registry.h"
 
 using namespace edgeshed;
 
@@ -42,7 +52,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: edgeshed <reduce|analyze|stats|convert|generate> "
+               "usage: edgeshed <reduce|analyze|stats|convert|generate|service> "
                "[flags]\n"
                "  reduce   --input=G.txt --method=crr --p=0.5 "
                "[--output=R.txt] [--binary_output=R.esg] [--seed=42]\n"
@@ -52,7 +62,9 @@ int Usage() {
                "  convert  --input=G.txt --binary_output=G.esg | "
                "--binary_input=G.esg --output=G.txt\n"
                "  generate --dataset=grqc|hepph|enron|livejournal "
-               "--scale=1.0 --output=G.txt [--seed=N]\n");
+               "--scale=1.0 --output=G.txt [--seed=N]\n"
+               "  service  [--jobs=jobs.txt] [--workers=N] [--queue=K] "
+               "[--store_budget_mb=M] [--scale=1.0]\n");
   return 2;
 }
 
@@ -70,30 +82,6 @@ StatusOr<graph::Graph> LoadInput(const eval::Flags& flags) {
   return std::move(loaded)->graph;
 }
 
-std::unique_ptr<core::EdgeShedder> MakeShedder(const std::string& method,
-                                               uint64_t seed) {
-  if (method == "crr") {
-    core::CrrOptions options;
-    options.seed = seed;
-    return std::make_unique<core::Crr>(options);
-  }
-  if (method == "bm2") {
-    core::Bm2Options options;
-    options.seed = seed;
-    return std::make_unique<core::Bm2>(options);
-  }
-  if (method == "random") {
-    return std::make_unique<core::RandomShedding>(seed);
-  }
-  if (method == "local-degree") {
-    return std::make_unique<core::LocalDegreeShedding>();
-  }
-  if (method == "spanning-forest") {
-    return std::make_unique<core::SpanningForestShedding>(seed);
-  }
-  return nullptr;
-}
-
 int CmdReduce(const eval::Flags& flags) {
   auto input = LoadInput(flags);
   if (!input.ok()) {
@@ -103,11 +91,12 @@ int CmdReduce(const eval::Flags& flags) {
   const std::string method = flags.GetString("method", "crr");
   const double p = flags.GetDouble("p", 0.5);
   const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  std::unique_ptr<core::EdgeShedder> shedder = MakeShedder(method, seed);
-  if (shedder == nullptr) {
-    std::cerr << "unknown method: " << method << "\n";
+  auto shedder_or = core::MakeShedderByName(method, seed);
+  if (!shedder_or.ok()) {
+    std::cerr << shedder_or.status() << "\n";
     return Usage();
   }
+  std::unique_ptr<core::EdgeShedder> shedder = std::move(shedder_or).value();
   auto result = shedder->Reduce(*input, p);
   if (!result.ok()) {
     std::cerr << result.status() << "\n";
@@ -275,6 +264,131 @@ int CmdGenerate(const eval::Flags& flags) {
   return 0;
 }
 
+/// Parses one jobs-file line: "dataset method p [seed] [deadline_ms]".
+/// Blank lines and '#' comments yield an empty dataset (caller skips them).
+StatusOr<service::JobSpec> ParseJobLine(const std::string& line) {
+  service::JobSpec spec;
+  const std::string_view stripped = StripWhitespace(line);
+  if (stripped.empty() || stripped.front() == '#') {
+    spec.dataset.clear();
+    return spec;
+  }
+  std::istringstream in{std::string(stripped)};
+  double p = 0.0;
+  if (!(in >> spec.dataset >> spec.method >> p)) {
+    return Status::InvalidArgument(
+        StrFormat("bad job line (want 'dataset method p [seed] "
+                  "[deadline_ms]'): %s", line.c_str()));
+  }
+  spec.p = p;
+  uint64_t seed = 42;
+  if (in >> seed) spec.seed = seed;
+  int64_t deadline_ms = 0;
+  if (in >> deadline_ms) spec.deadline = std::chrono::milliseconds(deadline_ms);
+  return spec;
+}
+
+int CmdService(const eval::Flags& flags) {
+  service::MetricsRegistry metrics;
+  service::GraphStore::Options store_options;
+  store_options.byte_budget =
+      static_cast<uint64_t>(flags.GetInt("store_budget_mb", 256)) << 20;
+  service::GraphStore store(store_options, &metrics);
+
+  graph::DatasetOptions dataset_options;
+  dataset_options.scale = flags.GetDouble("scale", 1.0);
+  dataset_options.seed =
+      static_cast<uint64_t>(flags.GetInt("dataset_seed", 20210419));
+  Status registered = service::RegisterSurrogateDatasets(store,
+                                                         dataset_options);
+  if (!registered.ok()) {
+    std::cerr << registered << "\n";
+    return 1;
+  }
+
+  std::vector<service::JobSpec> specs;
+  const std::string jobs_path = flags.GetString("jobs", "");
+  if (!jobs_path.empty()) {
+    std::ifstream in(jobs_path);
+    if (!in) {
+      std::cerr << "cannot open jobs file: " << jobs_path << "\n";
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      auto spec = ParseJobLine(line);
+      if (!spec.ok()) {
+        std::cerr << spec.status() << "\n";
+        return 1;
+      }
+      if (!spec->dataset.empty()) specs.push_back(std::move(spec).value());
+    }
+  } else {
+    // Demo batch: a method x p sweep on the smallest dataset, each spec
+    // submitted twice to exercise the result cache.
+    for (const char* method : {"crr", "bm2", "random"}) {
+      for (double p : {0.3, 0.5, 0.7}) {
+        service::JobSpec spec;
+        spec.dataset = "grqc";
+        spec.method = method;
+        spec.p = p;
+        specs.push_back(spec);
+        specs.push_back(spec);
+      }
+    }
+  }
+  if (specs.empty()) {
+    std::cerr << "no jobs to run\n";
+    return 1;
+  }
+
+  service::JobScheduler::Options scheduler_options;
+  scheduler_options.workers = static_cast<int>(flags.GetInt("workers", 0));
+  scheduler_options.queue_capacity =
+      static_cast<size_t>(flags.GetInt("queue", 1024));
+  service::JobScheduler scheduler(&store, &metrics, scheduler_options);
+
+  Stopwatch watch;
+  std::vector<std::pair<service::JobId, const service::JobSpec*>> submitted;
+  submitted.reserve(specs.size());
+  int failures = 0;
+  int rejected = 0;
+  for (const service::JobSpec& spec : specs) {
+    auto id = scheduler.Submit(spec);
+    if (!id.ok()) {
+      std::cerr << "submit failed (" << spec.dataset << " " << spec.method
+                << " p=" << spec.p << "): " << id.status() << "\n";
+      ++rejected;
+      continue;
+    }
+    submitted.emplace_back(*id, &spec);
+  }
+
+  for (const auto& [id, spec] : submitted) {
+    auto result = scheduler.Wait(id);
+    auto status = scheduler.GetStatus(id);
+    if (result.ok()) {
+      std::printf("job %3llu %-12s %-15s p=%.2f kept=%8s%s\n",
+                  static_cast<unsigned long long>(id),
+                  spec->dataset.c_str(), spec->method.c_str(), spec->p,
+                  FormatWithCommas((*result)->kept_edges.size()).c_str(),
+                  status.ok() && status->deduplicated ? "  (cached)" : "");
+    } else {
+      ++failures;
+      std::printf("job %3llu %-12s %-15s p=%.2f %s\n",
+                  static_cast<unsigned long long>(id),
+                  spec->dataset.c_str(), spec->method.c_str(), spec->p,
+                  result.status().ToString().c_str());
+    }
+  }
+  scheduler.Shutdown();
+  std::printf("\n%zu jobs on %d workers in %.3fs (%d failed, %d rejected)\n\n",
+              submitted.size(), scheduler.workers(), watch.ElapsedSeconds(),
+              failures, rejected);
+  std::fputs(metrics.TextSnapshot().c_str(), stdout);
+  return failures == 0 && rejected == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -286,5 +400,6 @@ int main(int argc, char** argv) {
   if (command == "stats") return CmdStats(flags);
   if (command == "convert") return CmdConvert(flags);
   if (command == "generate") return CmdGenerate(flags);
+  if (command == "service") return CmdService(flags);
   return Usage();
 }
