@@ -1,0 +1,238 @@
+// Hot-path performance-regression suite (ISSUE 2).
+//
+// Times the ingest-to-shed pipeline stages — edge-list load, CSR build,
+// betweenness ranking, CRR and BM2 reduction — on generated R-MAT and
+// Barabási–Albert graphs at two sizes, and emits machine-readable medians to
+// BENCH_hotpath.json. tools/compare_bench.py diffs two such files and flags
+// >10% regressions; .github/workflows/ci.yml runs the --smoke variant on
+// every push.
+//
+// Usage:
+//   bench_perf_suite [--out=BENCH_hotpath.json] [--repeats=5] [--smoke]
+//                    [--rev=<git sha>] [--p=0.5]
+//
+// --smoke shrinks the graphs so the whole suite finishes in seconds (CI);
+// --rev defaults to $EDGESHED_GIT_REV, then "unknown".
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analytics/betweenness.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/bm2.h"
+#include "core/crr.h"
+#include "eval/flags.h"
+#include "graph/edge_list_io.h"
+#include "graph/generators/generators.h"
+#include "graph/graph_builder.h"
+
+namespace edgeshed::bench {
+namespace {
+
+struct BenchResult {
+  std::string graph;
+  uint64_t nodes = 0;
+  uint64_t edges = 0;
+  std::string op;
+  double median_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+double Median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  return n % 2 == 1 ? samples[n / 2]
+                    : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+/// Times `body` `repeats` times and records median/min/max under `op`.
+template <typename Body>
+void TimeOp(const std::string& graph_name, const graph::Graph& g,
+            const std::string& op, int repeats, Body&& body,
+            std::vector<BenchResult>* results) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch watch;
+    body();
+    samples.push_back(watch.ElapsedSeconds());
+  }
+  BenchResult result;
+  result.graph = graph_name;
+  result.nodes = g.NumNodes();
+  result.edges = g.NumEdges();
+  result.op = op;
+  result.median_seconds = Median(samples);
+  result.min_seconds = *std::min_element(samples.begin(), samples.end());
+  result.max_seconds = *std::max_element(samples.begin(), samples.end());
+  results->push_back(result);
+  std::printf("  %-24s %-20s median=%.4fs min=%.4fs max=%.4fs\n",
+              graph_name.c_str(), op.c_str(), result.median_seconds,
+              result.min_seconds, result.max_seconds);
+}
+
+/// Raw (shuffled, un-canonicalized) edge soup for the CSR-build benchmark,
+/// so GraphBuilder::Build sees realistic messy input.
+std::vector<graph::Edge> ShuffledRawEdges(const graph::Graph& g,
+                                          uint64_t seed) {
+  std::vector<graph::Edge> raw = g.edges();
+  Rng rng(seed);
+  rng.Shuffle(&raw);
+  for (size_t i = 0; i < raw.size(); i += 2) {
+    std::swap(raw[i].u, raw[i].v);  // exercise canonicalization
+  }
+  return raw;
+}
+
+void BenchGraph(const std::string& name, const graph::Graph& g, int repeats,
+                double p, std::vector<BenchResult>* results) {
+  std::printf("%s: %llu nodes, %llu edges\n", name.c_str(),
+              static_cast<unsigned long long>(g.NumNodes()),
+              static_cast<unsigned long long>(g.NumEdges()));
+
+  // --- load_edge_list: full ingest (read + parse + remap + CSR build). ---
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string path = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                           "/edgeshed_bench_" + name + ".txt";
+  Status save = graph::SaveEdgeList(g, path);
+  EDGESHED_CHECK(save.ok()) << save.ToString();
+  TimeOp(name, g, "load_edge_list", repeats,
+         [&]() {
+           auto loaded = graph::LoadEdgeList(path);
+           EDGESHED_CHECK(loaded.ok()) << loaded.status().ToString();
+           EDGESHED_CHECK_EQ(loaded->graph.NumEdges(), g.NumEdges());
+         },
+         results);
+  std::remove(path.c_str());
+
+  // --- csr_build: GraphBuilder::Build on shuffled raw edges. ---
+  const std::vector<graph::Edge> raw = ShuffledRawEdges(g, /*seed=*/7);
+  TimeOp(name, g, "csr_build", repeats,
+         [&]() {
+           graph::GraphBuilder builder;
+           builder.ReserveEdges(raw.size());
+           for (const graph::Edge& e : raw) builder.AddEdge(e.u, e.v);
+           graph::Graph built = builder.Build();
+           EDGESHED_CHECK_EQ(built.NumEdges(), g.NumEdges());
+         },
+         results);
+
+  // --- betweenness_rank: sampled Brandes + full edge ranking sort. ---
+  analytics::BetweennessOptions betweenness;
+  betweenness.exact_node_threshold = 1024;
+  betweenness.sample_sources = 96;
+  TimeOp(name, g, "betweenness_rank", repeats,
+         [&]() {
+           auto ranked = analytics::EdgesByBetweennessDescending(g, betweenness);
+           EDGESHED_CHECK_EQ(ranked.size(), g.NumEdges());
+         },
+         results);
+
+  // --- crr_reduce: random init isolates the Phase-2 swap loop (betweenness
+  // is timed separately above). ---
+  core::CrrOptions crr_options;
+  crr_options.init_mode = core::CrrOptions::InitMode::kRandom;
+  crr_options.seed = 42;
+  const core::Crr crr(crr_options);
+  TimeOp(name, g, "crr_reduce", repeats,
+         [&]() {
+           auto result = crr.Reduce(g, p);
+           EDGESHED_CHECK(result.ok()) << result.status().ToString();
+         },
+         results);
+
+  // --- bm2_reduce. ---
+  const core::Bm2 bm2;
+  TimeOp(name, g, "bm2_reduce", repeats,
+         [&]() {
+           auto result = bm2.Reduce(g, p);
+           EDGESHED_CHECK(result.ok()) << result.status().ToString();
+         },
+         results);
+}
+
+void WriteJson(const std::string& path, const std::string& rev, int repeats,
+               const std::vector<BenchResult>& results) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  EDGESHED_CHECK(out != nullptr) << "cannot write " << path;
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"edgeshed-bench-hotpath-v1\",\n");
+  std::fprintf(out, "  \"git_rev\": \"%s\",\n", rev.c_str());
+  std::fprintf(out, "  \"threads\": %d,\n", DefaultThreadCount());
+  std::fprintf(out, "  \"repeats\": %d,\n", repeats);
+  std::fprintf(out, "  \"benchmarks\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"graph\": \"%s\", \"nodes\": %llu, \"edges\": %llu, "
+                 "\"op\": \"%s\", \"median_seconds\": %.6f, "
+                 "\"min_seconds\": %.6f, \"max_seconds\": %.6f}%s\n",
+                 r.graph.c_str(), static_cast<unsigned long long>(r.nodes),
+                 static_cast<unsigned long long>(r.edges), r.op.c_str(),
+                 r.median_seconds, r.min_seconds, r.max_seconds,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s (%zu series, threads=%d, rev=%s)\n", path.c_str(),
+              results.size(), DefaultThreadCount(), rev.c_str());
+}
+
+int Main(int argc, char** argv) {
+  eval::Flags flags(argc, argv);
+  const std::string out = flags.GetString("out", "BENCH_hotpath.json");
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 5));
+  const bool smoke = flags.GetBool("smoke", false);
+  const double p = flags.GetDouble("p", 0.5);
+  const char* rev_env = std::getenv("EDGESHED_GIT_REV");
+  const std::string rev =
+      flags.GetString("rev", rev_env != nullptr ? rev_env : "unknown");
+
+  std::printf("edgeshed hot-path perf suite: threads=%d repeats=%d%s\n",
+              DefaultThreadCount(), repeats, smoke ? " (smoke)" : "");
+
+  // Two families, two sizes each; smoke shrinks everything so CI stays in
+  // seconds. R-MAT stands in for skewed social graphs, BA for heavy-tailed
+  // collaboration networks (DESIGN.md §3).
+  std::vector<BenchResult> results;
+  {
+    Rng rng(1);
+    graph::Graph g = smoke ? graph::RMat(10, 8, 0.57, 0.19, 0.19, rng)
+                           : graph::RMat(13, 16, 0.57, 0.19, 0.19, rng);
+    BenchGraph(smoke ? "rmat_s10" : "rmat_s13", g, repeats, p, &results);
+  }
+  {
+    Rng rng(2);
+    graph::Graph g = smoke ? graph::RMat(12, 8, 0.57, 0.19, 0.19, rng)
+                           : graph::RMat(15, 16, 0.57, 0.19, 0.19, rng);
+    BenchGraph(smoke ? "rmat_s12" : "rmat_s15", g, repeats, p, &results);
+  }
+  {
+    Rng rng(3);
+    graph::Graph g = smoke ? graph::BarabasiAlbert(4000, 6, rng)
+                           : graph::BarabasiAlbert(20000, 8, rng);
+    BenchGraph(smoke ? "ba_4k" : "ba_20k", g, repeats, p, &results);
+  }
+  {
+    Rng rng(4);
+    graph::Graph g = smoke ? graph::BarabasiAlbert(12000, 6, rng)
+                           : graph::BarabasiAlbert(80000, 8, rng);
+    BenchGraph(smoke ? "ba_12k" : "ba_80k", g, repeats, p, &results);
+  }
+
+  WriteJson(out, rev, repeats, results);
+  return 0;
+}
+
+}  // namespace
+}  // namespace edgeshed::bench
+
+int main(int argc, char** argv) { return edgeshed::bench::Main(argc, argv); }

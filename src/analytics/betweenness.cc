@@ -1,10 +1,9 @@
 #include "analytics/betweenness.h"
 
 #include <algorithm>
-#include <mutex>
 #include <numeric>
 
-#include "common/parallel_for.h"
+#include "common/parallel.h"
 #include "common/random.h"
 
 namespace edgeshed::analytics {
@@ -99,27 +98,63 @@ BetweennessScores Betweenness(const graph::Graph& g,
     rescale = static_cast<double>(n) / static_cast<double>(sources.size());
   }
 
-  std::mutex merge_mutex;
-  ParallelFor(
-      0, sources.size(),
-      [&](uint64_t begin, uint64_t end) {
+  // Striped reduction instead of a global merge mutex: the sources are split
+  // into a fixed number of contiguous partitions, each with its own
+  // accumulator pair, so sweep threads never contend. The partition count
+  // depends only on the source count — never on the thread count — and the
+  // partials are summed per index in ascending partition order below, so the
+  // floating-point accumulation order (and therefore every bit of the
+  // result) is identical for any EDGESHED_THREADS value.
+  const uint64_t m = g.NumEdges();
+  constexpr uint64_t kMaxPartials = 16;
+  constexpr uint64_t kMinSourcesPerPartial = 4;
+  const uint64_t num_partials = std::clamp<uint64_t>(
+      sources.size() / kMinSourcesPerPartial, 1, kMaxPartials);
+  std::vector<std::vector<double>> node_parts(num_partials);
+  std::vector<std::vector<double>> edge_parts(num_partials);
+  ParallelForEach(
+      0, num_partials,
+      [&](uint64_t part) {
         BrandesScratch scratch;
-        scratch.Init(n, g.NumEdges());
-        for (uint64_t i = begin; i < end; ++i) {
+        scratch.Init(n, m);
+        const uint64_t first = sources.size() * part / num_partials;
+        const uint64_t last = sources.size() * (part + 1) / num_partials;
+        for (uint64_t i = first; i < last; ++i) {
           BrandesFromSource(g, sources[i], &scratch);
         }
-        std::lock_guard<std::mutex> lock(merge_mutex);
-        for (uint64_t u = 0; u < n; ++u) scores.node[u] += scratch.node_acc[u];
-        for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
-          scores.edge[e] += scratch.edge_acc[e];
+        node_parts[part] = std::move(scratch.node_acc);
+        edge_parts[part] = std::move(scratch.edge_acc);
+      },
+      options.threads, /*grain=*/1);
+
+  // Range-partitioned merge: each index is owned by exactly one chunk, and
+  // partials are added in fixed partition order. Halve the directed double
+  // count and apply the sampling rescale in the same pass.
+  const double factor = 0.5 * rescale;
+  ParallelFor(
+      0, n,
+      [&](uint64_t begin, uint64_t end) {
+        for (uint64_t u = begin; u < end; ++u) {
+          double acc = 0.0;
+          for (uint64_t part = 0; part < num_partials; ++part) {
+            acc += node_parts[part][u];
+          }
+          scores.node[u] = acc * factor;
         }
       },
       options.threads);
-
-  // Halve the directed double count; apply sampling rescale.
-  const double factor = 0.5 * rescale;
-  for (double& score : scores.node) score *= factor;
-  for (double& score : scores.edge) score *= factor;
+  ParallelFor(
+      0, m,
+      [&](uint64_t begin, uint64_t end) {
+        for (uint64_t e = begin; e < end; ++e) {
+          double acc = 0.0;
+          for (uint64_t part = 0; part < num_partials; ++part) {
+            acc += edge_parts[part][e];
+          }
+          scores.edge[e] = acc * factor;
+        }
+      },
+      options.threads);
   return scores;
 }
 
@@ -128,13 +163,14 @@ std::vector<graph::EdgeId> EdgesByBetweennessDescending(
   BetweennessScores scores = Betweenness(g, options);
   std::vector<graph::EdgeId> ids(g.NumEdges());
   std::iota(ids.begin(), ids.end(), graph::EdgeId{0});
-  std::stable_sort(ids.begin(), ids.end(),
-                   [&scores](graph::EdgeId a, graph::EdgeId b) {
-                     if (scores.edge[a] != scores.edge[b]) {
-                       return scores.edge[a] > scores.edge[b];
-                     }
-                     return a < b;
-                   });
+  ParallelSort(ids.begin(), ids.end(),
+               [&scores](graph::EdgeId a, graph::EdgeId b) {
+                 if (scores.edge[a] != scores.edge[b]) {
+                   return scores.edge[a] > scores.edge[b];
+                 }
+                 return a < b;
+               },
+               options.threads);
   return ids;
 }
 

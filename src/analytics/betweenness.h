@@ -36,6 +36,11 @@ struct BetweennessOptions {
 /// double-count is halved). Sampled mode rescales by |V|/sources so values
 /// estimate the exact ones; rankings — which is what both CRR and the
 /// paper's Fig. 8 consume — converge quickly.
+///
+/// Determinism: per-source sweeps accumulate into a fixed number of striped
+/// partials whose layout depends only on the source count, and partials are
+/// merged in a fixed order, so scores are bit-identical for every thread
+/// count (DESIGN.md "Parallel hot path").
 struct BetweennessScores {
   std::vector<double> node;  // indexed by NodeId
   std::vector<double> edge;  // indexed by EdgeId

@@ -1,16 +1,16 @@
 #include "common/parallel_for.h"
 
-#include <algorithm>
-#include <atomic>
 #include <cstdlib>
 #include <thread>
-#include <vector>
+
+#include "common/parallel.h"
 
 namespace edgeshed {
 
-namespace {
-
-int ReadThreadCountFromEnv() {
+int DefaultThreadCount() {
+  // Re-read the environment on every call (a getenv is cheap next to a
+  // parallel region) so tests and long-lived services can change
+  // EDGESHED_THREADS at runtime.
   const char* env = std::getenv("EDGESHED_THREADS");
   if (env != nullptr) {
     int parsed = std::atoi(env);
@@ -20,57 +20,18 @@ int ReadThreadCountFromEnv() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-}  // namespace
-
-int DefaultThreadCount() {
-  static const int count = ReadThreadCountFromEnv();
-  return count;
-}
-
 void ParallelFor(uint64_t begin, uint64_t end,
                  const std::function<void(uint64_t, uint64_t)>& body,
                  int threads) {
-  if (begin >= end) return;
-  if (threads <= 0) threads = DefaultThreadCount();
-  const uint64_t total = end - begin;
-  // Small ranges: the thread spawn cost dominates, run inline.
-  constexpr uint64_t kMinPerThread = 256;
-  uint64_t usable = std::min<uint64_t>(
-      static_cast<uint64_t>(threads),
-      std::max<uint64_t>(1, total / kMinPerThread));
-  if (usable <= 1) {
-    body(begin, end);
-    return;
-  }
-
-  // Dynamic chunking: workers pull fixed-size chunks off a shared counter so
-  // skewed per-item cost (e.g. BFS from hub vertices) stays balanced.
-  const uint64_t chunk =
-      std::max<uint64_t>(kMinPerThread, total / (usable * 8));
-  std::atomic<uint64_t> next(begin);
-  std::vector<std::thread> workers;
-  workers.reserve(usable);
-  for (uint64_t t = 0; t < usable; ++t) {
-    workers.emplace_back([&]() {
-      for (;;) {
-        uint64_t chunk_begin = next.fetch_add(chunk);
-        if (chunk_begin >= end) return;
-        uint64_t chunk_end = std::min(end, chunk_begin + chunk);
-        body(chunk_begin, chunk_end);
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
+  // Explicit template argument keeps this from recursing into itself.
+  ParallelFor<const std::function<void(uint64_t, uint64_t)>&>(begin, end, body,
+                                                              threads);
 }
 
 void ParallelForEach(uint64_t begin, uint64_t end,
                      const std::function<void(uint64_t)>& body, int threads) {
-  ParallelFor(
-      begin, end,
-      [&body](uint64_t chunk_begin, uint64_t chunk_end) {
-        for (uint64_t i = chunk_begin; i < chunk_end; ++i) body(i);
-      },
-      threads);
+  ParallelForEach<const std::function<void(uint64_t)>&>(begin, end, body,
+                                                        threads);
 }
 
 }  // namespace edgeshed

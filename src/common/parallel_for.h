@@ -5,11 +5,15 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/parallel.h"
+
 namespace edgeshed {
 
-/// Number of worker threads ParallelFor will use (hardware concurrency,
-/// at least 1). Override with the EDGESHED_THREADS environment variable.
-int DefaultThreadCount();
+/// Type-erased wrappers around the templated helpers in common/parallel.h,
+/// kept for ABI stability and for callers that already hold a std::function.
+/// New code (and anything on a hot path) should call the templates directly:
+/// a lambda argument binds to the template overload automatically, skipping
+/// the std::function indirection.
 
 /// Runs `body(begin..end)` chunks across `threads` workers (0 = default).
 /// Blocks until all chunks complete. `body` receives half-open ranges

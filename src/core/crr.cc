@@ -4,11 +4,38 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/discrepancy.h"
 
 namespace edgeshed::core {
+
+namespace {
+
+/// Phase-2 working entry: an edge id with its endpoints cached flat, so each
+/// swap attempt touches one 16-byte record instead of chasing the id into
+/// the graph's edge array (a guaranteed cache miss per draw on big graphs).
+struct CachedEdge {
+  graph::EdgeId id;
+  graph::NodeId u;
+  graph::NodeId v;
+};
+
+std::vector<CachedEdge> CacheEndpoints(const graph::Graph& g,
+                                       const graph::EdgeId* ids,
+                                       uint64_t count) {
+  std::vector<CachedEdge> cached(count);
+  ParallelFor(0, count, [&](uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      const graph::Edge& e = g.edge(ids[i]);
+      cached[i] = CachedEdge{ids[i], e.u, e.v};
+    }
+  });
+  return cached;
+}
+
+}  // namespace
 
 uint64_t Crr::StepsFor(const graph::Graph& g, double p) const {
   if (options_.steps_override.has_value()) return *options_.steps_override;
@@ -35,15 +62,14 @@ StatusOr<SheddingResult> Crr::Reduce(const graph::Graph& g, double p) const {
     std::iota(ranked.begin(), ranked.end(), graph::EdgeId{0});
     rng.Shuffle(&ranked);
   }
-  std::vector<graph::EdgeId> kept(ranked.begin(),
-                                  ranked.begin() + static_cast<long>(target));
-  std::vector<graph::EdgeId> excluded(ranked.begin() + static_cast<long>(target),
-                                      ranked.end());
+  std::vector<CachedEdge> kept = CacheEndpoints(g, ranked.data(), target);
+  std::vector<CachedEdge> excluded =
+      CacheEndpoints(g, ranked.data() + target, num_edges - target);
   const double phase1_seconds = phase1_watch.ElapsedSeconds();
 
   DegreeDiscrepancy discrepancy(g, p);
-  for (graph::EdgeId e : kept) {
-    discrepancy.AddEdge(g.edge(e).u, g.edge(e).v);
+  for (const CachedEdge& e : kept) {
+    discrepancy.AddEdge(e.u, e.v);
   }
 
   // ---- Phase 2: random swap attempts between E' and E \ E'. ----
@@ -54,8 +80,8 @@ StatusOr<SheddingResult> Crr::Reduce(const graph::Graph& g, double p) const {
     for (uint64_t step = 0; step < steps; ++step) {
       const size_t kept_index = rng.UniformIndex(kept.size());
       const size_t excluded_index = rng.UniformIndex(excluded.size());
-      const graph::Edge removal = g.edge(kept[kept_index]);
-      const graph::Edge addition = g.edge(excluded[excluded_index]);
+      const CachedEdge removal = kept[kept_index];
+      const CachedEdge addition = excluded[excluded_index];
 
       // d1, d2 exactly as Algorithm 1 lines 10-11: both evaluated against
       // the current state. (When the two edges share an endpoint the true
@@ -77,8 +103,9 @@ StatusOr<SheddingResult> Crr::Reduce(const graph::Graph& g, double p) const {
   }
   const double phase2_seconds = phase2_watch.ElapsedSeconds();
 
-  result.kept_edges = std::move(kept);
-  std::sort(result.kept_edges.begin(), result.kept_edges.end());
+  result.kept_edges.resize(kept.size());
+  for (size_t i = 0; i < kept.size(); ++i) result.kept_edges[i] = kept[i].id;
+  ParallelSort(result.kept_edges.begin(), result.kept_edges.end());
   result.total_delta = discrepancy.TotalDelta();
   result.average_delta = discrepancy.AverageDelta();
   result.reduction_seconds = total_watch.ElapsedSeconds();

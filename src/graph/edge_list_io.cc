@@ -1,23 +1,139 @@
 #include "graph/edge_list_io.h"
 
-#include <cstdio>
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
-#include <sstream>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "graph/graph_builder.h"
 
 namespace edgeshed::graph {
 
+namespace {
+
+/// Parses one whitespace-delimited unsigned field starting at *pos.
+/// Mirrors istream semantics for unsigned types: a leading '-' wraps the
+/// value modulo 2^64, overflow is an error. Returns false when no valid
+/// field is present.
+bool ParseUintField(std::string_view text, size_t* pos, uint64_t* out) {
+  size_t i = *pos;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t' ||
+                             text[i] == '\r' || text[i] == '\v' ||
+                             text[i] == '\f')) {
+    ++i;
+  }
+  bool negate = false;
+  if (i < text.size() && (text[i] == '+' || text[i] == '-')) {
+    negate = text[i] == '-';
+    ++i;
+  }
+  const size_t digits_begin = i;
+  uint64_t value = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    const uint64_t digit = static_cast<uint64_t>(text[i] - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+    ++i;
+  }
+  if (i == digits_begin) return false;  // no digits
+  *pos = i;
+  *out = negate ? (0 - value) : value;
+  return true;
+}
+
+/// Shortened copy of an offending line for error messages.
+std::string TruncatedLine(std::string_view line) {
+  constexpr size_t kMaxSnippet = 40;
+  if (line.size() <= kMaxSnippet) return std::string(line);
+  return std::string(line.substr(0, kMaxSnippet)) + "...";
+}
+
+/// Output of parsing one contiguous byte range of the input file. Chunks
+/// start at line boundaries, so concatenating chunk edge lists in chunk
+/// order reproduces the serial parse exactly.
+struct ChunkParse {
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  uint64_t lines = 0;  // every line seen, including comments and blanks
+  bool has_error = false;
+  uint64_t error_line = 0;  // 1-based within this chunk
+  std::string error_snippet;
+};
+
+void ParseChunk(std::string_view data, size_t begin, size_t end,
+                ChunkParse* out) {
+  size_t pos = begin;
+  while (pos < end) {
+    size_t eol = data.find('\n', pos);
+    const size_t line_end = eol == std::string_view::npos ? data.size() : eol;
+    const std::string_view line = data.substr(pos, line_end - pos);
+    pos = line_end + 1;
+    ++out->lines;
+    const std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') continue;
+    size_t cursor = 0;
+    uint64_t raw_u = 0;
+    uint64_t raw_v = 0;
+    if (!ParseUintField(trimmed, &cursor, &raw_u) ||
+        !ParseUintField(trimmed, &cursor, &raw_v)) {
+      out->has_error = true;
+      out->error_line = out->lines;
+      out->error_snippet = TruncatedLine(trimmed);
+      return;  // a serial reader stops at the first bad line
+    }
+    out->edges.emplace_back(raw_u, raw_v);  // extra columns ignored
+  }
+}
+
+}  // namespace
+
 StatusOr<LoadedGraph> LoadEdgeList(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IOError("cannot open edge list file: " + path);
   }
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  std::string data(size > 0 ? static_cast<size_t>(size) : 0, '\0');
+  if (!data.empty() && !in.read(data.data(), size)) {
+    return Status::IOError("read failed: " + path);
+  }
+
+  // Split the buffer at newline boundaries, one chunk per worker; each chunk
+  // parses independently and the results are merged in chunk order, so the
+  // edge sequence (and therefore the first-seen id remap below) is identical
+  // to a serial line-by-line read for every thread count.
+  constexpr size_t kMinChunkBytes = size_t{1} << 16;
+  const size_t chunk_target = std::clamp<size_t>(
+      data.size() / kMinChunkBytes, 1,
+      static_cast<size_t>(DefaultThreadCount()));
+  std::vector<size_t> bounds;
+  bounds.push_back(0);
+  for (size_t c = 1; c < chunk_target; ++c) {
+    size_t pos = data.find('\n', data.size() * c / chunk_target);
+    pos = pos == std::string::npos ? data.size() : pos + 1;
+    if (pos > bounds.back() && pos < data.size()) bounds.push_back(pos);
+  }
+  bounds.push_back(data.size());
+  const size_t num_chunks = bounds.size() - 1;
+
+  std::vector<ChunkParse> chunks(num_chunks);
+  ParallelForEach(
+      0, num_chunks,
+      [&](uint64_t c) { ParseChunk(data, bounds[c], bounds[c + 1], &chunks[c]); },
+      0, /*grain=*/1);
+
+  size_t total_edges = 0;
+  for (const ChunkParse& chunk : chunks) total_edges += chunk.edges.size();
 
   GraphBuilder builder;
+  builder.ReserveEdges(total_edges);
   std::unordered_map<uint64_t, NodeId> dense_id;
+  dense_id.reserve(total_edges);
   std::vector<uint64_t> original_ids;
   auto intern = [&](uint64_t raw) -> NodeId {
     auto [it, inserted] =
@@ -26,24 +142,22 @@ StatusOr<LoadedGraph> LoadEdgeList(const std::string& path) {
     return it->second;
   };
 
-  std::string line;
-  size_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    std::string_view trimmed = StripWhitespace(line);
-    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') continue;
-    std::istringstream fields{std::string(trimmed)};
-    uint64_t raw_u = 0;
-    uint64_t raw_v = 0;
-    if (!(fields >> raw_u >> raw_v)) {
-      return Status::InvalidArgument(
-          StrFormat("%s:%zu: expected 'src dst'", path.c_str(), line_number));
+  uint64_t line_base = 0;
+  for (const ChunkParse& chunk : chunks) {
+    if (chunk.has_error) {
+      return Status::InvalidArgument(StrFormat(
+          "%s:%llu: expected 'src dst', got '%s'", path.c_str(),
+          static_cast<unsigned long long>(line_base + chunk.error_line),
+          chunk.error_snippet.c_str()));
     }
-    // Intern in reading order (function-argument evaluation order is
-    // unspecified, and ids should be assigned first-seen-first).
-    NodeId u = intern(raw_u);
-    NodeId v = intern(raw_v);
-    builder.AddEdge(u, v);
+    // Intern in file order (first-seen-first id assignment, exactly as a
+    // serial reader would).
+    for (const auto& [raw_u, raw_v] : chunk.edges) {
+      NodeId u = intern(raw_u);
+      NodeId v = intern(raw_v);
+      builder.AddEdge(u, v);
+    }
+    line_base += chunk.lines;
   }
   return LoadedGraph{builder.Build(), std::move(original_ids)};
 }

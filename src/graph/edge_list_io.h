@@ -22,6 +22,12 @@ struct LoadedGraph {
 /// "src dst" (extra columns ignored). Directed duplicates (a b / b a),
 /// parallel edges and self-loops are collapsed/dropped, matching how the
 /// paper's snap.py pipeline materializes undirected simple graphs.
+///
+/// The file is read once and parsed in parallel chunks split at newline
+/// boundaries; results are merged in file order, so the loaded graph (node
+/// remap included) is bit-identical for every EDGESHED_THREADS value.
+/// Malformed lines fail with InvalidArgument reporting "path:line" and a
+/// truncated copy of the offending line.
 StatusOr<LoadedGraph> LoadEdgeList(const std::string& path);
 
 /// Writes `graph` as "u v" lines (dense ids), with a small header comment.

@@ -1,44 +1,140 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 
 namespace edgeshed::graph {
 
+namespace {
+
+constexpr uint64_t kNone = static_cast<uint64_t>(-1);
+
+/// Lowers `candidate` into `slot` if it is smaller — used to report the
+/// first (lowest-index) offending edge deterministically regardless of which
+/// worker finds it.
+void AtomicMinIndex(std::atomic<uint64_t>* slot, uint64_t candidate) {
+  uint64_t current = slot->load(std::memory_order_relaxed);
+  while (candidate < current &&
+         !slot->compare_exchange_weak(current, candidate,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+/// Blocked parallel in-place inclusive prefix sum. Integer additions are
+/// associative, so any chunk layout produces the same offsets.
+void ParallelInclusivePrefixSum(std::vector<uint64_t>* values) {
+  const uint64_t n = values->size();
+  constexpr uint64_t kMinPerChunk = uint64_t{1} << 15;
+  const uint64_t threads = static_cast<uint64_t>(DefaultThreadCount());
+  const uint64_t chunks =
+      std::min<uint64_t>(threads, std::max<uint64_t>(1, n / kMinPerChunk));
+  if (chunks <= 1) {
+    for (uint64_t i = 1; i < n; ++i) (*values)[i] += (*values)[i - 1];
+    return;
+  }
+  std::vector<uint64_t> bounds(chunks + 1);
+  for (uint64_t c = 0; c <= chunks; ++c) bounds[c] = n * c / chunks;
+  std::vector<uint64_t> chunk_totals(chunks, 0);
+  ParallelForEach(
+      0, chunks,
+      [&](uint64_t c) {
+        uint64_t* data = values->data();
+        for (uint64_t i = bounds[c] + 1; i < bounds[c + 1]; ++i) {
+          data[i] += data[i - 1];
+        }
+        chunk_totals[c] = data[bounds[c + 1] - 1];
+      },
+      0, /*grain=*/1);
+  std::vector<uint64_t> chunk_offsets(chunks, 0);
+  for (uint64_t c = 1; c < chunks; ++c) {
+    chunk_offsets[c] = chunk_offsets[c - 1] + chunk_totals[c - 1];
+  }
+  ParallelForEach(
+      1, chunks,
+      [&](uint64_t c) {
+        uint64_t* data = values->data();
+        for (uint64_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+          data[i] += chunk_offsets[c];
+        }
+      },
+      0, /*grain=*/1);
+}
+
+}  // namespace
+
 StatusOr<Graph> Graph::FromEdges(NodeId num_nodes, std::vector<Edge> edges) {
-  for (Edge& e : edges) {
+  const uint64_t m = edges.size();
+
+  // Validate endpoints / self-loops and canonicalize (u <= v) in parallel,
+  // tracking the lowest offending index so the reported error matches what a
+  // serial scan would find first.
+  std::atomic<uint64_t> first_bad{kNone};
+  ParallelFor(0, m, [&](uint64_t begin, uint64_t end) {
+    uint64_t local_bad = kNone;
+    for (uint64_t i = begin; i < end; ++i) {
+      Edge& e = edges[i];
+      if (e.u >= num_nodes || e.v >= num_nodes || e.u == e.v) {
+        local_bad = i;
+        break;
+      }
+      if (e.u > e.v) std::swap(e.u, e.v);
+    }
+    if (local_bad != kNone) AtomicMinIndex(&first_bad, local_bad);
+  });
+  if (first_bad.load(std::memory_order_relaxed) != kNone) {
+    const Edge& e = edges[first_bad.load(std::memory_order_relaxed)];
     if (e.u >= num_nodes || e.v >= num_nodes) {
-      return Status::InvalidArgument(
-          StrFormat("edge (%u, %u) has endpoint outside [0, %u)", e.u, e.v,
-                    num_nodes));
+      return Status::InvalidArgument(StrFormat(
+          "edge (%u, %u) has endpoint outside [0, %u)", e.u, e.v, num_nodes));
     }
-    if (e.u == e.v) {
-      return Status::InvalidArgument(
-          StrFormat("self-loop at node %u; simple graphs only", e.u));
-    }
-    if (e.u > e.v) std::swap(e.u, e.v);
-  }
-  std::vector<Edge> sorted = edges;
-  std::sort(sorted.begin(), sorted.end());
-  auto dup = std::adjacent_find(sorted.begin(), sorted.end());
-  if (dup != sorted.end()) {
     return Status::InvalidArgument(
-        StrFormat("duplicate edge (%u, %u)", dup->u, dup->v));
+        StrFormat("self-loop at node %u; simple graphs only", e.u));
   }
-  return Graph(num_nodes, std::move(sorted));
+
+  ParallelSort(edges.begin(), edges.end());
+
+  // Duplicate detection: each pair of adjacent equal edges is visible from
+  // the second element, so a parallel scan over [1, m) finds them all.
+  std::atomic<uint64_t> first_dup{kNone};
+  ParallelFor(1, m, [&](uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      if (edges[i - 1] == edges[i]) {
+        AtomicMinIndex(&first_dup, i);
+        break;
+      }
+    }
+  });
+  if (first_dup.load(std::memory_order_relaxed) != kNone) {
+    const Edge& e = edges[first_dup.load(std::memory_order_relaxed)];
+    return Status::InvalidArgument(
+        StrFormat("duplicate edge (%u, %u)", e.u, e.v));
+  }
+  return Graph(num_nodes, std::move(edges));
 }
 
 Graph::Graph(NodeId num_nodes, std::vector<Edge> edges)
     : edges_(std::move(edges)) {
+  // Degree count: relaxed atomic increments are safe (counts are integers,
+  // so the accumulation order cannot change the result).
   offsets_.assign(static_cast<size_t>(num_nodes) + 1, 0);
-  for (const Edge& e : edges_) {
-    ++offsets_[e.u + 1];
-    ++offsets_[e.v + 1];
-  }
-  for (size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+  ParallelFor(0, edges_.size(), [&](uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      const Edge& e = edges_[i];
+      std::atomic_ref<uint64_t>(offsets_[e.u + 1])
+          .fetch_add(1, std::memory_order_relaxed);
+      std::atomic_ref<uint64_t>(offsets_[e.v + 1])
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  ParallelInclusivePrefixSum(&offsets_);
 
+  // Adjacency fill stays serial: the cursor walk writes each slot exactly
+  // once in edge-id order, which is what makes every adjacency list come out
+  // sorted (and deterministic) without an extra per-node sort pass.
   adjacency_.resize(2 * edges_.size());
   incident_.resize(2 * edges_.size());
   std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);

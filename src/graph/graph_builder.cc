@@ -3,7 +3,59 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/parallel.h"
+
 namespace edgeshed::graph {
+
+namespace {
+
+/// Order-preserving parallel compaction: keeps edges[i] where keep(i) is
+/// true. Works in three passes (per-chunk keep counts, a tiny serial prefix
+/// sum over chunks, parallel scatter into the exact output slots), so the
+/// result is identical to a serial std::remove_if for every chunk layout.
+template <typename KeepFn>
+std::vector<Edge> CompactEdges(const std::vector<Edge>& edges, KeepFn keep) {
+  const uint64_t m = edges.size();
+  constexpr uint64_t kMinPerChunk = uint64_t{1} << 14;
+  const uint64_t threads = static_cast<uint64_t>(DefaultThreadCount());
+  const uint64_t chunks =
+      std::min<uint64_t>(threads, std::max<uint64_t>(1, m / kMinPerChunk));
+  if (chunks <= 1) {
+    std::vector<Edge> out;
+    out.reserve(m);
+    for (uint64_t i = 0; i < m; ++i) {
+      if (keep(i)) out.push_back(edges[i]);
+    }
+    return out;
+  }
+  std::vector<uint64_t> bounds(chunks + 1);
+  for (uint64_t c = 0; c <= chunks; ++c) bounds[c] = m * c / chunks;
+  std::vector<uint64_t> kept_before(chunks + 1, 0);
+  ParallelForEach(
+      0, chunks,
+      [&](uint64_t c) {
+        uint64_t count = 0;
+        for (uint64_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+          if (keep(i)) ++count;
+        }
+        kept_before[c + 1] = count;
+      },
+      0, /*grain=*/1);
+  for (uint64_t c = 0; c < chunks; ++c) kept_before[c + 1] += kept_before[c];
+  std::vector<Edge> out(kept_before[chunks]);
+  ParallelForEach(
+      0, chunks,
+      [&](uint64_t c) {
+        uint64_t cursor = kept_before[c];
+        for (uint64_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+          if (keep(i)) out[cursor++] = edges[i];
+        }
+      },
+      0, /*grain=*/1);
+  return out;
+}
+
+}  // namespace
 
 void GraphBuilder::ReserveNodes(NodeId num_nodes) {
   max_node_bound_ = std::max(max_node_bound_, num_nodes);
@@ -20,15 +72,19 @@ void GraphBuilder::AddEdge(NodeId u, NodeId v) {
 }
 
 Graph GraphBuilder::Build() {
-  std::vector<Edge> edges = std::move(edges_);
+  std::vector<Edge> raw = std::move(edges_);
   edges_.clear();
-  // Drop self-loops, then collapse parallel edges.
-  edges.erase(std::remove_if(edges.begin(), edges.end(),
-                             [](const Edge& e) { return e.u == e.v; }),
-              edges.end());
-  std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-  auto graph = Graph::FromEdges(max_node_bound_, std::move(edges));
+  // Drop self-loops, sort, then collapse parallel edges — each stage
+  // parallel and order-stable, so the cleaned edge list is identical for
+  // every thread count.
+  std::vector<Edge> edges =
+      CompactEdges(raw, [&raw](uint64_t i) { return raw[i].u != raw[i].v; });
+  raw.clear();
+  raw.shrink_to_fit();
+  ParallelSort(edges.begin(), edges.end());
+  std::vector<Edge> unique_edges = CompactEdges(
+      edges, [&edges](uint64_t i) { return i == 0 || !(edges[i] == edges[i - 1]); });
+  auto graph = Graph::FromEdges(max_node_bound_, std::move(unique_edges));
   EDGESHED_CHECK(graph.ok()) << graph.status().ToString();
   max_node_bound_ = 0;
   return std::move(graph).value();

@@ -327,6 +327,20 @@ void JobScheduler::FinishLocked(Job& job, JobState state, Status status,
     if (job.run_seconds > 0.0) {
       metrics_->RecordLatency("scheduler.run_seconds", job.run_seconds);
     }
+    if (state == JobState::kDone && result != nullptr) {
+      // Publish per-phase shedding timings (phase1_seconds/phase2_seconds
+      // and any other *_seconds counter the shedder reports) as latency
+      // series. Done here — on the executing job only — so coalesced
+      // followers sharing this result do not double-count the work.
+      constexpr std::string_view kSecondsSuffix = "_seconds";
+      for (const auto& [key, value] : result->stats) {
+        if (key.size() > kSecondsSuffix.size() &&
+            key.compare(key.size() - kSecondsSuffix.size(),
+                        kSecondsSuffix.size(), kSecondsSuffix) == 0) {
+          metrics_->RecordLatency("scheduler." + key, value);
+        }
+      }
+    }
   }
   for (JobId follower_id : job.followers) {
     Job& follower = jobs_.at(follower_id);

@@ -75,6 +75,64 @@ TEST_F(EdgeListIoTest, MalformedLineIsInvalidArgument) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST_F(EdgeListIoTest, ParseErrorReportsLineNumberAndSnippet) {
+  const std::string path = TempPath("bad_line.txt");
+  WriteFile(path, "# header\n0 1\n1 2\nbogus line here\n2 3\n");
+  auto loaded = LoadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  const std::string message = loaded.status().ToString();
+  EXPECT_NE(message.find(path + ":4:"), std::string::npos) << message;
+  EXPECT_NE(message.find("bogus line here"), std::string::npos) << message;
+}
+
+TEST_F(EdgeListIoTest, ParseErrorTruncatesLongLines) {
+  const std::string path = TempPath("bad_long_line.txt");
+  const std::string junk(300, 'x');
+  WriteFile(path, "0 1\n" + junk + "\n");
+  auto loaded = LoadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  const std::string message = loaded.status().ToString();
+  EXPECT_NE(message.find(path + ":2:"), std::string::npos) << message;
+  EXPECT_NE(message.find("..."), std::string::npos) << message;
+  EXPECT_LT(message.size(), 200u) << message;
+}
+
+TEST_F(EdgeListIoTest, FirstBadLineWinsWhenSeveralAreMalformed) {
+  const std::string path = TempPath("two_bad.txt");
+  WriteFile(path, "0 1\nfirst bad\n1 2\nsecond bad\n");
+  auto loaded = LoadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  const std::string message = loaded.status().ToString();
+  EXPECT_NE(message.find(":2:"), std::string::npos) << message;
+  EXPECT_NE(message.find("first bad"), std::string::npos) << message;
+}
+
+TEST_F(EdgeListIoTest, MissingSecondFieldIsAnError) {
+  const std::string path = TempPath("one_field.txt");
+  WriteFile(path, "0 1\n42\n");
+  auto loaded = LoadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().ToString().find(":2:"), std::string::npos);
+}
+
+TEST_F(EdgeListIoTest, EmptyFileYieldsEmptyGraph) {
+  const std::string path = TempPath("empty.txt");
+  WriteFile(path, "");
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->graph.NumNodes(), 0u);
+  EXPECT_EQ(loaded->graph.NumEdges(), 0u);
+}
+
+TEST_F(EdgeListIoTest, FileWithoutTrailingNewlineParses) {
+  const std::string path = TempPath("no_trailing_newline.txt");
+  WriteFile(path, "0 1\n1 2");
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->graph.NumEdges(), 2u);
+}
+
 TEST_F(EdgeListIoTest, ExtraColumnsIgnored) {
   const std::string path = TempPath("extra.txt");
   WriteFile(path, "0 1 42 annotation\n1 2 7\n");

@@ -571,6 +571,36 @@ TEST(JobSchedulerTest, QueueSecondsAndRunSecondsArePopulated) {
   EXPECT_GE(status->queue_seconds, 0.0);
 }
 
+TEST(JobSchedulerTest, PublishesPerPhaseSheddingTimings) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  RegisterGraph(store, "g", Clique(24));
+  JobScheduler scheduler(&store, &metrics, {.workers = 1});
+
+  auto id = scheduler.Submit({"g", "crr", 0.5});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(scheduler.Wait(*id).ok());
+
+  // CRR reports phase1_seconds/phase2_seconds in SheddingResult::stats; the
+  // scheduler republishes them as latency series.
+  const LatencySnapshot phase1 =
+      metrics.LatencyValue("scheduler.phase1_seconds");
+  const LatencySnapshot phase2 =
+      metrics.LatencyValue("scheduler.phase2_seconds");
+  EXPECT_EQ(phase1.count, 1u);
+  EXPECT_EQ(phase2.count, 1u);
+  EXPECT_GE(phase1.sum_seconds, 0.0);
+  EXPECT_GE(phase2.sum_seconds, 0.0);
+
+  // A result-cache hit reuses the stored result without re-executing, so the
+  // phase series must not double-count.
+  auto cached = scheduler.Submit({"g", "crr", 0.5});
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(scheduler.Wait(*cached).ok());
+  EXPECT_EQ(metrics.CounterValue("scheduler.result_cache_hit"), 1u);
+  EXPECT_EQ(metrics.LatencyValue("scheduler.phase1_seconds").count, 1u);
+}
+
 TEST(JobSchedulerTest, JobStateNames) {
   EXPECT_EQ(JobStateToString(JobState::kQueued), "queued");
   EXPECT_EQ(JobStateToString(JobState::kRunning), "running");

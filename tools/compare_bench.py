@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_hotpath.json runs and flag regressions.
+
+Usage:
+    tools/compare_bench.py baseline.json candidate.json [--threshold 0.10]
+
+Series are keyed by (graph, op) and compared on median_seconds. A series
+whose median grew by more than --threshold (default 10%) counts as a
+regression; the script prints a table of every shared series and exits
+non-zero when any regression is found, so CI can gate on it.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "edgeshed-bench-hotpath-v1":
+        sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
+    return data
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="fractional slowdown that counts as a regression (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    base = {(b["graph"], b["op"]): b for b in baseline["benchmarks"]}
+    cand = {(b["graph"], b["op"]): b for b in candidate["benchmarks"]}
+
+    print(
+        f"baseline:  rev={baseline.get('git_rev')} threads={baseline.get('threads')}"
+    )
+    print(
+        f"candidate: rev={candidate.get('git_rev')} threads={candidate.get('threads')}"
+    )
+    header = f"{'graph':<12} {'op':<20} {'base (s)':>10} {'cand (s)':>10} {'ratio':>8}  verdict"
+    print(header)
+    print("-" * len(header))
+
+    regressions = []
+    for key in sorted(base):
+        if key not in cand:
+            print(f"{key[0]:<12} {key[1]:<20} {'':>10} {'':>10} {'':>8}  MISSING in candidate")
+            continue
+        old = base[key]["median_seconds"]
+        new = cand[key]["median_seconds"]
+        ratio = new / old if old > 0 else float("inf")
+        if ratio > 1 + args.threshold:
+            verdict = f"REGRESSION (+{(ratio - 1) * 100:.1f}%)"
+            regressions.append(key)
+        elif ratio < 1 - args.threshold:
+            verdict = f"improved ({(1 - ratio) * 100:.1f}%)"
+        else:
+            verdict = "ok"
+        print(
+            f"{key[0]:<12} {key[1]:<20} {old:>10.4f} {new:>10.4f} {ratio:>8.2f}  {verdict}"
+        )
+    for key in sorted(set(cand) - set(base)):
+        print(f"{key[0]:<12} {key[1]:<20} {'':>10} {'':>10} {'':>8}  new series")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} series regressed more than "
+            f"{args.threshold * 100:.0f}%: "
+            + ", ".join(f"{g}/{o}" for g, o in regressions)
+        )
+        return 1
+    print("\nno regressions above threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
