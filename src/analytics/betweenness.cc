@@ -120,12 +120,21 @@ BetweennessScores Betweenness(const graph::Graph& g,
         const uint64_t first = sources.size() * part / num_partials;
         const uint64_t last = sources.size() * (part + 1) / num_partials;
         for (uint64_t i = first; i < last; ++i) {
+          // One poll per source sweep (each sweep is O(|V|+|E|), so the
+          // check is far off the hot path). A tripped token abandons the
+          // partition; the caller checks the token and discards the scores.
+          if (CancellationRequested(options.cancel)) return;
           BrandesFromSource(g, sources[i], &scratch);
         }
         node_parts[part] = std::move(scratch.node_acc);
         edge_parts[part] = std::move(scratch.edge_acc);
       },
       options.threads, /*grain=*/1);
+
+  // Cancelled mid-sweep: the partials are incomplete, so merging them would
+  // only launder garbage. Return the zeroed scores; the caller is required
+  // to check the token before using them.
+  if (CancellationRequested(options.cancel)) return scores;
 
   // Range-partitioned merge: each index is owned by exactly one chunk, and
   // partials are added in fixed partition order. Halve the directed double
@@ -163,6 +172,9 @@ std::vector<graph::EdgeId> EdgesByBetweennessDescending(
   BetweennessScores scores = Betweenness(g, options);
   std::vector<graph::EdgeId> ids(g.NumEdges());
   std::iota(ids.begin(), ids.end(), graph::EdgeId{0});
+  // Cancelled: skip the sort, the ranking is garbage either way and the
+  // caller must check the token before trusting it.
+  if (CancellationRequested(options.cancel)) return ids;
   ParallelSort(ids.begin(), ids.end(),
                [&scores](graph::EdgeId a, graph::EdgeId b) {
                  if (scores.edge[a] != scores.edge[b]) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "graph/graph.h"
 
 namespace edgeshed::analytics {
@@ -20,6 +21,10 @@ struct BetweennessOptions {
   uint64_t seed = 13;
   /// Worker threads (0 = DefaultThreadCount()).
   int threads = 0;
+  /// Optional cooperative cancellation, polled once per source sweep. When
+  /// it trips, the remaining sweeps are skipped and the returned scores are
+  /// meaningless — the caller must check the token and discard them.
+  const CancellationToken* cancel = nullptr;
 
   /// Forces exact computation regardless of size.
   static BetweennessOptions Exact() {

@@ -79,7 +79,8 @@ struct MergeCandidate {
 }  // namespace
 
 StatusOr<UdsSummary> Uds::Summarize(const graph::Graph& g,
-                                    double utility_threshold) const {
+                                    double utility_threshold,
+                                    const CancellationToken* cancel) const {
   if (!(utility_threshold > 0.0 && utility_threshold < 1.0)) {
     return Status::InvalidArgument(
         "UDS utility threshold must be in (0, 1)");
@@ -89,8 +90,10 @@ StatusOr<UdsSummary> Uds::Summarize(const graph::Graph& g,
   UdsSummary summary;
 
   // Importance scores (nodeIS/edgeIS = betweenness), normalized to sum 1.
-  analytics::BetweennessScores scores =
-      analytics::Betweenness(g, options_.importance);
+  analytics::BetweennessOptions importance = options_.importance;
+  importance.cancel = cancel;
+  analytics::BetweennessScores scores = analytics::Betweenness(g, importance);
+  if (CancellationRequested(cancel)) return cancel->ToStatus();
   double node_total = 0.0;
   double edge_total = 0.0;
   for (double s : scores.node) node_total += s;
@@ -214,7 +217,15 @@ StatusOr<UdsSummary> Uds::Summarize(const graph::Graph& g,
     heap.push(MergeCandidate{merge_loss(s, t), s, t, 0, 0});
   }
   constexpr double kLossSlack = 1e-12;
+  // One token poll per 1024 pops: each pop can trigger an O(neighborhood)
+  // re-evaluation, so this is coarse enough to stay off the hot path while
+  // still bounding the time to observe a cancel.
+  constexpr uint64_t kCancelCheckMask = 1024 - 1;
+  uint64_t pops = 0;
   while (!heap.empty()) {
+    if ((pops++ & kCancelCheckMask) == 0 && CancellationRequested(cancel)) {
+      return cancel->ToStatus();
+    }
     MergeCandidate top = heap.top();
     heap.pop();
     if (!supernodes[top.s].alive || !supernodes[top.t].alive) continue;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analytics/betweenness.h"
+#include "common/cancellation.h"
 #include "common/histogram.h"
 #include "common/statusor.h"
 #include "graph/graph.h"
@@ -70,8 +71,14 @@ class Uds {
 
   /// Runs the summarizer until retained utility would drop below
   /// `utility_threshold` in (0,1).
-  StatusOr<UdsSummary> Summarize(const graph::Graph& g,
-                                 double utility_threshold) const;
+  ///
+  /// `cancel` (optional) is polled inside the importance scoring and every
+  /// ~1024 heap pops of the merge loop; a tripped token returns
+  /// Status::Cancelled / Status::DeadlineExceeded. Untripped runs are
+  /// bit-identical with and without a token.
+  StatusOr<UdsSummary> Summarize(
+      const graph::Graph& g, double utility_threshold,
+      const CancellationToken* cancel = nullptr) const;
 
  private:
   UdsOptions options_;

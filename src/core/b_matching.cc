@@ -9,7 +9,7 @@ namespace edgeshed::core {
 
 std::vector<graph::EdgeId> GreedyMaximalBMatching(
     const graph::Graph& g, const std::vector<uint32_t>& capacities,
-    BMatchingEdgeOrder order, Rng* rng) {
+    BMatchingEdgeOrder order, Rng* rng, const CancellationToken* cancel) {
   EDGESHED_CHECK_EQ(capacities.size(), g.NumNodes());
 
   std::vector<graph::EdgeId> scan(g.NumEdges());
@@ -35,7 +35,12 @@ std::vector<graph::EdgeId> GreedyMaximalBMatching(
 
   std::vector<uint32_t> load(g.NumNodes(), 0);
   std::vector<graph::EdgeId> matched;
+  constexpr uint64_t kCancelCheckMask = 65536 - 1;
+  uint64_t scanned = 0;
   for (graph::EdgeId id : scan) {
+    if ((scanned++ & kCancelCheckMask) == 0 && CancellationRequested(cancel)) {
+      break;  // partial result; the caller checks the token.
+    }
     const graph::Edge& e = g.edge(id);
     if (load[e.u] < capacities[e.u] && load[e.v] < capacities[e.v]) {
       ++load[e.u];

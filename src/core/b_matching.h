@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/random.h"
 #include "graph/graph.h"
 
@@ -26,10 +27,14 @@ enum class BMatchingEdgeOrder {
 ///
 /// `capacities[u]` is b(u) >= 0. Returns the EdgeIds of the matching, in
 /// increasing order. `rng` is only consulted for kShuffled.
+///
+/// `cancel` (optional) is polled every ~65536 scanned edges; when it trips,
+/// the pass stops early and the partial matching is returned — meaningless
+/// to a caller that does not check the token itself.
 std::vector<graph::EdgeId> GreedyMaximalBMatching(
     const graph::Graph& g, const std::vector<uint32_t>& capacities,
     BMatchingEdgeOrder order = BMatchingEdgeOrder::kInputOrder,
-    Rng* rng = nullptr);
+    Rng* rng = nullptr, const CancellationToken* cancel = nullptr);
 
 /// True iff `edge_ids` satisfies every capacity: deg_H(u) <= b(u).
 bool IsBMatching(const graph::Graph& g,

@@ -16,7 +16,8 @@ std::vector<uint32_t> Bm2::Capacities(const graph::Graph& g, double p) {
   return capacities;
 }
 
-StatusOr<SheddingResult> Bm2::Reduce(const graph::Graph& g, double p) const {
+StatusOr<SheddingResult> Bm2::Reduce(const graph::Graph& g, double p,
+                                     const CancellationToken* cancel) const {
   EDGESHED_RETURN_IF_ERROR(ValidatePreservationRatio(p));
   Stopwatch total_watch;
   SheddingResult result;
@@ -26,7 +27,8 @@ StatusOr<SheddingResult> Bm2::Reduce(const graph::Graph& g, double p) const {
   const std::vector<uint32_t> capacities = Capacities(g, p);
   Rng rng(options_.seed);
   std::vector<graph::EdgeId> matching =
-      GreedyMaximalBMatching(g, capacities, options_.edge_order, &rng);
+      GreedyMaximalBMatching(g, capacities, options_.edge_order, &rng, cancel);
+  if (CancellationRequested(cancel)) return cancel->ToStatus();
   const double phase1_seconds = phase1_watch.ElapsedSeconds();
 
   DegreeDiscrepancy discrepancy(g, p);
@@ -50,7 +52,11 @@ StatusOr<SheddingResult> Bm2::Reduce(const graph::Graph& g, double p) const {
       return d > -0.5 && d < 0.0;
     };
     std::vector<BipartiteCandidate> candidates;
+    constexpr uint64_t kCancelCheckMask = 65536 - 1;
     for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+      if ((e & kCancelCheckMask) == 0 && CancellationRequested(cancel)) {
+        return cancel->ToStatus();
+      }
       if (in_matching[e]) continue;
       const graph::Edge& edge = g.edge(e);
       graph::NodeId a = graph::kInvalidNode;
@@ -68,6 +74,7 @@ StatusOr<SheddingResult> Bm2::Reduce(const graph::Graph& g, double p) const {
     }
     BipartiteMatcherOptions matcher_options;
     matcher_options.include_zero_gain = options_.include_zero_gain;
+    if (CancellationRequested(cancel)) return cancel->ToStatus();
     std::vector<graph::EdgeId> added =
         MaxGainBipartiteMatching(candidates, &discrepancy, matcher_options);
     phase2_added = added.size();

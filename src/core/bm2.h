@@ -37,8 +37,9 @@ class Bm2 : public EdgeShedder {
   explicit Bm2(Bm2Options options = {}) : options_(options) {}
 
   std::string name() const override { return "bm2"; }
-  StatusOr<SheddingResult> Reduce(const graph::Graph& g,
-                                  double p) const override;
+  StatusOr<SheddingResult> Reduce(
+      const graph::Graph& g, double p,
+      const CancellationToken* cancel = nullptr) const override;
 
   /// The rounded capacity vector b(u) = round(p·deg_G(u)).
   static std::vector<uint32_t> Capacities(const graph::Graph& g, double p);

@@ -44,7 +44,8 @@ uint64_t Crr::StepsFor(const graph::Graph& g, double p) const {
   return steps <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(steps));
 }
 
-StatusOr<SheddingResult> Crr::Reduce(const graph::Graph& g, double p) const {
+StatusOr<SheddingResult> Crr::Reduce(const graph::Graph& g, double p,
+                                     const CancellationToken* cancel) const {
   EDGESHED_RETURN_IF_ERROR(ValidatePreservationRatio(p));
   Stopwatch total_watch;
   SheddingResult result;
@@ -56,12 +57,15 @@ StatusOr<SheddingResult> Crr::Reduce(const graph::Graph& g, double p) const {
   Stopwatch phase1_watch;
   std::vector<graph::EdgeId> ranked;
   if (options_.init_mode == CrrOptions::InitMode::kBetweenness) {
-    ranked = analytics::EdgesByBetweennessDescending(g, options_.betweenness);
+    analytics::BetweennessOptions betweenness = options_.betweenness;
+    betweenness.cancel = cancel;
+    ranked = analytics::EdgesByBetweennessDescending(g, betweenness);
   } else {
     ranked.resize(num_edges);
     std::iota(ranked.begin(), ranked.end(), graph::EdgeId{0});
     rng.Shuffle(&ranked);
   }
+  if (CancellationRequested(cancel)) return cancel->ToStatus();
   std::vector<CachedEdge> kept = CacheEndpoints(g, ranked.data(), target);
   std::vector<CachedEdge> excluded =
       CacheEndpoints(g, ranked.data() + target, num_edges - target);
@@ -76,8 +80,15 @@ StatusOr<SheddingResult> Crr::Reduce(const graph::Graph& g, double p) const {
   Stopwatch phase2_watch;
   const uint64_t steps = StepsFor(g, p);
   uint64_t accepted = 0;
+  // Poll the token once per 4096 swap attempts: a single predictable branch
+  // amortized over thousands of draws, so the loop stays branch-cheap and
+  // the swap sequence is bit-identical whenever the token never trips.
+  constexpr uint64_t kCancelCheckMask = 4096 - 1;
   if (!kept.empty() && !excluded.empty()) {
     for (uint64_t step = 0; step < steps; ++step) {
+      if ((step & kCancelCheckMask) == 0 && CancellationRequested(cancel)) {
+        return cancel->ToStatus();
+      }
       const size_t kept_index = rng.UniformIndex(kept.size());
       const size_t excluded_index = rng.UniformIndex(excluded.size());
       const CachedEdge removal = kept[kept_index];

@@ -47,8 +47,9 @@ class Crr : public EdgeShedder {
   explicit Crr(CrrOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "crr"; }
-  StatusOr<SheddingResult> Reduce(const graph::Graph& g,
-                                  double p) const override;
+  StatusOr<SheddingResult> Reduce(
+      const graph::Graph& g, double p,
+      const CancellationToken* cancel = nullptr) const override;
 
   /// The Phase-2 iteration count CRR will use for this graph and p.
   uint64_t StepsFor(const graph::Graph& g, double p) const;

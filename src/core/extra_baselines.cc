@@ -25,14 +25,18 @@ void FillResultMetrics(const graph::Graph& g, double p,
 
 }  // namespace
 
-StatusOr<SheddingResult> LocalDegreeShedding::Reduce(const graph::Graph& g,
-                                                     double p) const {
+StatusOr<SheddingResult> LocalDegreeShedding::Reduce(
+    const graph::Graph& g, double p, const CancellationToken* cancel) const {
   EDGESHED_RETURN_IF_ERROR(ValidatePreservationRatio(p));
   Stopwatch watch;
   SheddingResult result;
   std::vector<bool> keep(g.NumEdges(), false);
   std::vector<std::pair<uint64_t, graph::EdgeId>> ranked;  // (-ish) scratch
+  constexpr uint64_t kCancelCheckMask = 4096 - 1;
   for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    if ((u & kCancelCheckMask) == 0 && CancellationRequested(cancel)) {
+      return cancel->ToStatus();
+    }
     const uint64_t degree = g.Degree(u);
     if (degree == 0) continue;
     const auto quota = static_cast<uint64_t>(
@@ -66,9 +70,11 @@ StatusOr<SheddingResult> LocalDegreeShedding::Reduce(const graph::Graph& g,
   return result;
 }
 
-StatusOr<SheddingResult> SpanningForestShedding::Reduce(const graph::Graph& g,
-                                                        double p) const {
+StatusOr<SheddingResult> SpanningForestShedding::Reduce(
+    const graph::Graph& g, double p, const CancellationToken* cancel) const {
   EDGESHED_RETURN_IF_ERROR(ValidatePreservationRatio(p));
+  // Cheap kernel (one union-find pass): a single entry check is enough.
+  if (CancellationRequested(cancel)) return cancel->ToStatus();
   Stopwatch watch;
   Rng rng(seed_);
   SheddingResult result;

@@ -17,8 +17,9 @@ namespace edgeshed::core {
 class LocalDegreeShedding : public EdgeShedder {
  public:
   std::string name() const override { return "local-degree"; }
-  StatusOr<SheddingResult> Reduce(const graph::Graph& g,
-                                  double p) const override;
+  StatusOr<SheddingResult> Reduce(
+      const graph::Graph& g, double p,
+      const CancellationToken* cancel = nullptr) const override;
 };
 
 /// Spanning-forest + uniform fill: keeps a random spanning forest (one tree
@@ -33,8 +34,9 @@ class SpanningForestShedding : public EdgeShedder {
   explicit SpanningForestShedding(uint64_t seed = 42) : seed_(seed) {}
 
   std::string name() const override { return "spanning-forest"; }
-  StatusOr<SheddingResult> Reduce(const graph::Graph& g,
-                                  double p) const override;
+  StatusOr<SheddingResult> Reduce(
+      const graph::Graph& g, double p,
+      const CancellationToken* cancel = nullptr) const override;
 
  private:
   uint64_t seed_;

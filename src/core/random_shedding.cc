@@ -8,9 +8,11 @@
 
 namespace edgeshed::core {
 
-StatusOr<SheddingResult> RandomShedding::Reduce(const graph::Graph& g,
-                                                double p) const {
+StatusOr<SheddingResult> RandomShedding::Reduce(
+    const graph::Graph& g, double p, const CancellationToken* cancel) const {
   EDGESHED_RETURN_IF_ERROR(ValidatePreservationRatio(p));
+  // Cheap kernel: a single entry check is enough.
+  if (CancellationRequested(cancel)) return cancel->ToStatus();
   Stopwatch watch;
   Rng rng(seed_);
   const uint64_t target = TargetEdgeCount(g, p);

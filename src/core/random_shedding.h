@@ -16,8 +16,9 @@ class RandomShedding : public EdgeShedder {
   explicit RandomShedding(uint64_t seed = 42) : seed_(seed) {}
 
   std::string name() const override { return "random"; }
-  StatusOr<SheddingResult> Reduce(const graph::Graph& g,
-                                  double p) const override;
+  StatusOr<SheddingResult> Reduce(
+      const graph::Graph& g, double p,
+      const CancellationToken* cancel = nullptr) const override;
 
  private:
   uint64_t seed_;

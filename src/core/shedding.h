@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/statusor.h"
 #include "graph/graph.h"
 
@@ -42,9 +43,15 @@ class EdgeShedder {
 
   /// Produces a reduced edge set for preservation ratio `p` in (0,1).
   /// Implementations must keep |kept_edges| deterministic given their
-  /// configured seed.
-  virtual StatusOr<SheddingResult> Reduce(const graph::Graph& g,
-                                          double p) const = 0;
+  /// configured seed, and must be bit-identical with and without a `cancel`
+  /// token as long as the token never trips.
+  ///
+  /// `cancel` (optional) is polled cooperatively at coarse grain; a tripped
+  /// token surfaces as Status::Cancelled / Status::DeadlineExceeded instead
+  /// of a result. Partial work is discarded.
+  virtual StatusOr<SheddingResult> Reduce(
+      const graph::Graph& g, double p,
+      const CancellationToken* cancel = nullptr) const = 0;
 };
 
 /// Validates a preservation ratio; shared by implementations. NaN and

@@ -15,10 +15,11 @@ namespace edgeshed::graph {
 
 namespace {
 
-/// Parses one whitespace-delimited unsigned field starting at *pos.
-/// Mirrors istream semantics for unsigned types: a leading '-' wraps the
-/// value modulo 2^64, overflow is an error. Returns false when no valid
-/// field is present.
+/// Parses one whitespace-delimited unsigned field starting at *pos. An
+/// optional leading '+' is accepted; a '-' is an error — node ids are
+/// unsigned, and istream's wrap-modulo-2^64 behavior would silently turn
+/// "-1" into 18446744073709551615 and blow up the node count. Overflow is
+/// an error. Returns false when no valid field is present.
 bool ParseUintField(std::string_view text, size_t* pos, uint64_t* out) {
   size_t i = *pos;
   while (i < text.size() && (text[i] == ' ' || text[i] == '\t' ||
@@ -26,11 +27,8 @@ bool ParseUintField(std::string_view text, size_t* pos, uint64_t* out) {
                              text[i] == '\f')) {
     ++i;
   }
-  bool negate = false;
-  if (i < text.size() && (text[i] == '+' || text[i] == '-')) {
-    negate = text[i] == '-';
-    ++i;
-  }
+  if (i < text.size() && text[i] == '-') return false;  // negative id
+  if (i < text.size() && text[i] == '+') ++i;
   const size_t digits_begin = i;
   uint64_t value = 0;
   while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
@@ -41,7 +39,7 @@ bool ParseUintField(std::string_view text, size_t* pos, uint64_t* out) {
   }
   if (i == digits_begin) return false;  // no digits
   *pos = i;
-  *out = negate ? (0 - value) : value;
+  *out = value;
   return true;
 }
 

@@ -42,7 +42,18 @@ StatusOr<std::shared_ptr<const graph::Graph>> GraphStore::Get(
   bool waited = false;
   while (entry.graph == nullptr && entry.loading) {
     waited = true;
+    // Remember which load wave we are blocked on: if exactly that wave
+    // fails, its Status is shared with us below instead of each waiter
+    // serially re-running a loader that just failed (a retry stampede).
+    const uint64_t wave = entry.load_epoch;
     load_done_.wait(lock);
+    if (entry.graph == nullptr && !entry.loading &&
+        entry.failed_epoch == wave) {
+      if (metrics_ != nullptr) {
+        metrics_->IncrementCounter("store.wait_failure");
+      }
+      return entry.last_failure;
+    }
   }
   if (entry.graph != nullptr) {
     lru_.splice(lru_.begin(), lru_, entry.lru_pos);
@@ -54,17 +65,21 @@ StatusOr<std::shared_ptr<const graph::Graph>> GraphStore::Get(
 
   // Miss: this thread loads, outside the lock.
   entry.loading = true;
+  const uint64_t epoch = ++entry.load_epoch;
   lock.unlock();
   Stopwatch watch;
   StatusOr<graph::Graph> loaded = entry.loader();
   const double load_seconds = watch.ElapsedSeconds();
   lock.lock();
   entry.loading = false;
-  load_done_.notify_all();
   if (!loaded.ok()) {
+    entry.failed_epoch = epoch;
+    entry.last_failure = loaded.status();
+    load_done_.notify_all();
     if (metrics_ != nullptr) metrics_->IncrementCounter("store.load_failure");
     return loaded.status();
   }
+  load_done_.notify_all();
   entry.graph =
       std::make_shared<const graph::Graph>(std::move(loaded).value());
   entry.bytes = ApproxBytes(*entry.graph);

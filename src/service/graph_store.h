@@ -37,14 +37,19 @@ struct GraphStoreOptions {
 ///  * A miss runs the registered loader *outside* the mutex, so distinct
 ///    datasets load in parallel. Concurrent misses on the same name are
 ///    coalesced: one thread loads, the rest block on a condition variable
-///    and share the result (counted as `store.wait_hit`).
+///    and share the result (counted as `store.wait_hit`). A *failed* load is
+///    shared the same way — every Get already blocked on that load wave gets
+///    the loader's failure Status (`store.wait_failure`) instead of serially
+///    re-running a loader that just failed. Gets arriving after the failure
+///    start a fresh wave, so transient failures still recover.
 ///  * Eviction is LRU by last `Get`, triggered after each insert while
 ///    resident bytes exceed `Options::byte_budget`. The entry just inserted
 ///    is never evicted by its own insert, so a single over-budget graph
 ///    still gets served (and is dropped by the *next* insert).
 ///
 /// Metrics (when a registry is supplied): `store.hit`, `store.miss`,
-/// `store.wait_hit`, `store.load_failure`, `store.eviction` counters;
+/// `store.wait_hit`, `store.load_failure`, `store.wait_failure`,
+/// `store.eviction` counters;
 /// `store.bytes_resident` and `store.graphs_resident` gauges;
 /// `store.load_seconds` latency.
 class GraphStore {
@@ -65,8 +70,9 @@ class GraphStore {
   Status Register(const std::string& name, Loader loader);
 
   /// Returns the graph for `name`, loading it on a miss. NotFound for
-  /// unregistered names; loader failures are returned verbatim (and not
-  /// cached — the next Get retries).
+  /// unregistered names; loader failures are returned verbatim to the
+  /// loading Get *and* to every Get blocked on the same load wave (and not
+  /// cached — a fresh Get retries).
   StatusOr<std::shared_ptr<const graph::Graph>> Get(const std::string& name);
 
   /// True iff `name` is currently resident (testing / introspection).
@@ -90,6 +96,12 @@ class GraphStore {
     std::shared_ptr<const graph::Graph> graph;  // null when not resident
     uint64_t bytes = 0;
     bool loading = false;  // a thread is running `loader` right now
+    /// Load-wave bookkeeping: `load_epoch` is bumped when a load starts;
+    /// `failed_epoch`/`last_failure` record the most recent failed wave so
+    /// waiters of exactly that wave share the failure instead of retrying.
+    uint64_t load_epoch = 0;
+    uint64_t failed_epoch = 0;
+    Status last_failure;
     // Position in lru_ when resident; valid iff graph != nullptr.
     std::list<std::string>::iterator lru_pos;
   };

@@ -86,8 +86,10 @@ StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
   if (options_.enable_result_cache) {
     auto cached = result_cache_.find(job.cache_key);
     if (cached != result_cache_.end()) {
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_,
+                        cached->second.lru_pos);
       job.state = JobState::kDone;
-      job.result = cached->second;
+      job.result = cached->second.result;
       job.deduplicated = true;
       if (metrics_ != nullptr) {
         metrics_->IncrementCounter("scheduler.submitted");
@@ -95,7 +97,10 @@ StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
         metrics_->IncrementCounter("scheduler.jobs_done");
       }
       const JobId id = next_id_++;
-      jobs_.emplace(id, std::move(job));
+      job.id = id;
+      auto [it, inserted] = jobs_.emplace(id, std::move(job));
+      RecordTerminalLocked(it->second, now);
+      GcRetainedJobsLocked(now);
       return id;
     }
   }
@@ -126,12 +131,14 @@ StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
   }
 
   const JobId id = next_id_++;
+  job.id = id;
   inflight_[job.cache_key] = id;
   jobs_.emplace(id, std::move(job));
   queue_.push_back(id);
   ++live_queued_;
   PublishQueueDepthLocked();
   if (metrics_ != nullptr) metrics_->IncrementCounter("scheduler.submitted");
+  GcRetainedJobsLocked(now);
   work_available_.notify_one();
   return id;
 }
@@ -143,8 +150,12 @@ StatusOr<JobResult> JobScheduler::Wait(JobId id) {
     return Status::NotFound(StrFormat(
         "unknown job id %llu", static_cast<unsigned long long>(id)));
   }
-  job_terminal_.wait(lock, [&] { return IsTerminal(it->second.state); });
-  const Job& job = it->second;
+  Job& job = it->second;
+  // Pin the record against retention GC while blocked: the map node (and
+  // this reference) must stay valid across the wait.
+  ++job.waiters;
+  job_terminal_.wait(lock, [&job] { return IsTerminal(job.state); });
+  --job.waiters;
   if (job.state == JobState::kDone) return job.result;
   return job.status;
 }
@@ -173,8 +184,11 @@ Status JobScheduler::Cancel(JobId id) {
     }
     FinishLocked(job, JobState::kCancelled,
                  Status::Cancelled("cancelled by caller"), nullptr);
+  } else if (job.state == JobState::kRunning && job.token != nullptr) {
+    // Trip the running kernel's token: the reduction aborts at its next
+    // cooperative poll instead of running to completion.
+    job.token->Cancel();
   }
-  // Running jobs finish their reduction; the flag discards the result.
   return Status::OK();
 }
 
@@ -201,13 +215,20 @@ size_t JobScheduler::QueueDepth() const {
   return live_queued_;
 }
 
+size_t JobScheduler::TrackedJobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
 void JobScheduler::Shutdown() {
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
     for (JobId id : queue_) {
-      Job& job = jobs_.at(id);
+      auto it = jobs_.find(id);
+      if (it == jobs_.end()) continue;  // cancelled entry already GC'd
+      Job& job = it->second;
       if (IsTerminal(job.state)) continue;
       FinishLocked(job, JobState::kCancelled,
                    Status::Cancelled("scheduler shutdown"), nullptr);
@@ -232,7 +253,11 @@ void JobScheduler::WorkerLoop() {
     }
     const JobId id = queue_.front();
     queue_.pop_front();
-    Job& job = jobs_.at(id);  // map nodes are stable across the unlock below
+    auto job_it = jobs_.find(id);
+    // Cancelled-while-queued entries keep their queue slot; the record may
+    // even have been retired by retention GC before this pop.
+    if (job_it == jobs_.end()) continue;
+    Job& job = job_it->second;  // map nodes are stable across the unlock below
     if (IsTerminal(job.state)) continue;  // cancelled while queued
     --live_queued_;
     PublishQueueDepthLocked();
@@ -254,15 +279,40 @@ void JobScheduler::WorkerLoop() {
       continue;
     }
     job.state = JobState::kRunning;
+    // Arm the cooperative token with the job's deadline; Cancel() trips it.
+    // Shared with this worker so a concurrent GC/erase can never leave the
+    // kernel polling freed memory.
+    job.token = std::make_shared<CancellationToken>(job.deadline);
+    const std::shared_ptr<CancellationToken> token = job.token;
     const JobSpec spec = job.spec;  // worker's copy; run with no lock held
     lock.unlock();
     double run_seconds = 0.0;
-    StatusOr<core::SheddingResult> outcome = Execute(spec, &run_seconds);
+    StatusOr<core::SheddingResult> outcome =
+        Execute(spec, token.get(), &run_seconds);
     lock.lock();
     job.run_seconds = run_seconds;
-    if (job.cancel_requested) {
-      FinishLocked(job, JobState::kCancelled,
-                   Status::Cancelled("cancelled while running"), nullptr);
+    job.token.reset();
+    const bool kernel_deadline =
+        !outcome.ok() &&
+        outcome.status().code() == StatusCode::kDeadlineExceeded;
+    const bool kernel_cancelled =
+        !outcome.ok() &&
+        (outcome.status().code() == StatusCode::kCancelled || kernel_deadline);
+    if (job.cancel_requested || kernel_cancelled) {
+      if (metrics_ != nullptr) {
+        if (job.cancel_requested) {
+          metrics_->IncrementCounter("scheduler.cancelled_while_running");
+        }
+        if (kernel_deadline) {
+          metrics_->IncrementCounter("scheduler.deadline_expired");
+        }
+      }
+      // A caller Cancel beats the kernel's own deadline report; otherwise
+      // surface exactly what the kernel returned.
+      Status why = job.cancel_requested
+                       ? Status::Cancelled("cancelled while running")
+                       : outcome.status();
+      FinishLocked(job, JobState::kCancelled, std::move(why), nullptr);
     } else if (!outcome.ok()) {
       FinishLocked(job, JobState::kFailed, outcome.status(), nullptr);
     } else {
@@ -273,9 +323,16 @@ void JobScheduler::WorkerLoop() {
   }
 }
 
-StatusOr<core::SheddingResult> JobScheduler::Execute(const JobSpec& spec,
-                                                     double* run_seconds) {
+StatusOr<core::SheddingResult> JobScheduler::Execute(
+    const JobSpec& spec, const CancellationToken* cancel,
+    double* run_seconds) {
   Stopwatch watch;
+  // The graph load itself is not interruptible (it may be shared with other
+  // jobs via the store); check before and after instead.
+  if (CancellationRequested(cancel)) {
+    *run_seconds = watch.ElapsedSeconds();
+    return cancel->ToStatus();
+  }
   auto graph = store_->Get(spec.dataset);
   if (!graph.ok()) {
     *run_seconds = watch.ElapsedSeconds();
@@ -286,7 +343,8 @@ StatusOr<core::SheddingResult> JobScheduler::Execute(const JobSpec& spec,
     *run_seconds = watch.ElapsedSeconds();
     return shedder.status();
   }
-  StatusOr<core::SheddingResult> result = (*shedder)->Reduce(**graph, spec.p);
+  StatusOr<core::SheddingResult> result =
+      (*shedder)->Reduce(**graph, spec.p, cancel);
   *run_seconds = watch.ElapsedSeconds();
   return result;
 }
@@ -300,6 +358,43 @@ void JobScheduler::FinishLocked(Job& job, JobState state, Status status,
   if (job.queue_seconds == 0.0) {
     job.queue_seconds = SecondsBetween(job.submit_time, now);
   }
+  // A cancelled primary must not drag its coalesced followers down with it:
+  // they asked for the same result, not for this job's fate. Promote the
+  // first still-live follower to primary and re-queue it; the remaining
+  // live followers ride along with the promoted job. (Not during shutdown,
+  // where everything is being cancelled anyway.)
+  if (state == JobState::kCancelled && !shutdown_ && !job.followers.empty()) {
+    JobId promoted_id = 0;
+    size_t promoted_index = 0;
+    for (size_t i = 0; i < job.followers.size(); ++i) {
+      auto it = jobs_.find(job.followers[i]);
+      if (it != jobs_.end() && !IsTerminal(it->second.state)) {
+        promoted_id = job.followers[i];
+        promoted_index = i;
+        break;
+      }
+    }
+    if (promoted_id != 0) {
+      Job& promoted = jobs_.at(promoted_id);
+      promoted.primary = 0;
+      promoted.deduplicated = false;
+      for (size_t i = promoted_index + 1; i < job.followers.size(); ++i) {
+        auto it = jobs_.find(job.followers[i]);
+        if (it == jobs_.end() || IsTerminal(it->second.state)) continue;
+        it->second.primary = promoted_id;
+        promoted.followers.push_back(job.followers[i]);
+      }
+      job.followers.clear();
+      inflight_[job.cache_key] = promoted_id;
+      queue_.push_back(promoted_id);
+      ++live_queued_;
+      PublishQueueDepthLocked();
+      if (metrics_ != nullptr) {
+        metrics_->IncrementCounter("scheduler.follower_promoted");
+      }
+      work_available_.notify_one();
+    }
+  }
   if (!job.cache_key.empty()) {
     auto inflight = inflight_.find(job.cache_key);
     if (inflight != inflight_.end() && inflight->second == job.id) {
@@ -307,7 +402,7 @@ void JobScheduler::FinishLocked(Job& job, JobState state, Status status,
     }
   }
   if (state == JobState::kDone && options_.enable_result_cache) {
-    result_cache_[job.cache_key] = result;
+    InsertResultCacheLocked(job.cache_key, result);
   }
   if (metrics_ != nullptr) {
     switch (state) {
@@ -342,13 +437,17 @@ void JobScheduler::FinishLocked(Job& job, JobState state, Status status,
       }
     }
   }
+  RecordTerminalLocked(job, now);
   for (JobId follower_id : job.followers) {
-    Job& follower = jobs_.at(follower_id);
+    auto follower_it = jobs_.find(follower_id);
+    if (follower_it == jobs_.end()) continue;  // already retired by GC
+    Job& follower = follower_it->second;
     if (IsTerminal(follower.state)) continue;  // cancelled individually
     follower.state = state;
     follower.status = job.status;
     follower.result = result;
     follower.queue_seconds = SecondsBetween(follower.submit_time, now);
+    RecordTerminalLocked(follower, now);
     if (metrics_ != nullptr) {
       switch (state) {
         case JobState::kDone:
@@ -366,7 +465,85 @@ void JobScheduler::FinishLocked(Job& job, JobState state, Status status,
     }
   }
   job.followers.clear();
+  GcRetainedJobsLocked(now);
   job_terminal_.notify_all();
+}
+
+void JobScheduler::RecordTerminalLocked(Job& job, Clock::time_point now) {
+  job.finish_time = now;
+  terminal_order_.push_back(job.id);
+}
+
+void JobScheduler::GcRetainedJobsLocked(Clock::time_point now) {
+  // Scan from the oldest finish; each record is visited at most once per
+  // call, so a run of pinned (waited-on) jobs cannot spin this loop.
+  const size_t scan_limit = terminal_order_.size();
+  for (size_t scanned = 0;
+       scanned < scan_limit && !terminal_order_.empty(); ++scanned) {
+    const JobId id = terminal_order_.front();
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {  // stale entry (shouldn't happen; be safe)
+      terminal_order_.pop_front();
+      continue;
+    }
+    Job& job = it->second;
+    const bool over_count = terminal_order_.size() > options_.max_retained_jobs;
+    const bool expired = options_.job_retention.count() > 0 &&
+                         now - job.finish_time >= options_.job_retention;
+    if (!over_count && !expired) break;  // front is oldest: rest are newer
+    terminal_order_.pop_front();
+    if (job.waiters > 0) {
+      // A Wait() holds a reference into the map; requeue and retry later.
+      terminal_order_.push_back(id);
+      continue;
+    }
+    jobs_.erase(it);
+    if (metrics_ != nullptr) metrics_->IncrementCounter("scheduler.jobs_gc");
+  }
+  if (metrics_ != nullptr) {
+    metrics_->SetGauge("scheduler.jobs_tracked",
+                       static_cast<int64_t>(jobs_.size()));
+  }
+}
+
+uint64_t JobScheduler::ApproxResultBytes(const core::SheddingResult& result) {
+  uint64_t bytes = sizeof(core::SheddingResult);
+  bytes += result.kept_edges.capacity() * sizeof(graph::EdgeId);
+  for (const auto& [key, value] : result.stats) {
+    (void)value;
+    bytes += key.capacity() + sizeof(double) + 2 * sizeof(void*);
+  }
+  return bytes;
+}
+
+void JobScheduler::InsertResultCacheLocked(const std::string& key,
+                                           const JobResult& result) {
+  auto existing = result_cache_.find(key);
+  if (existing != result_cache_.end()) {
+    cache_bytes_ -= existing->second.bytes;
+    cache_lru_.erase(existing->second.lru_pos);
+    result_cache_.erase(existing);
+  }
+  cache_lru_.push_front(key);
+  CacheEntry entry{result, ApproxResultBytes(*result), cache_lru_.begin()};
+  cache_bytes_ += entry.bytes;
+  result_cache_.emplace(key, std::move(entry));
+  // Evict least-recently-used entries past the budget — but never the entry
+  // just inserted, so an oversized single result still gets cached once.
+  while (cache_bytes_ > options_.result_cache_byte_budget &&
+         cache_lru_.size() > 1) {
+    auto victim = result_cache_.find(cache_lru_.back());
+    cache_bytes_ -= victim->second.bytes;
+    result_cache_.erase(victim);
+    cache_lru_.pop_back();
+    if (metrics_ != nullptr) {
+      metrics_->IncrementCounter("scheduler.result_cache_evicted");
+    }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->SetGauge("scheduler.result_cache_bytes",
+                       static_cast<int64_t>(cache_bytes_));
+  }
 }
 
 void JobScheduler::PublishQueueDepthLocked() {

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -14,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/statusor.h"
 #include "core/shedding.h"
 #include "service/graph_store.h"
@@ -40,6 +42,16 @@ struct JobSchedulerOptions {
   /// Max jobs queued (excluding running/coalesced/cached submissions).
   size_t queue_capacity = 256;
   bool enable_result_cache = true;
+  /// Retention bounds for terminal job records. A terminal job is garbage-
+  /// collected once more than `max_retained_jobs` terminal records exist
+  /// (oldest-finished first) or its age since finishing exceeds
+  /// `job_retention` (0 = no age limit). GetStatus/Wait on a collected id
+  /// return NotFound. Jobs someone is Wait()ing on are never collected.
+  size_t max_retained_jobs = 1024;
+  std::chrono::milliseconds job_retention{600000};  // 10 minutes
+  /// Byte budget for the result cache (approximate accounting); least-
+  /// recently-used entries are evicted once the budget is exceeded.
+  uint64_t result_cache_byte_budget = 64ull << 20;  // 64 MiB
 };
 
 /// One shedding request: reduce `dataset` with `method` at ratio `p`.
@@ -50,10 +62,11 @@ struct JobSpec {
   std::string method = "crr";
   double p = 0.5;
   uint64_t seed = 42;
-  /// Wall-clock budget measured from submission; zero means none. Deadlines
-  /// are enforced at dispatch: a job still queued when its deadline passes
-  /// is cancelled (DeadlineExceeded) instead of run. A job that already
-  /// started is never aborted mid-reduction (cancellation is cooperative).
+  /// Wall-clock budget measured from submission; zero means none. A job
+  /// still queued when its deadline passes is cancelled (DeadlineExceeded)
+  /// instead of run; a *running* job carries a CancellationToken armed with
+  /// the deadline, so the kernel itself stops at its next cooperative poll
+  /// and the job finishes kCancelled with DeadlineExceeded.
   std::chrono::milliseconds deadline{0};
 };
 
@@ -88,13 +101,19 @@ struct JobStatus {
 ///    a *queued or running* job is coalesced onto it (`scheduler.coalesced`)
 ///    and shares its outcome, whatever that turns out to be.
 ///  * Cancellation is cooperative: Cancel on a queued job takes effect
-///    immediately, Cancel on a running job is honored when the reduction
-///    returns (the result is discarded). Terminal jobs cannot be cancelled.
+///    immediately; Cancel on a running job trips the job's
+///    CancellationToken, which the shedding kernels poll at coarse grain —
+///    the reduction aborts within a poll interval instead of running to
+///    completion. Terminal jobs cannot be cancelled. Cancelling a primary
+///    never drags its coalesced followers down: the first live follower is
+///    promoted to primary and re-queued, and the rest ride along with it.
 ///  * Shutdown (also run by the destructor) stops intake, cancels all
 ///    still-queued jobs, lets running jobs finish, and joins the pool.
 ///
-/// All public methods are thread-safe. Job records are kept for the
-/// scheduler's lifetime, so GetStatus/Wait on completed jobs keep working.
+/// All public methods are thread-safe. Terminal job records are retained
+/// only within Options::max_retained_jobs / job_retention, and the result
+/// cache is an LRU bounded by Options::result_cache_byte_budget —
+/// GetStatus/Wait on a garbage-collected id return NotFound.
 class JobScheduler {
  public:
   using Options = JobSchedulerOptions;
@@ -114,18 +133,23 @@ class JobScheduler {
 
   /// Blocks until `id` reaches a terminal state. Returns the result for
   /// kDone, the failure status for kFailed/kCancelled, NotFound for unknown
-  /// ids.
+  /// (or already garbage-collected) ids. A job being waited on is pinned
+  /// against retention GC until the wait returns.
   StatusOr<JobResult> Wait(JobId id);
 
-  /// Requests cancellation. OK if the request was recorded (the job may
-  /// still complete if it is already running); FailedPrecondition when the
-  /// job is already terminal; NotFound for unknown ids.
+  /// Requests cancellation. OK if the request was recorded; a running job's
+  /// token is tripped so the kernel stops at its next cooperative poll.
+  /// FailedPrecondition when the job is already terminal; NotFound for
+  /// unknown ids.
   Status Cancel(JobId id);
 
   StatusOr<JobStatus> GetStatus(JobId id) const;
 
   /// Jobs queued and not yet picked up (excludes running).
   size_t QueueDepth() const;
+
+  /// Job records currently tracked (live + retained terminal).
+  size_t TrackedJobs() const;
 
   int workers() const { return static_cast<int>(workers_.size()); }
 
@@ -148,24 +172,51 @@ class JobScheduler {
     JobId primary = 0;
     /// Jobs coalesced onto this one; resolved when this job finishes.
     std::vector<JobId> followers;
+    /// Armed at dispatch from `deadline`; tripped by Cancel while running.
+    /// Shared with the executing worker so Cancel never races destruction.
+    std::shared_ptr<CancellationToken> token;
     std::chrono::steady_clock::time_point submit_time;
     std::chrono::steady_clock::time_point deadline;  // max() = none
+    std::chrono::steady_clock::time_point finish_time;
+    /// Wait() calls currently blocked on this job; pins it against GC.
+    int waiters = 0;
     double queue_seconds = 0.0;
     double run_seconds = 0.0;
   };
 
+  /// Result-cache entry with approximate byte accounting for LRU eviction.
+  struct CacheEntry {
+    JobResult result;
+    uint64_t bytes = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
   static std::string CacheKey(const JobSpec& spec);
   static bool IsTerminal(JobState state) { return state >= JobState::kDone; }
+  static uint64_t ApproxResultBytes(const core::SheddingResult& result);
 
   void WorkerLoop();
   /// Runs `job`'s reduction with no scheduler lock held; returns the
   /// outcome. `job` fields other than `spec` must not be touched here.
+  /// `cancel` (may be null) is polled by the kernels.
   StatusOr<core::SheddingResult> Execute(const JobSpec& spec,
+                                         const CancellationToken* cancel,
                                          double* run_seconds);
   /// Moves `job` to `state`, resolves followers and the result cache,
-  /// updates metrics, wakes waiters. Caller holds mu_.
+  /// updates metrics, wakes waiters. A cancelled primary promotes its first
+  /// live follower to primary and re-queues it. Caller holds mu_.
   void FinishLocked(Job& job, JobState state, Status status,
                     JobResult result);
+  /// Stamps `job` terminal bookkeeping (finish_time, retention order).
+  /// Caller holds mu_.
+  void RecordTerminalLocked(Job& job,
+                            std::chrono::steady_clock::time_point now);
+  /// Erases terminal records beyond the retention bounds. Caller holds mu_.
+  void GcRetainedJobsLocked(std::chrono::steady_clock::time_point now);
+  /// Inserts into the LRU result cache and evicts past the byte budget
+  /// (never the just-inserted entry). Caller holds mu_.
+  void InsertResultCacheLocked(const std::string& key,
+                               const JobResult& result);
   void PublishQueueDepthLocked();
 
   GraphStore* const store_;
@@ -179,7 +230,11 @@ class JobScheduler {
   std::deque<JobId> queue_;
   size_t live_queued_ = 0;  // queue_ minus cancelled-while-queued entries
   std::unordered_map<std::string, JobId> inflight_;
-  std::unordered_map<std::string, JobResult> result_cache_;
+  std::unordered_map<std::string, CacheEntry> result_cache_;
+  std::list<std::string> cache_lru_;  // front = most recently used
+  uint64_t cache_bytes_ = 0;
+  /// Terminal jobs in finish order (front = oldest) — the GC scan order.
+  std::deque<JobId> terminal_order_;
   JobId next_id_ = 1;
   bool shutdown_ = false;
 

@@ -36,7 +36,11 @@ void TcmSketch::AddEdge(graph::NodeId u, graph::NodeId v, double weight) {
     const uint32_t col = std::max(bu, bv);
     cells_[layer][static_cast<size_t>(row) * options_.width + col] += weight;
     rows_[layer][bu] += weight;
-    if (bv != bu) rows_[layer][bv] += weight;
+    // Guard on the *nodes*, not the buckets: two distinct endpoints that
+    // collide into one bucket must still credit the row twice, or the row
+    // sum (Σ per-node incident weight) silently undercounts on collisions.
+    // Only a true self-loop (u == v) is a single incidence.
+    if (u != v) rows_[layer][bv] += weight;
   }
 }
 

@@ -107,6 +107,39 @@ TEST_F(EdgeListIoTest, FirstBadLineWinsWhenSeveralAreMalformed) {
   EXPECT_NE(message.find("first bad"), std::string::npos) << message;
 }
 
+// Regression: "-1" used to be accepted via unsigned wrap (istream-style
+// modulo 2^64), silently creating node id 18446744073709551615. Negative
+// ids must be a parse error, with the line number reported.
+TEST_F(EdgeListIoTest, NegativeIdIsInvalidArgumentNotWrapped) {
+  const std::string path = TempPath("negative.txt");
+  WriteFile(path, "0 1\n-1 5\n");
+  auto loaded = LoadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  const std::string message = loaded.status().ToString();
+  EXPECT_NE(message.find(":2:"), std::string::npos) << message;
+  EXPECT_NE(message.find("-1 5"), std::string::npos) << message;
+}
+
+TEST_F(EdgeListIoTest, ExplicitPlusSignIsAccepted) {
+  const std::string path = TempPath("plus.txt");
+  WriteFile(path, "+3 4\n");
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->graph.NumNodes(), 2u);
+  EXPECT_EQ(loaded->graph.NumEdges(), 1u);
+  EXPECT_EQ(loaded->original_ids[0], 3u);
+  EXPECT_EQ(loaded->original_ids[1], 4u);
+}
+
+TEST_F(EdgeListIoTest, LoneSignWithoutDigitsIsAnError) {
+  const std::string path = TempPath("lone_sign.txt");
+  WriteFile(path, "- 2\n");
+  auto loaded = LoadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(EdgeListIoTest, MissingSecondFieldIsAnError) {
   const std::string path = TempPath("one_field.txt");
   WriteFile(path, "0 1\n42\n");

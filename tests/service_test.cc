@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "core/shedder_factory.h"
+#include "graph/generators/generators.h"
 #include "service/dataset_registry.h"
 #include "service/graph_store.h"
 #include "service/job_scheduler.h"
@@ -57,6 +59,29 @@ void WaitUntilDispatched(JobScheduler& scheduler, JobId id) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   FAIL() << "job " << id << " was never dispatched";
+}
+
+/// Polls until the job is observed kRunning (fails if it goes terminal
+/// first), for tests that cancel work mid-kernel.
+void WaitUntilRunning(JobScheduler& scheduler, JobId id) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto status = scheduler.GetStatus(id);
+    ASSERT_TRUE(status.ok());
+    if (status->state == JobState::kRunning) return;
+    ASSERT_EQ(status->state, JobState::kQueued)
+        << "job went terminal before it could be observed running";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "job " << id << " was never observed running";
+}
+
+/// A graph big enough that CRR (exact betweenness + swap phase) runs for
+/// hundreds of milliseconds — room to cancel it mid-kernel.
+graph::Graph BigCrrGraph(graph::NodeId nodes = 3000) {
+  Rng rng(5);
+  return graph::BarabasiAlbert(nodes, 6, rng);
 }
 
 // ---------------------------------------------------------------------------
@@ -229,6 +254,64 @@ TEST(GraphStoreTest, ConcurrentMissesLoadOnce) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(loads.load(), 1);
   EXPECT_EQ(metrics.CounterValue("store.miss"), 1u);
+}
+
+// Regression: a failed load used to leave blocked waiters to serially
+// re-run the failing loader (a retry stampede). Now every Get blocked on
+// the failing wave shares the loader's Status; only *fresh* Gets retry.
+TEST(GraphStoreTest, LoadFailurePropagatesToBlockedWaiters) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  std::atomic<int> calls{0};
+  std::atomic<int> arrivals{0};
+  std::atomic<bool> allow_success{false};
+  constexpr int kThreads = 6;
+  ASSERT_TRUE(
+      store
+          .Register("flaky",
+                    [&]() -> StatusOr<graph::Graph> {
+                      ++calls;
+                      if (!allow_success.load()) {
+                        // Hold the wave open until every thread has arrived
+                        // (plus a beat for the last ones to reach the
+                        // condvar), so all six are blocked on this load.
+                        while (arrivals.load() < kThreads) {
+                          std::this_thread::sleep_for(
+                              std::chrono::milliseconds(1));
+                        }
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(50));
+                        return Status::IOError("disk on fire");
+                      }
+                      return Clique(4);
+                    })
+          .ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ++arrivals;
+      auto g = store.Get("flaky");
+      EXPECT_FALSE(g.ok());
+      EXPECT_EQ(g.status().code(), StatusCode::kIOError);
+      ++failures;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // One loader invocation served the whole failing wave; the five blocked
+  // waiters shared its failure instead of retrying.
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(failures.load(), kThreads);
+  EXPECT_EQ(metrics.CounterValue("store.load_failure"), 1u);
+  EXPECT_EQ(metrics.CounterValue("store.wait_failure"),
+            static_cast<uint64_t>(kThreads - 1));
+
+  // Failures are not cached: a fresh Get starts a new wave and succeeds.
+  allow_success = true;
+  EXPECT_TRUE(store.Get("flaky").ok());
+  EXPECT_EQ(calls.load(), 2);
 }
 
 TEST(GraphStoreTest, ClearDropsResidency) {
@@ -467,6 +550,226 @@ TEST(JobSchedulerTest, CancelQueuedJobIsImmediate) {
   EXPECT_EQ(scheduler.Cancel(*queued).code(),
             StatusCode::kFailedPrecondition);
   EXPECT_TRUE(scheduler.Wait(*blocker).ok());
+}
+
+// Acceptance: Cancel on a running job trips its token and the kernel
+// actually stops — observed through scheduler.cancelled_while_running.
+TEST(JobSchedulerTest, CancelStopsRunningKernel) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  RegisterGraph(store, "big", BigCrrGraph());
+  JobScheduler scheduler(&store, &metrics, {.workers = 1});
+
+  auto id = scheduler.Submit({"big", "crr", 0.5, 1});
+  ASSERT_TRUE(id.ok());
+  WaitUntilRunning(scheduler, *id);
+  ASSERT_TRUE(scheduler.Cancel(*id).ok());
+
+  auto result = scheduler.Wait(*id);
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  auto status = scheduler.GetStatus(*id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kCancelled);
+  EXPECT_GE(metrics.CounterValue("scheduler.cancelled_while_running"), 1u);
+}
+
+// Acceptance: a deadline that expires mid-kernel terminates the running job
+// (not just queued ones) with kDeadlineExceeded.
+TEST(JobSchedulerTest, DeadlineInterruptsRunningJob) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  // The slow loader guarantees the job is dispatched (passes the queue-side
+  // deadline check) before the deadline fires inside the kernel.
+  graph::Graph big = BigCrrGraph();
+  ASSERT_TRUE(store
+                  .Register("big",
+                            [big = std::move(big)]() -> StatusOr<graph::Graph> {
+                              std::this_thread::sleep_for(
+                                  std::chrono::milliseconds(50));
+                              return big;
+                            })
+                  .ok());
+  JobScheduler scheduler(&store, &metrics, {.workers = 1});
+
+  JobSpec spec{"big", "crr", 0.5, 1, std::chrono::milliseconds(100)};
+  auto id = scheduler.Submit(spec);
+  ASSERT_TRUE(id.ok());
+  auto result = scheduler.Wait(*id);
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  auto status = scheduler.GetStatus(*id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kCancelled);
+  // run_seconds > 0 proves the job was dispatched and the deadline fired
+  // inside Execute, not at the queue-side check.
+  EXPECT_GT(status->run_seconds, 0.0);
+  // ...and far below what an untimed CRR run on this graph would take.
+  EXPECT_LT(status->run_seconds, 5.0);
+  EXPECT_GE(metrics.CounterValue("scheduler.deadline_expired"), 1u);
+}
+
+// Acceptance: terminal job records are garbage collected once the retained
+// count exceeds max_retained_jobs — scheduler memory stays bounded.
+TEST(JobSchedulerTest, TerminalJobsAreGarbageCollectedByCount) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  RegisterGraph(store, "g", Clique(12));
+  JobSchedulerOptions options;
+  options.workers = 1;
+  options.max_retained_jobs = 4;
+  options.job_retention = std::chrono::milliseconds(0);  // count limit only
+  JobScheduler scheduler(&store, &metrics, options);
+
+  std::vector<JobId> ids;
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    auto id = scheduler.Submit({"g", "random", 0.5, 100 + seed});
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(scheduler.Wait(*id).ok());
+    ids.push_back(*id);
+  }
+
+  EXPECT_LE(scheduler.TrackedJobs(), 4u);
+  EXPECT_GE(metrics.CounterValue("scheduler.jobs_gc"), 8u);
+  EXPECT_LE(metrics.GaugeValue("scheduler.jobs_tracked"), 4);
+  // The oldest job is gone entirely; the newest is still queryable.
+  EXPECT_EQ(scheduler.GetStatus(ids.front()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(scheduler.Wait(ids.front()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(scheduler.GetStatus(ids.back()).ok());
+}
+
+// Acceptance: terminal records also age out after job_retention, even when
+// the count limit is far away.
+TEST(JobSchedulerTest, TerminalJobsExpireAfterRetentionWindow) {
+  GraphStore store;
+  RegisterGraph(store, "g", Clique(10));
+  JobSchedulerOptions options;
+  options.workers = 1;
+  options.job_retention = std::chrono::milliseconds(50);
+  JobScheduler scheduler(&store, nullptr, options);
+
+  auto first = scheduler.Submit({"g", "random", 0.5, 1});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(scheduler.Wait(*first).ok());
+  EXPECT_TRUE(scheduler.GetStatus(*first).ok());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // GC is piggybacked on scheduler activity; the next submit sweeps.
+  auto second = scheduler.Submit({"g", "random", 0.5, 2});
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(scheduler.Wait(*second).ok());
+  EXPECT_EQ(scheduler.GetStatus(*first).status().code(),
+            StatusCode::kNotFound);
+}
+
+// Acceptance: the result cache is a byte-budgeted LRU — it evicts under
+// pressure, stays under budget, and evicted entries simply re-execute
+// (deterministically) instead of failing.
+TEST(JobSchedulerTest, ResultCacheIsByteBoundedLru) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  const graph::Graph g = Clique(16);
+  RegisterGraph(store, "g", g);
+  JobSchedulerOptions options;
+  options.workers = 1;
+  // Roughly two Clique(16) random-shed results' worth of bytes: four
+  // distinct jobs must force at least one eviction.
+  options.result_cache_byte_budget = 2048;
+  JobScheduler scheduler(&store, &metrics, options);
+
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    auto id = scheduler.Submit({"g", "random", 0.5, seed});
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(scheduler.Wait(*id).ok());
+  }
+  EXPECT_GE(metrics.CounterValue("scheduler.result_cache_evicted"), 1u);
+  EXPECT_LE(metrics.GaugeValue("scheduler.result_cache_bytes"), 2048);
+
+  // Seed 1 was the least recently used and is gone: resubmitting re-runs
+  // the job (no cache hit) and reproduces the exact result.
+  auto again = scheduler.Submit({"g", "random", 0.5, 1});
+  ASSERT_TRUE(again.ok());
+  auto result = scheduler.Wait(*again);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(metrics.CounterValue("scheduler.result_cache_hit"), 0u);
+
+  auto shedder = core::MakeShedderByName("random", 1);
+  ASSERT_TRUE(shedder.ok());
+  auto direct = (*shedder)->Reduce(g, 0.5);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ((*result)->kept_edges, direct->kept_edges);
+}
+
+// Acceptance: cancelling a coalesced primary must not take its followers
+// down with it — the first live follower is promoted and re-queued.
+TEST(JobSchedulerTest, CancelOfQueuedPrimaryPromotesFollower) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  RegisterSlowGraph(store, "sleepy", std::chrono::milliseconds(150));
+  const graph::Graph g = Clique(14);
+  RegisterGraph(store, "fast", g);
+  JobScheduler scheduler(&store, &metrics, {.workers = 1});
+
+  auto blocker = scheduler.Submit({"sleepy", "random", 0.5, 1});
+  ASSERT_TRUE(blocker.ok());
+  WaitUntilDispatched(scheduler, *blocker);
+
+  JobSpec spec{"fast", "random", 0.5, 2};
+  auto primary = scheduler.Submit(spec);
+  ASSERT_TRUE(primary.ok());
+  auto follower = scheduler.Submit(spec);  // coalesces onto primary
+  ASSERT_TRUE(follower.ok());
+  EXPECT_EQ(metrics.CounterValue("scheduler.coalesced"), 1u);
+
+  ASSERT_TRUE(scheduler.Cancel(*primary).ok());
+  EXPECT_EQ(scheduler.Wait(*primary).status().code(), StatusCode::kCancelled);
+
+  auto result = scheduler.Wait(*follower);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto status = scheduler.GetStatus(*follower);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kDone);
+  // The promoted follower ran on its own, it did not piggyback.
+  EXPECT_FALSE(status->deduplicated);
+  EXPECT_GE(metrics.CounterValue("scheduler.follower_promoted"), 1u);
+
+  auto shedder = core::MakeShedderByName(spec.method, spec.seed);
+  ASSERT_TRUE(shedder.ok());
+  auto direct = (*shedder)->Reduce(g, spec.p);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ((*result)->kept_edges, direct->kept_edges);
+  EXPECT_TRUE(scheduler.Wait(*blocker).ok());
+}
+
+// Same guarantee when the primary is already running: the token trips, the
+// kernel aborts, and the follower re-runs the spec to completion.
+TEST(JobSchedulerTest, CancelOfRunningPrimaryPromotesFollower) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  const graph::Graph big = BigCrrGraph(1500);
+  RegisterGraph(store, "big", big);
+  JobScheduler scheduler(&store, &metrics, {.workers = 1});
+
+  JobSpec spec{"big", "crr", 0.5, 1};
+  auto primary = scheduler.Submit(spec);
+  ASSERT_TRUE(primary.ok());
+  WaitUntilRunning(scheduler, *primary);
+  auto follower = scheduler.Submit(spec);  // coalesces onto the running job
+  ASSERT_TRUE(follower.ok());
+
+  ASSERT_TRUE(scheduler.Cancel(*primary).ok());
+  EXPECT_EQ(scheduler.Wait(*primary).status().code(), StatusCode::kCancelled);
+  EXPECT_GE(metrics.CounterValue("scheduler.cancelled_while_running"), 1u);
+
+  auto result = scheduler.Wait(*follower);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(metrics.CounterValue("scheduler.follower_promoted"), 1u);
+
+  auto shedder = core::MakeShedderByName(spec.method, spec.seed);
+  ASSERT_TRUE(shedder.ok());
+  auto direct = (*shedder)->Reduce(big, spec.p);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ((*result)->kept_edges, direct->kept_edges);
 }
 
 TEST(JobSchedulerTest, BoundedQueueRejectsWhenFull) {

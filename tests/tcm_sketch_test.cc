@@ -56,6 +56,21 @@ TEST(TcmSketchTest, SelfEdgeCountsOnceInRow) {
   EXPECT_DOUBLE_EQ(sketch.EdgeWeight(4, 4), 2.0);
 }
 
+// Regression: with width 1 the two distinct endpoints of an edge collide
+// into bucket 0, but each endpoint is still its own incidence — the row sum
+// must be 2x the edge weight (handshake lemma), not 1x. Guarding the second
+// row credit on the *buckets* instead of the *nodes* dropped it whenever
+// distinct endpoints collided.
+TEST(TcmSketchTest, CollidingEndpointsBothCreditTheRow) {
+  TcmSketch sketch({/*width=*/1, /*depth=*/1, /*seed=*/9});
+  sketch.AddEdge(1, 2, 1.0);
+  EXPECT_DOUBLE_EQ(sketch.NodeWeight(1), 2.0);
+  EXPECT_DOUBLE_EQ(sketch.NodeWeight(2), 2.0);
+  // A true self-loop in the same bucket is still a single incidence.
+  sketch.AddEdge(3, 3, 5.0);
+  EXPECT_DOUBLE_EQ(sketch.NodeWeight(3), 7.0);
+}
+
 TEST(TcmSketchTest, TotalWeightIsExact) {
   TcmSketch sketch({/*width=*/16, /*depth=*/2, /*seed=*/3});
   Rng rng(82);

@@ -12,7 +12,9 @@
 //   edgeshed generate --dataset=grqc|hepph|enron|livejournal --scale=1.0
 //                    --output=G.txt [--seed=...]
 //   edgeshed service --jobs=jobs.txt [--workers=N] [--queue=K]
-//                    [--store_budget_mb=M] [--scale=1.0]
+//                    [--store_budget_mb=M] [--scale=1.0] [--deadline_ms=D]
+//                    [--retention_jobs=N] [--retention_ms=T]
+//                    [--result_cache_mb=M]
 //
 // Text inputs are SNAP-format edge lists; .esg is the library's binary
 // snapshot format (graph/binary_io.h). `service` runs a batch of shedding
@@ -21,6 +23,7 @@
 //   dataset method p [seed] [deadline_ms]
 // with '#' comments. Without --jobs a built-in demo batch is used.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -64,7 +67,9 @@ int Usage() {
                "  generate --dataset=grqc|hepph|enron|livejournal "
                "--scale=1.0 --output=G.txt [--seed=N]\n"
                "  service  [--jobs=jobs.txt] [--workers=N] [--queue=K] "
-               "[--store_budget_mb=M] [--scale=1.0]\n");
+               "[--store_budget_mb=M] [--scale=1.0] [--deadline_ms=D] "
+               "[--retention_jobs=N] [--retention_ms=T] "
+               "[--result_cache_mb=M]\n");
   return 2;
 }
 
@@ -342,10 +347,30 @@ int CmdService(const eval::Flags& flags) {
     return 1;
   }
 
+  // --deadline_ms applies to every spec that did not set its own deadline
+  // in the jobs file; 0 leaves those specs deadline-free.
+  const int64_t default_deadline_ms = flags.GetInt("deadline_ms", 0);
+  if (default_deadline_ms > 0) {
+    for (service::JobSpec& spec : specs) {
+      if (spec.deadline.count() == 0) {
+        spec.deadline = std::chrono::milliseconds(default_deadline_ms);
+      }
+    }
+  }
+
   service::JobScheduler::Options scheduler_options;
   scheduler_options.workers = static_cast<int>(flags.GetInt("workers", 0));
   scheduler_options.queue_capacity =
       static_cast<size_t>(flags.GetInt("queue", 1024));
+  // Never below the batch size: this driver submits everything up front and
+  // collects results afterwards, so a smaller retention would GC records
+  // before their Wait and report phantom failures.
+  scheduler_options.max_retained_jobs = std::max(
+      specs.size(), static_cast<size_t>(flags.GetInt("retention_jobs", 1024)));
+  scheduler_options.job_retention =
+      std::chrono::milliseconds(flags.GetInt("retention_ms", 600000));
+  scheduler_options.result_cache_byte_budget =
+      static_cast<uint64_t>(flags.GetInt("result_cache_mb", 64)) << 20;
   service::JobScheduler scheduler(&store, &metrics, scheduler_options);
 
   Stopwatch watch;
