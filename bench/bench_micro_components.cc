@@ -16,6 +16,8 @@
 #include "embedding/kmeans.h"
 #include "embedding/random_walks.h"
 #include "graph/generators/generators.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace {
 
@@ -182,6 +184,63 @@ void BM_KMeans(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KMeans)->Unit(benchmark::kMillisecond);
+
+// Observability substrate: the typed-handle path (resolve once, bump an
+// atomic) versus the string-keyed shim (map lookup under the registry mutex
+// per event). The gap is the reason hot loops hold Counter*/LatencySeries*.
+void BM_MetricsCounterHandle(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("bench.events");
+  for (auto _ : state) {
+    counter->Increment();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterHandle)->ThreadRange(1, 8);
+
+void BM_MetricsCounterStringKey(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (auto _ : state) {
+    registry.IncrementCounter("bench.events");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterStringKey)->ThreadRange(1, 8);
+
+void BM_MetricsLatencyHandle(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::LatencySeries* series = registry.GetLatency("bench.seconds");
+  double v = 1e-6;
+  for (auto _ : state) {
+    series->Record(v);
+    v += 1e-9;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsLatencyHandle)->ThreadRange(1, 8);
+
+void BM_TracerSpan(benchmark::State& state) {
+  static obs::Tracer tracer;
+  for (auto _ : state) {
+    obs::Span span = obs::Tracer::StartSpan(&tracer, "bench");
+    span.End();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerSpan)->ThreadRange(1, 8);
+
+void BM_TracerSpanDetached(benchmark::State& state) {
+  // Null tracer: the cost the service layer pays when no exporter is
+  // attached — should be a handful of instructions.
+  for (auto _ : state) {
+    obs::Span span = obs::Tracer::StartSpan(nullptr, "bench");
+    span.End();
+    benchmark::DoNotOptimize(span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerSpanDetached)->ThreadRange(1, 8);
 
 void BM_DistanceProfileSampled(benchmark::State& state) {
   graph::Graph g = MakeBaGraph(state.range(0));

@@ -32,6 +32,8 @@
 #include "graph/edge_list_io.h"
 #include "graph/generators/generators.h"
 #include "graph/graph_builder.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace edgeshed::bench {
 namespace {
@@ -146,6 +148,28 @@ void BenchGraph(const std::string& name, const graph::Graph& g, int repeats,
          [&]() {
            auto result = crr.Reduce(g, p);
            EDGESHED_CHECK(result.ok()) << result.status().ToString();
+         },
+         results);
+
+  // --- crr_reduce_traced: the same reduction with a live Tracer span and
+  // typed-metrics recording wrapped around it, mirroring what the service
+  // layer (JobScheduler) adds per job. The (crr_reduce, crr_reduce_traced)
+  // pair feeds tools/compare_bench.py --overhead-pair, which gates the
+  // observability overhead the same way cross-revision diffs are gated. ---
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::Counter* traced_jobs = metrics.GetCounter("bench.jobs");
+  obs::LatencySeries* traced_seconds = metrics.GetLatency("bench.run_seconds");
+  TimeOp(name, g, "crr_reduce_traced", repeats,
+         [&]() {
+           obs::Span span = obs::Tracer::StartSpan(&tracer, "run");
+           span.Annotate("graph", name);
+           auto result = crr.Reduce(g, p);
+           EDGESHED_CHECK(result.ok()) << result.status().ToString();
+           span.Annotate("ok", "true");
+           span.End();
+           traced_seconds->Record(result->reduction_seconds);
+           traced_jobs->Increment();
          },
          results);
 

@@ -16,8 +16,10 @@ std::vector<uint32_t> Bm2::Capacities(const graph::Graph& g, double p) {
   return capacities;
 }
 
-StatusOr<SheddingResult> Bm2::Reduce(const graph::Graph& g, double p,
-                                     const CancellationToken* cancel) const {
+StatusOr<SheddingResult> Bm2::Shed(const graph::Graph& g,
+                                   const ShedOptions& shed_options) const {
+  const double p = shed_options.p;
+  const CancellationToken* cancel = shed_options.cancel;
   EDGESHED_RETURN_IF_ERROR(ValidatePreservationRatio(p));
   Stopwatch total_watch;
   SheddingResult result;
@@ -25,7 +27,7 @@ StatusOr<SheddingResult> Bm2::Reduce(const graph::Graph& g, double p,
   // ---- Phase 1: greedy maximal b-matching under rounded capacities. ----
   Stopwatch phase1_watch;
   const std::vector<uint32_t> capacities = Capacities(g, p);
-  Rng rng(options_.seed);
+  Rng rng(shed_options.seed.value_or(options_.seed));
   std::vector<graph::EdgeId> matching =
       GreedyMaximalBMatching(g, capacities, options_.edge_order, &rng, cancel);
   if (CancellationRequested(cancel)) return cancel->ToStatus();

@@ -37,9 +37,11 @@ class Bm2 : public EdgeShedder {
   explicit Bm2(Bm2Options options = {}) : options_(options) {}
 
   std::string name() const override { return "bm2"; }
-  StatusOr<SheddingResult> Reduce(
-      const graph::Graph& g, double p,
-      const CancellationToken* cancel = nullptr) const override;
+  /// ShedOptions mapping: `seed` overrides Bm2Options::seed (effective only
+  /// with edge_order == kShuffled); `threads` is ignored — both phases are
+  /// inherently sequential scans.
+  StatusOr<SheddingResult> Shed(const graph::Graph& g,
+                                const ShedOptions& options) const override;
 
   /// The rounded capacity vector b(u) = round(p·deg_G(u)).
   static std::vector<uint32_t> Capacities(const graph::Graph& g, double p);

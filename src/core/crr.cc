@@ -44,22 +44,28 @@ uint64_t Crr::StepsFor(const graph::Graph& g, double p) const {
   return steps <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(steps));
 }
 
-StatusOr<SheddingResult> Crr::Reduce(const graph::Graph& g, double p,
-                                     const CancellationToken* cancel) const {
+StatusOr<SheddingResult> Crr::Shed(const graph::Graph& g,
+                                   const ShedOptions& shed_options) const {
+  const double p = shed_options.p;
+  const CancellationToken* cancel = shed_options.cancel;
   EDGESHED_RETURN_IF_ERROR(ValidatePreservationRatio(p));
   Stopwatch total_watch;
   SheddingResult result;
   const uint64_t num_edges = g.NumEdges();
   const uint64_t target = TargetEdgeCount(g, p);
-  Rng rng(options_.seed);
+  Rng rng(shed_options.seed.value_or(options_.seed));
 
   // ---- Phase 1: rank edges and keep the top round(p|E|). ----
   Stopwatch phase1_watch;
+  double betweenness_seconds = 0.0;
   std::vector<graph::EdgeId> ranked;
   if (options_.init_mode == CrrOptions::InitMode::kBetweenness) {
     analytics::BetweennessOptions betweenness = options_.betweenness;
     betweenness.cancel = cancel;
+    if (shed_options.threads > 0) betweenness.threads = shed_options.threads;
+    Stopwatch betweenness_watch;
     ranked = analytics::EdgesByBetweennessDescending(g, betweenness);
+    betweenness_seconds = betweenness_watch.ElapsedSeconds();
   } else {
     ranked.resize(num_edges);
     std::iota(ranked.begin(), ranked.end(), graph::EdgeId{0});
@@ -123,6 +129,7 @@ StatusOr<SheddingResult> Crr::Reduce(const graph::Graph& g, double p,
   result.stats = {
       {"phase1_seconds", phase1_seconds},
       {"phase2_seconds", phase2_seconds},
+      {"betweenness_seconds", betweenness_seconds},
       {"steps", static_cast<double>(steps)},
       {"swaps_accepted", static_cast<double>(accepted)},
   };

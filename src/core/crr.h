@@ -47,9 +47,12 @@ class Crr : public EdgeShedder {
   explicit Crr(CrrOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "crr"; }
-  StatusOr<SheddingResult> Reduce(
-      const graph::Graph& g, double p,
-      const CancellationToken* cancel = nullptr) const override;
+  /// ShedOptions mapping: `seed` overrides CrrOptions::seed; `threads`
+  /// overrides the betweenness estimator's thread count (Phase 2 is
+  /// sequential by construction — the swap chain is a single dependent
+  /// random walk).
+  StatusOr<SheddingResult> Shed(const graph::Graph& g,
+                                const ShedOptions& options) const override;
 
   /// The Phase-2 iteration count CRR will use for this graph and p.
   uint64_t StepsFor(const graph::Graph& g, double p) const;

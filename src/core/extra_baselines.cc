@@ -25,8 +25,10 @@ void FillResultMetrics(const graph::Graph& g, double p,
 
 }  // namespace
 
-StatusOr<SheddingResult> LocalDegreeShedding::Reduce(
-    const graph::Graph& g, double p, const CancellationToken* cancel) const {
+StatusOr<SheddingResult> LocalDegreeShedding::Shed(
+    const graph::Graph& g, const ShedOptions& options) const {
+  const double p = options.p;
+  const CancellationToken* cancel = options.cancel;
   EDGESHED_RETURN_IF_ERROR(ValidatePreservationRatio(p));
   Stopwatch watch;
   SheddingResult result;
@@ -70,13 +72,15 @@ StatusOr<SheddingResult> LocalDegreeShedding::Reduce(
   return result;
 }
 
-StatusOr<SheddingResult> SpanningForestShedding::Reduce(
-    const graph::Graph& g, double p, const CancellationToken* cancel) const {
+StatusOr<SheddingResult> SpanningForestShedding::Shed(
+    const graph::Graph& g, const ShedOptions& options) const {
+  const double p = options.p;
+  const CancellationToken* cancel = options.cancel;
   EDGESHED_RETURN_IF_ERROR(ValidatePreservationRatio(p));
   // Cheap kernel (one union-find pass): a single entry check is enough.
   if (CancellationRequested(cancel)) return cancel->ToStatus();
   Stopwatch watch;
-  Rng rng(seed_);
+  Rng rng(options.seed.value_or(seed_));
   SheddingResult result;
   const uint64_t target = TargetEdgeCount(g, p);
 

@@ -17,9 +17,10 @@ namespace edgeshed::core {
 class LocalDegreeShedding : public EdgeShedder {
  public:
   std::string name() const override { return "local-degree"; }
-  StatusOr<SheddingResult> Reduce(
-      const graph::Graph& g, double p,
-      const CancellationToken* cancel = nullptr) const override;
+  /// ShedOptions mapping: fully deterministic — `seed` and `threads` are
+  /// ignored.
+  StatusOr<SheddingResult> Shed(const graph::Graph& g,
+                                const ShedOptions& options) const override;
 };
 
 /// Spanning-forest + uniform fill: keeps a random spanning forest (one tree
@@ -34,9 +35,10 @@ class SpanningForestShedding : public EdgeShedder {
   explicit SpanningForestShedding(uint64_t seed = 42) : seed_(seed) {}
 
   std::string name() const override { return "spanning-forest"; }
-  StatusOr<SheddingResult> Reduce(
-      const graph::Graph& g, double p,
-      const CancellationToken* cancel = nullptr) const override;
+  /// ShedOptions mapping: `seed` overrides the constructor seed; `threads`
+  /// is ignored (one union-find pass).
+  StatusOr<SheddingResult> Shed(const graph::Graph& g,
+                                const ShedOptions& options) const override;
 
  private:
   uint64_t seed_;

@@ -8,13 +8,15 @@
 
 namespace edgeshed::core {
 
-StatusOr<SheddingResult> RandomShedding::Reduce(
-    const graph::Graph& g, double p, const CancellationToken* cancel) const {
+StatusOr<SheddingResult> RandomShedding::Shed(
+    const graph::Graph& g, const ShedOptions& options) const {
+  const double p = options.p;
+  const CancellationToken* cancel = options.cancel;
   EDGESHED_RETURN_IF_ERROR(ValidatePreservationRatio(p));
   // Cheap kernel: a single entry check is enough.
   if (CancellationRequested(cancel)) return cancel->ToStatus();
   Stopwatch watch;
-  Rng rng(seed_);
+  Rng rng(options.seed.value_or(seed_));
   const uint64_t target = TargetEdgeCount(g, p);
 
   SheddingResult result;

@@ -16,9 +16,10 @@ class RandomShedding : public EdgeShedder {
   explicit RandomShedding(uint64_t seed = 42) : seed_(seed) {}
 
   std::string name() const override { return "random"; }
-  StatusOr<SheddingResult> Reduce(
-      const graph::Graph& g, double p,
-      const CancellationToken* cancel = nullptr) const override;
+  /// ShedOptions mapping: `seed` overrides the constructor seed; `threads`
+  /// is ignored (a single uniform sample).
+  StatusOr<SheddingResult> Shed(const graph::Graph& g,
+                                const ShedOptions& options) const override;
 
  private:
   uint64_t seed_;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,27 @@ struct SheddingResult {
   }
 };
 
+/// Per-call knobs shared by every shedder, so the cancellation token, thread
+/// count, and seed do not have to be threaded through each kernel signature
+/// individually. Field-by-field:
+///  * `p` — the preservation ratio in (0,1); the reduced edge target is
+///    TargetEdgeCount(g, p) for ratio-pinned methods.
+///  * `cancel` — optional cooperative token, polled at coarse grain; a
+///    tripped token surfaces as Status::Cancelled / Status::DeadlineExceeded
+///    instead of a result (partial work is discarded). Runs are bit-identical
+///    with and without a token as long as it never trips.
+///  * `threads` — worker threads for parallelizable phases (CRR's
+///    betweenness ranking); 0 keeps the library default. Results stay
+///    bit-identical across thread counts.
+///  * `seed` — overrides the shedder's configured seed for this call when
+///    set; unset keeps the configured one.
+struct ShedOptions {
+  double p = 0.5;
+  const CancellationToken* cancel = nullptr;
+  int threads = 0;
+  std::optional<uint64_t> seed;
+};
+
 /// Interface shared by all graph-reduction methods in this library (CRR,
 /// BM2, random shedding, and the UDS baseline adapter), so the experiment
 /// harness can sweep methods uniformly.
@@ -41,17 +63,23 @@ class EdgeShedder {
   /// Short stable identifier ("crr", "bm2", ...).
   virtual std::string name() const = 0;
 
-  /// Produces a reduced edge set for preservation ratio `p` in (0,1).
-  /// Implementations must keep |kept_edges| deterministic given their
-  /// configured seed, and must be bit-identical with and without a `cancel`
-  /// token as long as the token never trips.
-  ///
-  /// `cancel` (optional) is polled cooperatively at coarse grain; a tripped
-  /// token surfaces as Status::Cancelled / Status::DeadlineExceeded instead
-  /// of a result. Partial work is discarded.
-  virtual StatusOr<SheddingResult> Reduce(
-      const graph::Graph& g, double p,
-      const CancellationToken* cancel = nullptr) const = 0;
+  /// Produces a reduced edge set under `options` (ratio, cancellation,
+  /// threads, seed override — see ShedOptions). Implementations must keep
+  /// |kept_edges| deterministic given the effective seed.
+  virtual StatusOr<SheddingResult> Shed(const graph::Graph& g,
+                                        const ShedOptions& options) const = 0;
+
+  /// Positional convenience form, delegating to Shed. Kept so the many
+  /// pre-ShedOptions call sites (`crr.Reduce(g, 0.5)`) stay source-
+  /// compatible.
+  StatusOr<SheddingResult> Reduce(const graph::Graph& g, double p,
+                                  const CancellationToken* cancel = nullptr)
+      const {
+    ShedOptions options;
+    options.p = p;
+    options.cancel = cancel;
+    return Shed(g, options);
+  }
 };
 
 /// Validates a preservation ratio; shared by implementations. NaN and

@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace edgeshed::obs {
+namespace {
+
+// fetch_add on std::atomic<double> is C++20 but spottily implemented; a CAS
+// loop is portable and just as lock-free where it matters.
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value < cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value > cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void LatencySnapshot::Merge(const LatencySnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum_seconds += other.sum_seconds;
+  min_seconds = std::min(min_seconds, other.min_seconds);
+  max_seconds = std::max(max_seconds, other.max_seconds);
+}
+
+LatencySeries::LatencySeries()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void LatencySeries::Record(double seconds) {
+  AtomicAdd(&sum_, seconds);
+  AtomicMin(&min_, seconds);
+  AtomicMax(&max_, seconds);
+  int64_t bucket = LatencyBucket(seconds);
+  bucket = std::clamp<int64_t>(bucket, 0, kNumBuckets - 1);
+  buckets_[static_cast<size_t>(bucket)].fetch_add(1, std::memory_order_relaxed);
+  // Count last: a snapshot that reads count first can only under-report, so
+  // it never renders min/max for a series whose first Record is mid-flight.
+  count_.fetch_add(1, std::memory_order_release);
+}
+
+LatencySnapshot LatencySeries::Snapshot() const {
+  LatencySnapshot snap;
+  snap.count = count_.load(std::memory_order_acquire);
+  if (snap.count == 0) return snap;
+  snap.sum_seconds = sum_.load(std::memory_order_relaxed);
+  snap.min_seconds = min_.load(std::memory_order_relaxed);
+  snap.max_seconds = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::vector<uint64_t> LatencySeries::BucketCounts() const {
+  std::vector<uint64_t> counts(kNumBuckets, 0);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[static_cast<size_t>(b)] =
+        buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+int64_t LatencySeries::LatencyBucket(double seconds) {
+  const double micros = seconds * 1e6;
+  if (!(micros > 1.0)) return 0;  // also catches NaN and negatives
+  return static_cast<int64_t>(std::floor(std::log2(micros)));
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencySeries* MetricsRegistry::GetLatency(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = latencies_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencySeries>();
+  return slot.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->Value();
+}
+
+LatencySnapshot MetricsRegistry::LatencyValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latencies_.find(name);
+  return it == latencies_.end() ? LatencySnapshot{} : it->second->Snapshot();
+}
+
+std::string MetricsRegistry::TextSnapshot() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    out += StrFormat("counter %s %llu\n", name.c_str(),
+                             static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += StrFormat("gauge   %s %lld\n", name.c_str(),
+                             static_cast<long long>(value));
+  }
+  for (const auto& entry : snap.latencies) {
+    if (entry.stats.count == 0) {
+      out += StrFormat("latency %s count=0\n", entry.name.c_str());
+      continue;
+    }
+    out += StrFormat(
+        "latency %s count=%llu mean=%.6fs min=%.6fs max=%.6fs\n",
+        entry.name.c_str(), static_cast<unsigned long long>(entry.stats.count),
+        entry.stats.MeanSeconds(), entry.stats.min_seconds,
+        entry.stats.max_seconds);
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.latencies.reserve(latencies_.size());
+  for (const auto& [name, series] : latencies_) {
+    MetricsSnapshot::LatencyEntry entry;
+    entry.name = name;
+    entry.stats = series->Snapshot();
+    entry.buckets = series->BucketCounts();
+    snap.latencies.push_back(std::move(entry));
+  }
+  return snap;
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(mu_);
+  names.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) names.push_back(name);
+  return names;
+}
+
+}  // namespace edgeshed::obs

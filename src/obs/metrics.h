@@ -1,0 +1,183 @@
+#ifndef EDGESHED_OBS_METRICS_H_
+#define EDGESHED_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace edgeshed::obs {
+
+/// Summary of one latency series. `min_seconds`/`max_seconds` are meaningful
+/// only while `count > 0`; an empty series reports count == 0 and consumers
+/// (TextSnapshot, the Prometheus exporter) must not render min/max for it —
+/// the old behaviour of defaulting them to 0.0 made an empty series
+/// indistinguishable from one that observed exact zeros.
+struct LatencySnapshot {
+  uint64_t count = 0;
+  double sum_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+
+  double MeanSeconds() const {
+    return count == 0 ? 0.0 : sum_seconds / static_cast<double>(count);
+  }
+
+  /// Folds `other` into this snapshot. Empty sides contribute nothing, so
+  /// merging never manufactures a spurious min of 0.0: the merge of an empty
+  /// and a non-empty snapshot equals the non-empty one.
+  void Merge(const LatencySnapshot& other);
+};
+
+/// Monotonically increasing event counter. Updates and reads are single
+/// relaxed atomics — safe from any thread, no lock on the hot path.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous int64 value (queue depth, bytes resident). Lock-free.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Latency series: count/sum/min/max plus log2(microsecond) buckets, all
+/// updated lock-free (relaxed atomics; min/max/sum via CAS loops). A
+/// concurrent Snapshot may observe a record mid-flight — count is read first,
+/// so the snapshot never reports more observations than its sum covers by a
+/// wide margin; metrics consumers tolerate that slack.
+class LatencySeries {
+ public:
+  /// Bucket b counts observations with LatencyBucket(seconds) == b, i.e.
+  /// durations in [2^b, 2^(b+1)) microseconds (b = 0 also absorbs anything
+  /// sub-microsecond). 64 buckets cover every representable duration.
+  static constexpr int kNumBuckets = 64;
+
+  LatencySeries();
+
+  void Record(double seconds);
+  LatencySnapshot Snapshot() const;
+
+  /// Per-bucket observation counts (size kNumBuckets).
+  std::vector<uint64_t> BucketCounts() const;
+
+  /// The log2(microsecond) bucket a latency observation falls in; exposed so
+  /// tests, the text snapshot, and the Prometheus exporter agree.
+  static int64_t LatencyBucket(double seconds);
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;  // +inf until the first observation
+  std::atomic<double> max_;  // -inf until the first observation
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// Full point-in-time copy of a registry, for exporters. Every section is
+/// sorted by instrument name so renderings are stable.
+struct MetricsSnapshot {
+  struct LatencyEntry {
+    std::string name;
+    LatencySnapshot stats;
+    std::vector<uint64_t> buckets;  // size LatencySeries::kNumBuckets
+  };
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<LatencyEntry> latencies;
+};
+
+/// Thread-safe metrics registry shared by the service components (GraphStore,
+/// JobScheduler, the CLI `service` mode) and exported by src/obs/.
+///
+/// Two API layers:
+///  * **Typed handles** — `GetCounter`/`GetGauge`/`GetLatency` resolve a name
+///    to a stable instrument pointer once (one map lookup under the registry
+///    mutex); every subsequent update through the handle is lock-free
+///    atomics. This is the hot-path API: resolve at construction, update per
+///    event.
+///  * **String-keyed shims** — `IncrementCounter("store.hit")` etc. resolve
+///    on every call and delegate to the handle. Kept so existing callers and
+///    one-off call sites stay one line.
+///
+/// Instruments are created lazily on first *write* (or Get*); reads of absent
+/// names return zero without creating anything. Handles stay valid for the
+/// registry's lifetime. All methods are safe to call concurrently.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Typed-instrument resolution: find-or-create under the registry mutex,
+  /// returning a pointer that remains valid (and lock-free to update) for
+  /// the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencySeries* GetLatency(const std::string& name);
+
+  // String-keyed shims over the typed handles.
+  void IncrementCounter(const std::string& name, uint64_t delta = 1) {
+    GetCounter(name)->Increment(delta);
+  }
+  uint64_t CounterValue(const std::string& name) const;
+
+  void SetGauge(const std::string& name, int64_t value) {
+    GetGauge(name)->Set(value);
+  }
+  void AddToGauge(const std::string& name, int64_t delta) {
+    GetGauge(name)->Add(delta);
+  }
+  int64_t GaugeValue(const std::string& name) const;
+
+  /// Records one observation of `seconds` into the series `name`.
+  void RecordLatency(const std::string& name, double seconds) {
+    GetLatency(name)->Record(seconds);
+  }
+  LatencySnapshot LatencyValue(const std::string& name) const;
+
+  static int64_t LatencyBucket(double seconds) {
+    return LatencySeries::LatencyBucket(seconds);
+  }
+
+  /// Human-readable dump of every instrument, sorted by name:
+  ///   counter scheduler.jobs_done 32
+  ///   gauge   store.bytes_resident 183500
+  ///   latency scheduler.run_seconds count=32 mean=0.004211s max=0.009120s
+  /// An empty latency series prints `count=0` with no mean/min/max.
+  std::string TextSnapshot() const;
+
+  /// Full copy for exporters (obs::PrometheusText), sorted by name.
+  MetricsSnapshot Snapshot() const;
+
+  /// Names of all registered counters (testing / introspection).
+  std::vector<std::string> CounterNames() const;
+
+ private:
+  // unique_ptr nodes give instrument pointers that survive rehash/rebalance;
+  // the mutex guards only the maps — never an instrument update.
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencySeries>> latencies_;
+};
+
+}  // namespace edgeshed::obs
+
+#endif  // EDGESHED_OBS_METRICS_H_

@@ -1,0 +1,80 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace edgeshed::obs {
+namespace {
+
+/// `scheduler.jobs_done` -> `edgeshed_scheduler_jobs_done`; any character
+/// outside [a-zA-Z0-9_] becomes '_' to satisfy the metric-name grammar.
+std::string PromName(const std::string& name) {
+  std::string out = "edgeshed_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Upper bound of log2-microsecond bucket `b` in seconds: bucket b holds
+/// durations in [2^b, 2^(b+1)) microseconds.
+double BucketUpperSeconds(int b) {
+  return std::ldexp(1.0, b + 1) / 1e6;
+}
+
+void AppendLatency(const MetricsSnapshot::LatencyEntry& entry,
+                   std::string* out) {
+  const std::string base = PromName(entry.name);
+  *out += StrFormat("# TYPE %s histogram\n", base.c_str());
+  uint64_t cumulative = 0;
+  for (int b = 0; b < LatencySeries::kNumBuckets; ++b) {
+    const uint64_t in_bucket = entry.buckets[static_cast<size_t>(b)];
+    if (in_bucket == 0) continue;
+    cumulative += in_bucket;
+    *out += StrFormat("%s_bucket{le=\"%g\"} %llu\n", base.c_str(),
+                      BucketUpperSeconds(b),
+                      static_cast<unsigned long long>(cumulative));
+  }
+  *out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", base.c_str(),
+                    static_cast<unsigned long long>(entry.stats.count));
+  *out += StrFormat("%s_sum %.9g\n", base.c_str(), entry.stats.sum_seconds);
+  *out += StrFormat("%s_count %llu\n", base.c_str(),
+                    static_cast<unsigned long long>(entry.stats.count));
+  if (entry.stats.count > 0) {
+    // min/max are auxiliary gauges (no native histogram slot); emitted only
+    // when at least one observation exists so an empty series is
+    // unambiguous.
+    *out += StrFormat("# TYPE %s_min_seconds gauge\n%s_min_seconds %.9g\n",
+                      base.c_str(), base.c_str(), entry.stats.min_seconds);
+    *out += StrFormat("# TYPE %s_max_seconds gauge\n%s_max_seconds %.9g\n",
+                      base.c_str(), base.c_str(), entry.stats.max_seconds);
+  }
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PromName(name);
+    out += StrFormat("# TYPE %s_total counter\n%s_total %llu\n", prom.c_str(),
+                     prom.c_str(), static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PromName(name);
+    out += StrFormat("# TYPE %s gauge\n%s %lld\n", prom.c_str(), prom.c_str(),
+                     static_cast<long long>(value));
+  }
+  for (const auto& entry : snapshot.latencies) AppendLatency(entry, &out);
+  return out;
+}
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  return PrometheusText(registry.Snapshot());
+}
+
+}  // namespace edgeshed::obs

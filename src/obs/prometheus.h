@@ -1,0 +1,34 @@
+#ifndef EDGESHED_OBS_PROMETHEUS_H_
+#define EDGESHED_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace edgeshed::obs {
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4), suitable for a `/metrics` endpoint.
+///
+/// Mapping:
+///  * every name is prefixed `edgeshed_` and dots become underscores
+///    (`scheduler.jobs_done` -> `edgeshed_scheduler_jobs_done_total`);
+///  * counters render as `counter` with a `_total` suffix;
+///  * gauges render as `gauge`;
+///  * latency series render as a cumulative `histogram` — `_bucket{le="..."}`
+///    lines over the registry's log2-microsecond buckets (only buckets with
+///    observations are emitted, plus `+Inf`), then `_sum` and `_count` —
+///    followed by `_min_seconds`/`_max_seconds` gauges. An empty series
+///    emits only the `+Inf` bucket, `_sum 0`, `_count 0`, and *no* min/max
+///    (count==0 is the explicit "no data" signal; see LatencySnapshot).
+///
+/// Output is sorted by instrument name (inherited from MetricsSnapshot) so
+/// renderings are byte-stable for golden tests.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+/// Convenience overload: snapshots `registry` and renders it.
+std::string PrometheusText(const MetricsRegistry& registry);
+
+}  // namespace edgeshed::obs
+
+#endif  // EDGESHED_OBS_PROMETHEUS_H_

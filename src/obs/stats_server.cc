@@ -1,0 +1,190 @@
+#include "obs/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace edgeshed::obs {
+namespace {
+
+constexpr int kPollIntervalMs = 100;
+constexpr size_t kMaxRequestBytes = 8192;
+
+std::string_view ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+void SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+StatsServer::StatsServer(StatsServerOptions options)
+    : options_(std::move(options)) {}
+
+StatsServer::~StatsServer() { Stop(); }
+
+void StatsServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status StatsServer::Start() {
+  if (thread_.joinable()) {
+    return Status::FailedPrecondition("stats server already started");
+  }
+  if (handlers_.find("/healthz") == handlers_.end()) {
+    handlers_["/healthz"] = [] { return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"}; };
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Status::IOError(
+        StrFormat("bind(127.0.0.1:%d): %s", options_.port,
+                  std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const Status status =
+        Status::IOError(StrFormat("listen(): %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void StatsServer::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void StatsServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready <= 0) continue;  // timeout (stop-flag check) or transient error
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    ServeConnection(client_fd);
+    ::close(client_fd);
+  }
+}
+
+void StatsServer::ServeConnection(int client_fd) {
+  // Read until the end of the request head (or the size cap). GET requests
+  // have no body, so the blank line terminates everything we care about.
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const size_t line_end = request.find_first_of("\r\n");
+  const std::string_view line =
+      std::string_view(request).substr(0, line_end == std::string::npos
+                                              ? request.size()
+                                              : line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string_view::npos
+                         ? std::string_view::npos
+                         : line.find(' ', sp1 + 1);
+  const std::string_view method =
+      sp1 == std::string_view::npos ? line : line.substr(0, sp1);
+  std::string_view target =
+      sp2 == std::string_view::npos
+          ? std::string_view()
+          : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Ignore any query string; handlers key on the bare path.
+  const size_t query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+
+  HttpResponse response;
+  if (method != "GET") {
+    response = HttpResponse{405, "text/plain; charset=utf-8",
+                            "method not allowed\n"};
+  } else {
+    const auto it = handlers_.find(std::string(target));
+    if (it == handlers_.end()) {
+      response =
+          HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
+    } else {
+      response = it->second();
+    }
+  }
+
+  std::string head = StrFormat(
+      "HTTP/1.1 %d %.*s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      response.status, static_cast<int>(ReasonPhrase(response.status).size()),
+      ReasonPhrase(response.status).data(), response.content_type.c_str(),
+      response.body.size());
+  SendAll(client_fd, head);
+  SendAll(client_fd, response.body);
+}
+
+}  // namespace edgeshed::obs

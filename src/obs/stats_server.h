@@ -1,0 +1,82 @@
+#ifndef EDGESHED_OBS_STATS_SERVER_H_
+#define EDGESHED_OBS_STATS_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace edgeshed::obs {
+
+/// Response produced by a stats-server handler.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+struct StatsServerOptions {
+  /// Port to bind on 127.0.0.1. 0 = pick an ephemeral port (read it back
+  /// via port()).
+  int port = 0;
+  /// Pending-connection backlog passed to listen().
+  int backlog = 16;
+};
+
+/// Minimal embedded HTTP stats server: plain POSIX sockets, GET only, one
+/// request per connection, loopback only. This is an operator window
+/// (`curl localhost:PORT/metrics`), not a general web server — no TLS, no
+/// keep-alive, no request bodies.
+///
+/// Usage:
+///   StatsServer server(options);
+///   server.Handle("/metrics", [&] { return HttpResponse{...}; });
+///   EDGESHED_RETURN_IF_ERROR(server.Start());   // spawns the accept thread
+///   ...
+///   server.Stop();                               // joins it
+///
+/// Handlers run on the server thread and must be registered before Start().
+/// Built-in behaviour: unknown path -> 404, non-GET method -> 405, `/healthz`
+/// -> "ok" unless overridden.
+class StatsServer {
+ public:
+  using Handler = std::function<HttpResponse()>;
+
+  explicit StatsServer(StatsServerOptions options = {});
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Registers `handler` for exact path `path`. Must precede Start().
+  void Handle(std::string path, Handler handler);
+
+  /// Binds, listens, and spawns the accept thread. Fails (IOError) if the
+  /// port is taken or sockets are unavailable.
+  Status Start();
+
+  /// Stops the accept loop and joins the thread. Idempotent; also called by
+  /// the destructor.
+  void Stop();
+
+  /// The bound port (after a successful Start). 0 before Start.
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int client_fd);
+
+  StatsServerOptions options_;
+  std::map<std::string, Handler> handlers_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace edgeshed::obs
+
+#endif  // EDGESHED_OBS_STATS_SERVER_H_

@@ -1,0 +1,217 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace edgeshed::obs {
+namespace {
+
+/// One entry of the calling thread's ambient span stack. The stack is keyed
+/// by tracer so two registries tracing on the same thread don't cross wires.
+struct AmbientSpan {
+  const Tracer* tracer;
+  uint64_t trace_id;
+  uint64_t span_id;
+};
+
+thread_local std::vector<AmbientSpan> g_ambient_stack;
+
+void AmbientPush(const Tracer* tracer, uint64_t trace_id, uint64_t span_id) {
+  g_ambient_stack.push_back({tracer, trace_id, span_id});
+}
+
+void AmbientPop(const Tracer* tracer, uint64_t span_id) {
+  // Spans normally end LIFO; search from the top anyway so an out-of-order
+  // End (moved-from spans, early End() calls) cannot corrupt the stack.
+  for (size_t i = g_ambient_stack.size(); i > 0; --i) {
+    const AmbientSpan& entry = g_ambient_stack[i - 1];
+    if (entry.tracer == tracer && entry.span_id == span_id) {
+      g_ambient_stack.erase(g_ambient_stack.begin() +
+                            static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+const AmbientSpan* AmbientTop(const Tracer* tracer) {
+  for (size_t i = g_ambient_stack.size(); i > 0; --i) {
+    if (g_ambient_stack[i - 1].tracer == tracer) return &g_ambient_stack[i - 1];
+  }
+  return nullptr;
+}
+
+void JsonEscapeInto(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", static_cast<unsigned>(c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    record_ = std::move(other.record_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::Annotate(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  record_.annotations.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  record_.duration_ns = tracer->NowNs() - record_.start_ns;
+  AmbientPop(tracer, record_.span_id);
+  tracer->Record(std::move(record_));
+}
+
+Tracer::Tracer(TracerOptions options)
+    : epoch_(std::chrono::steady_clock::now()),
+      stripe_capacity_(std::max<size_t>(
+          1, options.capacity / std::max<size_t>(1, options.stripes))) {
+  const size_t stripe_count = std::max<size_t>(1, options.stripes);
+  stripes_.reserve(stripe_count);
+  for (size_t i = 0; i < stripe_count; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+Span Tracer::StartSpan(Tracer* tracer, std::string name) {
+  if (tracer == nullptr) return Span();
+  const AmbientSpan* parent = AmbientTop(tracer);
+  const uint64_t trace_id =
+      parent != nullptr ? parent->trace_id : tracer->NewTraceId();
+  const uint64_t parent_id = parent != nullptr ? parent->span_id : 0;
+  return StartSpanInTrace(tracer, std::move(name), trace_id, parent_id);
+}
+
+Span Tracer::StartSpanInTrace(Tracer* tracer, std::string name,
+                              uint64_t trace_id, uint64_t parent_id) {
+  if (tracer == nullptr) return Span();
+  SpanRecord record;
+  record.trace_id = trace_id;
+  record.span_id = tracer->NewTraceId();
+  record.parent_id = parent_id;
+  record.name = std::move(name);
+  record.start_ns = tracer->NowNs();
+  record.tid = ThreadIndex();
+  AmbientPush(tracer, record.trace_id, record.span_id);
+  return Span(tracer, std::move(record));
+}
+
+void Tracer::Record(SpanRecord record) {
+  Stripe& stripe = StripeForThisThread();
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (stripe.ring.size() < stripe_capacity_) {
+    stripe.ring.push_back(std::move(record));
+    stripe.count = stripe.ring.size();
+    stripe.next = stripe.ring.size() % stripe_capacity_;
+  } else {
+    stripe.ring[stripe.next] = std::move(record);
+    stripe.next = (stripe.next + 1) % stripe_capacity_;
+  }
+}
+
+int64_t Tracer::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::vector<SpanRecord> Tracer::Spans() const {
+  std::vector<SpanRecord> out;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const SpanRecord& record : stripe->ring) out.push_back(record);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                     return a.span_id < b.span_id;
+                   });
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::TraceSpans(uint64_t trace_id) const {
+  std::vector<SpanRecord> all = Spans();
+  std::vector<SpanRecord> out;
+  for (SpanRecord& record : all) {
+    if (record.trace_id == trace_id) out.push_back(std::move(record));
+  }
+  return out;
+}
+
+std::string Tracer::TraceEventJson(const std::vector<SpanRecord>& spans) {
+  // Complete-event ("ph":"X") form of the chrome://tracing trace-event
+  // format; ts/dur are microseconds. Field order is fixed for golden tests.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    JsonEscapeInto(span.name, &out);
+    out += StrFormat(
+        "\",\"cat\":\"edgeshed\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+        "\"pid\":1,\"tid\":%d,\"id\":\"%llx\"",
+        static_cast<double>(span.start_ns) / 1e3,
+        static_cast<double>(span.duration_ns) / 1e3, span.tid,
+        static_cast<unsigned long long>(span.trace_id));
+    out += ",\"args\":{";
+    out += StrFormat("\"span_id\":\"%llx\",\"parent_id\":\"%llx\"",
+                     static_cast<unsigned long long>(span.span_id),
+                     static_cast<unsigned long long>(span.parent_id));
+    for (const auto& [key, value] : span.annotations) {
+      out += ",\"";
+      JsonEscapeInto(key, &out);
+      out += "\":\"";
+      JsonEscapeInto(value, &out);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+int Tracer::ThreadIndex() {
+  static std::atomic<int> next_index{0};
+  thread_local int index = next_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+Tracer::Stripe& Tracer::StripeForThisThread() {
+  return *stripes_[static_cast<size_t>(ThreadIndex()) % stripes_.size()];
+}
+
+}  // namespace edgeshed::obs

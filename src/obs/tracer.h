@@ -1,0 +1,155 @@
+#ifndef EDGESHED_OBS_TRACER_H_
+#define EDGESHED_OBS_TRACER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace edgeshed::obs {
+
+class Tracer;
+
+/// One finished span as stored in the tracer's ring buffer. Durations are
+/// steady-clock nanoseconds relative to the tracer's epoch (its construction
+/// time), so they are monotone and comparable across threads.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  std::string name;
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+  int tid = 0;  // small per-thread index, not an OS thread id
+  std::vector<std::pair<std::string, std::string>> annotations;
+};
+
+/// RAII span handle. Created via Tracer::StartSpan (child of the thread's
+/// current span, if any) or Tracer::StartSpanInTrace (explicit parentage,
+/// for crossing thread boundaries). While alive it is the thread's ambient
+/// current span, so nested StartSpan calls become its children. `End()` (or
+/// destruction) stamps the duration and commits the record to the ring
+/// buffer.
+///
+/// A default-constructed or null-tracer Span is a no-op: every method is a
+/// cheap early-out, which is what keeps the hot path near-free when no
+/// tracer is attached.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  /// Attaches a key=value annotation (rendered into trace-event `args`).
+  void Annotate(std::string key, std::string value);
+
+  /// Stops the clock and commits the span. Idempotent.
+  void End();
+
+  bool ok() const { return tracer_ != nullptr; }
+  uint64_t trace_id() const { return record_.trace_id; }
+  uint64_t span_id() const { return record_.span_id; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, SpanRecord record)
+      : tracer_(tracer), record_(std::move(record)) {}
+
+  Tracer* tracer_ = nullptr;  // null = inert
+  SpanRecord record_;
+};
+
+struct TracerOptions {
+  /// Total finished-span capacity across all stripes; oldest spans in a
+  /// stripe are overwritten once it wraps.
+  size_t capacity = 4096;
+  /// Number of independently locked ring-buffer stripes; writers pick a
+  /// stripe by thread index so concurrent commits rarely contend.
+  size_t stripes = 8;
+};
+
+/// In-process tracer: hands out trace ids, scopes RAII spans, and retains
+/// the most recent finished spans in a fixed-size lock-striped ring buffer.
+/// Export via TraceEventJson() (chrome://tracing "trace event" format — load
+/// the output at chrome://tracing or https://ui.perfetto.dev).
+///
+/// Ambient context: each thread keeps a stack of active spans per tracer;
+/// StartSpan parents onto the top of that stack. To continue a trace on
+/// *another* thread (e.g. a scheduler worker picking up a queued job), pass
+/// the ids explicitly via StartSpanInTrace.
+///
+/// All methods are thread-safe. A null `Tracer*` is the "tracing off" state
+/// throughout the codebase: Tracer::StartSpan(nullptr, ...) returns an inert
+/// span without touching any shared state.
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions options = {});
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Allocates a fresh trace id (never 0).
+  uint64_t NewTraceId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Starts a span parented onto the calling thread's current span for this
+  /// tracer (a new root trace if there is none). Null-safe: a null tracer
+  /// yields an inert span.
+  static Span StartSpan(Tracer* tracer, std::string name);
+
+  /// Starts a span with explicit trace/parent ids — the cross-thread hook.
+  /// `parent_id` 0 makes it the trace's root span.
+  static Span StartSpanInTrace(Tracer* tracer, std::string name,
+                               uint64_t trace_id, uint64_t parent_id);
+
+  /// Commits an externally assembled record (used to synthesize spans whose
+  /// start/end were observed as timestamps rather than RAII scopes, e.g.
+  /// queue-wait intervals and kernel phase stats).
+  void Record(SpanRecord record);
+
+  /// Nanoseconds since this tracer's epoch (steady clock).
+  int64_t NowNs() const;
+
+  /// Snapshot of retained spans, oldest first within each stripe, sorted by
+  /// start time overall.
+  std::vector<SpanRecord> Spans() const;
+
+  /// Spans of one trace, sorted by start time.
+  std::vector<SpanRecord> TraceSpans(uint64_t trace_id) const;
+
+  /// chrome://tracing trace-event JSON for the given spans. Field order is
+  /// fixed (name, cat, ph, ts, dur, pid, tid, id, args) so output is stable
+  /// for golden tests.
+  static std::string TraceEventJson(const std::vector<SpanRecord>& spans);
+
+  /// TraceEventJson over every retained span.
+  std::string TraceEventJson() const { return TraceEventJson(Spans()); }
+
+  /// Small dense index for the calling thread (used as the trace-event tid).
+  static int ThreadIndex();
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<SpanRecord> ring;
+    size_t next = 0;   // next write position
+    size_t count = 0;  // valid records (<= ring.size())
+  };
+
+  Stripe& StripeForThisThread();
+
+  const std::chrono::steady_clock::time_point epoch_;
+  const size_t stripe_capacity_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+}  // namespace edgeshed::obs
+
+#endif  // EDGESHED_OBS_TRACER_H_

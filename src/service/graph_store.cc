@@ -7,8 +7,21 @@
 
 namespace edgeshed::service {
 
-GraphStore::GraphStore(GraphStoreOptions options, MetricsRegistry* metrics)
-    : options_(options), metrics_(metrics) {}
+GraphStore::GraphStore(GraphStoreOptions options, MetricsRegistry* metrics,
+                       obs::Tracer* tracer)
+    : options_(options), tracer_(tracer) {
+  if (metrics != nullptr) {
+    instruments_.hit = metrics->GetCounter("store.hit");
+    instruments_.miss = metrics->GetCounter("store.miss");
+    instruments_.wait_hit = metrics->GetCounter("store.wait_hit");
+    instruments_.load_failure = metrics->GetCounter("store.load_failure");
+    instruments_.wait_failure = metrics->GetCounter("store.wait_failure");
+    instruments_.eviction = metrics->GetCounter("store.eviction");
+    instruments_.bytes_resident = metrics->GetGauge("store.bytes_resident");
+    instruments_.graphs_resident = metrics->GetGauge("store.graphs_resident");
+    instruments_.load_seconds = metrics->GetLatency("store.load_seconds");
+  }
+}
 
 Status GraphStore::Register(const std::string& name, Loader loader) {
   if (name.empty()) {
@@ -49,17 +62,16 @@ StatusOr<std::shared_ptr<const graph::Graph>> GraphStore::Get(
     load_done_.wait(lock);
     if (entry.graph == nullptr && !entry.loading &&
         entry.failed_epoch == wave) {
-      if (metrics_ != nullptr) {
-        metrics_->IncrementCounter("store.wait_failure");
+      if (instruments_.wait_failure != nullptr) {
+        instruments_.wait_failure->Increment();
       }
       return entry.last_failure;
     }
   }
   if (entry.graph != nullptr) {
     lru_.splice(lru_.begin(), lru_, entry.lru_pos);
-    if (metrics_ != nullptr) {
-      metrics_->IncrementCounter(waited ? "store.wait_hit" : "store.hit");
-    }
+    obs::Counter* counter = waited ? instruments_.wait_hit : instruments_.hit;
+    if (counter != nullptr) counter->Increment();
     return entry.graph;
   }
 
@@ -67,16 +79,22 @@ StatusOr<std::shared_ptr<const graph::Graph>> GraphStore::Get(
   entry.loading = true;
   const uint64_t epoch = ++entry.load_epoch;
   lock.unlock();
+  obs::Span load_span = obs::Tracer::StartSpan(tracer_, "store.load");
+  load_span.Annotate("dataset", name);
   Stopwatch watch;
   StatusOr<graph::Graph> loaded = entry.loader();
   const double load_seconds = watch.ElapsedSeconds();
+  load_span.Annotate("ok", loaded.ok() ? "true" : "false");
+  load_span.End();
   lock.lock();
   entry.loading = false;
   if (!loaded.ok()) {
     entry.failed_epoch = epoch;
     entry.last_failure = loaded.status();
     load_done_.notify_all();
-    if (metrics_ != nullptr) metrics_->IncrementCounter("store.load_failure");
+    if (instruments_.load_failure != nullptr) {
+      instruments_.load_failure->Increment();
+    }
     return loaded.status();
   }
   load_done_.notify_all();
@@ -86,9 +104,9 @@ StatusOr<std::shared_ptr<const graph::Graph>> GraphStore::Get(
   bytes_resident_ += entry.bytes;
   lru_.push_front(name);
   entry.lru_pos = lru_.begin();
-  if (metrics_ != nullptr) {
-    metrics_->IncrementCounter("store.miss");
-    metrics_->RecordLatency("store.load_seconds", load_seconds);
+  if (instruments_.miss != nullptr) instruments_.miss->Increment();
+  if (instruments_.load_seconds != nullptr) {
+    instruments_.load_seconds->Record(load_seconds);
   }
   EvictLocked(name);
   PublishGaugesLocked();
@@ -143,16 +161,17 @@ void GraphStore::EvictLocked(const std::string& keep) {
     entry.bytes = 0;
     entry.graph.reset();  // leases held by running jobs keep the data alive
     lru_.pop_back();
-    if (metrics_ != nullptr) metrics_->IncrementCounter("store.eviction");
+    if (instruments_.eviction != nullptr) instruments_.eviction->Increment();
   }
 }
 
 void GraphStore::PublishGaugesLocked() {
-  if (metrics_ == nullptr) return;
-  metrics_->SetGauge("store.bytes_resident",
-                     static_cast<int64_t>(bytes_resident_));
-  metrics_->SetGauge("store.graphs_resident",
-                     static_cast<int64_t>(lru_.size()));
+  if (instruments_.bytes_resident != nullptr) {
+    instruments_.bytes_resident->Set(static_cast<int64_t>(bytes_resident_));
+  }
+  if (instruments_.graphs_resident != nullptr) {
+    instruments_.graphs_resident->Set(static_cast<int64_t>(lru_.size()));
+  }
 }
 
 }  // namespace edgeshed::service

@@ -13,6 +13,7 @@
 
 #include "common/statusor.h"
 #include "graph/graph.h"
+#include "obs/tracer.h"
 #include "service/metrics_registry.h"
 
 namespace edgeshed::service {
@@ -51,7 +52,13 @@ struct GraphStoreOptions {
 /// `store.wait_hit`, `store.load_failure`, `store.wait_failure`,
 /// `store.eviction` counters;
 /// `store.bytes_resident` and `store.graphs_resident` gauges;
-/// `store.load_seconds` latency.
+/// `store.load_seconds` latency. Instrument handles are resolved once at
+/// construction; per-event updates are lock-free.
+///
+/// When a tracer is supplied, each load wave records a `store.load` span
+/// (annotated with the dataset name) parented onto the loading thread's
+/// ambient span — inside a scheduler worker that is the job's `run` span, so
+/// graph loads show up inside job traces.
 class GraphStore {
  public:
   /// Produces the graph for a registered name; called outside the store
@@ -60,7 +67,8 @@ class GraphStore {
   using Options = GraphStoreOptions;
 
   explicit GraphStore(GraphStoreOptions options = {},
-                      MetricsRegistry* metrics = nullptr);
+                      MetricsRegistry* metrics = nullptr,
+                      obs::Tracer* tracer = nullptr);
 
   GraphStore(const GraphStore&) = delete;
   GraphStore& operator=(const GraphStore&) = delete;
@@ -110,8 +118,23 @@ class GraphStore {
   void EvictLocked(const std::string& keep);
   void PublishGaugesLocked();
 
+  /// Typed instrument handles, resolved once at construction. All null when
+  /// no registry is attached.
+  struct Instruments {
+    obs::Counter* hit = nullptr;
+    obs::Counter* miss = nullptr;
+    obs::Counter* wait_hit = nullptr;
+    obs::Counter* load_failure = nullptr;
+    obs::Counter* wait_failure = nullptr;
+    obs::Counter* eviction = nullptr;
+    obs::Gauge* bytes_resident = nullptr;
+    obs::Gauge* graphs_resident = nullptr;
+    obs::LatencySeries* load_seconds = nullptr;
+  };
+
   const GraphStoreOptions options_;
-  MetricsRegistry* const metrics_;  // may be null
+  obs::Tracer* const tracer_;  // may be null
+  Instruments instruments_;
 
   mutable std::mutex mu_;
   std::condition_variable load_done_;

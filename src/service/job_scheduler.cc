@@ -37,16 +37,47 @@ std::string_view JobStateToString(JobState state) {
 }
 
 JobScheduler::JobScheduler(GraphStore* store, MetricsRegistry* metrics,
-                           JobSchedulerOptions options)
-    : store_(store), metrics_(metrics), options_(options) {
+                           JobSchedulerOptions options, obs::Tracer* tracer)
+    : store_(store), metrics_(metrics), tracer_(tracer), options_(options) {
+  if (metrics_ != nullptr) {
+    // Resolve every fixed-name instrument once; per-event updates through
+    // these handles are lock-free and never touch the registry map again.
+    instruments_.submitted = metrics_->GetCounter("scheduler.submitted");
+    instruments_.result_cache_hit =
+        metrics_->GetCounter("scheduler.result_cache_hit");
+    instruments_.coalesced = metrics_->GetCounter("scheduler.coalesced");
+    instruments_.rejected_queue_full =
+        metrics_->GetCounter("scheduler.rejected_queue_full");
+    instruments_.jobs_done = metrics_->GetCounter("scheduler.jobs_done");
+    instruments_.jobs_failed = metrics_->GetCounter("scheduler.jobs_failed");
+    instruments_.jobs_cancelled =
+        metrics_->GetCounter("scheduler.jobs_cancelled");
+    instruments_.deadline_expired =
+        metrics_->GetCounter("scheduler.deadline_expired");
+    instruments_.cancelled_while_running =
+        metrics_->GetCounter("scheduler.cancelled_while_running");
+    instruments_.follower_promoted =
+        metrics_->GetCounter("scheduler.follower_promoted");
+    instruments_.jobs_gc = metrics_->GetCounter("scheduler.jobs_gc");
+    instruments_.result_cache_evicted =
+        metrics_->GetCounter("scheduler.result_cache_evicted");
+    instruments_.workers = metrics_->GetGauge("scheduler.workers");
+    instruments_.queue_depth = metrics_->GetGauge("scheduler.queue_depth");
+    instruments_.jobs_tracked = metrics_->GetGauge("scheduler.jobs_tracked");
+    instruments_.result_cache_bytes =
+        metrics_->GetGauge("scheduler.result_cache_bytes");
+    instruments_.queue_seconds =
+        metrics_->GetLatency("scheduler.queue_seconds");
+    instruments_.run_seconds = metrics_->GetLatency("scheduler.run_seconds");
+  }
   int workers = options_.workers > 0 ? options_.workers : DefaultThreadCount();
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
-  if (metrics_ != nullptr) {
-    metrics_->SetGauge("scheduler.workers", workers);
-    metrics_->SetGauge("scheduler.queue_depth", 0);
+  if (instruments_.workers != nullptr) {
+    instruments_.workers->Set(workers);
+    instruments_.queue_depth->Set(0);
   }
 }
 
@@ -82,6 +113,11 @@ StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
   job.submit_time = now;
   job.deadline = spec.deadline.count() > 0 ? now + spec.deadline
                                            : Clock::time_point::max();
+  if (tracer_ != nullptr) {
+    job.trace_id = tracer_->NewTraceId();
+    job.root_span_id = tracer_->NewTraceId();
+    job.submit_ns = tracer_->NowNs();
+  }
 
   if (options_.enable_result_cache) {
     auto cached = result_cache_.find(job.cache_key);
@@ -91,14 +127,15 @@ StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
       job.state = JobState::kDone;
       job.result = cached->second.result;
       job.deduplicated = true;
-      if (metrics_ != nullptr) {
-        metrics_->IncrementCounter("scheduler.submitted");
-        metrics_->IncrementCounter("scheduler.result_cache_hit");
-        metrics_->IncrementCounter("scheduler.jobs_done");
+      if (instruments_.submitted != nullptr) {
+        instruments_.submitted->Increment();
+        instruments_.result_cache_hit->Increment();
+        instruments_.jobs_done->Increment();
       }
       const JobId id = next_id_++;
       job.id = id;
       auto [it, inserted] = jobs_.emplace(id, std::move(job));
+      EmitJobTraceLocked(it->second, JobState::kDone, it->second.result);
       RecordTerminalLocked(it->second, now);
       GcRetainedJobsLocked(now);
       return id;
@@ -114,16 +151,16 @@ StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
     const JobId id = next_id_++;
     jobs_.at(job.primary).followers.push_back(id);
     jobs_.emplace(id, std::move(job));
-    if (metrics_ != nullptr) {
-      metrics_->IncrementCounter("scheduler.submitted");
-      metrics_->IncrementCounter("scheduler.coalesced");
+    if (instruments_.submitted != nullptr) {
+      instruments_.submitted->Increment();
+      instruments_.coalesced->Increment();
     }
     return id;
   }
 
   if (live_queued_ >= options_.queue_capacity) {
-    if (metrics_ != nullptr) {
-      metrics_->IncrementCounter("scheduler.rejected_queue_full");
+    if (instruments_.rejected_queue_full != nullptr) {
+      instruments_.rejected_queue_full->Increment();
     }
     return Status::ResourceExhausted(
         StrFormat("submission queue is full (%zu jobs)",
@@ -137,7 +174,7 @@ StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
   queue_.push_back(id);
   ++live_queued_;
   PublishQueueDepthLocked();
-  if (metrics_ != nullptr) metrics_->IncrementCounter("scheduler.submitted");
+  if (instruments_.submitted != nullptr) instruments_.submitted->Increment();
   GcRetainedJobsLocked(now);
   work_available_.notify_one();
   return id;
@@ -269,8 +306,8 @@ void JobScheduler::WorkerLoop() {
       continue;
     }
     if (picked_up > job.deadline) {
-      if (metrics_ != nullptr) {
-        metrics_->IncrementCounter("scheduler.deadline_expired");
+      if (instruments_.deadline_expired != nullptr) {
+        instruments_.deadline_expired->Increment();
       }
       FinishLocked(job, JobState::kCancelled,
                    Status::DeadlineExceeded(
@@ -285,12 +322,45 @@ void JobScheduler::WorkerLoop() {
     job.token = std::make_shared<CancellationToken>(job.deadline);
     const std::shared_ptr<CancellationToken> token = job.token;
     const JobSpec spec = job.spec;  // worker's copy; run with no lock held
+    const uint64_t trace_id = job.trace_id;
+    const uint64_t root_span_id = job.root_span_id;
+    if (tracer_ != nullptr) {
+      // The queue wait was observed as two timestamps, not a scope; commit
+      // it as a synthesized span now that it is over.
+      obs::SpanRecord queued;
+      queued.trace_id = trace_id;
+      queued.span_id = tracer_->NewTraceId();
+      queued.parent_id = root_span_id;
+      queued.name = "queued";
+      queued.start_ns = job.submit_ns;
+      queued.duration_ns = tracer_->NowNs() - job.submit_ns;
+      queued.tid = obs::Tracer::ThreadIndex();
+      tracer_->Record(std::move(queued));
+    }
     lock.unlock();
     double run_seconds = 0.0;
+    uint64_t run_span_id = 0;
+    int64_t run_start_ns = 0;
     StatusOr<core::SheddingResult> outcome =
-        Execute(spec, token.get(), &run_seconds);
+        Status::Internal("job never executed");
+    {
+      // While this RAII span is alive it is the worker's ambient span, so
+      // GraphStore's `store.load` (and anything else traced inside Execute)
+      // nests under it.
+      obs::Span run_span =
+          obs::Tracer::StartSpanInTrace(tracer_, "run", trace_id, root_span_id);
+      run_span.Annotate("dataset", spec.dataset);
+      run_span.Annotate("method", spec.method);
+      run_span.Annotate("p", StrFormat("%g", spec.p));
+      run_span_id = run_span.span_id();
+      run_start_ns = tracer_ != nullptr ? tracer_->NowNs() : 0;
+      outcome = Execute(spec, token.get(), &run_seconds);
+      run_span.Annotate("ok", outcome.ok() ? "true" : "false");
+    }
     lock.lock();
     job.run_seconds = run_seconds;
+    job.run_span_id = run_span_id;
+    job.run_start_ns = run_start_ns;
     job.token.reset();
     const bool kernel_deadline =
         !outcome.ok() &&
@@ -299,13 +369,12 @@ void JobScheduler::WorkerLoop() {
         !outcome.ok() &&
         (outcome.status().code() == StatusCode::kCancelled || kernel_deadline);
     if (job.cancel_requested || kernel_cancelled) {
-      if (metrics_ != nullptr) {
-        if (job.cancel_requested) {
-          metrics_->IncrementCounter("scheduler.cancelled_while_running");
-        }
-        if (kernel_deadline) {
-          metrics_->IncrementCounter("scheduler.deadline_expired");
-        }
+      if (job.cancel_requested &&
+          instruments_.cancelled_while_running != nullptr) {
+        instruments_.cancelled_while_running->Increment();
+      }
+      if (kernel_deadline && instruments_.deadline_expired != nullptr) {
+        instruments_.deadline_expired->Increment();
       }
       // A caller Cancel beats the kernel's own deadline report; otherwise
       // surface exactly what the kernel returned.
@@ -343,8 +412,12 @@ StatusOr<core::SheddingResult> JobScheduler::Execute(
     *run_seconds = watch.ElapsedSeconds();
     return shedder.status();
   }
+  core::ShedOptions shed_options;
+  shed_options.p = spec.p;
+  shed_options.cancel = cancel;
+  shed_options.seed = spec.seed;
   StatusOr<core::SheddingResult> result =
-      (*shedder)->Reduce(**graph, spec.p, cancel);
+      (*shedder)->Shed(**graph, shed_options);
   *run_seconds = watch.ElapsedSeconds();
   return result;
 }
@@ -389,8 +462,8 @@ void JobScheduler::FinishLocked(Job& job, JobState state, Status status,
       queue_.push_back(promoted_id);
       ++live_queued_;
       PublishQueueDepthLocked();
-      if (metrics_ != nullptr) {
-        metrics_->IncrementCounter("scheduler.follower_promoted");
+      if (instruments_.follower_promoted != nullptr) {
+        instruments_.follower_promoted->Increment();
       }
       work_available_.notify_one();
     }
@@ -404,39 +477,29 @@ void JobScheduler::FinishLocked(Job& job, JobState state, Status status,
   if (state == JobState::kDone && options_.enable_result_cache) {
     InsertResultCacheLocked(job.cache_key, result);
   }
-  if (metrics_ != nullptr) {
-    switch (state) {
-      case JobState::kDone:
-        metrics_->IncrementCounter("scheduler.jobs_done");
-        break;
-      case JobState::kFailed:
-        metrics_->IncrementCounter("scheduler.jobs_failed");
-        break;
-      case JobState::kCancelled:
-        metrics_->IncrementCounter("scheduler.jobs_cancelled");
-        break;
-      default:
-        break;
-    }
-    metrics_->RecordLatency("scheduler.queue_seconds", job.queue_seconds);
+  CountTerminalLocked(state);
+  if (instruments_.queue_seconds != nullptr) {
+    instruments_.queue_seconds->Record(job.queue_seconds);
     if (job.run_seconds > 0.0) {
-      metrics_->RecordLatency("scheduler.run_seconds", job.run_seconds);
+      instruments_.run_seconds->Record(job.run_seconds);
     }
-    if (state == JobState::kDone && result != nullptr) {
-      // Publish per-phase shedding timings (phase1_seconds/phase2_seconds
-      // and any other *_seconds counter the shedder reports) as latency
-      // series. Done here — on the executing job only — so coalesced
-      // followers sharing this result do not double-count the work.
-      constexpr std::string_view kSecondsSuffix = "_seconds";
-      for (const auto& [key, value] : result->stats) {
-        if (key.size() > kSecondsSuffix.size() &&
-            key.compare(key.size() - kSecondsSuffix.size(),
-                        kSecondsSuffix.size(), kSecondsSuffix) == 0) {
-          metrics_->RecordLatency("scheduler." + key, value);
-        }
+  }
+  if (metrics_ != nullptr && state == JobState::kDone && result != nullptr) {
+    // Publish per-phase shedding timings (phase1_seconds/phase2_seconds
+    // and any other *_seconds counter the shedder reports) as latency
+    // series. Done here — on the executing job only — so coalesced
+    // followers sharing this result do not double-count the work. The stat
+    // set varies by shedder, so these go through the string-keyed shim.
+    constexpr std::string_view kSecondsSuffix = "_seconds";
+    for (const auto& [key, value] : result->stats) {
+      if (key.size() > kSecondsSuffix.size() &&
+          key.compare(key.size() - kSecondsSuffix.size(),
+                      kSecondsSuffix.size(), kSecondsSuffix) == 0) {
+        metrics_->RecordLatency("scheduler." + key, value);
       }
     }
   }
+  EmitJobTraceLocked(job, state, result);
   RecordTerminalLocked(job, now);
   for (JobId follower_id : job.followers) {
     auto follower_it = jobs_.find(follower_id);
@@ -447,26 +510,80 @@ void JobScheduler::FinishLocked(Job& job, JobState state, Status status,
     follower.status = job.status;
     follower.result = result;
     follower.queue_seconds = SecondsBetween(follower.submit_time, now);
+    EmitJobTraceLocked(follower, state, nullptr);
     RecordTerminalLocked(follower, now);
-    if (metrics_ != nullptr) {
-      switch (state) {
-        case JobState::kDone:
-          metrics_->IncrementCounter("scheduler.jobs_done");
-          break;
-        case JobState::kFailed:
-          metrics_->IncrementCounter("scheduler.jobs_failed");
-          break;
-        case JobState::kCancelled:
-          metrics_->IncrementCounter("scheduler.jobs_cancelled");
-          break;
-        default:
-          break;
-      }
-    }
+    CountTerminalLocked(state);
   }
   job.followers.clear();
   GcRetainedJobsLocked(now);
   job_terminal_.notify_all();
+}
+
+void JobScheduler::CountTerminalLocked(JobState state) {
+  obs::Counter* counter = nullptr;
+  switch (state) {
+    case JobState::kDone:
+      counter = instruments_.jobs_done;
+      break;
+    case JobState::kFailed:
+      counter = instruments_.jobs_failed;
+      break;
+    case JobState::kCancelled:
+      counter = instruments_.jobs_cancelled;
+      break;
+    default:
+      break;
+  }
+  if (counter != nullptr) counter->Increment();
+}
+
+void JobScheduler::EmitJobTraceLocked(const Job& job, JobState state,
+                                      const JobResult& result) {
+  if (tracer_ == nullptr || job.trace_id == 0) return;
+  const int64_t now_ns = tracer_->NowNs();
+  // Per-phase children: the kernels report phase durations as stats rather
+  // than scopes (core/ stays free of obs dependencies), so lay the
+  // `phase<N>_seconds` stats out sequentially from the run start. Other
+  // `*_seconds` stats were already exported as latency series above.
+  if (result != nullptr && job.run_span_id != 0) {
+    int64_t cursor_ns = job.run_start_ns;
+    for (const auto& [key, value] : result->stats) {
+      if (key.size() < 8 || key.compare(0, 5, "phase") != 0) continue;
+      const size_t digits = key.find_first_not_of("0123456789", 5);
+      if (digits == 5 || digits == std::string::npos ||
+          key.compare(digits, std::string::npos, "_seconds") != 0) {
+        continue;
+      }
+      obs::SpanRecord phase;
+      phase.trace_id = job.trace_id;
+      phase.span_id = tracer_->NewTraceId();
+      phase.parent_id = job.run_span_id;
+      phase.name = key.substr(0, digits);
+      phase.start_ns = cursor_ns;
+      phase.duration_ns = static_cast<int64_t>(value * 1e9);
+      phase.tid = obs::Tracer::ThreadIndex();
+      cursor_ns += phase.duration_ns;
+      tracer_->Record(std::move(phase));
+    }
+  }
+  obs::SpanRecord root;
+  root.trace_id = job.trace_id;
+  root.span_id = job.root_span_id;
+  root.parent_id = 0;
+  root.name = "job";
+  root.start_ns = job.submit_ns;
+  root.duration_ns = now_ns - job.submit_ns;
+  root.tid = obs::Tracer::ThreadIndex();
+  root.annotations.emplace_back(
+      "id", StrFormat("%llu", static_cast<unsigned long long>(job.id)));
+  root.annotations.emplace_back("dataset", job.spec.dataset);
+  root.annotations.emplace_back("method", job.spec.method);
+  root.annotations.emplace_back("p", StrFormat("%g", job.spec.p));
+  root.annotations.emplace_back("state",
+                                std::string(JobStateToString(state)));
+  root.annotations.emplace_back("deduplicated",
+                                job.deduplicated ? "true" : "false");
+  tracer_->Record(std::move(root));
 }
 
 void JobScheduler::RecordTerminalLocked(Job& job, Clock::time_point now) {
@@ -498,11 +615,10 @@ void JobScheduler::GcRetainedJobsLocked(Clock::time_point now) {
       continue;
     }
     jobs_.erase(it);
-    if (metrics_ != nullptr) metrics_->IncrementCounter("scheduler.jobs_gc");
+    if (instruments_.jobs_gc != nullptr) instruments_.jobs_gc->Increment();
   }
-  if (metrics_ != nullptr) {
-    metrics_->SetGauge("scheduler.jobs_tracked",
-                       static_cast<int64_t>(jobs_.size()));
+  if (instruments_.jobs_tracked != nullptr) {
+    instruments_.jobs_tracked->Set(static_cast<int64_t>(jobs_.size()));
   }
 }
 
@@ -536,20 +652,18 @@ void JobScheduler::InsertResultCacheLocked(const std::string& key,
     cache_bytes_ -= victim->second.bytes;
     result_cache_.erase(victim);
     cache_lru_.pop_back();
-    if (metrics_ != nullptr) {
-      metrics_->IncrementCounter("scheduler.result_cache_evicted");
+    if (instruments_.result_cache_evicted != nullptr) {
+      instruments_.result_cache_evicted->Increment();
     }
   }
-  if (metrics_ != nullptr) {
-    metrics_->SetGauge("scheduler.result_cache_bytes",
-                       static_cast<int64_t>(cache_bytes_));
+  if (instruments_.result_cache_bytes != nullptr) {
+    instruments_.result_cache_bytes->Set(static_cast<int64_t>(cache_bytes_));
   }
 }
 
 void JobScheduler::PublishQueueDepthLocked() {
-  if (metrics_ != nullptr) {
-    metrics_->SetGauge("scheduler.queue_depth",
-                       static_cast<int64_t>(live_queued_));
+  if (instruments_.queue_depth != nullptr) {
+    instruments_.queue_depth->Set(static_cast<int64_t>(live_queued_));
   }
 }
 

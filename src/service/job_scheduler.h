@@ -18,6 +18,7 @@
 #include "common/cancellation.h"
 #include "common/statusor.h"
 #include "core/shedding.h"
+#include "obs/tracer.h"
 #include "service/graph_store.h"
 #include "service/metrics_registry.h"
 
@@ -114,13 +115,22 @@ struct JobStatus {
 /// only within Options::max_retained_jobs / job_retention, and the result
 /// cache is an LRU bounded by Options::result_cache_byte_budget —
 /// GetStatus/Wait on a garbage-collected id return NotFound.
+///
+/// Tracing (when a tracer is supplied): every submission gets a trace id;
+/// one job yields one coherent trace — a root `job` span covering
+/// submit→finish, a `queued` child covering submit→dispatch, a `run` child
+/// on the worker thread (under which GraphStore records `store.load`), and
+/// synthesized `phase<N>` children derived from the shedder's
+/// `phase<N>_seconds` stats. Export via Tracer::TraceEventJson. With a null
+/// tracer every hook is a no-op.
 class JobScheduler {
  public:
   using Options = JobSchedulerOptions;
 
-  /// `store` must outlive the scheduler; `metrics` may be null.
+  /// `store` must outlive the scheduler; `metrics` and `tracer` may be null.
   JobScheduler(GraphStore* store, MetricsRegistry* metrics,
-               JobSchedulerOptions options = {});
+               JobSchedulerOptions options = {},
+               obs::Tracer* tracer = nullptr);
   ~JobScheduler();
 
   JobScheduler(const JobScheduler&) = delete;
@@ -182,6 +192,13 @@ class JobScheduler {
     int waiters = 0;
     double queue_seconds = 0.0;
     double run_seconds = 0.0;
+    /// Tracing bookkeeping; all zero when no tracer is attached. The root
+    /// `job` span is synthesized when the job reaches a terminal state.
+    uint64_t trace_id = 0;
+    uint64_t root_span_id = 0;
+    int64_t submit_ns = 0;
+    uint64_t run_span_id = 0;
+    int64_t run_start_ns = 0;
   };
 
   /// Result-cache entry with approximate byte accounting for LRU eviction.
@@ -218,9 +235,42 @@ class JobScheduler {
   void InsertResultCacheLocked(const std::string& key,
                                const JobResult& result);
   void PublishQueueDepthLocked();
+  /// Bumps the per-terminal-state counter for one finished job.
+  void CountTerminalLocked(JobState state);
+  /// Synthesizes the root `job` span (and, for executed jobs, the per-phase
+  /// children) once a job is terminal. Caller holds mu_.
+  void EmitJobTraceLocked(const Job& job, JobState state,
+                          const JobResult& result);
+
+  /// Typed instrument handles, resolved once at construction. All null when
+  /// no registry is attached. The per-phase `scheduler.<stat>_seconds`
+  /// series are dynamic (the set of stats depends on the shedder), so those
+  /// still go through the registry's string shim via `metrics_`.
+  struct Instruments {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* result_cache_hit = nullptr;
+    obs::Counter* coalesced = nullptr;
+    obs::Counter* rejected_queue_full = nullptr;
+    obs::Counter* jobs_done = nullptr;
+    obs::Counter* jobs_failed = nullptr;
+    obs::Counter* jobs_cancelled = nullptr;
+    obs::Counter* deadline_expired = nullptr;
+    obs::Counter* cancelled_while_running = nullptr;
+    obs::Counter* follower_promoted = nullptr;
+    obs::Counter* jobs_gc = nullptr;
+    obs::Counter* result_cache_evicted = nullptr;
+    obs::Gauge* workers = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* jobs_tracked = nullptr;
+    obs::Gauge* result_cache_bytes = nullptr;
+    obs::LatencySeries* queue_seconds = nullptr;
+    obs::LatencySeries* run_seconds = nullptr;
+  };
 
   GraphStore* const store_;
   MetricsRegistry* const metrics_;  // may be null
+  obs::Tracer* const tracer_;      // may be null
+  Instruments instruments_;
   const JobSchedulerOptions options_;
 
   mutable std::mutex mu_;

@@ -1,82 +1,22 @@
 #ifndef EDGESHED_SERVICE_METRICS_REGISTRY_H_
 #define EDGESHED_SERVICE_METRICS_REGISTRY_H_
 
-#include <cstdint>
-#include <map>
-#include <mutex>
-#include <string>
-#include <vector>
+// MetricsRegistry moved to src/obs/ (the observability layer) so exporters —
+// Prometheus text, the embedded stats server — can depend on it without
+// pulling in the service layer. This header remains so existing includes of
+// "service/metrics_registry.h" and uses of service::MetricsRegistry keep
+// compiling; new code should include "obs/metrics.h" directly.
 
-#include "common/histogram.h"
+#include "obs/metrics.h"
 
 namespace edgeshed::service {
 
-/// Summary of one latency series tracked by MetricsRegistry.
-struct LatencySnapshot {
-  uint64_t count = 0;
-  double sum_seconds = 0.0;
-  double min_seconds = 0.0;
-  double max_seconds = 0.0;
-  double MeanSeconds() const {
-    return count == 0 ? 0.0 : sum_seconds / static_cast<double>(count);
-  }
-};
-
-/// Thread-safe metrics sink shared by the service components (GraphStore,
-/// JobScheduler, the CLI `service` mode).
-///
-/// Three instrument kinds, all keyed by flat string names ("store.hit",
-/// "scheduler.queue_depth", ...):
-///  * counters — monotonically increasing uint64 (events);
-///  * gauges   — instantaneous int64 values (queue depth, bytes resident);
-///  * latency histograms — per-series count/sum/min/max plus a log2-bucketed
-///    microsecond `Histogram` (common/histogram.h), so a snapshot can report
-///    both means and coarse distribution shape without unbounded memory.
-///
-/// Instruments are created lazily on first use; reads of absent names return
-/// zero. All methods are safe to call concurrently.
-class MetricsRegistry {
- public:
-  MetricsRegistry() = default;
-
-  MetricsRegistry(const MetricsRegistry&) = delete;
-  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
-
-  void IncrementCounter(const std::string& name, uint64_t delta = 1);
-  uint64_t CounterValue(const std::string& name) const;
-
-  void SetGauge(const std::string& name, int64_t value);
-  void AddToGauge(const std::string& name, int64_t delta);
-  int64_t GaugeValue(const std::string& name) const;
-
-  /// Records one observation of `seconds` into the series `name`.
-  void RecordLatency(const std::string& name, double seconds);
-  LatencySnapshot LatencyValue(const std::string& name) const;
-
-  /// The log2(microsecond) bucket a latency observation falls in; exposed so
-  /// tests and the snapshot printer agree on bucketing.
-  static int64_t LatencyBucket(double seconds);
-
-  /// Human-readable dump of every instrument, sorted by name:
-  ///   counter scheduler.jobs_done 32
-  ///   gauge   store.bytes_resident 183500
-  ///   latency scheduler.run_seconds count=32 mean=0.004211s max=0.009120s
-  std::string TextSnapshot() const;
-
-  /// Names of all registered instruments (testing / introspection).
-  std::vector<std::string> CounterNames() const;
-
- private:
-  struct LatencySeries {
-    LatencySnapshot stats;
-    Histogram buckets;  // keyed by LatencyBucket(seconds)
-  };
-
-  mutable std::mutex mu_;
-  std::map<std::string, uint64_t> counters_;
-  std::map<std::string, int64_t> gauges_;
-  std::map<std::string, LatencySeries> latencies_;
-};
+using Counter = obs::Counter;
+using Gauge = obs::Gauge;
+using LatencySeries = obs::LatencySeries;
+using LatencySnapshot = obs::LatencySnapshot;
+using MetricsRegistry = obs::MetricsRegistry;
+using MetricsSnapshot = obs::MetricsSnapshot;
 
 }  // namespace edgeshed::service
 

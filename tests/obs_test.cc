@@ -1,0 +1,511 @@
+// Tests for src/obs/: typed-instrument metrics, the span tracer (including
+// the chrome://tracing golden rendering), the Prometheus exporter (golden
+// exposition), and the embedded stats server — ending with an end-to-end
+// check that a real CRR job through the service layer yields a coherent
+// trace and valid /metrics over HTTP.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/stats_server.h"
+#include "obs/tracer.h"
+#include "service/graph_store.h"
+#include "service/job_scheduler.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::obs {
+namespace {
+
+using edgeshed::testing::Clique;
+
+// ---------------------------------------------------------------------------
+// Metrics: typed handles
+
+TEST(ObsMetricsTest, HandlesAreStableAndSharedWithShims) {
+  MetricsRegistry registry;
+  Counter* hits = registry.GetCounter("hits");
+  // Creating other instruments must not invalidate or move the handle.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("other." + std::to_string(i));
+  }
+  EXPECT_EQ(registry.GetCounter("hits"), hits);
+
+  hits->Increment(3);
+  registry.IncrementCounter("hits", 2);  // string shim, same instrument
+  EXPECT_EQ(hits->Value(), 5u);
+  EXPECT_EQ(registry.CounterValue("hits"), 5u);
+
+  Gauge* depth = registry.GetGauge("depth");
+  registry.SetGauge("depth", 9);
+  depth->Add(-2);
+  EXPECT_EQ(registry.GaugeValue("depth"), 7);
+
+  LatencySeries* lat = registry.GetLatency("lat");
+  registry.RecordLatency("lat", 0.25);
+  lat->Record(0.75);
+  LatencySnapshot snapshot = registry.LatencyValue("lat");
+  EXPECT_EQ(snapshot.count, 2u);
+  EXPECT_DOUBLE_EQ(snapshot.sum_seconds, 1.0);
+}
+
+TEST(ObsMetricsTest, ReadsOfAbsentNamesDoNotCreateInstruments) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.CounterValue("ghost"), 0u);
+  EXPECT_EQ(registry.GaugeValue("ghost"), 0);
+  EXPECT_EQ(registry.LatencyValue("ghost").count, 0u);
+  EXPECT_TRUE(registry.CounterNames().empty());
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.gauges.empty());
+  EXPECT_TRUE(snapshot.latencies.empty());
+}
+
+// Regression (ISSUE 4 satellite): an empty series must be explicit —
+// count == 0, no fabricated min/max — and the first observation must define
+// min and max exactly. The old representation defaulted min/max to 0.0,
+// making "no data" indistinguishable from "observed zero".
+TEST(ObsMetricsTest, EmptySeriesIsExplicitAndFirstObservationDefinesMinMax) {
+  LatencySeries series;
+  LatencySnapshot empty = series.Snapshot();
+  EXPECT_EQ(empty.count, 0u);
+
+  series.Record(0.125);
+  LatencySnapshot one = series.Snapshot();
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.min_seconds, 0.125);
+  EXPECT_DOUBLE_EQ(one.max_seconds, 0.125);
+}
+
+TEST(ObsMetricsTest, MergeOfEmptyAndNonEmptyEqualsNonEmpty) {
+  LatencySnapshot filled;
+  filled.count = 3;
+  filled.sum_seconds = 0.6;
+  filled.min_seconds = 0.1;
+  filled.max_seconds = 0.3;
+
+  LatencySnapshot merged;  // empty
+  merged.Merge(filled);
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_DOUBLE_EQ(merged.min_seconds, 0.1);
+  EXPECT_DOUBLE_EQ(merged.max_seconds, 0.3);
+
+  // The other direction: folding an empty snapshot changes nothing.
+  filled.Merge(LatencySnapshot{});
+  EXPECT_EQ(filled.count, 3u);
+  EXPECT_DOUBLE_EQ(filled.min_seconds, 0.1);
+
+  LatencySnapshot other;
+  other.count = 2;
+  other.sum_seconds = 1.0;
+  other.min_seconds = 0.05;
+  other.max_seconds = 0.5;
+  filled.Merge(other);
+  EXPECT_EQ(filled.count, 5u);
+  EXPECT_DOUBLE_EQ(filled.sum_seconds, 1.6);
+  EXPECT_DOUBLE_EQ(filled.min_seconds, 0.05);
+  EXPECT_DOUBLE_EQ(filled.max_seconds, 0.5);
+}
+
+TEST(ObsMetricsTest, BucketCountsMatchLatencyBucket) {
+  LatencySeries series;
+  series.Record(1024e-6);  // 2^10 us -> bucket 10
+  series.Record(1500e-6);  // floor(log2(1500)) = 10
+  series.Record(1e-9);     // sub-microsecond -> bucket 0
+  std::vector<uint64_t> buckets = series.BucketCounts();
+  ASSERT_EQ(buckets.size(), static_cast<size_t>(LatencySeries::kNumBuckets));
+  EXPECT_EQ(buckets[10], 2u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(LatencySeries::LatencyBucket(1024e-6), 10);
+  EXPECT_EQ(LatencySeries::LatencyBucket(1e-9), 0);
+}
+
+// 8-thread hammer over typed handles and string shims together; run under
+// TSan in CI. Totals must come out exact — instrument updates are atomic.
+TEST(ObsMetricsTest, EightThreadHammerYieldsExactTotals) {
+  MetricsRegistry registry;
+  Counter* events = registry.GetCounter("hammer.events");
+  Gauge* level = registry.GetGauge("hammer.level");
+  LatencySeries* lat = registry.GetLatency("hammer.seconds");
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        events->Increment();
+        level->Add(1);
+        lat->Record(1e-6 * static_cast<double>(t + 1));
+        if (i % 1000 == 0) {
+          // Mixed-in shim traffic and snapshot reads from the same threads.
+          registry.IncrementCounter("hammer.events", 0);
+          LatencySnapshot snapshot = registry.LatencyValue("hammer.seconds");
+          ASSERT_LE(snapshot.count,
+                    static_cast<uint64_t>(kThreads) * kIterations);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(events->Value(), static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(level->Value(), static_cast<int64_t>(kThreads) * kIterations);
+  LatencySnapshot snapshot = lat->Snapshot();
+  EXPECT_EQ(snapshot.count, static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_DOUBLE_EQ(snapshot.min_seconds, 1e-6);
+  EXPECT_DOUBLE_EQ(snapshot.max_seconds, 8e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(TracerTest, NullTracerSpansAreInert) {
+  Span span = Tracer::StartSpan(nullptr, "noop");
+  EXPECT_FALSE(span.ok());
+  span.Annotate("k", "v");
+  span.End();
+  span.End();  // idempotent on inert spans too
+
+  Span in_trace = Tracer::StartSpanInTrace(nullptr, "noop", 7, 3);
+  EXPECT_FALSE(in_trace.ok());
+}
+
+TEST(TracerTest, AmbientNestingParentsChildSpans) {
+  Tracer tracer;
+  uint64_t outer_id = 0;
+  uint64_t inner_id = 0;
+  {
+    Span outer = Tracer::StartSpan(&tracer, "outer");
+    ASSERT_TRUE(outer.ok());
+    outer_id = outer.span_id();
+    {
+      Span inner = Tracer::StartSpan(&tracer, "inner");
+      inner_id = inner.span_id();
+      EXPECT_EQ(inner.trace_id(), outer.trace_id());
+    }
+  }
+  std::vector<SpanRecord> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord* outer = nullptr;
+  const SpanRecord* inner = nullptr;
+  for (const SpanRecord& span : spans) {
+    if (span.span_id == outer_id) outer = &span;
+    if (span.span_id == inner_id) inner = &span;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->parent_id, 0u);  // root
+  EXPECT_EQ(inner->parent_id, outer_id);
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_GE(outer->duration_ns, inner->duration_ns);
+}
+
+TEST(TracerTest, StartSpanInTraceCrossesThreads) {
+  Tracer tracer;
+  const uint64_t trace_id = tracer.NewTraceId();
+  const uint64_t parent_id = tracer.NewTraceId();
+  std::thread worker([&] {
+    Span span = Tracer::StartSpanInTrace(&tracer, "worker", trace_id,
+                                         parent_id);
+    span.Annotate("ok", "true");
+  });
+  worker.join();
+  std::vector<SpanRecord> spans = tracer.TraceSpans(trace_id);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "worker");
+  EXPECT_EQ(spans[0].parent_id, parent_id);
+  ASSERT_EQ(spans[0].annotations.size(), 1u);
+  EXPECT_EQ(spans[0].annotations[0].first, "ok");
+}
+
+TEST(TracerTest, RingBufferRetainsAtMostCapacity) {
+  TracerOptions options;
+  options.capacity = 16;
+  options.stripes = 2;
+  Tracer tracer(options);
+  for (int i = 0; i < 100; ++i) {
+    std::string name = "s";
+    name += std::to_string(i);
+    Span span = Tracer::StartSpan(&tracer, std::move(name));
+  }
+  std::vector<SpanRecord> spans = tracer.Spans();
+  EXPECT_LE(spans.size(), 16u);
+  EXPECT_FALSE(spans.empty());
+  // This thread wrote to one stripe; the newest span must have survived.
+  std::set<std::string> names;
+  for (const SpanRecord& span : spans) names.insert(span.name);
+  EXPECT_TRUE(names.count("s99") == 1);
+}
+
+TEST(TracerTest, TraceSpansFiltersOtherTraces) {
+  Tracer tracer;
+  Span a = Tracer::StartSpan(&tracer, "a");
+  const uint64_t trace_a = a.trace_id();
+  a.End();
+  Span b = Tracer::StartSpan(&tracer, "b");
+  b.End();
+  std::vector<SpanRecord> spans = tracer.TraceSpans(trace_a);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "a");
+}
+
+// Golden rendering: hand-built records with fixed timestamps so the JSON is
+// byte-stable. Field order (name, cat, ph, ts, dur, pid, tid, id, args) is
+// part of the exporter's contract.
+TEST(TracerTest, GoldenTraceEventJson) {
+  SpanRecord root;
+  root.trace_id = 1;
+  root.span_id = 2;
+  root.parent_id = 0;
+  root.name = "job";
+  root.start_ns = 1500;
+  root.duration_ns = 2000000;
+  root.tid = 0;
+  root.annotations = {{"dataset", "grqc"}, {"method", "crr"}};
+
+  SpanRecord child;
+  child.trace_id = 1;
+  child.span_id = 3;
+  child.parent_id = 2;
+  child.name = "run \"p2\"";  // exercises JSON escaping
+  child.start_ns = 2500;
+  child.duration_ns = 1000000;
+  child.tid = 1;
+
+  const std::string json = Tracer::TraceEventJson({root, child});
+  EXPECT_EQ(
+      json,
+      R"({"traceEvents":[)"
+      R"({"name":"job","cat":"edgeshed","ph":"X","ts":1.500,"dur":2000.000,)"
+      R"("pid":1,"tid":0,"id":"1","args":{"span_id":"2","parent_id":"0",)"
+      R"("dataset":"grqc","method":"crr"}},)"
+      R"({"name":"run \"p2\"","cat":"edgeshed","ph":"X","ts":2.500,)"
+      R"("dur":1000.000,"pid":1,"tid":1,"id":"1","args":{"span_id":"3",)"
+      R"("parent_id":"2"}}]})");
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exporter
+
+// Golden exposition over one counter, one gauge (with a sanitized name), an
+// empty latency series, and a populated one. Byte-exact by construction:
+// MetricsSnapshot is sorted and the renderer's field order is fixed.
+TEST(PrometheusTest, GoldenExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("scheduler.jobs_done")->Increment(3);
+  registry.GetGauge("store.bytes-resident")->Set(1024);
+  registry.GetLatency("idle.seconds");  // registered, never recorded
+  LatencySeries* run = registry.GetLatency("run.seconds");
+  run->Record(0.001);  // 1000 us -> bucket 9, upper bound 0.001024s
+  run->Record(0.004);  // 4000 us -> bucket 11, upper bound 0.004096s
+
+  EXPECT_EQ(PrometheusText(registry),
+            "# TYPE edgeshed_scheduler_jobs_done_total counter\n"
+            "edgeshed_scheduler_jobs_done_total 3\n"
+            "# TYPE edgeshed_store_bytes_resident gauge\n"
+            "edgeshed_store_bytes_resident 1024\n"
+            "# TYPE edgeshed_idle_seconds histogram\n"
+            "edgeshed_idle_seconds_bucket{le=\"+Inf\"} 0\n"
+            "edgeshed_idle_seconds_sum 0\n"
+            "edgeshed_idle_seconds_count 0\n"
+            "# TYPE edgeshed_run_seconds histogram\n"
+            "edgeshed_run_seconds_bucket{le=\"0.001024\"} 1\n"
+            "edgeshed_run_seconds_bucket{le=\"0.004096\"} 2\n"
+            "edgeshed_run_seconds_bucket{le=\"+Inf\"} 2\n"
+            "edgeshed_run_seconds_sum 0.005\n"
+            "edgeshed_run_seconds_count 2\n"
+            "# TYPE edgeshed_run_seconds_min_seconds gauge\n"
+            "edgeshed_run_seconds_min_seconds 0.001\n"
+            "# TYPE edgeshed_run_seconds_max_seconds gauge\n"
+            "edgeshed_run_seconds_max_seconds 0.004\n");
+}
+
+TEST(PrometheusTest, EmptyRegistryRendersEmpty) {
+  MetricsRegistry registry;
+  EXPECT_EQ(PrometheusText(registry), "");
+}
+
+TEST(PrometheusTest, BucketsAreCumulative) {
+  MetricsRegistry registry;
+  LatencySeries* series = registry.GetLatency("s");
+  for (int i = 0; i < 5; ++i) series->Record(2e-6);   // bucket 1
+  for (int i = 0; i < 3; ++i) series->Record(32e-6);  // bucket 5
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("edgeshed_s_bucket{le=\"4e-06\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("edgeshed_s_bucket{le=\"6.4e-05\"} 8\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("edgeshed_s_bucket{le=\"+Inf\"} 8\n"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Stats server
+
+/// Blocking one-shot HTTP GET against 127.0.0.1:`port`; returns the raw
+/// response (headers + body). Small enough to not need a client library.
+std::string HttpGet(int port, const std::string& request_line) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request = request_line + "\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST(StatsServerTest, ServesHandlersHealthzAndErrors) {
+  StatsServer server;  // port 0 = ephemeral
+  std::atomic<int> calls{0};
+  server.Handle("/custom", [&calls] {
+    ++calls;
+    return HttpResponse{200, "text/plain", "hello"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string custom = HttpGet(server.port(), "GET /custom HTTP/1.1");
+  EXPECT_NE(custom.find("200"), std::string::npos);
+  EXPECT_EQ(Body(custom), "hello");
+  EXPECT_EQ(calls.load(), 1);
+
+  // Query strings are stripped before dispatch.
+  EXPECT_EQ(Body(HttpGet(server.port(), "GET /custom?x=1 HTTP/1.1")),
+            "hello");
+
+  EXPECT_EQ(Body(HttpGet(server.port(), "GET /healthz HTTP/1.1")), "ok\n");
+  EXPECT_NE(HttpGet(server.port(), "GET /nope HTTP/1.1").find("404"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "POST /custom HTTP/1.1").find("405"),
+            std::string::npos);
+  server.Stop();
+  server.Stop();  // idempotent
+}
+
+TEST(StatsServerTest, StartFailsOnTakenPort) {
+  StatsServer first;
+  ASSERT_TRUE(first.Start().ok());
+  StatsServerOptions options;
+  options.port = first.port();
+  StatsServer second(options);
+  EXPECT_FALSE(second.Start().ok());
+}
+
+// End-to-end: a real CRR job through GraphStore + JobScheduler with a live
+// tracer, served over HTTP. One job must yield one coherent trace — root
+// "job" span plus queued/run/store.load children — and /metrics must carry
+// the scheduler counters in Prometheus form.
+TEST(StatsServerTest, RealJobYieldsMetricsAndTraceOverHttp) {
+  Tracer tracer;
+  MetricsRegistry metrics;
+  service::GraphStore store({}, &metrics, &tracer);
+  ASSERT_TRUE(store
+                  .Register("clique",
+                            []() -> StatusOr<graph::Graph> {
+                              return Clique(24);
+                            })
+                  .ok());
+  service::JobScheduler scheduler(&store, &metrics, {}, &tracer);
+
+  service::JobSpec spec;
+  spec.dataset = "clique";
+  spec.method = "crr";
+  spec.p = 0.5;
+  auto id = scheduler.Submit(spec);
+  ASSERT_TRUE(id.ok());
+  auto result = scheduler.Wait(*id);
+  ASSERT_TRUE(result.ok());
+
+  StatsServer server;
+  server.Handle("/metrics", [&metrics] {
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        PrometheusText(metrics)};
+  });
+  server.Handle("/tracez", [&tracer] {
+    return HttpResponse{200, "application/json; charset=utf-8",
+                        tracer.TraceEventJson()};
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string exposition =
+      Body(HttpGet(server.port(), "GET /metrics HTTP/1.1"));
+  EXPECT_NE(exposition.find("edgeshed_scheduler_jobs_done_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("edgeshed_store_miss_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(
+      exposition.find("# TYPE edgeshed_scheduler_run_seconds histogram\n"),
+      std::string::npos);
+  EXPECT_NE(exposition.find("edgeshed_scheduler_run_seconds_count 1\n"),
+            std::string::npos);
+
+  const std::string trace =
+      Body(HttpGet(server.port(), "GET /tracez HTTP/1.1"));
+  EXPECT_EQ(trace.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(trace.substr(trace.size() - 2), "]}");
+  for (const char* name : {"\"name\":\"job\"", "\"name\":\"queued\"",
+                           "\"name\":\"run\"", "\"name\":\"store.load\""}) {
+    EXPECT_NE(trace.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(trace.find("\"dataset\":\"clique\""), std::string::npos);
+  EXPECT_NE(trace.find("\"method\":\"crr\""), std::string::npos);
+
+  // One coherent trace: every span of the job's trace id shares it, and the
+  // run/queued spans parent onto the root job span.
+  std::vector<SpanRecord> spans = tracer.Spans();
+  uint64_t trace_id = 0;
+  uint64_t root_id = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name == "job") {
+      trace_id = span.trace_id;
+      root_id = span.span_id;
+    }
+  }
+  ASSERT_NE(trace_id, 0u);
+  std::set<std::string> in_trace;
+  for (const SpanRecord& span : tracer.TraceSpans(trace_id)) {
+    in_trace.insert(span.name);
+    if (span.name == "queued" || span.name == "run") {
+      EXPECT_EQ(span.parent_id, root_id) << span.name;
+    }
+  }
+  EXPECT_TRUE(in_trace.count("job") == 1);
+  EXPECT_TRUE(in_trace.count("queued") == 1);
+  EXPECT_TRUE(in_trace.count("run") == 1);
+  EXPECT_TRUE(in_trace.count("store.load") == 1);
+}
+
+}  // namespace
+}  // namespace edgeshed::obs

@@ -63,5 +63,64 @@ TEST(TargetEdgeCountTest, SheddersKeepAtLeastOneEdgeOnTinyGraphs) {
   EXPECT_EQ(result->kept_edges.size(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// ShedOptions (ISSUE 4 satellite): every shedder accepts the consolidated
+// options struct through the virtual Shed; the legacy positional Reduce is a
+// non-virtual shim that must behave identically.
+
+TEST(ShedOptionsTest, ReduceDelegatesToShedWithDefaults) {
+  const graph::Graph g = testing::Cycle(20);
+  RandomShedding shedder(/*seed=*/7);
+  auto via_reduce = shedder.Reduce(g, 0.5);
+  ShedOptions options;
+  options.p = 0.5;
+  auto via_shed = shedder.Shed(g, options);
+  ASSERT_TRUE(via_reduce.ok());
+  ASSERT_TRUE(via_shed.ok());
+  EXPECT_EQ(via_reduce->kept_edges, via_shed->kept_edges);
+}
+
+TEST(ShedOptionsTest, SeedOverrideChangesAndReproducesSelection) {
+  const graph::Graph g = testing::Cycle(64);
+  RandomShedding shedder(/*seed=*/7);
+  ShedOptions options;
+  options.p = 0.5;
+  options.seed = 1234;
+  auto a = shedder.Shed(g, options);
+  auto b = shedder.Shed(g, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->kept_edges, b->kept_edges);  // deterministic given the seed
+
+  ShedOptions other;
+  other.p = 0.5;
+  other.seed = 4321;
+  auto c = shedder.Shed(g, other);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->kept_edges, c->kept_edges);  // the override is actually used
+
+  // No override -> constructor seed, i.e. the plain Reduce result.
+  ShedOptions unset;
+  unset.p = 0.5;
+  auto d = shedder.Shed(g, unset);
+  auto e = shedder.Reduce(g, 0.5);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(d->kept_edges, e->kept_edges);
+}
+
+TEST(ShedOptionsTest, CancellationFlowsThroughOptions) {
+  const graph::Graph g = testing::Cycle(20);
+  RandomShedding shedder(/*seed=*/7);
+  CancellationToken token;
+  token.Cancel();
+  ShedOptions options;
+  options.p = 0.5;
+  options.cancel = &token;
+  auto result = shedder.Shed(g, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
 }  // namespace
 }  // namespace edgeshed::core

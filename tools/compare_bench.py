@@ -3,11 +3,18 @@
 
 Usage:
     tools/compare_bench.py baseline.json candidate.json [--threshold 0.10]
+        [--overhead-pair crr_reduce:crr_reduce_traced] [--overhead-threshold 0.10]
 
 Series are keyed by (graph, op) and compared on median_seconds. A series
 whose median grew by more than --threshold (default 10%) counts as a
 regression; the script prints a table of every shared series and exits
 non-zero when any regression is found, so CI can gate on it.
+
+--overhead-pair BASE:INSTRUMENTED additionally gates *within* the candidate
+file: for every graph carrying both ops, the instrumented median must stay
+within --overhead-threshold (default 10%) of the base median. This is how CI
+keeps the tracer-enabled hot path honest — the observability layer may not
+cost more than the regression budget itself. Repeatable.
 """
 
 import argparse
@@ -33,7 +40,27 @@ def main():
         default=0.10,
         help="fractional slowdown that counts as a regression (default 0.10)",
     )
+    parser.add_argument(
+        "--overhead-pair",
+        action="append",
+        default=[],
+        metavar="BASE:INSTRUMENTED",
+        help="op pair gated within the candidate file: the INSTRUMENTED "
+        "median must stay within --overhead-threshold of the BASE median "
+        "on every graph that has both (repeatable)",
+    )
+    parser.add_argument(
+        "--overhead-threshold",
+        type=float,
+        default=0.10,
+        help="fractional overhead allowed for each --overhead-pair "
+        "(default 0.10)",
+    )
     args = parser.parse_args()
+
+    for pair in args.overhead_pair:
+        if pair.count(":") != 1:
+            sys.exit(f"--overhead-pair {pair!r}: expected BASE:INSTRUMENTED")
 
     baseline = load(args.baseline)
     candidate = load(args.candidate)
@@ -71,12 +98,46 @@ def main():
     for key in sorted(set(cand) - set(base)):
         print(f"{key[0]:<12} {key[1]:<20} {'':>10} {'':>10} {'':>8}  new series")
 
+    overhead_failures = []
+    for pair in args.overhead_pair:
+        base_op, traced_op = pair.split(":")
+        graphs = sorted(
+            {g for g, o in cand if o == base_op}
+            & {g for g, o in cand if o == traced_op}
+        )
+        if not graphs:
+            print(f"\noverhead pair {pair}: no graph has both ops in candidate")
+            overhead_failures.append((pair, "<missing>"))
+            continue
+        print(f"\noverhead gate {base_op} -> {traced_op} "
+              f"(threshold {args.overhead_threshold * 100:.0f}%):")
+        for g in graphs:
+            base_s = cand[(g, base_op)]["median_seconds"]
+            traced_s = cand[(g, traced_op)]["median_seconds"]
+            ratio = traced_s / base_s if base_s > 0 else float("inf")
+            if ratio > 1 + args.overhead_threshold:
+                verdict = f"EXCESS OVERHEAD (+{(ratio - 1) * 100:.1f}%)"
+                overhead_failures.append((pair, g))
+            else:
+                verdict = f"ok ({(ratio - 1) * 100:+.1f}%)"
+            print(f"  {g:<12} {base_s:>10.4f} -> {traced_s:>10.4f} "
+                  f"{ratio:>8.2f}  {verdict}")
+
+    failed = False
     if regressions:
         print(
             f"\n{len(regressions)} series regressed more than "
             f"{args.threshold * 100:.0f}%: "
             + ", ".join(f"{g}/{o}" for g, o in regressions)
         )
+        failed = True
+    if overhead_failures:
+        print(
+            f"{len(overhead_failures)} overhead check(s) failed: "
+            + ", ".join(f"{p} on {g}" for p, g in overhead_failures)
+        )
+        failed = True
+    if failed:
         return 1
     print("\nno regressions above threshold")
     return 0

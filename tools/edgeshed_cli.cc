@@ -14,7 +14,8 @@
 //   edgeshed service --jobs=jobs.txt [--workers=N] [--queue=K]
 //                    [--store_budget_mb=M] [--scale=1.0] [--deadline_ms=D]
 //                    [--retention_jobs=N] [--retention_ms=T]
-//                    [--result_cache_mb=M]
+//                    [--result_cache_mb=M] [--stats_port=P] [--linger_ms=T]
+//                    [--trace_out=trace.json]
 //
 // Text inputs are SNAP-format edge lists; .esg is the library's binary
 // snapshot format (graph/binary_io.h). `service` runs a batch of shedding
@@ -22,14 +23,25 @@
 // prints the metrics snapshot; each jobs-file line reads
 //   dataset method p [seed] [deadline_ms]
 // with '#' comments. Without --jobs a built-in demo batch is used.
+//
+// Observability (src/obs/): --stats_port=P serves GET /metrics (Prometheus
+// text), /tracez (chrome://tracing JSON of recent job traces), /statusz (the
+// text dump), and /healthz on 127.0.0.1:P (0 = ephemeral port, printed on
+// startup; negative = off). --linger_ms keeps the process (and the stats
+// server) alive that long after the batch finishes so an external scraper
+// can read the final state. --trace_out writes the trace-event JSON to a
+// file at exit; tracing is enabled whenever --stats_port >= 0 or
+// --trace_out is set.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analytics/clustering.h"
@@ -44,6 +56,9 @@
 #include "graph/binary_io.h"
 #include "graph/datasets.h"
 #include "graph/edge_list_io.h"
+#include "obs/prometheus.h"
+#include "obs/stats_server.h"
+#include "obs/tracer.h"
 #include "service/dataset_registry.h"
 #include "service/graph_store.h"
 #include "service/job_scheduler.h"
@@ -69,7 +84,8 @@ int Usage() {
                "  service  [--jobs=jobs.txt] [--workers=N] [--queue=K] "
                "[--store_budget_mb=M] [--scale=1.0] [--deadline_ms=D] "
                "[--retention_jobs=N] [--retention_ms=T] "
-               "[--result_cache_mb=M]\n");
+               "[--result_cache_mb=M] [--stats_port=P] [--linger_ms=T] "
+               "[--trace_out=trace.json]\n");
   return 2;
 }
 
@@ -295,10 +311,21 @@ StatusOr<service::JobSpec> ParseJobLine(const std::string& line) {
 
 int CmdService(const eval::Flags& flags) {
   service::MetricsRegistry metrics;
+
+  // Observability: tracing is on whenever anything can consume it (a stats
+  // server to query /tracez, or a --trace_out dump); otherwise the tracer
+  // stays null and every span hook in the service layer is a no-op.
+  const int64_t stats_port = flags.GetInt("stats_port", -1);
+  const std::string trace_out = flags.GetString("trace_out", "");
+  std::unique_ptr<obs::Tracer> tracer;
+  if (stats_port >= 0 || !trace_out.empty()) {
+    tracer = std::make_unique<obs::Tracer>();
+  }
+
   service::GraphStore::Options store_options;
   store_options.byte_budget =
       static_cast<uint64_t>(flags.GetInt("store_budget_mb", 256)) << 20;
-  service::GraphStore store(store_options, &metrics);
+  service::GraphStore store(store_options, &metrics, tracer.get());
 
   graph::DatasetOptions dataset_options;
   dataset_options.scale = flags.GetDouble("scale", 1.0);
@@ -371,7 +398,35 @@ int CmdService(const eval::Flags& flags) {
       std::chrono::milliseconds(flags.GetInt("retention_ms", 600000));
   scheduler_options.result_cache_byte_budget =
       static_cast<uint64_t>(flags.GetInt("result_cache_mb", 64)) << 20;
-  service::JobScheduler scheduler(&store, &metrics, scheduler_options);
+  service::JobScheduler scheduler(&store, &metrics, scheduler_options,
+                                  tracer.get());
+
+  std::unique_ptr<obs::StatsServer> stats_server;
+  if (stats_port >= 0) {
+    obs::StatsServerOptions server_options;
+    server_options.port = static_cast<int>(stats_port);
+    stats_server = std::make_unique<obs::StatsServer>(server_options);
+    stats_server->Handle("/metrics", [&metrics] {
+      return obs::HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                               obs::PrometheusText(metrics)};
+    });
+    stats_server->Handle("/tracez", [&tracer] {
+      return obs::HttpResponse{200, "application/json; charset=utf-8",
+                               tracer->TraceEventJson()};
+    });
+    stats_server->Handle("/statusz", [&metrics] {
+      return obs::HttpResponse{200, "text/plain; charset=utf-8",
+                               metrics.TextSnapshot()};
+    });
+    Status started = stats_server->Start();
+    if (!started.ok()) {
+      std::cerr << started << "\n";
+      return 1;
+    }
+    std::printf("stats server on http://127.0.0.1:%d "
+                "(/metrics /tracez /statusz /healthz)\n",
+                stats_server->port());
+  }
 
   Stopwatch watch;
   std::vector<std::pair<service::JobId, const service::JobSpec*>> submitted;
@@ -411,6 +466,27 @@ int CmdService(const eval::Flags& flags) {
               submitted.size(), scheduler.workers(), watch.ElapsedSeconds(),
               failures, rejected);
   std::fputs(metrics.TextSnapshot().c_str(), stdout);
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "cannot write trace file: " << trace_out << "\n";
+      return 1;
+    }
+    out << tracer->TraceEventJson();
+    std::printf("wrote %s (load at chrome://tracing)\n", trace_out.c_str());
+  }
+
+  // Keep the stats endpoints queryable after the batch so external scrapers
+  // (CI smoke, a curl-ing operator) can read the final counters and traces.
+  const int64_t linger_ms = flags.GetInt("linger_ms", 0);
+  if (linger_ms > 0 && stats_server != nullptr) {
+    std::printf("lingering %lld ms for stats scrapes...\n",
+                static_cast<long long>(linger_ms));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
+  if (stats_server != nullptr) stats_server->Stop();
   return failures == 0 && rejected == 0 ? 0 : 1;
 }
 
