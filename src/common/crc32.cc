@@ -1,0 +1,39 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace edgeshed {
+namespace {
+
+/// Byte-at-a-time lookup table for the reflected polynomial 0xEDB88320,
+/// built once at static-init time. Slice-by-8 would be faster but the inputs
+/// here (RPC payloads, snapshot files) are nowhere near CRC-bound.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t state, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = Table();
+  for (size_t i = 0; i < len; ++i) {
+    state = table[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace edgeshed

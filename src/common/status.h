@@ -21,6 +21,10 @@ enum class StatusCode {
   kResourceExhausted = 8,
   kDeadlineExceeded = 9,
   kCancelled = 10,
+  /// Stored or transmitted bytes failed an integrity check (checksum
+  /// mismatch, bit rot) — distinct from IOError, which covers the transport
+  /// failing, not the data lying.
+  kDataLoss = 11,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -73,6 +77,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,40 +4,92 @@
 #include <fstream>
 #include <vector>
 
+#include "common/crc32.h"
+
 namespace edgeshed::graph {
 
 namespace {
 
-constexpr char kMagic[8] = {'E', 'D', 'G', 'S', 'H', 'E', 'D', '1'};
+constexpr char kMagicV1[8] = {'E', 'D', 'G', 'S', 'H', 'E', 'D', '1'};
+constexpr char kMagicV2[8] = {'E', 'D', 'G', 'S', 'H', 'E', 'D', '2'};
 
-void PutU64(std::ofstream& out, uint64_t value) {
-  char bytes[8];
-  for (int i = 0; i < 8; ++i) {
-    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+/// Serializer that folds every byte after the magic into a CRC32 so the v2
+/// footer can be emitted without a second pass over the edge section.
+class ChecksummingWriter {
+ public:
+  explicit ChecksummingWriter(std::ofstream& out) : out_(out) {}
+
+  void PutU64(uint64_t value) {
+    char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+    }
+    Write(bytes, 8);
   }
-  out.write(bytes, 8);
-}
 
-bool GetU64(std::ifstream& in, uint64_t* value) {
-  char bytes[8];
-  if (!in.read(bytes, 8)) return false;
-  *value = 0;
-  for (int i = 0; i < 8; ++i) {
-    *value |= static_cast<uint64_t>(static_cast<unsigned char>(bytes[i]))
-              << (8 * i);
+  void PutU32(uint32_t value) {
+    char bytes[4];
+    for (int i = 0; i < 4; ++i) {
+      bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+    }
+    Write(bytes, 4);
   }
-  return true;
-}
 
-void PutU32(std::ofstream& out, uint32_t value) {
-  char bytes[4];
-  for (int i = 0; i < 4; ++i) {
-    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  uint32_t crc() const { return Crc32Finalize(state_); }
+
+ private:
+  void Write(const char* bytes, size_t n) {
+    out_.write(bytes, static_cast<std::streamsize>(n));
+    state_ = Crc32Update(state_, bytes, n);
   }
-  out.write(bytes, 4);
-}
 
-bool GetU32(std::ifstream& in, uint32_t* value) {
+  std::ofstream& out_;
+  uint32_t state_ = kCrc32Init;
+};
+
+/// Mirror of ChecksummingWriter for loads: folds every byte read into the
+/// CRC so the v2 footer can be verified without re-reading the file.
+class ChecksummingReader {
+ public:
+  explicit ChecksummingReader(std::ifstream& in) : in_(in) {}
+
+  bool GetU64(uint64_t* value) {
+    char bytes[8];
+    if (!Read(bytes, 8)) return false;
+    *value = 0;
+    for (int i = 0; i < 8; ++i) {
+      *value |= static_cast<uint64_t>(static_cast<unsigned char>(bytes[i]))
+                << (8 * i);
+    }
+    return true;
+  }
+
+  bool GetU32(uint32_t* value) {
+    char bytes[4];
+    if (!Read(bytes, 4)) return false;
+    *value = 0;
+    for (int i = 0; i < 4; ++i) {
+      *value |= static_cast<uint32_t>(static_cast<unsigned char>(bytes[i]))
+                << (8 * i);
+    }
+    return true;
+  }
+
+  uint32_t crc() const { return Crc32Finalize(state_); }
+
+ private:
+  bool Read(char* bytes, size_t n) {
+    if (!in_.read(bytes, static_cast<std::streamsize>(n))) return false;
+    state_ = Crc32Update(state_, bytes, n);
+    return true;
+  }
+
+  std::ifstream& in_;
+  uint32_t state_ = kCrc32Init;
+};
+
+/// Reads a u32 WITHOUT checksumming it (the footer itself).
+bool GetRawU32(std::ifstream& in, uint32_t* value) {
   char bytes[4];
   if (!in.read(bytes, 4)) return false;
   *value = 0;
@@ -53,13 +105,23 @@ bool GetU32(std::ifstream& in, uint32_t* value) {
 Status SaveBinaryGraph(const Graph& graph, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open for writing: " + path);
-  out.write(kMagic, sizeof(kMagic));
-  PutU64(out, graph.NumNodes());
-  PutU64(out, graph.NumEdges());
+  out.write(kMagicV2, sizeof(kMagicV2));
+  ChecksummingWriter writer(out);
+  writer.PutU64(graph.NumNodes());
+  writer.PutU64(graph.NumEdges());
   for (const Edge& e : graph.edges()) {
-    PutU32(out, e.u);
-    PutU32(out, e.v);
+    writer.PutU32(e.u);
+    writer.PutU32(e.v);
   }
+  // Footer: CRC32 of everything between the magic and here, so a bit flip
+  // anywhere in counts or edges fails the load instead of silently shipping
+  // a corrupted graph.
+  const uint32_t crc = writer.crc();
+  char footer[4];
+  for (int i = 0; i < 4; ++i) {
+    footer[i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+  out.write(footer, 4);
   if (!out) return Status::IOError("write failed: " + path);
   return Status::OK();
 }
@@ -68,27 +130,57 @@ StatusOr<Graph> LoadBinaryGraph(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open: " + path);
   char magic[8];
-  if (!in.read(magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!in.read(magic, sizeof(magic))) {
     return Status::InvalidArgument("not an edgeshed binary graph: " + path);
   }
+  bool checksummed;
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+    checksummed = true;
+  } else if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    checksummed = false;  // legacy snapshots stay loadable
+  } else {
+    return Status::InvalidArgument("not an edgeshed binary graph: " + path);
+  }
+
+  ChecksummingReader reader(in);
   uint64_t num_nodes = 0;
   uint64_t num_edges = 0;
-  if (!GetU64(in, &num_nodes) || !GetU64(in, &num_edges)) {
+  if (!reader.GetU64(&num_nodes) || !reader.GetU64(&num_edges)) {
     return Status::InvalidArgument("truncated header: " + path);
   }
   if (num_nodes > static_cast<uint64_t>(kInvalidNode)) {
     return Status::InvalidArgument("node count exceeds NodeId range");
+  }
+  // Check the declared edge count against the bytes actually present before
+  // allocating: a corrupt count must fail as "truncated", not reserve
+  // attacker-sized memory and die on bad_alloc.
+  const std::streampos body_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const uint64_t bytes_left =
+      static_cast<uint64_t>(in.tellg() - body_start);
+  in.seekg(body_start);
+  if (num_edges > bytes_left / 8) {
+    return Status::InvalidArgument("truncated edge section: " + path);
   }
   std::vector<Edge> edges;
   edges.reserve(num_edges);
   for (uint64_t i = 0; i < num_edges; ++i) {
     uint32_t u = 0;
     uint32_t v = 0;
-    if (!GetU32(in, &u) || !GetU32(in, &v)) {
+    if (!reader.GetU32(&u) || !reader.GetU32(&v)) {
       return Status::InvalidArgument("truncated edge section: " + path);
     }
     edges.push_back(Edge{u, v});
+  }
+  if (checksummed) {
+    uint32_t declared = 0;
+    if (!GetRawU32(in, &declared)) {
+      return Status::InvalidArgument("truncated checksum footer: " + path);
+    }
+    if (declared != reader.crc()) {
+      return Status::DataLoss(
+          "binary graph checksum mismatch (corrupt snapshot): " + path);
+    }
   }
   // Graph::FromEdges re-validates bounds, self-loops, duplicates.
   return Graph::FromEdges(static_cast<NodeId>(num_nodes), std::move(edges));

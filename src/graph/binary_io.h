@@ -12,15 +12,22 @@ namespace edgeshed::graph {
 /// reuse many times" workflow): magic + version + node/edge counts + the
 /// canonical edge list, all little-endian fixed-width integers.
 ///
-/// Format (version 1):
-///   bytes 0-7   : magic "EDGSHED1"
+/// Format (version 2, written by SaveBinaryGraph):
+///   bytes 0-7   : magic "EDGSHED2"
 ///   bytes 8-15  : uint64 node count
 ///   bytes 16-23 : uint64 edge count
-///   then edge count * 2 * uint32 (u, v) pairs, canonical (u < v), sorted.
+///   then edge count * 2 * uint32 (u, v) pairs, canonical (u < v), sorted,
+///   then uint32 CRC-32 (common/crc32.h, the same checksum the net wire
+///   protocol uses) of every byte between the magic and the footer.
+///
+/// Version 1 ("EDGSHED1") is identical minus the footer; LoadBinaryGraph
+/// still reads it, but without integrity checking.
 Status SaveBinaryGraph(const Graph& graph, const std::string& path);
 
-/// Loads a snapshot written by SaveBinaryGraph. Validates magic, counts,
-/// canonical form, and bounds; corrupt files return InvalidArgument/IOError.
+/// Loads a snapshot written by SaveBinaryGraph (either version). Validates
+/// magic, counts, canonical form, and bounds; corrupt files return
+/// InvalidArgument/IOError, and a version-2 checksum mismatch returns
+/// DataLoss instead of silently accepting a bit-rotten snapshot.
 StatusOr<Graph> LoadBinaryGraph(const std::string& path);
 
 }  // namespace edgeshed::graph

@@ -1,0 +1,192 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "net/socket.h"
+
+namespace edgeshed::net {
+
+namespace {
+
+/// Closes the fd on scope exit.
+class FdGuard {
+ public:
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() { CloseFd(fd_); }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+RpcClient::RpcClient(RpcClientOptions options)
+    : options_(std::move(options)) {}
+
+RpcClient::RpcClient(RpcClientOptions options, TestHooks hooks)
+    : options_(std::move(options)), hooks_(std::move(hooks)) {}
+
+std::vector<std::chrono::milliseconds> RpcClient::BackoffSchedule(
+    const RpcClientOptions& options) {
+  std::vector<std::chrono::milliseconds> delays;
+  if (options.max_attempts <= 1) return delays;
+  delays.reserve(static_cast<size_t>(options.max_attempts - 1));
+  Rng rng(options.jitter_seed);
+  double base = static_cast<double>(options.backoff_initial.count());
+  const double cap = static_cast<double>(options.backoff_max.count());
+  const double jitter =
+      std::clamp(options.jitter_fraction, 0.0, 1.0);
+  for (int attempt = 0; attempt + 1 < options.max_attempts; ++attempt) {
+    const double capped = std::min(base, cap);
+    // Scale into [1 - jitter, 1] so the delay never exceeds the nominal
+    // exponential value and never collapses to zero.
+    const double scale = 1.0 - jitter * rng.UniformDouble();
+    delays.emplace_back(static_cast<int64_t>(capped * scale));
+    base *= options.backoff_multiplier;
+  }
+  return delays;
+}
+
+bool RpcClient::IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kIOError ||
+         status.code() == StatusCode::kResourceExhausted;
+}
+
+StatusOr<Frame> RpcClient::RoundTripTcp(const Frame& request) {
+  auto fd = ConnectTcp(options_.host, options_.port,
+                       options_.connect_timeout);
+  if (!fd.ok()) return fd.status();
+  FdGuard guard(*fd);
+  EDGESHED_RETURN_IF_ERROR(SetSendTimeout(*fd, options_.send_timeout));
+  EDGESHED_RETURN_IF_ERROR(SetRecvTimeout(*fd, options_.recv_timeout));
+  EDGESHED_RETURN_IF_ERROR(
+      SendAll(*fd, EncodeFrame(request.type, request.payload)));
+
+  std::string buffer;
+  char chunk[16 * 1024];
+  for (;;) {
+    DecodeResult decoded = DecodeFrame(buffer);
+    if (decoded.event == DecodeEvent::kFrame) return decoded.frame;
+    if (decoded.event == DecodeEvent::kError) return decoded.error;
+    auto n = RecvSome(*fd, chunk, sizeof(chunk));
+    if (!n.ok()) return n.status();
+    if (*n == 0) {
+      return Status::IOError(
+          "connection closed before a complete response frame");
+    }
+    buffer.append(chunk, *n);
+  }
+}
+
+StatusOr<std::string> RpcClient::Call(MessageType request_type,
+                                      const std::string& payload) {
+  const std::vector<std::chrono::milliseconds> delays =
+      BackoffSchedule(options_);
+  const int attempts = std::max(1, options_.max_attempts);
+  const Frame request{request_type, payload};
+  const MessageType expected = ResponseTypeFor(request_type);
+
+  Status last = Status::Internal("rpc made no attempts");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      const std::chrono::milliseconds delay =
+          delays[static_cast<size_t>(attempt - 1)];
+      if (hooks_.sleeper) {
+        hooks_.sleeper(delay);
+      } else {
+        std::this_thread::sleep_for(delay);
+      }
+    }
+
+    StatusOr<Frame> reply = hooks_.transport ? hooks_.transport(request)
+                                             : RoundTripTcp(request);
+    if (!reply.ok()) {
+      last = reply.status();
+      if (!IsRetryable(last)) return last;
+      continue;
+    }
+    if (reply->type != expected &&
+        reply->type != MessageType::kErrorResponse) {
+      // A mismatched response type is a server/protocol bug, not a
+      // transient: fail fast.
+      return Status::Internal(StrFormat(
+          "unexpected response type %u to %.*s",
+          static_cast<unsigned>(reply->type),
+          static_cast<int>(MessageTypeToString(request_type).size()),
+          MessageTypeToString(request_type).data()));
+    }
+    std::string_view body;
+    Status envelope = DecodeResponsePayload(reply->payload, &body);
+    if (envelope.ok()) return std::string(body);
+    last = std::move(envelope);
+    if (!IsRetryable(last)) return last;
+  }
+  return last;
+}
+
+StatusOr<uint64_t> RpcClient::Ping(uint64_t token) {
+  PingMessage ping{token};
+  auto body = Call(MessageType::kPingRequest, EncodePing(ping));
+  if (!body.ok()) return body.status();
+  PingMessage pong;
+  EDGESHED_RETURN_IF_ERROR(DecodePing(*body, &pong));
+  if (pong.token != token) {
+    return Status::Internal(
+        StrFormat("ping echo mismatch: sent %llu, got %llu",
+                  static_cast<unsigned long long>(token),
+                  static_cast<unsigned long long>(pong.token)));
+  }
+  return pong.token;
+}
+
+StatusOr<ShedResponse> RpcClient::Shed(const ShedRequest& request) {
+  auto body = Call(MessageType::kShedRequest, EncodeShedRequest(request));
+  if (!body.ok()) return body.status();
+  ShedResponse response;
+  EDGESHED_RETURN_IF_ERROR(DecodeShedResponseBody(*body, &response));
+  return response;
+}
+
+StatusOr<ResultSummary> RpcClient::Wait(uint64_t job_id) {
+  auto body =
+      Call(MessageType::kWaitRequest, EncodeJobIdRequest({job_id}));
+  if (!body.ok()) return body.status();
+  ResultSummary summary;
+  EDGESHED_RETURN_IF_ERROR(DecodeResultSummaryBody(*body, &summary));
+  return summary;
+}
+
+StatusOr<GetStatusResponse> RpcClient::GetJobStatus(uint64_t job_id) {
+  auto body =
+      Call(MessageType::kGetStatusRequest, EncodeJobIdRequest({job_id}));
+  if (!body.ok()) return body.status();
+  GetStatusResponse response;
+  EDGESHED_RETURN_IF_ERROR(DecodeGetStatusResponseBody(*body, &response));
+  return response;
+}
+
+Status RpcClient::Cancel(uint64_t job_id) {
+  auto body =
+      Call(MessageType::kCancelRequest, EncodeJobIdRequest({job_id}));
+  if (!body.ok()) return body.status();
+  if (!body->empty()) {
+    return Status::InvalidArgument("Cancel response carries no body");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> RpcClient::ListDatasets() {
+  auto body = Call(MessageType::kListDatasetsRequest, std::string());
+  if (!body.ok()) return body.status();
+  ListDatasetsResponse response;
+  EDGESHED_RETURN_IF_ERROR(DecodeListDatasetsResponseBody(*body, &response));
+  return response.names;
+}
+
+}  // namespace edgeshed::net

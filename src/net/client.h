@@ -1,0 +1,103 @@
+#ifndef EDGESHED_NET_CLIENT_H_
+#define EDGESHED_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "net/wire.h"
+
+namespace edgeshed::net {
+
+struct RpcClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::chrono::milliseconds connect_timeout{2000};
+  std::chrono::milliseconds send_timeout{5000};
+  /// Per-recv deadline. Wait and Shed-with-wait block server-side for the
+  /// whole job, so give them room (the CLI maps --timeout_ms here).
+  std::chrono::milliseconds recv_timeout{60000};
+  /// Total tries per RPC (1 = no retries).
+  int max_attempts = 4;
+  /// Deterministic exponential backoff: attempt k (0-based) sleeps
+  /// min(initial * multiplier^k, max), scaled into
+  /// [1 - jitter_fraction, 1] by a PRNG seeded with jitter_seed — the
+  /// schedule is a pure function of these options (see BackoffSchedule),
+  /// which is what makes retry behaviour testable.
+  std::chrono::milliseconds backoff_initial{100};
+  std::chrono::milliseconds backoff_max{2000};
+  double backoff_multiplier = 2.0;
+  double jitter_fraction = 0.2;
+  uint64_t jitter_seed = 0x5eed;
+};
+
+/// Blocking client for the net RPC server (DESIGN.md §10).
+///
+/// Each RPC opens one connection, sends one request frame, reads one
+/// response frame, and closes — no connection pooling, no pipelining, no
+/// shared state, so the client is trivially safe to use from multiple
+/// threads and a half-dead server never wedges it (connect/send/recv each
+/// carry their own timeout).
+///
+/// Transient failures — transport IOErrors (refused, reset, timed out) and
+/// ResourceExhausted responses (server admission control, scheduler queue
+/// full) — are retried up to `max_attempts` with deterministic exponential
+/// backoff + jitter. Retrying Shed is safe because shedding is
+/// deterministic: an identical resubmission coalesces or hits the result
+/// cache server-side. Every other status fails fast.
+class RpcClient {
+ public:
+  /// Test seams: `transport` replaces the TCP round trip, `sleeper` replaces
+  /// the backoff sleep. Null members keep the real implementation.
+  struct TestHooks {
+    std::function<StatusOr<Frame>(const Frame&)> transport;
+    std::function<void(std::chrono::milliseconds)> sleeper;
+  };
+
+  explicit RpcClient(RpcClientOptions options);
+  RpcClient(RpcClientOptions options, TestHooks hooks);
+
+  /// Round-trip liveness probe; returns the echoed token.
+  StatusOr<uint64_t> Ping(uint64_t token);
+
+  /// Submits a shedding job; with request.wait the response carries the
+  /// finished ResultSummary.
+  StatusOr<ShedResponse> Shed(const ShedRequest& request);
+
+  /// Blocks until job `job_id` finishes and returns its summary; the job's
+  /// failure status (or NotFound) otherwise.
+  StatusOr<ResultSummary> Wait(uint64_t job_id);
+
+  StatusOr<GetStatusResponse> GetJobStatus(uint64_t job_id);
+
+  Status Cancel(uint64_t job_id);
+
+  StatusOr<std::vector<std::string>> ListDatasets();
+
+  /// The exact backoff delays Call() will use between attempts
+  /// (max_attempts - 1 entries): pure function of `options`, exposed so
+  /// tests pin the schedule.
+  static std::vector<std::chrono::milliseconds> BackoffSchedule(
+      const RpcClientOptions& options);
+
+  /// True for the statuses Call() retries: IOError (transport) and
+  /// ResourceExhausted (overload).
+  static bool IsRetryable(const Status& status);
+
+ private:
+  /// Sends `payload` as `request_type` with retries; returns the response
+  /// body after envelope decoding.
+  StatusOr<std::string> Call(MessageType request_type,
+                             const std::string& payload);
+  StatusOr<Frame> RoundTripTcp(const Frame& request);
+
+  const RpcClientOptions options_;
+  TestHooks hooks_;
+};
+
+}  // namespace edgeshed::net
+
+#endif  // EDGESHED_NET_CLIENT_H_

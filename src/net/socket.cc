@@ -1,0 +1,242 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace edgeshed::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+}  // namespace
+
+StatusOr<int> ListenTcp(const ListenOptions& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket()");
+  int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      htonl(options.loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::IOError(
+        StrFormat("bind(%s:%d): %s",
+                  options.loopback_only ? "127.0.0.1" : "0.0.0.0",
+                  options.port, std::strerror(errno)));
+    CloseFd(fd);
+    return status;
+  }
+  if (::listen(fd, options.backlog) != 0) {
+    const Status status = Errno("listen()");
+    CloseFd(fd);
+    return status;
+  }
+  return fd;
+}
+
+StatusOr<int> BoundTcpPort(int fd) {
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    return Errno("getsockname()");
+  }
+  return static_cast<int>(ntohs(bound.sin_port));
+}
+
+StatusOr<int> ConnectTcp(const std::string& host, int port,
+                         std::chrono::milliseconds timeout) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const std::string port_text = StrFormat("%d", port);
+  const int rc = ::getaddrinfo(host.c_str(), port_text.c_str(), &hints,
+                               &resolved);
+  if (rc != 0) {
+    return Status::IOError(
+        StrFormat("resolve %s: %s", host.c_str(), ::gai_strerror(rc)));
+  }
+
+  Status last = Status::IOError("no addresses for " + host);
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket()");
+      continue;
+    }
+    // Non-blocking connect so the deadline is ours, not the kernel's.
+    if (Status status = SetNonBlocking(fd, true); !status.ok()) {
+      CloseFd(fd);
+      last = std::move(status);
+      continue;
+    }
+    int crc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (crc != 0 && errno == EINPROGRESS) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+      } while (ready < 0 && errno == EINTR);
+      if (ready == 0) {
+        CloseFd(fd);
+        last = Status::IOError(
+            StrFormat("connect %s:%d: timed out after %lld ms", host.c_str(),
+                      port, static_cast<long long>(timeout.count())));
+        continue;
+      }
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      if (ready < 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+        last = Errno("connect poll");
+        CloseFd(fd);
+        continue;
+      }
+      if (err != 0) {
+        last = Status::IOError(StrFormat("connect %s:%d: %s", host.c_str(),
+                                         port, std::strerror(err)));
+        CloseFd(fd);
+        continue;
+      }
+      crc = 0;
+    }
+    if (crc != 0) {
+      last = Status::IOError(StrFormat("connect %s:%d: %s", host.c_str(),
+                                       port, std::strerror(errno)));
+      CloseFd(fd);
+      continue;
+    }
+    if (Status status = SetNonBlocking(fd, false); !status.ok()) {
+      CloseFd(fd);
+      last = std::move(status);
+      continue;
+    }
+    ::freeaddrinfo(resolved);
+    return fd;
+  }
+  ::freeaddrinfo(resolved);
+  return last;
+}
+
+StatusOr<int> AcceptConnection(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return Errno("accept()");
+  }
+}
+
+Status SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("send timed out");
+      }
+      return Errno("send()");
+    }
+    if (n == 0) return Status::IOError("send(): peer closed connection");
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<size_t> SendSome(int fd, std::string_view data) {
+  for (;;) {
+    const ssize_t n = ::send(fd, data.data(), data.size(),
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return Errno("send()");
+  }
+}
+
+StatusOr<size_t> RecvSome(int fd, char* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("recv timed out");
+    }
+    return Errno("recv()");
+  }
+}
+
+Status SetNonBlocking(int fd, bool enable) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int want = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status SetTimeoutOption(int fd, int option, std::chrono::milliseconds timeout,
+                        const char* what) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+    return Errno(what);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SetRecvTimeout(int fd, std::chrono::milliseconds timeout) {
+  return SetTimeoutOption(fd, SO_RCVTIMEO, timeout, "setsockopt(SO_RCVTIMEO)");
+}
+
+Status SetSendTimeout(int fd, std::chrono::milliseconds timeout) {
+  return SetTimeoutOption(fd, SO_SNDTIMEO, timeout, "setsockopt(SO_SNDTIMEO)");
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  // POSIX leaves the fd state unspecified on EINTR from close(); retrying
+  // risks closing a recycled descriptor, so close once and move on.
+  ::close(fd);
+}
+
+}  // namespace edgeshed::net

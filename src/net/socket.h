@@ -1,0 +1,78 @@
+#ifndef EDGESHED_NET_SOCKET_H_
+#define EDGESHED_NET_SOCKET_H_
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+
+namespace edgeshed::net {
+
+/// Thin Status-returning wrappers over the raw POSIX TCP calls, shared by
+/// every server/client in the tree (the obs stats server and the net RPC
+/// server/client) so `EINTR` retries, partial-write loops, and SIGPIPE
+/// suppression are handled in exactly one place.
+///
+/// All functions are free of global state and safe to call from any thread.
+/// File descriptors are plain ints; ownership stays with the caller (pair
+/// every successful Listen/Connect/accept with CloseFd).
+
+struct ListenOptions {
+  /// Port to bind; 0 picks an ephemeral port (read it back with
+  /// BoundTcpPort).
+  int port = 0;
+  /// Pending-connection backlog passed to listen().
+  int backlog = 16;
+  /// Bind 127.0.0.1 only (operator/loopback surfaces) vs INADDR_ANY.
+  bool loopback_only = true;
+};
+
+/// Creates, binds, and listens a TCP socket. IOError on failure (port taken,
+/// no sockets); the fd is ready for accept()/poll() on success.
+StatusOr<int> ListenTcp(const ListenOptions& options);
+
+/// The local port a bound socket ended up on (resolves port 0).
+StatusOr<int> BoundTcpPort(int fd);
+
+/// Blocking connect with a deadline: resolves `host` (numeric or DNS, IPv4),
+/// connects non-blocking, waits up to `timeout`, then returns the socket in
+/// blocking mode. IOError on refusal/timeout/resolution failure.
+StatusOr<int> ConnectTcp(const std::string& host, int port,
+                         std::chrono::milliseconds timeout);
+
+/// accept() with EINTR retry. Returns the connection fd, or -1 when a
+/// non-blocking listener has nothing pending (EAGAIN) — the "drained the
+/// accept queue" signal for event loops. IOError for real accept failures.
+StatusOr<int> AcceptConnection(int listen_fd);
+
+/// Writes all of `data`, looping over partial writes and EINTR, with
+/// SIGPIPE suppressed (MSG_NOSIGNAL where available). IOError when the peer
+/// goes away mid-write.
+Status SendAll(int fd, std::string_view data);
+
+/// One send() attempt with EINTR retry, for non-blocking fds: returns the
+/// bytes written (possibly 0 when the socket buffer is full — EAGAIN is not
+/// an error here). IOError when the connection is gone.
+StatusOr<size_t> SendSome(int fd, std::string_view data);
+
+/// One recv() with EINTR retry. Returns the byte count, 0 on orderly EOF.
+/// IOError on connection errors; a recv timeout (SO_RCVTIMEO expiring)
+/// surfaces as DeadlineExceeded so callers can distinguish "slow peer" from
+/// "dead peer".
+StatusOr<size_t> RecvSome(int fd, char* buf, size_t len);
+
+/// O_NONBLOCK toggle for event-loop fds.
+Status SetNonBlocking(int fd, bool enable);
+
+/// SO_RCVTIMEO / SO_SNDTIMEO for blocking-socket deadlines; zero disables.
+Status SetRecvTimeout(int fd, std::chrono::milliseconds timeout);
+Status SetSendTimeout(int fd, std::chrono::milliseconds timeout);
+
+/// close() with EINTR handling; safe on -1 (no-op).
+void CloseFd(int fd);
+
+}  // namespace edgeshed::net
+
+#endif  // EDGESHED_NET_SOCKET_H_

@@ -1,16 +1,12 @@
 #include "obs/stats_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <utility>
 
 #include "common/strings.h"
+#include "net/socket.h"
 
 namespace edgeshed::obs {
 namespace {
@@ -28,21 +24,6 @@ std::string_view ReasonPhrase(int status) {
       return "Method Not Allowed";
     default:
       return "Error";
-  }
-}
-
-void SendAll(int fd, std::string_view data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-#ifdef MSG_NOSIGNAL
-                             MSG_NOSIGNAL
-#else
-                             0
-#endif
-    );
-    if (n <= 0) return;  // peer went away; nothing useful to do
-    sent += static_cast<size_t>(n);
   }
 }
 
@@ -65,42 +46,16 @@ Status StatsServer::Start() {
     handlers_["/healthz"] = [] { return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"}; };
   }
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::IOError(StrFormat("socket(): %s", std::strerror(errno)));
-  }
-  int reuse = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  net::ListenOptions listen_options;
+  listen_options.port = options_.port;
+  listen_options.backlog = options_.backlog;
+  listen_options.loopback_only = true;
+  auto listen_fd = net::ListenTcp(listen_options);
+  if (!listen_fd.ok()) return listen_fd.status();
+  listen_fd_ = *listen_fd;
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const Status status = Status::IOError(
-        StrFormat("bind(127.0.0.1:%d): %s", options_.port,
-                  std::strerror(errno)));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  if (::listen(listen_fd_, options_.backlog) != 0) {
-    const Status status =
-        Status::IOError(StrFormat("listen(): %s", std::strerror(errno)));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) == 0) {
-    port_ = ntohs(bound.sin_port);
-  } else {
-    port_ = options_.port;
-  }
+  auto bound = net::BoundTcpPort(listen_fd_);
+  port_ = bound.ok() ? *bound : options_.port;
 
   stop_.store(false, std::memory_order_release);
   thread_ = std::thread([this] { AcceptLoop(); });
@@ -110,10 +65,8 @@ Status StatsServer::Start() {
 void StatsServer::Stop() {
   stop_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  net::CloseFd(listen_fd_);
+  listen_fd_ = -1;
 }
 
 void StatsServer::AcceptLoop() {
@@ -123,10 +76,10 @@ void StatsServer::AcceptLoop() {
     pfd.events = POLLIN;
     const int ready = ::poll(&pfd, 1, kPollIntervalMs);
     if (ready <= 0) continue;  // timeout (stop-flag check) or transient error
-    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (client_fd < 0) continue;
-    ServeConnection(client_fd);
-    ::close(client_fd);
+    auto client_fd = net::AcceptConnection(listen_fd_);
+    if (!client_fd.ok() || *client_fd < 0) continue;
+    ServeConnection(*client_fd);
+    net::CloseFd(*client_fd);
   }
 }
 
@@ -138,9 +91,9 @@ void StatsServer::ServeConnection(int client_fd) {
   while (request.size() < kMaxRequestBytes &&
          request.find("\r\n\r\n") == std::string::npos &&
          request.find("\n\n") == std::string::npos) {
-    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    request.append(buf, static_cast<size_t>(n));
+    auto n = net::RecvSome(client_fd, buf, sizeof(buf));
+    if (!n.ok() || *n == 0) break;
+    request.append(buf, *n);
   }
 
   // Request line: METHOD SP PATH SP VERSION.
@@ -183,8 +136,10 @@ void StatsServer::ServeConnection(int client_fd) {
       response.status, static_cast<int>(ReasonPhrase(response.status).size()),
       ReasonPhrase(response.status).data(), response.content_type.c_str(),
       response.body.size());
-  SendAll(client_fd, head);
-  SendAll(client_fd, response.body);
+  // Best effort: a peer that went away mid-response costs nothing.
+  if (net::SendAll(client_fd, head).ok()) {
+    [[maybe_unused]] Status ignored = net::SendAll(client_fd, response.body);
+  }
 }
 
 }  // namespace edgeshed::obs

@@ -1,0 +1,272 @@
+// Tests for src/net/client.h retry behaviour, isolated from real sockets by
+// RpcClient::TestHooks: an injected transport stands in for the TCP round
+// trip and an injected sleeper records the backoff delays the client would
+// have slept. The backoff schedule itself is a pure function of the options
+// (seeded jitter), so the exact delays are pinned, not just bounded.
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/client.h"
+#include "net/wire.h"
+
+namespace edgeshed::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+RpcClientOptions TestOptions() {
+  RpcClientOptions options;
+  options.max_attempts = 4;
+  options.backoff_initial = milliseconds(100);
+  options.backoff_max = milliseconds(2000);
+  options.backoff_multiplier = 2.0;
+  options.jitter_fraction = 0.2;
+  options.jitter_seed = 0x5eed;
+  return options;
+}
+
+/// A transport that fails `failures` times with `error`, then answers every
+/// request with a well-formed OK Ping response.
+RpcClient::TestHooks FlakyPingTransport(int failures, Status error,
+                                        std::vector<milliseconds>* slept,
+                                        int* calls) {
+  RpcClient::TestHooks hooks;
+  hooks.transport = [failures, error, calls](const Frame& request) mutable
+      -> StatusOr<Frame> {
+    ++*calls;
+    if (*calls <= failures) return error;
+    PingMessage ping;
+    EDGESHED_CHECK(DecodePing(request.payload, &ping).ok());
+    Frame response;
+    response.type = ResponseTypeFor(request.type);
+    response.payload =
+        EncodeResponsePayload(Status::OK(), EncodePing(ping));
+    return response;
+  };
+  hooks.sleeper = [slept](milliseconds delay) { slept->push_back(delay); };
+  return hooks;
+}
+
+// ---------------------------------------------------------------------------
+// Backoff schedule
+
+TEST(BackoffScheduleTest, DeterministicForFixedSeed) {
+  const RpcClientOptions options = TestOptions();
+  const auto first = RpcClient::BackoffSchedule(options);
+  const auto second = RpcClient::BackoffSchedule(options);
+  ASSERT_EQ(first.size(), 3u);  // max_attempts - 1
+  EXPECT_EQ(first, second);
+}
+
+TEST(BackoffScheduleTest, ExponentialEnvelopeWithBoundedJitter) {
+  const RpcClientOptions options = TestOptions();
+  const auto delays = RpcClient::BackoffSchedule(options);
+  ASSERT_EQ(delays.size(), 3u);
+  // Attempt k's base is initial * multiplier^k capped at max; jitter only
+  // shrinks it, by at most jitter_fraction.
+  const int64_t bases[] = {100, 200, 400};
+  for (size_t k = 0; k < delays.size(); ++k) {
+    SCOPED_TRACE(k);
+    EXPECT_LE(delays[k].count(), bases[k]);
+    EXPECT_GE(delays[k].count(),
+              static_cast<int64_t>(static_cast<double>(bases[k]) *
+                                   (1.0 - options.jitter_fraction)) -
+                  1);
+  }
+}
+
+TEST(BackoffScheduleTest, DifferentSeedsDiverge) {
+  RpcClientOptions a = TestOptions();
+  RpcClientOptions b = TestOptions();
+  b.jitter_seed = 0xFEED;
+  EXPECT_NE(RpcClient::BackoffSchedule(a), RpcClient::BackoffSchedule(b));
+}
+
+TEST(BackoffScheduleTest, CapAppliesBeforeJitter) {
+  RpcClientOptions options = TestOptions();
+  options.max_attempts = 8;
+  options.jitter_fraction = 0.0;  // isolate the cap
+  const auto delays = RpcClient::BackoffSchedule(options);
+  ASSERT_EQ(delays.size(), 7u);
+  EXPECT_EQ(delays[0], milliseconds(100));
+  EXPECT_EQ(delays[1], milliseconds(200));
+  EXPECT_EQ(delays.back(), options.backoff_max);
+}
+
+TEST(BackoffScheduleTest, SingleAttemptMeansNoDelays) {
+  RpcClientOptions options = TestOptions();
+  options.max_attempts = 1;
+  EXPECT_TRUE(RpcClient::BackoffSchedule(options).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Retry classification
+
+TEST(RetryClassificationTest, TransientStatusesAreRetryable) {
+  EXPECT_TRUE(RpcClient::IsRetryable(Status::IOError("connection refused")));
+  EXPECT_TRUE(
+      RpcClient::IsRetryable(Status::ResourceExhausted("server overloaded")));
+}
+
+TEST(RetryClassificationTest, PermanentStatusesAreNot) {
+  EXPECT_FALSE(RpcClient::IsRetryable(Status::InvalidArgument("bad p")));
+  EXPECT_FALSE(RpcClient::IsRetryable(Status::NotFound("no such dataset")));
+  EXPECT_FALSE(RpcClient::IsRetryable(Status::DataLoss("checksum")));
+  EXPECT_FALSE(RpcClient::IsRetryable(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(RpcClient::IsRetryable(Status::Internal("bug")));
+  EXPECT_FALSE(RpcClient::IsRetryable(Status::OK()));
+}
+
+// ---------------------------------------------------------------------------
+// Retry loop (injected transport + sleeper)
+
+TEST(ClientRetryTest, TransportFailuresRetryWithExactSchedule) {
+  const RpcClientOptions options = TestOptions();
+  std::vector<milliseconds> slept;
+  int calls = 0;
+  RpcClient client(options, FlakyPingTransport(
+                                2, Status::IOError("connection reset"),
+                                &slept, &calls));
+
+  auto token = client.Ping(321);
+  ASSERT_TRUE(token.ok()) << token.status();
+  EXPECT_EQ(*token, 321u);
+  EXPECT_EQ(calls, 3);  // 2 failures + 1 success
+
+  // The sleeps between attempts are exactly the head of BackoffSchedule.
+  const auto schedule = RpcClient::BackoffSchedule(options);
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_EQ(slept[0], schedule[0]);
+  EXPECT_EQ(slept[1], schedule[1]);
+}
+
+TEST(ClientRetryTest, ResourceExhaustedResponseIsRetried) {
+  // Overload comes back as a *successful* transport round trip whose
+  // envelope says ResourceExhausted; the retry loop must look through the
+  // envelope, not just at transport errors.
+  std::vector<milliseconds> slept;
+  int calls = 0;
+  RpcClient::TestHooks hooks;
+  hooks.transport = [&calls](const Frame& request) -> StatusOr<Frame> {
+    ++calls;
+    Frame response;
+    if (calls == 1) {
+      response.type = ResponseTypeFor(request.type);
+      response.payload = EncodeResponsePayload(
+          Status::ResourceExhausted("too many in flight"));
+      return response;
+    }
+    PingMessage ping;
+    EDGESHED_CHECK(DecodePing(request.payload, &ping).ok());
+    response.type = ResponseTypeFor(request.type);
+    response.payload = EncodeResponsePayload(Status::OK(), EncodePing(ping));
+    return response;
+  };
+  hooks.sleeper = [&slept](milliseconds delay) { slept.push_back(delay); };
+
+  RpcClient client(TestOptions(), hooks);
+  auto token = client.Ping(7);
+  ASSERT_TRUE(token.ok()) << token.status();
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(slept.size(), 1u);
+}
+
+TEST(ClientRetryTest, NonRetryableStatusFailsFastWithZeroSleeps) {
+  std::vector<milliseconds> slept;
+  int calls = 0;
+  RpcClient::TestHooks hooks;
+  hooks.transport = [&calls](const Frame& request) -> StatusOr<Frame> {
+    ++calls;
+    Frame response;
+    response.type = ResponseTypeFor(request.type);
+    response.payload =
+        EncodeResponsePayload(Status::InvalidArgument("p out of range"));
+    return response;
+  };
+  hooks.sleeper = [&slept](milliseconds delay) { slept.push_back(delay); };
+
+  RpcClient client(TestOptions(), hooks);
+  auto token = client.Ping(1);
+  ASSERT_FALSE(token.ok());
+  EXPECT_EQ(token.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(ClientRetryTest, ExhaustedRetriesReturnLastError) {
+  const RpcClientOptions options = TestOptions();
+  std::vector<milliseconds> slept;
+  int calls = 0;
+  RpcClient client(options,
+                   FlakyPingTransport(1000, Status::IOError("still down"),
+                                      &slept, &calls));
+
+  auto token = client.Ping(1);
+  ASSERT_FALSE(token.ok());
+  EXPECT_EQ(token.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, options.max_attempts);
+  EXPECT_EQ(slept.size(),
+            static_cast<size_t>(options.max_attempts - 1));
+}
+
+TEST(ClientRetryTest, MismatchedResponseTypeIsInternalAndFatal) {
+  int calls = 0;
+  RpcClient::TestHooks hooks;
+  hooks.transport = [&calls](const Frame&) -> StatusOr<Frame> {
+    ++calls;
+    Frame response;
+    response.type = MessageType::kCancelResponse;  // wrong pairing for Ping
+    response.payload = EncodeResponsePayload(Status::OK());
+    return response;
+  };
+  hooks.sleeper = [](milliseconds) {};
+
+  RpcClient client(TestOptions(), hooks);
+  auto token = client.Ping(1);
+  ASSERT_FALSE(token.ok());
+  EXPECT_EQ(token.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(calls, 1);  // protocol confusion is not transient
+}
+
+TEST(ClientRetryTest, TypedDecodersRunOnInjectedTransport) {
+  // The full typed surface works over the hook, proving the hook replaces
+  // only the socket layer, not the codec path.
+  RpcClient::TestHooks hooks;
+  hooks.transport = [](const Frame& request) -> StatusOr<Frame> {
+    Frame response;
+    response.type = ResponseTypeFor(request.type);
+    if (request.type == MessageType::kListDatasetsRequest) {
+      ListDatasetsResponse list;
+      list.names = {"alpha", "beta"};
+      response.payload = EncodeResponsePayload(
+          Status::OK(), EncodeListDatasetsResponseBody(list));
+    } else if (request.type == MessageType::kWaitRequest) {
+      ResultSummary summary;
+      summary.kept_edges = 11;
+      response.payload = EncodeResponsePayload(
+          Status::OK(), EncodeResultSummaryBody(summary));
+    } else {
+      response.payload = EncodeResponsePayload(Status::OK());
+    }
+    return response;
+  };
+  hooks.sleeper = [](milliseconds) {};
+
+  RpcClient client(TestOptions(), hooks);
+  auto names = client.ListDatasets();
+  ASSERT_TRUE(names.ok()) << names.status();
+  EXPECT_EQ(*names, (std::vector<std::string>{"alpha", "beta"}));
+
+  auto summary = client.Wait(3);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->kept_edges, 11u);
+
+  EXPECT_TRUE(client.Cancel(3).ok());
+}
+
+}  // namespace
+}  // namespace edgeshed::net

@@ -34,6 +34,14 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, DataLossCarriesMessageAndName) {
+  const Status s = Status::DataLoss("checksum mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "checksum mismatch");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

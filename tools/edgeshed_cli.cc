@@ -16,6 +16,15 @@
 //                    [--retention_jobs=N] [--retention_ms=T]
 //                    [--result_cache_mb=M] [--stats_port=P] [--linger_ms=T]
 //                    [--trace_out=trace.json]
+//   edgeshed serve   [--port=P] [--max_connections=N] [--max_inflight=N]
+//                    [--dispatch_threads=N] [--workers=N] [--queue=K]
+//                    [--scale=S] [--store_budget_mb=M]
+//                    [--edge_list=name=path[,name=path...]]
+//                    [--stats_port=P] [--serve_ms=T] [--public]
+//   edgeshed client  --op=ping|shed|wait|status|cancel|list
+//                    [--host=H] [--port=P] [--dataset=D] [--method=M]
+//                    [--p=0.5] [--seed=N] [--deadline_ms=T] [--job_id=N]
+//                    [--no_wait] [--timeout_ms=T] [--retries=N]
 //
 // Text inputs are SNAP-format edge lists; .esg is the library's binary
 // snapshot format (graph/binary_io.h). `service` runs a batch of shedding
@@ -32,9 +41,18 @@
 // can read the final state. --trace_out writes the trace-event JSON to a
 // file at exit; tracing is enabled whenever --stats_port >= 0 or
 // --trace_out is set.
+//
+// Remote shedding (src/net/): `serve` runs the binary RPC server (loopback
+// by default; --public binds 0.0.0.0) in front of the same GraphStore +
+// JobScheduler until SIGINT/SIGTERM (or --serve_ms elapses); `client` issues
+// one RPC against a running server. A Shed submitted via `client` returns a
+// result identical to the same job run in-process, because the wire layer
+// dispatches onto the identical deterministic scheduler.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -56,6 +74,9 @@
 #include "graph/binary_io.h"
 #include "graph/datasets.h"
 #include "graph/edge_list_io.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
 #include "obs/prometheus.h"
 #include "obs/stats_server.h"
 #include "obs/tracer.h"
@@ -85,7 +106,16 @@ int Usage() {
                "[--store_budget_mb=M] [--scale=1.0] [--deadline_ms=D] "
                "[--retention_jobs=N] [--retention_ms=T] "
                "[--result_cache_mb=M] [--stats_port=P] [--linger_ms=T] "
-               "[--trace_out=trace.json]\n");
+               "[--trace_out=trace.json]\n"
+               "  serve    [--port=0] [--max_connections=64] "
+               "[--max_inflight=8] [--dispatch_threads=4] [--workers=N] "
+               "[--queue=K] [--scale=1.0] [--store_budget_mb=M] "
+               "[--edge_list=name=path,...] [--stats_port=P] "
+               "[--serve_ms=T] [--public]\n"
+               "  client   --op=ping|shed|wait|status|cancel|list "
+               "[--host=127.0.0.1] [--port=P] [--dataset=D] [--method=crr] "
+               "[--p=0.5] [--seed=42] [--deadline_ms=T] [--job_id=N] "
+               "[--no_wait] [--timeout_ms=T] [--retries=N]\n");
   return 2;
 }
 
@@ -490,6 +520,251 @@ int CmdService(const eval::Flags& flags) {
   return failures == 0 && rejected == 0 ? 0 : 1;
 }
 
+std::atomic<bool> g_signal_stop{false};
+
+void HandleStopSignal(int) { g_signal_stop.store(true); }
+
+/// Registers --edge_list=name=path[,name=path...] entries in `store`.
+Status RegisterEdgeListFlag(service::GraphStore& store,
+                            const std::string& edge_lists) {
+  for (std::string_view entry : StrSplit(edge_lists, ',')) {
+    entry = StripWhitespace(entry);
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 == entry.size()) {
+      return Status::InvalidArgument(
+          StrFormat("bad --edge_list entry (want name=path): %.*s",
+                    static_cast<int>(entry.size()), entry.data()));
+    }
+    EDGESHED_RETURN_IF_ERROR(service::RegisterEdgeListDataset(
+        store, std::string(entry.substr(0, eq)),
+        std::string(entry.substr(eq + 1))));
+  }
+  return Status::OK();
+}
+
+int CmdServe(const eval::Flags& flags) {
+  service::MetricsRegistry metrics;
+  const int64_t stats_port = flags.GetInt("stats_port", -1);
+  std::unique_ptr<obs::Tracer> tracer;
+  if (stats_port >= 0) tracer = std::make_unique<obs::Tracer>();
+
+  service::GraphStore::Options store_options;
+  store_options.byte_budget =
+      static_cast<uint64_t>(flags.GetInt("store_budget_mb", 256)) << 20;
+  service::GraphStore store(store_options, &metrics, tracer.get());
+
+  graph::DatasetOptions dataset_options;
+  dataset_options.scale = flags.GetDouble("scale", 1.0);
+  dataset_options.seed =
+      static_cast<uint64_t>(flags.GetInt("dataset_seed", 20210419));
+  if (Status registered =
+          service::RegisterSurrogateDatasets(store, dataset_options);
+      !registered.ok()) {
+    std::cerr << registered << "\n";
+    return 1;
+  }
+  if (Status registered =
+          RegisterEdgeListFlag(store, flags.GetString("edge_list", ""));
+      !registered.ok()) {
+    std::cerr << registered << "\n";
+    return 1;
+  }
+
+  service::JobScheduler::Options scheduler_options;
+  scheduler_options.workers = static_cast<int>(flags.GetInt("workers", 0));
+  scheduler_options.queue_capacity =
+      static_cast<size_t>(flags.GetInt("queue", 1024));
+  service::JobScheduler scheduler(&store, &metrics, scheduler_options,
+                                  tracer.get());
+
+  net::RpcServerOptions server_options;
+  server_options.port = static_cast<int>(flags.GetInt("port", 0));
+  server_options.loopback_only = !flags.GetBool("public", false);
+  server_options.max_connections =
+      static_cast<size_t>(flags.GetInt("max_connections", 64));
+  server_options.max_inflight =
+      static_cast<size_t>(flags.GetInt("max_inflight", 8));
+  server_options.dispatch_threads =
+      static_cast<int>(flags.GetInt("dispatch_threads", 4));
+  server_options.idle_timeout =
+      std::chrono::milliseconds(flags.GetInt("idle_timeout_ms", 60000));
+  net::RpcServer server(&store, &scheduler, &metrics, server_options,
+                        tracer.get());
+  if (Status started = server.Start(); !started.ok()) {
+    std::cerr << started << "\n";
+    return 1;
+  }
+  std::printf("rpc server on %s:%d (max_connections=%zu max_inflight=%zu)\n",
+              server_options.loopback_only ? "127.0.0.1" : "0.0.0.0",
+              server.port(), server_options.max_connections,
+              server_options.max_inflight);
+
+  std::unique_ptr<obs::StatsServer> stats_server;
+  if (stats_port >= 0) {
+    obs::StatsServerOptions http_options;
+    http_options.port = static_cast<int>(stats_port);
+    stats_server = std::make_unique<obs::StatsServer>(http_options);
+    stats_server->Handle("/metrics", [&metrics] {
+      return obs::HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                               obs::PrometheusText(metrics)};
+    });
+    stats_server->Handle("/tracez", [&tracer] {
+      return obs::HttpResponse{200, "application/json; charset=utf-8",
+                               tracer->TraceEventJson()};
+    });
+    stats_server->Handle("/statusz", [&metrics] {
+      return obs::HttpResponse{200, "text/plain; charset=utf-8",
+                               metrics.TextSnapshot()};
+    });
+    if (Status started = stats_server->Start(); !started.ok()) {
+      std::cerr << started << "\n";
+      return 1;
+    }
+    std::printf("stats server on http://127.0.0.1:%d "
+                "(/metrics /tracez /statusz /healthz)\n",
+                stats_server->port());
+  }
+  std::fflush(stdout);
+
+  // Serve until a stop signal (or --serve_ms for bounded runs in scripts).
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  const int64_t serve_ms = flags.GetInt("serve_ms", 0);
+  const auto started_at = std::chrono::steady_clock::now();
+  while (!g_signal_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (serve_ms > 0 && std::chrono::steady_clock::now() - started_at >=
+                            std::chrono::milliseconds(serve_ms)) {
+      break;
+    }
+  }
+
+  std::printf("draining...\n");
+  server.Stop();
+  scheduler.Shutdown();
+  if (stats_server != nullptr) stats_server->Stop();
+  std::fputs(metrics.TextSnapshot().c_str(), stdout);
+  return 0;
+}
+
+int CmdClient(const eval::Flags& flags) {
+  net::RpcClientOptions options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  options.port = static_cast<int>(flags.GetInt("port", 0));
+  if (options.port <= 0) {
+    std::cerr << "--port is required\n";
+    return Usage();
+  }
+  options.recv_timeout =
+      std::chrono::milliseconds(flags.GetInt("timeout_ms", 600000));
+  options.max_attempts = static_cast<int>(flags.GetInt("retries", 3)) + 1;
+  net::RpcClient client(options);
+
+  const std::string op = flags.GetString("op", "shed");
+  if (op == "ping") {
+    auto echoed = client.Ping(20210419);
+    if (!echoed.ok()) {
+      std::cerr << echoed.status() << "\n";
+      return 1;
+    }
+    std::printf("pong token=%llu\n",
+                static_cast<unsigned long long>(*echoed));
+    return 0;
+  }
+  if (op == "list") {
+    auto names = client.ListDatasets();
+    if (!names.ok()) {
+      std::cerr << names.status() << "\n";
+      return 1;
+    }
+    for (const std::string& name : *names) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  if (op == "shed") {
+    net::ShedRequest request;
+    request.dataset = flags.GetString("dataset", "grqc");
+    request.method = flags.GetString("method", "crr");
+    request.p = flags.GetDouble("p", 0.5);
+    request.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    request.deadline_ms =
+        static_cast<uint64_t>(flags.GetInt("deadline_ms", 0));
+    request.wait = !flags.GetBool("no_wait", false);
+    auto response = client.Shed(request);
+    if (!response.ok()) {
+      std::cerr << response.status() << "\n";
+      return 1;
+    }
+    if (!response->has_result) {
+      std::printf("submitted job=%llu\n",
+                  static_cast<unsigned long long>(response->job_id));
+      return 0;
+    }
+    const net::ResultSummary& r = response->result;
+    std::printf("job=%llu kept=%llu total_delta=%.6f avg_delta=%.6f "
+                "reduction=%.3fs%s\n",
+                static_cast<unsigned long long>(response->job_id),
+                static_cast<unsigned long long>(r.kept_edges),
+                r.total_delta, r.average_delta, r.reduction_seconds,
+                r.deduplicated ? " (cached)" : "");
+    return 0;
+  }
+
+  const auto job_id = static_cast<uint64_t>(flags.GetInt("job_id", 0));
+  if (op == "wait") {
+    auto summary = client.Wait(job_id);
+    if (!summary.ok()) {
+      std::cerr << summary.status() << "\n";
+      return 1;
+    }
+    std::printf("job=%llu kept=%llu total_delta=%.6f avg_delta=%.6f "
+                "reduction=%.3fs%s\n",
+                static_cast<unsigned long long>(job_id),
+                static_cast<unsigned long long>(summary->kept_edges),
+                summary->total_delta, summary->average_delta,
+                summary->reduction_seconds,
+                summary->deduplicated ? " (cached)" : "");
+    return 0;
+  }
+  if (op == "status") {
+    auto status = client.GetJobStatus(job_id);
+    if (!status.ok()) {
+      std::cerr << status.status() << "\n";
+      return 1;
+    }
+    auto code = net::StatusCodeFromWireCode(status->code);
+    std::printf("job=%llu state=%.*s status=%.*s%s%s queue=%.3fs run=%.3fs\n",
+                static_cast<unsigned long long>(job_id),
+                static_cast<int>(
+                    service::JobStateToString(
+                        static_cast<service::JobState>(status->state))
+                        .size()),
+                service::JobStateToString(
+                    static_cast<service::JobState>(status->state))
+                    .data(),
+                static_cast<int>(
+                    StatusCodeToString(code.ok() ? *code : StatusCode::kOk)
+                        .size()),
+                StatusCodeToString(code.ok() ? *code : StatusCode::kOk)
+                    .data(),
+                status->message.empty() ? "" : ": ",
+                status->message.c_str(), status->queue_seconds,
+                status->run_seconds);
+    return 0;
+  }
+  if (op == "cancel") {
+    if (Status cancelled = client.Cancel(job_id); !cancelled.ok()) {
+      std::cerr << cancelled << "\n";
+      return 1;
+    }
+    std::printf("cancelled job=%llu\n",
+                static_cast<unsigned long long>(job_id));
+    return 0;
+  }
+  std::cerr << "unknown --op: " << op << "\n";
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -502,5 +777,7 @@ int main(int argc, char** argv) {
   if (command == "convert") return CmdConvert(flags);
   if (command == "generate") return CmdGenerate(flags);
   if (command == "service") return CmdService(flags);
+  if (command == "serve") return CmdServe(flags);
+  if (command == "client") return CmdClient(flags);
   return Usage();
 }
