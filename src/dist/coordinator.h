@@ -1,0 +1,179 @@
+#ifndef EDGESHED_DIST_COORDINATOR_H_
+#define EDGESHED_DIST_COORDINATOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/statusor.h"
+#include "dist/partitioner.h"
+#include "graph/graph.h"
+#include "net/client.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace edgeshed::dist {
+
+/// One worker endpoint of the shed fleet.
+struct WorkerAddress {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+/// Parses "host:port[,host:port...]" (the CLI's --workers flag). Hosts may
+/// not be empty; ports must be in (0, 65536). InvalidArgument otherwise.
+StatusOr<std::vector<WorkerAddress>> ParseWorkerList(const std::string& csv);
+
+struct CoordinatorOptions {
+  /// Fleet endpoints; shard i is assigned workers[i % workers.size()]. Empty
+  /// means no fleet: every shard is shed locally in-process (useful as a
+  /// baseline and for tests).
+  std::vector<WorkerAddress> workers;
+  /// Streaming edge partitioner configuration (kind, K, λ, seed).
+  EdgePartitionOptions partition;
+  /// Shedding method (core::MakeShedderByName name) and global ratio/seed —
+  /// identical semantics to a single-node run: the global kept-edge target is
+  /// core::TargetEdgeCount(g, p), apportioned across shards.
+  std::string method = "crr";
+  double p = 0.5;
+  uint64_t seed = 42;
+  /// Shared directory the coordinator and every worker can reach: shard
+  /// snapshots are written as `<shard_dir>/<job_tag>.shard<i>.esg` and
+  /// workers write kept subgraphs back as `...shard<i>.kept.esg`. Workers
+  /// must be started with the matching --shard_dir. Required.
+  std::string shard_dir;
+  /// Namespaces this run's files inside shard_dir so concurrent coordinators
+  /// sharing one fleet don't collide. A safe dataset-name component
+  /// (service::IsSafeDatasetName).
+  std::string job_tag = "fleet";
+  /// Per-shard server-side deadline (ShedRequest::deadline_ms); 0 = none.
+  uint64_t deadline_ms = 0;
+  /// Client-side GetStatus polling cadence while a remote shard job runs.
+  std::chrono::milliseconds poll_interval{50};
+  /// Per-RPC client tuning (timeouts, retry/backoff). host/port are
+  /// overridden per worker.
+  net::RpcClientOptions client;
+  /// When a remote shard fails (worker down, deadline, corrupt snapshot),
+  /// shed that shard locally instead of failing the whole run. The merged
+  /// result is then degraded only in wall-clock, never in content.
+  bool local_fallback = true;
+  /// Threads for local shedding (fallback path and empty-fleet runs) and for
+  /// the stateless partitioners; 0 keeps library defaults.
+  int threads = 0;
+  /// Optional cooperative cancel: tripping it cancels in-flight remote jobs
+  /// and aborts the run with Cancelled/DeadlineExceeded.
+  const CancellationToken* cancel = nullptr;
+};
+
+/// Per-shard outcome, for reporting and tests.
+struct ShardOutcome {
+  int shard = 0;
+  /// "host:port" for remote execution, "local" for in-process (empty fleet,
+  /// trivial shards, and fallback).
+  std::string worker;
+  uint64_t shard_edges = 0;
+  /// This shard's slice of the global kept-edge budget.
+  uint64_t target_edges = 0;
+  uint64_t kept_edges = 0;
+  /// The shard ran remotely and its kept snapshot merged cleanly.
+  bool remote_ok = false;
+  /// A remote attempt failed and the local fallback produced the result.
+  bool fell_back = false;
+  /// The remote failure that triggered the fallback (empty otherwise).
+  std::string remote_error;
+  double seconds = 0.0;
+};
+
+/// Result of a coordinated run. `kept_edges` are parent-graph EdgeIds in
+/// canonical (ascending) order, duplicate-free by the single-ownership rule.
+struct DistShedResult {
+  std::vector<graph::EdgeId> kept_edges;
+  /// The global budget round(p * |E|); kept_edges.size() == target whenever
+  /// every shard delivered its slice.
+  uint64_t target_edges = 0;
+  PartitionStats partition_stats;
+  std::vector<ShardOutcome> shards;
+  double partition_seconds = 0.0;
+  double snapshot_seconds = 0.0;
+  double shed_seconds = 0.0;
+  double merge_seconds = 0.0;
+
+  /// G' = (V, E') over the parent's full vertex set.
+  graph::Graph BuildReducedGraph(const graph::Graph& parent) const {
+    return graph::SubgraphFromEdgeIds(parent, kept_edges);
+  }
+};
+
+/// Fan-out coordinator for the sharded shed fleet (DESIGN.md §11).
+///
+/// Run() executes four phases, each under a `dist.*` span:
+///  1. **partition** — one streaming pass assigns every edge to a shard
+///     (PartitionEdges), then shards materialize in local id space
+///     (BuildShards) and the global budget is apportioned across them
+///     proportionally to shard size (core::ApportionEdgeBudget).
+///  2. **snapshot** — non-trivial shards are written to
+///     `<shard_dir>/<tag>.shard<i>.esg` so workers can load them by name
+///     through their shard-dir fallback loader.
+///  3. **shed** — one thread per shard. Remote shards open a persistent
+///     RpcClient::Channel to their worker, submit (wait=false, with an
+///     output snapshot name), poll GetStatus at `poll_interval` (cancelling
+///     the remote job if our token trips), Wait for the summary, and read
+///     the kept snapshot back. Trivial shards (keep-all / drop-all) and
+///     empty-fleet runs never touch the network. Any remote failure degrades
+///     to a local shed of that shard when `local_fallback` is on
+///     (`dist.fallback_local`), else fails the run.
+///  4. **merge** — per-shard kept edges map back to parent EdgeIds
+///     (boundary-safe: each edge is owned by exactly one shard), the union
+///     is sorted, verified duplicate-free, and the global budget is enforced
+///     exactly: an over-delivering merge is trimmed deterministically
+///     (largest EdgeIds first) and under-delivery is reported in the
+///     outcome, never padded.
+///
+/// Metrics (null registry = off): counters `dist.runs`,
+/// `dist.shards_completed`, `dist.shards_failed`, `dist.fallback_local`,
+/// `dist.budget_trimmed_edges`; latency `dist.shard_seconds`,
+/// `dist.run_seconds`.
+class ShedCoordinator {
+ public:
+  explicit ShedCoordinator(CoordinatorOptions options,
+                           obs::MetricsRegistry* metrics = nullptr,
+                           obs::Tracer* tracer = nullptr);
+
+  /// Validates options and runs the four phases against `g`. The graph only
+  /// needs to live for the duration of the call.
+  StatusOr<DistShedResult> Run(const graph::Graph& g);
+
+ private:
+  struct ShardTask;  // defined in coordinator.cc
+
+  Status ValidateOptions() const;
+  /// Executes one shard end to end (remote with fallback, or local);
+  /// called from per-shard threads.
+  void RunShard(ShardTask& task);
+  /// Remote execution of one shard via a Channel; returns the kept edges in
+  /// *parent* ids or the first error.
+  StatusOr<std::vector<graph::EdgeId>> RunShardRemote(ShardTask& task);
+  /// In-process shed of one shard; returns kept edges in parent ids.
+  StatusOr<std::vector<graph::EdgeId>> RunShardLocal(ShardTask& task);
+
+  const CoordinatorOptions options_;
+  obs::MetricsRegistry* const metrics_;  // may be null
+  obs::Tracer* const tracer_;            // may be null
+
+  struct Instruments {
+    obs::Counter* runs = nullptr;
+    obs::Counter* shards_completed = nullptr;
+    obs::Counter* shards_failed = nullptr;
+    obs::Counter* fallback_local = nullptr;
+    obs::Counter* budget_trimmed_edges = nullptr;
+    obs::LatencySeries* shard_seconds = nullptr;
+    obs::LatencySeries* run_seconds = nullptr;
+  };
+  Instruments instruments_;
+};
+
+}  // namespace edgeshed::dist
+
+#endif  // EDGESHED_DIST_COORDINATOR_H_

@@ -1,0 +1,212 @@
+#include "dist/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace edgeshed::dist {
+
+namespace {
+
+/// Stateless edge hash: mixes the salt and both (canonical-order) endpoints
+/// through SplitMix64. Pure function of (seed, u, v), so the hash family is
+/// identical no matter how the edge stream is chunked across threads.
+uint64_t EdgeHash(uint64_t seed, graph::NodeId u, graph::NodeId v) {
+  uint64_t state = seed ^ (static_cast<uint64_t>(u) << 32 |
+                           static_cast<uint64_t>(v));
+  uint64_t h = SplitMix64Next(&state);
+  return SplitMix64Next(&state) ^ h;
+}
+
+uint64_t NodeHash(uint64_t seed, graph::NodeId u) {
+  uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL + u);
+  return SplitMix64Next(&state);
+}
+
+void PartitionHash(const graph::Graph& g, const EdgePartitionOptions& options,
+                   EdgePartition* out) {
+  const auto k = static_cast<uint64_t>(options.shards);
+  ParallelForEach(
+      0, g.NumEdges(),
+      [&](uint64_t e) {
+        const graph::Edge& edge = g.edge(e);
+        out->shard_of_edge[e] =
+            static_cast<uint32_t>(EdgeHash(options.seed, edge.u, edge.v) % k);
+      },
+      options.threads);
+}
+
+void PartitionDbh(const graph::Graph& g, const EdgePartitionOptions& options,
+                  EdgePartition* out) {
+  const auto k = static_cast<uint64_t>(options.shards);
+  ParallelForEach(
+      0, g.NumEdges(),
+      [&](uint64_t e) {
+        const graph::Edge& edge = g.edge(e);
+        // Hash the lower-degree endpoint (ties -> lower id, which canonical
+        // edges make the `u` side), keeping low-degree vertices unsplit.
+        const graph::NodeId pick =
+            g.Degree(edge.v) < g.Degree(edge.u) ? edge.v : edge.u;
+        out->shard_of_edge[e] =
+            static_cast<uint32_t>(NodeHash(options.seed, pick) % k);
+      },
+      options.threads);
+}
+
+void PartitionHdrf(const graph::Graph& g, const EdgePartitionOptions& options,
+                   EdgePartition* out) {
+  const size_t k = static_cast<size_t>(options.shards);
+  const uint64_t num_nodes = g.NumNodes();
+  // Partial (streamed) degrees, as in the original streaming setting: the
+  // score at edge e sees only the degree mass streamed so far, which keeps
+  // the partitioner one-pass even when the true degrees are unknown.
+  std::vector<uint32_t> partial_degree(num_nodes, 0);
+  // replicas[v * k + s] != 0 iff v already has a copy in shard s.
+  std::vector<uint8_t> replicas(num_nodes * k, 0);
+  std::vector<uint64_t> load(k, 0);
+  uint64_t max_load = 0;
+  uint64_t min_load = 0;
+  const double lambda = options.hdrf_lambda;
+  constexpr double kEpsilon = 1.0;
+
+  for (uint64_t e = 0; e < g.NumEdges(); ++e) {
+    const graph::Edge& edge = g.edge(e);
+    ++partial_degree[edge.u];
+    ++partial_degree[edge.v];
+    const double du = partial_degree[edge.u];
+    const double dv = partial_degree[edge.v];
+    // Normalized degrees: theta_u + theta_v == 1. The replication term
+    // rewards placing the edge with its *lower*-degree endpoint's copies
+    // (1 + (1 - theta)), i.e. high-degree vertices are the ones replicated.
+    const double theta_u = du / (du + dv);
+    const double theta_v = 1.0 - theta_u;
+    const uint8_t* ru = replicas.data() + static_cast<size_t>(edge.u) * k;
+    const uint8_t* rv = replicas.data() + static_cast<size_t>(edge.v) * k;
+
+    double best_score = -1.0;
+    size_t best_shard = 0;
+    const double load_spread =
+        static_cast<double>(max_load - min_load) + kEpsilon;
+    for (size_t s = 0; s < k; ++s) {
+      double rep = 0.0;
+      if (ru[s] != 0) rep += 1.0 + (1.0 - theta_u);
+      if (rv[s] != 0) rep += 1.0 + (1.0 - theta_v);
+      const double bal =
+          lambda * static_cast<double>(max_load - load[s]) / load_spread;
+      const double score = rep + bal;
+      if (score > best_score) {  // strict: ties keep the lowest shard id
+        best_score = score;
+        best_shard = s;
+      }
+    }
+
+    out->shard_of_edge[e] = static_cast<uint32_t>(best_shard);
+    replicas[static_cast<size_t>(edge.u) * k + best_shard] = 1;
+    replicas[static_cast<size_t>(edge.v) * k + best_shard] = 1;
+    ++load[best_shard];
+    max_load = std::max(max_load, load[best_shard]);
+    min_load = *std::min_element(load.begin(), load.end());
+  }
+}
+
+}  // namespace
+
+std::string_view PartitionerKindToString(PartitionerKind kind) {
+  switch (kind) {
+    case PartitionerKind::kHash:
+      return "hash";
+    case PartitionerKind::kDbh:
+      return "dbh";
+    case PartitionerKind::kHdrf:
+      return "hdrf";
+  }
+  return "unknown";
+}
+
+StatusOr<PartitionerKind> ParsePartitionerKind(std::string_view name) {
+  if (name == "hash") return PartitionerKind::kHash;
+  if (name == "dbh") return PartitionerKind::kDbh;
+  if (name == "hdrf") return PartitionerKind::kHdrf;
+  return Status::InvalidArgument(
+      StrFormat("unknown partitioner '%.*s' (want hash|dbh|hdrf)",
+                static_cast<int>(name.size()), name.data()));
+}
+
+StatusOr<EdgePartition> PartitionEdges(const graph::Graph& g,
+                                       const EdgePartitionOptions& options) {
+  if (options.shards < 1) {
+    return Status::InvalidArgument(
+        StrFormat("shard count must be >= 1, got %d", options.shards));
+  }
+  if (!(options.hdrf_lambda > 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("hdrf_lambda must be > 0, got %g", options.hdrf_lambda));
+  }
+  EdgePartition partition;
+  partition.num_shards = options.shards;
+  partition.shard_of_edge.assign(g.NumEdges(), 0);
+  if (options.shards == 1 || g.NumEdges() == 0) return partition;
+
+  switch (options.kind) {
+    case PartitionerKind::kHash:
+      PartitionHash(g, options, &partition);
+      break;
+    case PartitionerKind::kDbh:
+      PartitionDbh(g, options, &partition);
+      break;
+    case PartitionerKind::kHdrf:
+      PartitionHdrf(g, options, &partition);
+      break;
+  }
+  return partition;
+}
+
+PartitionStats ComputePartitionStats(const graph::Graph& g,
+                                     const EdgePartition& partition) {
+  const size_t k = static_cast<size_t>(partition.num_shards);
+  PartitionStats stats;
+  stats.shard_edges.assign(k, 0);
+  stats.shard_vertices.assign(k, 0);
+  EDGESHED_CHECK(partition.shard_of_edge.size() == g.NumEdges());
+
+  std::vector<uint8_t> seen(g.NumNodes() * k, 0);
+  std::vector<uint32_t> copies(g.NumNodes(), 0);
+  for (uint64_t e = 0; e < g.NumEdges(); ++e) {
+    const uint32_t s = partition.shard_of_edge[e];
+    EDGESHED_CHECK(s < k);
+    ++stats.shard_edges[s];
+    for (graph::NodeId node : {g.edge(e).u, g.edge(e).v}) {
+      uint8_t& slot = seen[static_cast<size_t>(node) * k + s];
+      if (slot == 0) {
+        slot = 1;
+        ++stats.shard_vertices[s];
+        ++copies[node];
+      }
+    }
+  }
+
+  uint64_t touched = 0;
+  uint64_t total_copies = 0;
+  for (uint64_t v = 0; v < g.NumNodes(); ++v) {
+    if (copies[v] == 0) continue;
+    ++touched;
+    total_copies += copies[v];
+    if (copies[v] > 1) ++stats.cut_vertices;
+  }
+  stats.replication_factor =
+      touched == 0 ? 1.0
+                   : static_cast<double>(total_copies) /
+                         static_cast<double>(touched);
+  const uint64_t max_edges =
+      *std::max_element(stats.shard_edges.begin(), stats.shard_edges.end());
+  const double mean_edges =
+      static_cast<double>(g.NumEdges()) / static_cast<double>(k);
+  stats.balance_factor =
+      g.NumEdges() == 0 ? 1.0 : static_cast<double>(max_edges) / mean_edges;
+  return stats;
+}
+
+}  // namespace edgeshed::dist

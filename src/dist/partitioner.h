@@ -1,0 +1,94 @@
+#ifndef EDGESHED_DIST_PARTITIONER_H_
+#define EDGESHED_DIST_PARTITIONER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace edgeshed::dist {
+
+/// Streaming edge partitioners for the sharded shed fleet (DESIGN.md §11).
+///
+/// All three assign every edge of the input graph to exactly one of K shards
+/// in a single pass over the canonical edge list — that single-ownership rule
+/// is what makes the post-shed merge deterministic and duplicate-free.
+/// Vertices, by contrast, may be *replicated*: an endpoint incident to edges
+/// in several shards appears in each of them, and the replication factor
+/// (average copies per vertex) is the partitioner's quality metric alongside
+/// load balance.
+enum class PartitionerKind {
+  /// shard(e) = mix64(u, v) mod K. Stateless, embarrassingly parallel,
+  /// perfectly balanced in expectation, worst replication.
+  kHash,
+  /// Degree-Based Hashing (Xie et al., NIPS'14): hash the *lower-degree*
+  /// endpoint, so low-degree vertices stay whole and only hubs are cut.
+  kDbh,
+  /// High-Degree Replicated First (Petroni et al., CIKM'15): greedy
+  /// streaming scorer that favours shards already holding an endpoint
+  /// (replication term, weighted toward cutting the higher-degree endpoint)
+  /// and shards with room (balance term, weight `hdrf_lambda`). Sequential
+  /// by construction; lowest replication of the three.
+  kHdrf,
+};
+
+std::string_view PartitionerKindToString(PartitionerKind kind);
+/// Parses "hash" / "dbh" / "hdrf"; InvalidArgument otherwise.
+StatusOr<PartitionerKind> ParsePartitionerKind(std::string_view name);
+
+struct EdgePartitionOptions {
+  PartitionerKind kind = PartitionerKind::kHdrf;
+  /// Number of shards K >= 1.
+  int shards = 2;
+  /// Worker threads for the stateless partitioners (hash, dbh); 0 keeps the
+  /// library default. HDRF is inherently sequential and ignores this. The
+  /// assignment is bit-identical across thread counts.
+  int threads = 0;
+  /// Balance weight λ of the HDRF objective; > 0. Larger values trade
+  /// replication for tighter balance.
+  double hdrf_lambda = 1.1;
+  /// Salt for the hash family, so independent fleets can decorrelate their
+  /// partitions. The default matches the library's other seeds.
+  uint64_t seed = 42;
+};
+
+/// The assignment itself: shard_of_edge[e] in [0, num_shards) for every
+/// EdgeId e of the partitioned graph.
+struct EdgePartition {
+  int num_shards = 1;
+  std::vector<uint32_t> shard_of_edge;
+};
+
+/// Post-hoc quality measures of a partition.
+struct PartitionStats {
+  /// Edges assigned to each shard.
+  std::vector<uint64_t> shard_edges;
+  /// Distinct vertices appearing in each shard.
+  std::vector<uint64_t> shard_vertices;
+  /// max(shard_edges) / mean(shard_edges) — 1.0 is perfect balance.
+  double balance_factor = 1.0;
+  /// sum(shard_vertices) / |touched vertices| — 1.0 means no vertex is cut.
+  double replication_factor = 1.0;
+  /// Vertices present in more than one shard ("boundary"/cut vertices).
+  uint64_t cut_vertices = 0;
+};
+
+/// Assigns each edge of `g` to one of `options.shards` shards in a single
+/// streaming pass. InvalidArgument for shards < 1 or a non-positive
+/// hdrf_lambda. Deterministic for fixed options (including across thread
+/// counts). With shards == 1 every partitioner degenerates to the identity
+/// assignment (all edges in shard 0).
+StatusOr<EdgePartition> PartitionEdges(const graph::Graph& g,
+                                       const EdgePartitionOptions& options);
+
+/// Computes balance / replication statistics of `partition` over `g`.
+/// `partition.shard_of_edge` must cover g.NumEdges() entries.
+PartitionStats ComputePartitionStats(const graph::Graph& g,
+                                     const EdgePartition& partition);
+
+}  // namespace edgeshed::dist
+
+#endif  // EDGESHED_DIST_PARTITIONER_H_

@@ -1,0 +1,117 @@
+#include "dist/shard.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace edgeshed::dist {
+
+StatusOr<std::vector<Shard>> BuildShards(const graph::Graph& parent,
+                                         const EdgePartition& partition) {
+  if (partition.shard_of_edge.size() != parent.NumEdges()) {
+    return Status::InvalidArgument(StrFormat(
+        "partition covers %llu edges but the graph has %llu",
+        static_cast<unsigned long long>(partition.shard_of_edge.size()),
+        static_cast<unsigned long long>(parent.NumEdges())));
+  }
+  const size_t k = static_cast<size_t>(partition.num_shards);
+  std::vector<Shard> shards(k);
+
+  if (k == 1) {
+    // Identity shard over the full vertex set (isolated vertices included),
+    // so a one-shard fleet sheds exactly the graph a single node would.
+    Shard& shard = shards[0];
+    shard.graph = parent;
+    shard.to_global.resize(parent.NumNodes());
+    std::iota(shard.to_global.begin(), shard.to_global.end(),
+              graph::NodeId{0});
+    shard.global_edge_ids.resize(parent.NumEdges());
+    std::iota(shard.global_edge_ids.begin(), shard.global_edge_ids.end(),
+              graph::EdgeId{0});
+    return shards;
+  }
+
+  for (uint64_t e = 0; e < parent.NumEdges(); ++e) {
+    const uint32_t s = partition.shard_of_edge[e];
+    if (s >= k) {
+      return Status::InvalidArgument(StrFormat(
+          "edge %llu assigned to shard %u of %zu",
+          static_cast<unsigned long long>(e), s, k));
+    }
+    shards[s].global_edge_ids.push_back(e);
+  }
+
+  // Scratch global -> local map, reused (and spot-reset) per shard.
+  std::vector<graph::NodeId> local_of(parent.NumNodes(), graph::kInvalidNode);
+  for (Shard& shard : shards) {
+    // Touched vertices in increasing global order: walk the shard's edges
+    // (already in canonical order) and collect endpoints, then sort-unique.
+    for (graph::EdgeId e : shard.global_edge_ids) {
+      shard.to_global.push_back(parent.edge(e).u);
+      shard.to_global.push_back(parent.edge(e).v);
+    }
+    std::sort(shard.to_global.begin(), shard.to_global.end());
+    shard.to_global.erase(
+        std::unique(shard.to_global.begin(), shard.to_global.end()),
+        shard.to_global.end());
+    for (size_t i = 0; i < shard.to_global.size(); ++i) {
+      local_of[shard.to_global[i]] = static_cast<graph::NodeId>(i);
+    }
+
+    std::vector<graph::Edge> local_edges;
+    local_edges.reserve(shard.global_edge_ids.size());
+    for (graph::EdgeId e : shard.global_edge_ids) {
+      const graph::Edge& edge = parent.edge(e);
+      // The global -> local map is monotone, so u <= v is preserved and the
+      // local list is already in canonical sorted order.
+      local_edges.push_back({local_of[edge.u], local_of[edge.v]});
+    }
+    auto built = graph::Graph::FromEdges(
+        static_cast<graph::NodeId>(shard.to_global.size()),
+        std::move(local_edges));
+    if (!built.ok()) return built.status();
+    shard.graph = std::move(built).value();
+
+    for (graph::NodeId global : shard.to_global) {
+      local_of[global] = graph::kInvalidNode;
+    }
+  }
+  return shards;
+}
+
+std::vector<graph::EdgeId> MapLocalEdgesToGlobal(
+    const Shard& shard, const std::vector<graph::EdgeId>& local_edges) {
+  std::vector<graph::EdgeId> global;
+  global.reserve(local_edges.size());
+  for (graph::EdgeId local : local_edges) {
+    EDGESHED_CHECK(local < shard.global_edge_ids.size());
+    global.push_back(shard.global_edge_ids[local]);
+  }
+  return global;
+}
+
+StatusOr<std::vector<graph::EdgeId>> MapKeptSubgraphToGlobal(
+    const Shard& shard, const graph::Graph& kept) {
+  if (kept.NumNodes() != shard.graph.NumNodes()) {
+    return Status::InvalidArgument(StrFormat(
+        "kept subgraph has %llu nodes, shard has %llu",
+        static_cast<unsigned long long>(kept.NumNodes()),
+        static_cast<unsigned long long>(shard.graph.NumNodes())));
+  }
+  std::vector<graph::EdgeId> global;
+  global.reserve(kept.NumEdges());
+  for (const graph::Edge& edge : kept.edges()) {
+    const graph::EdgeId local = shard.graph.FindEdge(edge.u, edge.v);
+    if (local == graph::kInvalidEdge) {
+      return Status::InvalidArgument(StrFormat(
+          "kept subgraph contains edge {%u,%u} absent from its shard",
+          edge.u, edge.v));
+    }
+    global.push_back(shard.global_edge_ids[local]);
+  }
+  return global;
+}
+
+}  // namespace edgeshed::dist

@@ -24,13 +24,67 @@ class FdGuard {
   int fd_;
 };
 
+/// Typed response decoding shared by RpcClient and RpcClient::Channel: each
+/// takes the Call() body result and produces the typed message.
+StatusOr<uint64_t> ParsePingBody(StatusOr<std::string> body, uint64_t token) {
+  if (!body.ok()) return body.status();
+  PingMessage pong;
+  EDGESHED_RETURN_IF_ERROR(DecodePing(*body, &pong));
+  if (pong.token != token) {
+    return Status::Internal(
+        StrFormat("ping echo mismatch: sent %llu, got %llu",
+                  static_cast<unsigned long long>(token),
+                  static_cast<unsigned long long>(pong.token)));
+  }
+  return pong.token;
+}
+
+StatusOr<ShedResponse> ParseShedBody(StatusOr<std::string> body) {
+  if (!body.ok()) return body.status();
+  ShedResponse response;
+  EDGESHED_RETURN_IF_ERROR(DecodeShedResponseBody(*body, &response));
+  return response;
+}
+
+StatusOr<ResultSummary> ParseWaitBody(StatusOr<std::string> body) {
+  if (!body.ok()) return body.status();
+  ResultSummary summary;
+  EDGESHED_RETURN_IF_ERROR(DecodeResultSummaryBody(*body, &summary));
+  return summary;
+}
+
+StatusOr<GetStatusResponse> ParseGetStatusBody(StatusOr<std::string> body) {
+  if (!body.ok()) return body.status();
+  GetStatusResponse response;
+  EDGESHED_RETURN_IF_ERROR(DecodeGetStatusResponseBody(*body, &response));
+  return response;
+}
+
+Status ParseCancelBody(StatusOr<std::string> body) {
+  if (!body.ok()) return body.status();
+  if (!body->empty()) {
+    return Status::InvalidArgument("Cancel response carries no body");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
-RpcClient::RpcClient(RpcClientOptions options)
-    : options_(std::move(options)) {}
+RpcClient::RpcClient(RpcClientOptions options,
+                     obs::MetricsRegistry* metrics)
+    : options_(std::move(options)) {
+  if (metrics != nullptr) {
+    client_reconnects_ = metrics->GetCounter("net.client_reconnects");
+  }
+}
 
-RpcClient::RpcClient(RpcClientOptions options, TestHooks hooks)
-    : options_(std::move(options)), hooks_(std::move(hooks)) {}
+RpcClient::RpcClient(RpcClientOptions options, TestHooks hooks,
+                     obs::MetricsRegistry* metrics)
+    : options_(std::move(options)), hooks_(std::move(hooks)) {
+  if (metrics != nullptr) {
+    client_reconnects_ = metrics->GetCounter("net.client_reconnects");
+  }
+}
 
 std::vector<std::chrono::milliseconds> RpcClient::BackoffSchedule(
     const RpcClientOptions& options) {
@@ -86,6 +140,14 @@ StatusOr<Frame> RpcClient::RoundTripTcp(const Frame& request) {
 
 StatusOr<std::string> RpcClient::Call(MessageType request_type,
                                       const std::string& payload) {
+  return CallVia(
+      [this](const Frame& request) { return RoundTripTcp(request); },
+      request_type, payload);
+}
+
+StatusOr<std::string> RpcClient::CallVia(const TransportFn& transport,
+                                         MessageType request_type,
+                                         const std::string& payload) {
   const std::vector<std::chrono::milliseconds> delays =
       BackoffSchedule(options_);
   const int attempts = std::max(1, options_.max_attempts);
@@ -104,8 +166,8 @@ StatusOr<std::string> RpcClient::Call(MessageType request_type,
       }
     }
 
-    StatusOr<Frame> reply = hooks_.transport ? hooks_.transport(request)
-                                             : RoundTripTcp(request);
+    StatusOr<Frame> reply =
+        hooks_.transport ? hooks_.transport(request) : transport(request);
     if (!reply.ok()) {
       last = reply.status();
       if (!IsRetryable(last)) return last;
@@ -131,54 +193,29 @@ StatusOr<std::string> RpcClient::Call(MessageType request_type,
 }
 
 StatusOr<uint64_t> RpcClient::Ping(uint64_t token) {
-  PingMessage ping{token};
-  auto body = Call(MessageType::kPingRequest, EncodePing(ping));
-  if (!body.ok()) return body.status();
-  PingMessage pong;
-  EDGESHED_RETURN_IF_ERROR(DecodePing(*body, &pong));
-  if (pong.token != token) {
-    return Status::Internal(
-        StrFormat("ping echo mismatch: sent %llu, got %llu",
-                  static_cast<unsigned long long>(token),
-                  static_cast<unsigned long long>(pong.token)));
-  }
-  return pong.token;
+  return ParsePingBody(Call(MessageType::kPingRequest,
+                            EncodePing(PingMessage{token})),
+                       token);
 }
 
 StatusOr<ShedResponse> RpcClient::Shed(const ShedRequest& request) {
-  auto body = Call(MessageType::kShedRequest, EncodeShedRequest(request));
-  if (!body.ok()) return body.status();
-  ShedResponse response;
-  EDGESHED_RETURN_IF_ERROR(DecodeShedResponseBody(*body, &response));
-  return response;
+  return ParseShedBody(
+      Call(MessageType::kShedRequest, EncodeShedRequest(request)));
 }
 
 StatusOr<ResultSummary> RpcClient::Wait(uint64_t job_id) {
-  auto body =
-      Call(MessageType::kWaitRequest, EncodeJobIdRequest({job_id}));
-  if (!body.ok()) return body.status();
-  ResultSummary summary;
-  EDGESHED_RETURN_IF_ERROR(DecodeResultSummaryBody(*body, &summary));
-  return summary;
+  return ParseWaitBody(
+      Call(MessageType::kWaitRequest, EncodeJobIdRequest({job_id})));
 }
 
 StatusOr<GetStatusResponse> RpcClient::GetJobStatus(uint64_t job_id) {
-  auto body =
-      Call(MessageType::kGetStatusRequest, EncodeJobIdRequest({job_id}));
-  if (!body.ok()) return body.status();
-  GetStatusResponse response;
-  EDGESHED_RETURN_IF_ERROR(DecodeGetStatusResponseBody(*body, &response));
-  return response;
+  return ParseGetStatusBody(
+      Call(MessageType::kGetStatusRequest, EncodeJobIdRequest({job_id})));
 }
 
 Status RpcClient::Cancel(uint64_t job_id) {
-  auto body =
-      Call(MessageType::kCancelRequest, EncodeJobIdRequest({job_id}));
-  if (!body.ok()) return body.status();
-  if (!body->empty()) {
-    return Status::InvalidArgument("Cancel response carries no body");
-  }
-  return Status::OK();
+  return ParseCancelBody(
+      Call(MessageType::kCancelRequest, EncodeJobIdRequest({job_id})));
 }
 
 StatusOr<std::vector<std::string>> RpcClient::ListDatasets() {
@@ -187,6 +224,106 @@ StatusOr<std::vector<std::string>> RpcClient::ListDatasets() {
   ListDatasetsResponse response;
   EDGESHED_RETURN_IF_ERROR(DecodeListDatasetsResponseBody(*body, &response));
   return response.names;
+}
+
+// ---------------------------------------------------------------------------
+// Channel: one persistent connection for a logical job's RPC sequence.
+
+void RpcClient::Channel::Close() {
+  if (fd_ >= 0) {
+    CloseFd(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<Frame> RpcClient::Channel::RoundTripPersistent(
+    const Frame& request) {
+  const RpcClientOptions& options = client_->options_;
+  if (fd_ < 0) {
+    auto fd = ConnectTcp(options.host, options.port, options.connect_timeout);
+    if (!fd.ok()) return fd.status();
+    fd_ = *fd;
+    if (ever_connected_) {
+      ++reconnects_;
+      if (client_->client_reconnects_ != nullptr) {
+        client_->client_reconnects_->Increment();
+      }
+    }
+    ever_connected_ = true;
+    if (Status set = SetSendTimeout(fd_, options.send_timeout); !set.ok()) {
+      Close();
+      return set;
+    }
+    if (Status set = SetRecvTimeout(fd_, options.recv_timeout); !set.ok()) {
+      Close();
+      return set;
+    }
+  }
+
+  if (Status sent =
+          SendAll(fd_, EncodeFrame(request.type, request.payload));
+      !sent.ok()) {
+    // Drop the socket on any transport error: the stream position is
+    // unknown, so reuse could pair this request with a stale response. The
+    // retry loop re-dials.
+    Close();
+    return sent;
+  }
+  std::string buffer;
+  char chunk[16 * 1024];
+  for (;;) {
+    DecodeResult decoded = DecodeFrame(buffer);
+    if (decoded.event == DecodeEvent::kFrame) return decoded.frame;
+    if (decoded.event == DecodeEvent::kError) {
+      Close();
+      return decoded.error;
+    }
+    auto n = RecvSome(fd_, chunk, sizeof(chunk));
+    if (!n.ok()) {
+      Close();
+      return n.status();
+    }
+    if (*n == 0) {
+      Close();
+      return Status::IOError(
+          "connection closed before a complete response frame");
+    }
+    buffer.append(chunk, *n);
+  }
+}
+
+StatusOr<std::string> RpcClient::Channel::Call(MessageType request_type,
+                                               const std::string& payload) {
+  return client_->CallVia(
+      [this](const Frame& request) { return RoundTripPersistent(request); },
+      request_type, payload);
+}
+
+StatusOr<uint64_t> RpcClient::Channel::Ping(uint64_t token) {
+  return ParsePingBody(Call(MessageType::kPingRequest,
+                            EncodePing(PingMessage{token})),
+                       token);
+}
+
+StatusOr<ShedResponse> RpcClient::Channel::Shed(const ShedRequest& request) {
+  return ParseShedBody(
+      Call(MessageType::kShedRequest, EncodeShedRequest(request)));
+}
+
+StatusOr<ResultSummary> RpcClient::Channel::Wait(uint64_t job_id) {
+  return ParseWaitBody(
+      Call(MessageType::kWaitRequest, EncodeJobIdRequest({job_id})));
+}
+
+StatusOr<GetStatusResponse> RpcClient::Channel::GetJobStatus(
+    uint64_t job_id) {
+  return ParseGetStatusBody(
+      Call(MessageType::kGetStatusRequest, EncodeJobIdRequest({job_id})));
+}
+
+Status RpcClient::Channel::Cancel(uint64_t job_id) {
+  return ParseCancelBody(
+      Call(MessageType::kCancelRequest, EncodeJobIdRequest({job_id})));
 }
 
 }  // namespace edgeshed::net

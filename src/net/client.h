@@ -9,6 +9,7 @@
 
 #include "common/statusor.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace edgeshed::net {
 
@@ -57,8 +58,55 @@ class RpcClient {
     std::function<void(std::chrono::milliseconds)> sleeper;
   };
 
-  explicit RpcClient(RpcClientOptions options);
-  RpcClient(RpcClientOptions options, TestHooks hooks);
+  /// `metrics` (may be null) receives the client-side counters
+  /// (`net.client_reconnects`).
+  explicit RpcClient(RpcClientOptions options,
+                     obs::MetricsRegistry* metrics = nullptr);
+  RpcClient(RpcClientOptions options, TestHooks hooks,
+            obs::MetricsRegistry* metrics = nullptr);
+
+  /// Persistent-connection session for the RPC sequence of one logical job
+  /// (Shed, then a GetStatus polling loop, then Wait). The default client
+  /// deliberately dials per RPC — that keeps it stateless and thread-safe —
+  /// but a poll loop issuing dozens of tiny GetStatus frames pays a full
+  /// TCP handshake for each; a Channel keeps one socket open across calls
+  /// instead. Dialing is lazy; after a transport error the socket is
+  /// dropped and transparently re-dialled on the retry (every re-dial after
+  /// the first successful connect is counted in `net.client_reconnects`).
+  /// Retry/backoff semantics are exactly RpcClient's. Not thread-safe: one
+  /// Channel belongs to one polling thread.
+  class Channel {
+   public:
+    explicit Channel(RpcClient* client) : client_(client) {}
+    ~Channel() { Close(); }
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
+
+    StatusOr<uint64_t> Ping(uint64_t token);
+    StatusOr<ShedResponse> Shed(const ShedRequest& request);
+    StatusOr<ResultSummary> Wait(uint64_t job_id);
+    StatusOr<GetStatusResponse> GetJobStatus(uint64_t job_id);
+    Status Cancel(uint64_t job_id);
+
+    /// Closes the socket (if open); the next call re-dials.
+    void Close();
+
+    /// Re-dials performed after the first successful connect (this
+    /// channel's share of `net.client_reconnects`).
+    int reconnects() const { return reconnects_; }
+
+   private:
+    StatusOr<std::string> Call(MessageType request_type,
+                               const std::string& payload);
+    /// Round-trips one frame on the persistent socket, dialing if needed.
+    /// Any transport error closes the socket so the retry loop re-dials.
+    StatusOr<Frame> RoundTripPersistent(const Frame& request);
+
+    RpcClient* const client_;
+    int fd_ = -1;
+    bool ever_connected_ = false;
+    int reconnects_ = 0;
+  };
 
   /// Round-trip liveness probe; returns the echoed token.
   StatusOr<uint64_t> Ping(uint64_t token);
@@ -88,14 +136,25 @@ class RpcClient {
   static bool IsRetryable(const Status& status);
 
  private:
+  friend class Channel;
+
+  using TransportFn = std::function<StatusOr<Frame>(const Frame&)>;
+
   /// Sends `payload` as `request_type` with retries; returns the response
   /// body after envelope decoding.
   StatusOr<std::string> Call(MessageType request_type,
                              const std::string& payload);
+  /// The shared retry/backoff/envelope loop; `transport` performs one
+  /// attempt's round trip (per-RPC TCP, a Channel's persistent socket, or a
+  /// test hook).
+  StatusOr<std::string> CallVia(const TransportFn& transport,
+                                MessageType request_type,
+                                const std::string& payload);
   StatusOr<Frame> RoundTripTcp(const Frame& request);
 
   const RpcClientOptions options_;
   TestHooks hooks_;
+  obs::Counter* client_reconnects_ = nullptr;  // null without a registry
 };
 
 }  // namespace edgeshed::net

@@ -9,6 +9,7 @@
 
 #include "common/strings.h"
 #include "net/socket.h"
+#include "service/dataset_registry.h"
 
 namespace edgeshed::net {
 
@@ -543,6 +544,22 @@ std::string RpcServer::HandleShed(std::string_view payload) {
   spec.seed = request.seed;
   spec.deadline =
       std::chrono::milliseconds(static_cast<int64_t>(request.deadline_ms));
+  if (!request.output.empty()) {
+    if (options_.output_dir.empty()) {
+      return EncodeFrame(
+          MessageType::kShedResponse,
+          EncodeResponsePayload(Status::InvalidArgument(
+              "this server has no output directory (start it with "
+              "--shard_dir to accept output snapshots)")));
+    }
+    if (!service::IsSafeDatasetName(request.output)) {
+      return EncodeFrame(
+          MessageType::kShedResponse,
+          EncodeResponsePayload(Status::InvalidArgument(StrFormat(
+              "unsafe output name '%s'", request.output.c_str()))));
+    }
+    spec.output_path = options_.output_dir + "/" + request.output + ".esg";
+  }
   auto id = scheduler_->Submit(spec);
   if (!id.ok()) {
     return EncodeFrame(MessageType::kShedResponse,
@@ -622,6 +639,9 @@ std::string RpcServer::HandleListDatasets(std::string_view payload) {
   }
   ListDatasetsResponse response;
   response.names = store_->RegisteredNames();
+  // Sorted reply regardless of how the store enumerates: client output (and
+  // the CLI's) must be deterministic across runs and store implementations.
+  std::sort(response.names.begin(), response.names.end());
   return EncodeFrame(
       MessageType::kListDatasetsResponse,
       EncodeResponsePayload(Status::OK(),

@@ -45,6 +45,12 @@ struct RpcServerOptions {
   /// How long Stop() waits for in-flight requests to finish and responses
   /// to flush before force-closing.
   std::chrono::milliseconds drain_timeout{5000};
+  /// Directory for ShedRequest::output snapshots (the kept subgraph of a
+  /// finished job, written as `<output>.esg`). Empty disables the feature:
+  /// requests carrying an output name are rejected with InvalidArgument.
+  /// Output names are validated as single path components
+  /// (service::IsSafeDatasetName), never interpreted as paths.
+  std::string output_dir;
 };
 
 /// Binary RPC server in front of the shedding service (DESIGN.md §10).

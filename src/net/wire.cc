@@ -265,6 +265,7 @@ std::string EncodeShedRequest(const ShedRequest& request) {
   w.PutU64(request.seed);
   w.PutU64(request.deadline_ms);
   w.PutU8(request.wait ? 1 : 0);
+  w.PutString(request.output);
   return w.Take();
 }
 
@@ -276,6 +277,7 @@ Status DecodeShedRequest(std::string_view payload, ShedRequest* out) {
   out->seed = r.GetU64();
   out->deadline_ms = r.GetU64();
   out->wait = r.GetU8() != 0;
+  out->output = r.GetString();
   return r.Finish("ShedRequest");
 }
 

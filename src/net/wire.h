@@ -179,6 +179,14 @@ struct ShedRequest {
   uint64_t seed = 42;
   uint64_t deadline_ms = 0;
   bool wait = true;
+  /// Optional output name: when non-empty, the worker writes the kept
+  /// subgraph as a v2 binary snapshot named `<output>.esg` in its configured
+  /// output directory (RpcServerOptions::output_dir) once the job finishes.
+  /// A bare name, not a path — servers reject separators and dot-prefixes,
+  /// and servers without an output directory reject the request outright.
+  /// This is how the shed-fleet coordinator gets per-shard kept subgraphs
+  /// back through the shared filesystem (DESIGN.md §11).
+  std::string output;
 };
 
 /// Result of a finished job, mirroring core::SheddingResult minus the kept

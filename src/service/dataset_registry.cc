@@ -1,7 +1,9 @@
 #include "service/dataset_registry.h"
 
+#include <optional>
 #include <utility>
 
+#include "graph/binary_io.h"
 #include "graph/edge_list_io.h"
 
 namespace edgeshed::service {
@@ -30,6 +32,29 @@ Status RegisterEdgeListDataset(GraphStore& store, const std::string& name,
     if (!loaded.ok()) return loaded.status();
     return std::move(loaded)->graph;
   });
+}
+
+bool IsSafeDatasetName(const std::string& name) {
+  if (name.empty() || name.size() > 255 || name.front() == '.') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void InstallShardDirFallback(GraphStore& store, const std::string& dir) {
+  store.SetFallbackLoaderFactory(
+      [dir](const std::string& name) -> std::optional<GraphStore::Loader> {
+        if (!IsSafeDatasetName(name)) return std::nullopt;
+        std::string path = dir + "/" + name + ".esg";
+        return GraphStore::Loader(
+            [path = std::move(path)]() -> StatusOr<graph::Graph> {
+              return graph::LoadBinaryGraph(path);
+            });
+      });
 }
 
 }  // namespace edgeshed::service

@@ -22,6 +22,22 @@ Status RegisterSurrogateDatasets(GraphStore& store,
 Status RegisterEdgeListDataset(GraphStore& store, const std::string& name,
                                const std::string& path);
 
+/// True iff `name` is safe to splice into a filesystem path as a single
+/// component: non-empty, only [A-Za-z0-9._-], no leading '.', at most 255
+/// bytes. Shared by every layer that maps wire-supplied dataset/output names
+/// to files (shard-dir fallback loading, Shed output snapshots), so a remote
+/// caller can never traverse outside the configured directory.
+bool IsSafeDatasetName(const std::string& name);
+
+/// Installs a GraphStore fallback (SetFallbackLoaderFactory) that resolves
+/// any safe, not-yet-registered dataset name to the v2 binary snapshot
+/// `<dir>/<name>.esg`, loaded lazily on first Get. Files may appear after
+/// the worker starts — the shed-fleet coordinator writes shard snapshots
+/// into `dir` and then submits jobs naming them (DESIGN.md §11). Unsafe
+/// names are declined (the Get reports NotFound); a safe name whose file is
+/// missing or corrupt fails that Get with the loader's IOError/DataLoss.
+void InstallShardDirFallback(GraphStore& store, const std::string& dir);
+
 }  // namespace edgeshed::service
 
 #endif  // EDGESHED_SERVICE_DATASET_REGISTRY_H_

@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "core/shedder_factory.h"
+#include "graph/binary_io.h"
 
 namespace edgeshed::service {
 
@@ -85,9 +86,10 @@ JobScheduler::~JobScheduler() { Shutdown(); }
 
 std::string JobScheduler::CacheKey(const JobSpec& spec) {
   // %a renders the exact bits of p, so 0.1 and 0.1000000001 never collide.
-  return StrFormat("%s|%s|%a|%llu", spec.dataset.c_str(),
+  return StrFormat("%s|%s|%a|%llu|%s", spec.dataset.c_str(),
                    spec.method.c_str(), spec.p,
-                   static_cast<unsigned long long>(spec.seed));
+                   static_cast<unsigned long long>(spec.seed),
+                   spec.output_path.c_str());
 }
 
 StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
@@ -418,6 +420,21 @@ StatusOr<core::SheddingResult> JobScheduler::Execute(
   shed_options.seed = spec.seed;
   StatusOr<core::SheddingResult> result =
       (*shedder)->Shed(**graph, shed_options);
+  if (result.ok() && !spec.output_path.empty()) {
+    // Materialize G' and snapshot it for out-of-band consumers (the shed-
+    // fleet coordinator reads per-shard kept subgraphs this way). The write
+    // is part of the job: a caller that asked for a snapshot must not see
+    // kDone without one existing on disk.
+    Stopwatch write_watch;
+    graph::Graph reduced = result->BuildReducedGraph(**graph);
+    if (Status saved = graph::SaveBinaryGraph(reduced, spec.output_path);
+        !saved.ok()) {
+      *run_seconds = watch.ElapsedSeconds();
+      return saved;
+    }
+    result->stats.emplace_back("output_write_seconds",
+                               write_watch.ElapsedSeconds());
+  }
   *run_seconds = watch.ElapsedSeconds();
   return result;
 }

@@ -1,0 +1,358 @@
+// Tests for src/dist/partitioner.h and src/dist/shard.h: the streaming edge
+// partitioners' contracts (single ownership, load balance, bounded
+// replication, determinism across thread counts and runs, K=1 identity),
+// shard materialization in local id space, the local->global edge maps the
+// merge stage leans on, and the largest-remainder budget apportionment.
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/shedding.h"
+#include "dist/partitioner.h"
+#include "dist/shard.h"
+#include "graph/datasets.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::dist {
+namespace {
+
+using edgeshed::testing::Clique;
+using edgeshed::testing::Path;
+using edgeshed::testing::Star;
+
+/// A realistically skewed graph: the ca-GrQc surrogate at 30% scale
+/// (thousands of edges, heavy-tailed degrees) — small enough for tests,
+/// large enough that balance/replication statistics are meaningful.
+graph::Graph SkewedGraph() {
+  graph::DatasetOptions options;
+  options.scale = 0.3;
+  return graph::MakeDataset(graph::DatasetId::kCaGrQc, options);
+}
+
+EdgePartitionOptions Options(PartitionerKind kind, int shards,
+                             int threads = 0) {
+  EdgePartitionOptions options;
+  options.kind = kind;
+  options.shards = shards;
+  options.threads = threads;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+TEST(ParsePartitionerKindTest, RoundTripsAllKinds) {
+  for (PartitionerKind kind :
+       {PartitionerKind::kHash, PartitionerKind::kDbh, PartitionerKind::kHdrf}) {
+    auto parsed = ParsePartitionerKind(PartitionerKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(ParsePartitionerKindTest, RejectsUnknownName) {
+  EXPECT_EQ(ParsePartitionerKind("metis").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParsePartitionerKind("").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Core partition contracts, all three kinds
+
+class AllPartitionersTest
+    : public ::testing::TestWithParam<PartitionerKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllPartitionersTest,
+                         ::testing::Values(PartitionerKind::kHash,
+                                           PartitionerKind::kDbh,
+                                           PartitionerKind::kHdrf),
+                         [](const auto& info) {
+                           return std::string(
+                               PartitionerKindToString(info.param));
+                         });
+
+TEST_P(AllPartitionersTest, AssignsEveryEdgeToExactlyOneShard) {
+  const graph::Graph g = SkewedGraph();
+  const int k = 4;
+  auto partition = PartitionEdges(g, Options(GetParam(), k));
+  ASSERT_TRUE(partition.ok());
+  ASSERT_EQ(partition->shard_of_edge.size(), g.NumEdges());
+  for (uint32_t shard : partition->shard_of_edge) {
+    ASSERT_LT(shard, static_cast<uint32_t>(k));
+  }
+  const PartitionStats stats = ComputePartitionStats(g, *partition);
+  EXPECT_EQ(std::accumulate(stats.shard_edges.begin(),
+                            stats.shard_edges.end(), uint64_t{0}),
+            g.NumEdges());
+}
+
+TEST_P(AllPartitionersTest, BalanceFactorIsBounded) {
+  const graph::Graph g = SkewedGraph();
+  for (int k : {2, 4}) {
+    auto partition = PartitionEdges(g, Options(GetParam(), k));
+    ASSERT_TRUE(partition.ok());
+    const PartitionStats stats = ComputePartitionStats(g, *partition);
+    // Hash/DBH balance by uniform hashing over thousands of edges; HDRF
+    // balances explicitly via its λ term. 1.25 is loose for all three.
+    EXPECT_GE(stats.balance_factor, 1.0);
+    EXPECT_LT(stats.balance_factor, 1.25)
+        << PartitionerKindToString(GetParam()) << " K=" << k;
+  }
+}
+
+TEST_P(AllPartitionersTest, ReplicationFactorIsBounded) {
+  const graph::Graph g = SkewedGraph();
+  const int k = 4;
+  auto partition = PartitionEdges(g, Options(GetParam(), k));
+  ASSERT_TRUE(partition.ok());
+  const PartitionStats stats = ComputePartitionStats(g, *partition);
+  // Average copies per touched vertex: at least one, at most one per shard.
+  EXPECT_GE(stats.replication_factor, 1.0);
+  EXPECT_LE(stats.replication_factor, static_cast<double>(k));
+  EXPECT_LE(stats.cut_vertices, g.NumNodes());
+}
+
+TEST_P(AllPartitionersTest, SingleShardIsIdentity) {
+  const graph::Graph g = SkewedGraph();
+  auto partition = PartitionEdges(g, Options(GetParam(), 1));
+  ASSERT_TRUE(partition.ok());
+  EXPECT_EQ(partition->num_shards, 1);
+  for (uint32_t shard : partition->shard_of_edge) EXPECT_EQ(shard, 0u);
+}
+
+TEST_P(AllPartitionersTest, DeterministicAcrossRuns) {
+  const graph::Graph g = SkewedGraph();
+  auto first = PartitionEdges(g, Options(GetParam(), 4));
+  auto second = PartitionEdges(g, Options(GetParam(), 4));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->shard_of_edge, second->shard_of_edge);
+}
+
+TEST_P(AllPartitionersTest, RejectsInvalidShardCount) {
+  const graph::Graph g = Path(4);
+  EXPECT_EQ(PartitionEdges(g, Options(GetParam(), 0)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PartitionEdges(g, Options(GetParam(), -2)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionerTest, StatelessKindsAreBitIdenticalAcrossThreadCounts) {
+  const graph::Graph g = SkewedGraph();
+  for (PartitionerKind kind : {PartitionerKind::kHash, PartitionerKind::kDbh}) {
+    auto serial = PartitionEdges(g, Options(kind, 4, /*threads=*/1));
+    auto parallel = PartitionEdges(g, Options(kind, 4, /*threads=*/8));
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serial->shard_of_edge, parallel->shard_of_edge)
+        << PartitionerKindToString(kind);
+  }
+}
+
+TEST(PartitionerTest, SeedDecorrelatesHashAssignments) {
+  const graph::Graph g = SkewedGraph();
+  EdgePartitionOptions a = Options(PartitionerKind::kHash, 4);
+  EdgePartitionOptions b = a;
+  b.seed = a.seed + 1;
+  auto pa = PartitionEdges(g, a);
+  auto pb = PartitionEdges(g, b);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  EXPECT_NE(pa->shard_of_edge, pb->shard_of_edge);
+}
+
+TEST(PartitionerTest, HdrfRejectsNonPositiveLambda) {
+  EdgePartitionOptions options = Options(PartitionerKind::kHdrf, 2);
+  options.hdrf_lambda = 0.0;
+  EXPECT_EQ(PartitionEdges(Path(4), options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionerTest, HdrfCutsTheHubOnAStar) {
+  // On a star every edge shares the center: HDRF must replicate the hub
+  // across shards (cut_vertices == 1) while every leaf stays whole.
+  const graph::Graph g = Star(64);
+  auto partition = PartitionEdges(g, Options(PartitionerKind::kHdrf, 4));
+  ASSERT_TRUE(partition.ok());
+  const PartitionStats stats = ComputePartitionStats(g, *partition);
+  EXPECT_EQ(stats.cut_vertices, 1u);
+  // A star is HDRF's pathological input: the hub-affinity term holds edges
+  // in the first shard until the balance term overtakes it, so the bound
+  // here is looser than the general-graph 1.25 asserted elsewhere.
+  EXPECT_LT(stats.balance_factor, 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// Shards and the local<->global maps
+
+TEST(ShardTest, SingleShardIsTheIdentityOverTheFullVertexSet) {
+  // An isolated vertex (id 5 in a 6-node path-of-5) must survive the K=1
+  // round trip so a one-shard fleet matches single-node shedding exactly.
+  const graph::Graph g = edgeshed::testing::MustBuild(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto partition = PartitionEdges(g, Options(PartitionerKind::kHash, 1));
+  ASSERT_TRUE(partition.ok());
+  auto shards = BuildShards(g, *partition);
+  ASSERT_TRUE(shards.ok());
+  ASSERT_EQ(shards->size(), 1u);
+  const Shard& shard = (*shards)[0];
+  EXPECT_EQ(shard.graph.NumNodes(), g.NumNodes());
+  EXPECT_EQ(shard.graph.NumEdges(), g.NumEdges());
+  for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_EQ(shard.to_global[u], u);
+  }
+  for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_EQ(shard.global_edge_ids[e], e);
+  }
+}
+
+TEST(ShardTest, ShardsPartitionTheEdgeSetWithMonotoneMaps) {
+  const graph::Graph g = SkewedGraph();
+  auto partition = PartitionEdges(g, Options(PartitionerKind::kHdrf, 4));
+  ASSERT_TRUE(partition.ok());
+  auto shards = BuildShards(g, *partition);
+  ASSERT_TRUE(shards.ok());
+  ASSERT_EQ(shards->size(), 4u);
+
+  std::vector<graph::EdgeId> all_edges;
+  for (const Shard& shard : *shards) {
+    ASSERT_TRUE(std::is_sorted(shard.to_global.begin(),
+                               shard.to_global.end()));
+    ASSERT_TRUE(std::is_sorted(shard.global_edge_ids.begin(),
+                               shard.global_edge_ids.end()));
+    ASSERT_EQ(shard.global_edge_ids.size(), shard.graph.NumEdges());
+    // Each local edge maps to the canonical global edge it came from.
+    const auto edges = shard.graph.edges();
+    for (graph::EdgeId e = 0; e < shard.graph.NumEdges(); ++e) {
+      const graph::Edge global = g.edges()[shard.global_edge_ids[e]];
+      EXPECT_EQ(shard.to_global[edges[e].u], global.u);
+      EXPECT_EQ(shard.to_global[edges[e].v], global.v);
+    }
+    all_edges.insert(all_edges.end(), shard.global_edge_ids.begin(),
+                     shard.global_edge_ids.end());
+  }
+  // Exact single-ownership cover of the parent edge set.
+  std::sort(all_edges.begin(), all_edges.end());
+  ASSERT_EQ(all_edges.size(), g.NumEdges());
+  for (graph::EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_EQ(all_edges[e], e);
+  }
+}
+
+TEST(ShardTest, MapLocalEdgesToGlobalRoundTrips) {
+  const graph::Graph g = Clique(12);
+  auto partition = PartitionEdges(g, Options(PartitionerKind::kDbh, 3));
+  ASSERT_TRUE(partition.ok());
+  auto shards = BuildShards(g, *partition);
+  ASSERT_TRUE(shards.ok());
+  for (const Shard& shard : *shards) {
+    std::vector<graph::EdgeId> locals(shard.graph.NumEdges());
+    std::iota(locals.begin(), locals.end(), 0);
+    EXPECT_EQ(MapLocalEdgesToGlobal(shard, locals), shard.global_edge_ids);
+  }
+}
+
+TEST(ShardTest, MapKeptSubgraphToGlobalMapsAKeptSubset) {
+  const graph::Graph g = Clique(12);
+  auto partition = PartitionEdges(g, Options(PartitionerKind::kHash, 3));
+  ASSERT_TRUE(partition.ok());
+  auto shards = BuildShards(g, *partition);
+  ASSERT_TRUE(shards.ok());
+  const Shard& shard = (*shards)[0];
+  ASSERT_GE(shard.graph.NumEdges(), 4u);
+  // Keep every other local edge, materialize the subgraph (as a worker
+  // would), and map it back: expect exactly those global ids.
+  std::vector<graph::EdgeId> keep;
+  for (graph::EdgeId e = 0; e < shard.graph.NumEdges(); e += 2) {
+    keep.push_back(e);
+  }
+  const graph::Graph kept = graph::SubgraphFromEdgeIds(shard.graph, keep);
+  auto mapped = MapKeptSubgraphToGlobal(shard, kept);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(*mapped, MapLocalEdgesToGlobal(shard, keep));
+}
+
+TEST(ShardTest, MapKeptSubgraphRejectsForeignEdgesAndWrongNodeCount) {
+  const graph::Graph g = Path(6);  // edges 0-1,1-2,2-3,3-4,4-5
+  EdgePartition partition;
+  partition.num_shards = 2;
+  partition.shard_of_edge = {0, 0, 1, 1, 1};
+  auto shards = BuildShards(g, partition);
+  ASSERT_TRUE(shards.ok());
+  const Shard& shard = (*shards)[0];  // nodes {0,1,2}, edges 0-1, 1-2
+
+  // Wrong node count: a snapshot of some other graph.
+  EXPECT_EQ(MapKeptSubgraphToGlobal(shard, Path(5)).status().code(),
+            StatusCode::kInvalidArgument);
+  // Right node count, but an edge the shard does not own (0-2).
+  const graph::Graph foreign =
+      edgeshed::testing::MustBuild(3, {{0, 2}});
+  EXPECT_EQ(MapKeptSubgraphToGlobal(shard, foreign).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Budget apportionment (core::ApportionEdgeBudget)
+
+TEST(ApportionEdgeBudgetTest, SumsExactlyToTargetProportionally) {
+  const std::vector<uint64_t> shards = {1000, 500, 250, 250};
+  const auto targets = core::ApportionEdgeBudget(1000, shards);
+  ASSERT_EQ(targets.size(), shards.size());
+  EXPECT_EQ(std::accumulate(targets.begin(), targets.end(), uint64_t{0}),
+            1000u);
+  EXPECT_EQ(targets[0], 500u);
+  EXPECT_EQ(targets[1], 250u);
+  EXPECT_EQ(targets[2], 125u);
+  EXPECT_EQ(targets[3], 125u);
+}
+
+TEST(ApportionEdgeBudgetTest, RemainderSeatsBreakTiesTowardLowerIndex) {
+  // 10 over {6,6,6}: quotas 3.33.. each, one remainder seat -> shard 0.
+  const auto targets = core::ApportionEdgeBudget(10, {6, 6, 6});
+  EXPECT_EQ(targets, (std::vector<uint64_t>{4, 3, 3}));
+}
+
+TEST(ApportionEdgeBudgetTest, NeverExceedsShardCapacity) {
+  // Proportional quota for the big shard exceeds nothing, but an uneven
+  // split {9, 1} with target 9 gives shard 1 a fractional quota; its seat
+  // must not push it past capacity 1.
+  const auto targets = core::ApportionEdgeBudget(9, {9, 1});
+  EXPECT_LE(targets[0], 9u);
+  EXPECT_LE(targets[1], 1u);
+  EXPECT_EQ(targets[0] + targets[1], 9u);
+}
+
+TEST(ApportionEdgeBudgetTest, InfeasibleTargetClampsToTotal) {
+  const auto targets = core::ApportionEdgeBudget(100, {10, 20});
+  EXPECT_EQ(targets, (std::vector<uint64_t>{10, 20}));
+}
+
+TEST(ApportionEdgeBudgetTest, ZeroTargetAndEmptyShards) {
+  EXPECT_EQ(core::ApportionEdgeBudget(0, {5, 5}),
+            (std::vector<uint64_t>{0, 0}));
+  EXPECT_EQ(core::ApportionEdgeBudget(7, {0, 7, 0}),
+            (std::vector<uint64_t>{0, 7, 0}));
+  EXPECT_TRUE(core::ApportionEdgeBudget(3, {}).empty());
+}
+
+TEST(ApportionEdgeBudgetTest, ExactOnRealisticSkewedSizes) {
+  const graph::Graph g = SkewedGraph();
+  auto partition = PartitionEdges(g, Options(PartitionerKind::kHdrf, 4));
+  ASSERT_TRUE(partition.ok());
+  const PartitionStats stats = ComputePartitionStats(g, *partition);
+  const uint64_t target = g.NumEdges() / 2;
+  const auto targets = core::ApportionEdgeBudget(target, stats.shard_edges);
+  EXPECT_EQ(std::accumulate(targets.begin(), targets.end(), uint64_t{0}),
+            target);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_LE(targets[i], stats.shard_edges[i]);
+  }
+}
+
+}  // namespace
+}  // namespace edgeshed::dist

@@ -7,6 +7,7 @@
 // and a counted close, never a crash).
 
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -15,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "core/shedder_factory.h"
+#include "graph/binary_io.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "net/socket.h"
@@ -99,6 +101,19 @@ TEST_F(RpcServerTest, ListDatasetsReturnsRegisteredNames) {
   auto names = client.ListDatasets();
   ASSERT_TRUE(names.ok()) << names.status();
   EXPECT_EQ(*names, std::vector<std::string>{"clique"});
+}
+
+TEST_F(RpcServerTest, ListDatasetsReplyIsSorted) {
+  // Registration order is zebra-then-alpha; the wire reply is sorted so
+  // clients and scripts see a stable enumeration.
+  auto loader = [] { return StatusOr<graph::Graph>(Clique(4)); };
+  ASSERT_TRUE(store_->Register("zebra", loader).ok());
+  ASSERT_TRUE(store_->Register("alpha", loader).ok());
+  RpcClient client = MakeClient();
+  auto names = client.ListDatasets();
+  ASSERT_TRUE(names.ok()) << names.status();
+  EXPECT_EQ(*names,
+            (std::vector<std::string>{"alpha", "clique", "zebra"}));
 }
 
 TEST_F(RpcServerTest, ShedOverTcpMatchesInProcessExactly) {
@@ -416,6 +431,127 @@ TEST_F(RpcServerTest, ConcurrentClientsAllSucceed) {
         << results[static_cast<size_t>(i)];
   }
   EXPECT_GE(Counter("net.requests_total"), static_cast<uint64_t>(kThreads));
+}
+
+// ---------------------------------------------------------------------------
+// Output snapshots (the fleet's return path)
+
+TEST_F(RpcServerTest, ShedWithOutputWritesTheKeptSnapshot) {
+  const std::string out_dir = ::testing::TempDir() + "/rpc_out";
+  std::filesystem::create_directories(out_dir);
+  RpcServerOptions options;
+  options.output_dir = out_dir;
+  StartServer(options);
+
+  RpcClient client = MakeClient();
+  ShedRequest request;
+  request.dataset = "clique";
+  request.p = 0.5;
+  request.wait = true;
+  request.output = "clique.kept";
+  auto response = client.Shed(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(response->has_result);
+
+  // The snapshot is the kept subgraph of the same in-process reduction.
+  auto shedder = core::MakeShedderByName("crr", 42);
+  ASSERT_TRUE(shedder.ok());
+  auto local = (*shedder)->Reduce(Clique(40), 0.5);
+  ASSERT_TRUE(local.ok());
+  auto snapshot = graph::LoadBinaryGraph(out_dir + "/clique.kept.esg");
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  EXPECT_EQ(snapshot->NumNodes(), 40u);
+  EXPECT_EQ(snapshot->NumEdges(), local->kept_edges.size());
+}
+
+TEST_F(RpcServerTest, ShedWithOutputNeedsAnOutputDirectory) {
+  // The default fixture server has no output_dir: requests naming an output
+  // are refused outright instead of silently dropping the snapshot.
+  RpcClient client = MakeClient();
+  ShedRequest request;
+  request.dataset = "clique";
+  request.output = "kept";
+  auto response = client.Shed(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RpcServerTest, ShedWithUnsafeOutputNameIsRejected) {
+  RpcServerOptions options;
+  options.output_dir = ::testing::TempDir();
+  StartServer(options);
+  RpcClient client = MakeClient();
+  for (const char* bad : {"../escape", "a/b", ".hidden"}) {
+    ShedRequest request;
+    request.dataset = "clique";
+    request.output = bad;
+    auto response = client.Shed(request);
+    ASSERT_FALSE(response.ok()) << bad;
+    EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Persistent channels
+
+TEST_F(RpcServerTest, ChannelReusesOneConnectionAcrossCalls) {
+  RpcClient client = MakeClient();
+  RpcClient::Channel channel(&client);
+  for (uint64_t token = 1; token <= 5; ++token) {
+    auto echoed = channel.Ping(token);
+    ASSERT_TRUE(echoed.ok()) << echoed.status();
+    EXPECT_EQ(*echoed, token);
+  }
+  ShedRequest request;
+  request.dataset = "clique";
+  request.p = 0.5;
+  auto response = channel.Shed(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+
+  // Six RPCs, one TCP accept: the channel really is persistent. (A per-RPC
+  // client would have accepted six times.)
+  EXPECT_EQ(Counter("net.accepted"), 1u);
+  EXPECT_EQ(channel.reconnects(), 0);
+}
+
+TEST_F(RpcServerTest, ChannelRedialsAfterServerSideCloseAndCountsIt) {
+  // An idle-reaped connection must not kill the channel: the next call
+  // re-dials transparently and the re-dial is counted, both on the channel
+  // and in the client registry's `net.client_reconnects`.
+  RpcServerOptions options;
+  options.idle_timeout = milliseconds(100);
+  StartServer(options);
+
+  obs::MetricsRegistry client_metrics;
+  RpcClientOptions client_options;
+  client_options.port = server_->port();
+  client_options.max_attempts = 3;
+  client_options.backoff_initial = milliseconds(5);
+  client_options.backoff_max = milliseconds(20);
+  RpcClient client(client_options, &client_metrics);
+  RpcClient::Channel channel(&client);
+
+  auto first = channel.Ping(1);
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::this_thread::sleep_for(milliseconds(400));  // let the reaper fire
+
+  auto second = channel.Ping(2);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(*second, 2u);
+  EXPECT_EQ(channel.reconnects(), 1);
+  EXPECT_EQ(client_metrics.GetCounter("net.client_reconnects")->Value(), 1u);
+  EXPECT_EQ(Counter("net.accepted"), 2u);
+}
+
+TEST_F(RpcServerTest, ChannelCloseIsNotTheEnd) {
+  RpcClient client = MakeClient();
+  RpcClient::Channel channel(&client);
+  ASSERT_TRUE(channel.Ping(1).ok());
+  channel.Close();
+  auto echoed = channel.Ping(2);  // re-dials after an explicit Close
+  ASSERT_TRUE(echoed.ok()) << echoed.status();
+  EXPECT_EQ(*echoed, 2u);
+  EXPECT_EQ(channel.reconnects(), 1);
 }
 
 }  // namespace

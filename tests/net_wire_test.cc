@@ -289,6 +289,7 @@ TEST(WireMessageTest, ShedRequestRoundTrip) {
   request.seed = 991;
   request.deadline_ms = 1500;
   request.wait = false;
+  request.output = "fleet.shard3.kept";
 
   ShedRequest decoded;
   ASSERT_TRUE(DecodeShedRequest(EncodeShedRequest(request), &decoded).ok());
@@ -298,6 +299,15 @@ TEST(WireMessageTest, ShedRequestRoundTrip) {
   EXPECT_EQ(decoded.seed, request.seed);
   EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
   EXPECT_EQ(decoded.wait, request.wait);
+  EXPECT_EQ(decoded.output, request.output);
+}
+
+TEST(WireMessageTest, ShedRequestEmptyOutputRoundTripsEmpty) {
+  ShedRequest decoded;
+  decoded.output = "stale";
+  ASSERT_TRUE(
+      DecodeShedRequest(EncodeShedRequest(ShedRequest{}), &decoded).ok());
+  EXPECT_TRUE(decoded.output.empty());
 }
 
 TEST(WireMessageTest, ShedRequestRejectsTrailingBytes) {

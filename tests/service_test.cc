@@ -1,6 +1,8 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -9,6 +11,7 @@
 
 #include "common/random.h"
 #include "core/shedder_factory.h"
+#include "graph/binary_io.h"
 #include "graph/generators/generators.h"
 #include "service/dataset_registry.h"
 #include "service/graph_store.h"
@@ -330,6 +333,55 @@ TEST(GraphStoreTest, SurrogateRegistryNamesMatchCli) {
   EXPECT_EQ(store.RegisteredNames(),
             (std::vector<std::string>{"enron", "grqc", "hepph",
                                       "livejournal"}));
+}
+
+TEST(GraphStoreTest, FallbackLoaderFactoryResolvesUnregisteredNames) {
+  GraphStore store;
+  int factory_calls = 0;
+  store.SetFallbackLoaderFactory(
+      [&factory_calls](const std::string& name)
+          -> std::optional<GraphStore::Loader> {
+        ++factory_calls;
+        if (name != "lazy") return std::nullopt;
+        return GraphStore::Loader(
+            [] { return StatusOr<graph::Graph>(Clique(5)); });
+      });
+
+  // Declined names still miss.
+  EXPECT_EQ(store.Get("nope").status().code(), StatusCode::kNotFound);
+
+  // Accepted names register on the spot and behave like a normal miss:
+  // loaded once, then served from residency without consulting the factory.
+  auto first = store.Get("lazy");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ((*first)->NumNodes(), 5u);
+  const int calls_after_first = factory_calls;
+  auto second = store.Get("lazy");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(factory_calls, calls_after_first);
+
+  // Uninstalling restores plain NotFound behaviour for new names.
+  store.SetFallbackLoaderFactory(nullptr);
+  EXPECT_EQ(store.Get("other").status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphStoreTest, ShardDirFallbackServesSnapshotsByName) {
+  const std::string dir = ::testing::TempDir();
+  const graph::Graph g = Clique(6);
+  ASSERT_TRUE(graph::SaveBinaryGraph(g, dir + "/shard_snap.esg").ok());
+
+  GraphStore store;
+  InstallShardDirFallback(store, dir);
+  auto loaded = store.Get("shard_snap");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->NumNodes(), g.NumNodes());
+  EXPECT_EQ((*loaded)->NumEdges(), g.NumEdges());
+
+  // Unsafe names never touch the filesystem; a safe name whose snapshot is
+  // absent surfaces the loader's IOError instead of being swallowed.
+  EXPECT_EQ(store.Get("../etc/passwd").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store.Get("no_such_snap").status().code(), StatusCode::kIOError);
 }
 
 // ---------------------------------------------------------------------------
@@ -902,6 +954,55 @@ TEST(JobSchedulerTest, PublishesPerPhaseSheddingTimings) {
   ASSERT_TRUE(scheduler.Wait(*cached).ok());
   EXPECT_EQ(metrics.CounterValue("scheduler.result_cache_hit"), 1u);
   EXPECT_EQ(metrics.LatencyValue("scheduler.phase1_seconds").count, 1u);
+}
+
+TEST(JobSchedulerTest, OutputPathWritesTheKeptSnapshot) {
+  const std::string path = ::testing::TempDir() + "/job_out.esg";
+  std::filesystem::remove(path);
+  GraphStore store;
+  RegisterGraph(store, "g", Clique(12));
+  JobScheduler scheduler(&store, nullptr, {.workers = 1});
+
+  JobSpec spec;
+  spec.dataset = "g";
+  spec.method = "crr";
+  spec.p = 0.5;
+  spec.output_path = path;
+  auto id = scheduler.Submit(spec);
+  ASSERT_TRUE(id.ok()) << id.status();
+  auto result = scheduler.Wait(*id);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  auto snapshot = graph::LoadBinaryGraph(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  EXPECT_EQ(snapshot->NumNodes(), 12u);
+  EXPECT_EQ(snapshot->NumEdges(), (*result)->kept_edges.size());
+
+  // output_path is part of the dedup key: the same shed without an output
+  // is a distinct job, not a cache hit that would skip the write.
+  JobSpec no_output = spec;
+  no_output.output_path.clear();
+  auto id2 = scheduler.Submit(no_output);
+  ASSERT_TRUE(id2.ok());
+  ASSERT_TRUE(scheduler.Wait(*id2).ok());
+  EXPECT_NE(*id2, *id);
+}
+
+TEST(JobSchedulerTest, UnwritableOutputPathFailsTheJob) {
+  GraphStore store;
+  RegisterGraph(store, "g", Clique(6));
+  JobScheduler scheduler(&store, nullptr, {.workers = 1});
+  JobSpec spec;
+  spec.dataset = "g";
+  spec.output_path = ::testing::TempDir() + "/no_such_dir/out.esg";
+  auto id = scheduler.Submit(spec);
+  ASSERT_TRUE(id.ok());
+  auto result = scheduler.Wait(*id);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  auto status = scheduler.GetStatus(*id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kFailed);
 }
 
 TEST(JobSchedulerTest, JobStateNames) {

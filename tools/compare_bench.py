@@ -8,7 +8,9 @@ Usage:
 Series are keyed by (graph, op) and compared on median_seconds. A series
 whose median grew by more than --threshold (default 10%) counts as a
 regression; the script prints a table of every shared series and exits
-non-zero when any regression is found, so CI can gate on it.
+non-zero when any regression is found, so CI can gate on it. Series present
+in only one of the two files (a benchmark added or retired between revisions)
+are warned about on stderr and otherwise ignored — they never fail the gate.
 
 --overhead-pair BASE:INSTRUMENTED additionally gates *within* the candidate
 file: for every graph carrying both ops, the instrumented median must stay
@@ -22,10 +24,13 @@ import json
 import sys
 
 
+SCHEMAS = ("edgeshed-bench-hotpath-v1", "edgeshed-bench-dist-v1")
+
+
 def load(path):
     with open(path) as f:
         data = json.load(f)
-    if data.get("schema") != "edgeshed-bench-hotpath-v1":
+    if data.get("schema") not in SCHEMAS:
         sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
     return data
 
@@ -64,6 +69,11 @@ def main():
 
     baseline = load(args.baseline)
     candidate = load(args.candidate)
+    if baseline["schema"] != candidate["schema"]:
+        sys.exit(
+            f"schema mismatch: {args.baseline} is {baseline['schema']!r} but "
+            f"{args.candidate} is {candidate['schema']!r}"
+        )
     base = {(b["graph"], b["op"]): b for b in baseline["benchmarks"]}
     cand = {(b["graph"], b["op"]): b for b in candidate["benchmarks"]}
 
@@ -77,14 +87,20 @@ def main():
     print(header)
     print("-" * len(header))
 
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    for g, o in only_base:
+        print(f"warning: {g}/{o} only in baseline; ignored", file=sys.stderr)
+    for g, o in only_cand:
+        print(f"warning: {g}/{o} only in candidate; ignored", file=sys.stderr)
+
     regressions = []
-    for key in sorted(base):
-        if key not in cand:
-            print(f"{key[0]:<12} {key[1]:<20} {'':>10} {'':>10} {'':>8}  MISSING in candidate")
-            continue
+    for key in sorted(set(base) & set(cand)):
         old = base[key]["median_seconds"]
         new = cand[key]["median_seconds"]
-        ratio = new / old if old > 0 else float("inf")
+        # Quality-only series (e.g. the dist bench's self-overlap ceilings)
+        # carry no timing; a zero median on both sides is not a regression.
+        ratio = new / old if old > 0 else 1.0 if new == 0 else float("inf")
         if ratio > 1 + args.threshold:
             verdict = f"REGRESSION (+{(ratio - 1) * 100:.1f}%)"
             regressions.append(key)
@@ -95,9 +111,6 @@ def main():
         print(
             f"{key[0]:<12} {key[1]:<20} {old:>10.4f} {new:>10.4f} {ratio:>8.2f}  {verdict}"
         )
-    for key in sorted(set(cand) - set(base)):
-        print(f"{key[0]:<12} {key[1]:<20} {'':>10} {'':>10} {'':>8}  new series")
-
     overhead_failures = []
     for pair in args.overhead_pair:
         base_op, traced_op = pair.split(":")
@@ -139,7 +152,9 @@ def main():
         failed = True
     if failed:
         return 1
-    print("\nno regressions above threshold")
+    skipped = len(only_base) + len(only_cand)
+    suffix = f" ({skipped} one-sided series ignored)" if skipped else ""
+    print(f"\nno regressions above threshold{suffix}")
     return 0
 
 
