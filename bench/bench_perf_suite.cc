@@ -1,11 +1,27 @@
-// Hot-path performance-regression suite (ISSUE 2).
+// Hot-path performance-regression suite (ISSUE 2, extended by ISSUE 7).
 //
 // Times the ingest-to-shed pipeline stages — edge-list load, CSR build,
-// betweenness ranking, CRR and BM2 reduction — on generated R-MAT and
-// Barabási–Albert graphs at two sizes, and emits machine-readable medians to
-// BENCH_hotpath.json. tools/compare_bench.py diffs two such files and flags
-// >10% regressions; .github/workflows/ci.yml runs the --smoke variant on
-// every push.
+// betweenness ranking (classic and hybrid fast path), CRR and BM2 reduction —
+// on generated R-MAT and Barabási–Albert graphs at two sizes, and emits
+// machine-readable medians to BENCH_hotpath.json. tools/compare_bench.py
+// diffs two such files and flags >10% regressions; .github/workflows/ci.yml
+// runs the --smoke variant on every push.
+//
+// Every op gets one untimed warm-up iteration so the first timed sample does
+// not pay one-off costs (page faults, lazy allocations) that later samples
+// skip. The (crr_reduce, crr_reduce_traced) observability-overhead pair is
+// interleaved within each round — bare, traced, bare, traced — so slow drift
+// (frequency scaling, cache pollution from other ops) lands on both series
+// equally instead of inverting the pair.
+//
+// Beyond timings the suite enforces two quality gates in-process:
+//   - the hybrid kernel must produce bit-identical exact scores to the
+//     classic kernel (cheap, once per run);
+//   - the fast-ranking CRR path (hybrid kernel + adaptive waves) must keep a
+//     set of edges that overlaps the classic full-ranking CRR at least as
+//     well as classic CRR overlaps a reseeded rerun of itself (the
+//     self-overlap ceiling, same pattern as bench_dist_fleet), minus a small
+//     noise margin.
 //
 // Usage:
 //   bench_perf_suite [--out=BENCH_hotpath.json] [--repeats=5] [--smoke]
@@ -19,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "analytics/betweenness.h"
@@ -46,6 +63,8 @@ struct BenchResult {
   double median_seconds = 0.0;
   double min_seconds = 0.0;
   double max_seconds = 0.0;
+  /// Adaptive-wave count for ranking ops; -1 means not applicable.
+  int64_t waves = -1;
 };
 
 double Median(std::vector<double> samples) {
@@ -55,18 +74,9 @@ double Median(std::vector<double> samples) {
                     : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
 }
 
-/// Times `body` `repeats` times and records median/min/max under `op`.
-template <typename Body>
-void TimeOp(const std::string& graph_name, const graph::Graph& g,
-            const std::string& op, int repeats, Body&& body,
-            std::vector<BenchResult>* results) {
-  std::vector<double> samples;
-  samples.reserve(static_cast<size_t>(repeats));
-  for (int r = 0; r < repeats; ++r) {
-    Stopwatch watch;
-    body();
-    samples.push_back(watch.ElapsedSeconds());
-  }
+BenchResult MakeResult(const std::string& graph_name, const graph::Graph& g,
+                       const std::string& op,
+                       const std::vector<double>& samples) {
   BenchResult result;
   result.graph = graph_name;
   result.nodes = g.NumNodes();
@@ -75,10 +85,61 @@ void TimeOp(const std::string& graph_name, const graph::Graph& g,
   result.median_seconds = Median(samples);
   result.min_seconds = *std::min_element(samples.begin(), samples.end());
   result.max_seconds = *std::max_element(samples.begin(), samples.end());
-  results->push_back(result);
-  std::printf("  %-24s %-20s median=%.4fs min=%.4fs max=%.4fs\n",
+  std::printf("  %-24s %-24s median=%.4fs min=%.4fs max=%.4fs\n",
               graph_name.c_str(), op.c_str(), result.median_seconds,
               result.min_seconds, result.max_seconds);
+  return result;
+}
+
+/// Times `body` `repeats` times (after one untimed warm-up) and records
+/// median/min/max under `op`. Returns a reference to the recorded result so
+/// callers can annotate it (wave counts).
+template <typename Body>
+BenchResult& TimeOp(const std::string& graph_name, const graph::Graph& g,
+                    const std::string& op, int repeats, Body&& body,
+                    std::vector<BenchResult>* results) {
+  body();  // warm-up, untimed
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch watch;
+    body();
+    samples.push_back(watch.ElapsedSeconds());
+  }
+  results->push_back(MakeResult(graph_name, g, op, samples));
+  return results->back();
+}
+
+/// Times an overhead pair by interleaving the two bodies within each round:
+/// base, instrumented, base, instrumented. Any monotone environmental drift
+/// across the run is shared by both series, so the pair's ratio reflects the
+/// instrumentation cost rather than which series happened to run second.
+template <typename BaseBody, typename InstrumentedBody>
+void TimeOpPair(const std::string& graph_name, const graph::Graph& g,
+                const std::string& base_op, const std::string& instrumented_op,
+                int repeats, BaseBody&& base, InstrumentedBody&& instrumented,
+                std::vector<BenchResult>* results) {
+  base();          // warm-up, untimed
+  instrumented();  // warm-up, untimed
+  std::vector<double> base_samples;
+  std::vector<double> instrumented_samples;
+  base_samples.reserve(static_cast<size_t>(repeats));
+  instrumented_samples.reserve(static_cast<size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    {
+      Stopwatch watch;
+      base();
+      base_samples.push_back(watch.ElapsedSeconds());
+    }
+    {
+      Stopwatch watch;
+      instrumented();
+      instrumented_samples.push_back(watch.ElapsedSeconds());
+    }
+  }
+  results->push_back(MakeResult(graph_name, g, base_op, base_samples));
+  results->push_back(
+      MakeResult(graph_name, g, instrumented_op, instrumented_samples));
 }
 
 /// Raw (shuffled, un-canonicalized) edge soup for the CSR-build benchmark,
@@ -92,6 +153,25 @@ std::vector<graph::Edge> ShuffledRawEdges(const graph::Graph& g,
     std::swap(raw[i].u, raw[i].v);  // exercise canonicalization
   }
   return raw;
+}
+
+/// |a ∩ b| / |a| over kept-edge id sets.
+double KeptOverlap(const std::vector<graph::EdgeId>& a,
+                   const std::vector<graph::EdgeId>& b) {
+  if (a.empty()) return 1.0;
+  std::unordered_set<graph::EdgeId> set_a(a.begin(), a.end());
+  size_t hits = 0;
+  for (graph::EdgeId e : b) hits += set_a.count(e);
+  return static_cast<double>(hits) / static_cast<double>(a.size());
+}
+
+/// The sampling level both ranking ops and both e2e CRR variants share, so
+/// classic-vs-hybrid and full-vs-fast comparisons are apples to apples.
+analytics::BetweennessOptions BenchSampling() {
+  analytics::BetweennessOptions options;
+  options.exact_node_threshold = 1024;
+  options.sample_sources = 96;
+  return options;
 }
 
 void BenchGraph(const std::string& name, const graph::Graph& g, int repeats,
@@ -127,49 +207,85 @@ void BenchGraph(const std::string& name, const graph::Graph& g, int repeats,
          },
          results);
 
-  // --- betweenness_rank: sampled Brandes + full edge ranking sort. ---
-  analytics::BetweennessOptions betweenness;
-  betweenness.exact_node_threshold = 1024;
-  betweenness.sample_sources = 96;
+  // --- betweenness_rank: classic single-pass Brandes over every sampled
+  // source + full edge ranking sort. The historical baseline series. ---
+  analytics::BetweennessOptions classic = BenchSampling();
+  classic.kernel = analytics::BetweennessOptions::Kernel::kClassic;
   TimeOp(name, g, "betweenness_rank", repeats,
          [&]() {
-           auto ranked = analytics::EdgesByBetweennessDescending(g, betweenness);
+           auto ranked = analytics::EdgesByBetweennessDescending(g, classic);
            EDGESHED_CHECK_EQ(ranked.size(), g.NumEdges());
          },
          results);
 
-  // --- crr_reduce: random init isolates the Phase-2 swap loop (betweenness
-  // is timed separately above). ---
+  // --- betweenness_rank_hybrid: the ranking fast path — direction-
+  // optimizing kernel plus adaptive pivot waves — at the same sampling
+  // level. CI pairs this against betweenness_rank so the fast path can
+  // never silently regress past the classic kernel. ---
+  analytics::BetweennessOptions fast = BenchSampling();
+  const analytics::BetweennessOptions fast_defaults =
+      analytics::BetweennessOptions::FastRanking();
+  fast.kernel = fast_defaults.kernel;
+  fast.hybrid_alpha = fast_defaults.hybrid_alpha;
+  fast.wave_size = fast_defaults.wave_size;
+  fast.wave_stability = fast_defaults.wave_stability;
+  fast.wave_top_k = fast_defaults.wave_top_k;
+  uint64_t hybrid_waves = 0;
+  BenchResult& hybrid_result =
+      TimeOp(name, g, "betweenness_rank_hybrid", repeats,
+             [&]() {
+               analytics::BetweennessScores scores =
+                   analytics::Betweenness(g, fast);
+               EDGESHED_CHECK_EQ(scores.edge.size(), g.NumEdges());
+               hybrid_waves = scores.waves;
+             },
+             results);
+  hybrid_result.waves = static_cast<int64_t>(hybrid_waves);
+
+  // --- crr_reduce / crr_reduce_traced: random init isolates the Phase-2
+  // swap loop (ranking is timed separately above). The traced variant wraps
+  // the same reduction in a live Tracer span and typed-metrics recording,
+  // mirroring what the service layer (JobScheduler) adds per job; the pair
+  // feeds tools/compare_bench.py --overhead-pair. Interleaved so drift does
+  // not invert the comparison. ---
   core::CrrOptions crr_options;
   crr_options.init_mode = core::CrrOptions::InitMode::kRandom;
   crr_options.seed = 42;
   const core::Crr crr(crr_options);
-  TimeOp(name, g, "crr_reduce", repeats,
-         [&]() {
-           auto result = crr.Reduce(g, p);
-           EDGESHED_CHECK(result.ok()) << result.status().ToString();
-         },
-         results);
-
-  // --- crr_reduce_traced: the same reduction with a live Tracer span and
-  // typed-metrics recording wrapped around it, mirroring what the service
-  // layer (JobScheduler) adds per job. The (crr_reduce, crr_reduce_traced)
-  // pair feeds tools/compare_bench.py --overhead-pair, which gates the
-  // observability overhead the same way cross-revision diffs are gated. ---
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
   obs::Counter* traced_jobs = metrics.GetCounter("bench.jobs");
   obs::LatencySeries* traced_seconds = metrics.GetLatency("bench.run_seconds");
-  TimeOp(name, g, "crr_reduce_traced", repeats,
+  TimeOpPair(name, g, "crr_reduce", "crr_reduce_traced", repeats,
+             [&]() {
+               auto result = crr.Reduce(g, p);
+               EDGESHED_CHECK(result.ok()) << result.status().ToString();
+             },
+             [&]() {
+               obs::Span span = obs::Tracer::StartSpan(&tracer, "run");
+               span.Annotate("graph", name);
+               auto result = crr.Reduce(g, p);
+               EDGESHED_CHECK(result.ok()) << result.status().ToString();
+               span.Annotate("ok", "true");
+               span.End();
+               traced_seconds->Record(result->reduction_seconds);
+               traced_jobs->Increment();
+             },
+             results);
+
+  // --- crr_reduce_e2e: the full reduction a service job pays on a rank-
+  // cache miss — Phase-1 betweenness ranking (fast path) plus the Phase-2
+  // swap loop. This is the series the ISSUE-7 >5x gate reads. ---
+  core::CrrOptions e2e_options;
+  e2e_options.seed = 42;
+  e2e_options.betweenness = fast;
+  const core::Crr crr_e2e(e2e_options);
+  std::vector<graph::EdgeId> fast_kept;
+  TimeOp(name, g, "crr_reduce_e2e", repeats,
          [&]() {
-           obs::Span span = obs::Tracer::StartSpan(&tracer, "run");
-           span.Annotate("graph", name);
-           auto result = crr.Reduce(g, p);
+           auto result = crr_e2e.Reduce(g, p);
            EDGESHED_CHECK(result.ok()) << result.status().ToString();
-           span.Annotate("ok", "true");
-           span.End();
-           traced_seconds->Record(result->reduction_seconds);
-           traced_jobs->Increment();
+           fast_kept = std::move(result->kept_edges);
          },
          results);
 
@@ -181,6 +297,48 @@ void BenchGraph(const std::string& name, const graph::Graph& g, int repeats,
            EDGESHED_CHECK(result.ok()) << result.status().ToString();
          },
          results);
+
+  // --- Preservation-quality gate for the fast path (not a timed series).
+  // Classic full-ranking CRR is the reference; a reseeded classic run gives
+  // the self-overlap ceiling — CRR's own seed sensitivity. The fast path
+  // must overlap the reference at least that well, minus a noise margin. ---
+  core::CrrOptions reference_options;
+  reference_options.seed = 42;
+  reference_options.betweenness = classic;
+  auto reference = core::Crr(reference_options).Reduce(g, p);
+  EDGESHED_CHECK(reference.ok()) << reference.status().ToString();
+  core::CrrOptions reseeded_options = reference_options;
+  reseeded_options.seed = 43;
+  auto reseeded = core::Crr(reseeded_options).Reduce(g, p);
+  EDGESHED_CHECK(reseeded.ok()) << reseeded.status().ToString();
+  const double ceiling =
+      KeptOverlap(reference->kept_edges, reseeded->kept_edges);
+  const double fast_overlap = KeptOverlap(reference->kept_edges, fast_kept);
+  std::printf("  %-24s kept-overlap fast=%.4f ceiling=%.4f\n", name.c_str(),
+              fast_overlap, ceiling);
+  EDGESHED_CHECK_GE(fast_overlap, ceiling - 0.05)
+      << "fast-ranking CRR lost preservation quality on " << name;
+}
+
+/// The hybrid kernel promises bit-identical scores to the classic kernel;
+/// a score drift would silently change every ranking the fast path emits,
+/// so the suite re-verifies the contract on every run.
+void CheckHybridMatchesClassic() {
+  Rng rng(11);
+  graph::Graph g = graph::BarabasiAlbert(600, 4, rng);
+  analytics::BetweennessOptions classic = analytics::BetweennessOptions::Exact();
+  classic.kernel = analytics::BetweennessOptions::Kernel::kClassic;
+  analytics::BetweennessOptions hybrid = classic;
+  hybrid.kernel = analytics::BetweennessOptions::Kernel::kHybrid;
+  const analytics::BetweennessScores a = analytics::Betweenness(g, classic);
+  const analytics::BetweennessScores b = analytics::Betweenness(g, hybrid);
+  for (size_t i = 0; i < a.node.size(); ++i) {
+    EDGESHED_CHECK(a.node[i] == b.node[i]) << "node score drift at " << i;
+  }
+  for (size_t i = 0; i < a.edge.size(); ++i) {
+    EDGESHED_CHECK(a.edge[i] == b.edge[i]) << "edge score drift at " << i;
+  }
+  std::printf("hybrid kernel bit-identical to classic on BA(600,4)\n");
 }
 
 void WriteJson(const std::string& path, const std::string& rev, int repeats,
@@ -198,11 +356,15 @@ void WriteJson(const std::string& path, const std::string& rev, int repeats,
     std::fprintf(out,
                  "    {\"graph\": \"%s\", \"nodes\": %llu, \"edges\": %llu, "
                  "\"op\": \"%s\", \"median_seconds\": %.6f, "
-                 "\"min_seconds\": %.6f, \"max_seconds\": %.6f}%s\n",
+                 "\"min_seconds\": %.6f, \"max_seconds\": %.6f",
                  r.graph.c_str(), static_cast<unsigned long long>(r.nodes),
                  static_cast<unsigned long long>(r.edges), r.op.c_str(),
-                 r.median_seconds, r.min_seconds, r.max_seconds,
-                 i + 1 < results.size() ? "," : "");
+                 r.median_seconds, r.min_seconds, r.max_seconds);
+    if (r.waves >= 0) {
+      std::fprintf(out, ", \"waves\": %lld",
+                   static_cast<long long>(r.waves));
+    }
+    std::fprintf(out, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
@@ -222,6 +384,8 @@ int Main(int argc, char** argv) {
 
   std::printf("edgeshed hot-path perf suite: threads=%d repeats=%d%s\n",
               DefaultThreadCount(), repeats, smoke ? " (smoke)" : "");
+
+  CheckHybridMatchesClassic();
 
   // Two families, two sizes each; smoke shrinks everything so CI stays in
   // seconds. R-MAT stands in for skewed social graphs, BA for heavy-tailed

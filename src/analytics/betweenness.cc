@@ -1,6 +1,7 @@
 #include "analytics/betweenness.h"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 
 #include "common/parallel.h"
@@ -10,69 +11,276 @@ namespace edgeshed::analytics {
 
 namespace {
 
-/// Per-thread scratch for one Brandes source sweep.
+// Dense bitmap helpers (one bit per vertex). The visited bitmap keeps the
+// hot membership test of the bottom-up sweep inside ~|V|/8 bytes — L1/L2
+// resident even when the int32 dist array is not.
+inline bool TestBit(const std::vector<uint64_t>& bits, graph::NodeId v) {
+  return (bits[v >> 6] >> (v & 63)) & 1u;
+}
+inline void SetBit(std::vector<uint64_t>& bits, graph::NodeId v) {
+  bits[v >> 6] |= uint64_t{1} << (v & 63);
+}
+inline void ClearBit(std::vector<uint64_t>& bits, graph::NodeId v) {
+  bits[v >> 6] &= ~(uint64_t{1} << (v & 63));
+}
+
+/// Per-thread scratch for Brandes source sweeps. The per-sweep vectors are
+/// reset by every sweep; the accumulator pair persists across sweeps (and
+/// adaptive waves) and is allocated lazily on the first sweep, so a
+/// partition cancelled before it starts never pays the O(|V|+|E|)
+/// zero-fill.
 struct BrandesScratch {
+  // Per-sweep state.
   std::vector<int32_t> dist;
   std::vector<double> sigma;   // shortest-path counts
   std::vector<double> delta;   // dependency accumulator
-  std::vector<graph::NodeId> order;  // BFS pop order
+  std::vector<double> coeff;   // (1 + delta[w]) / sigma[w], per level
+  std::vector<graph::NodeId> order;       // concatenated BFS levels
+  std::vector<uint64_t> level_offsets;    // order[level_offsets[l]..[l+1])
+  std::vector<uint64_t> level_degrees;    // summed degree per level
+  std::vector<graph::NodeId> candidates;  // still-unvisited, ascending
+  std::vector<uint64_t> visited_bits;
+  std::vector<uint64_t> frontier_bits;
+  // Partial accumulators (persist across sweeps within one partition).
   std::vector<double> node_acc;
   std::vector<double> edge_acc;
 
-  void Init(uint64_t num_nodes, uint64_t num_edges) {
-    node_acc.assign(num_nodes, 0.0);
-    edge_acc.assign(num_edges, 0.0);
-    dist.reserve(num_nodes);
-    sigma.reserve(num_nodes);
-    delta.reserve(num_nodes);
-    order.reserve(num_nodes);
+  void EnsureAccumulators(uint64_t num_nodes, uint64_t num_edges) {
+    if (node_acc.empty()) {
+      node_acc.assign(num_nodes, 0.0);
+      edge_acc.assign(num_edges, 0.0);
+    }
   }
 };
 
-void BrandesFromSource(const graph::Graph& g, graph::NodeId source,
+/// One level-synchronous Brandes sweep from `source`, accumulating into the
+/// scratch's partials. Returns false when the cancellation token tripped
+/// (polled once per BFS level, both directions); the partials are then
+/// garbage and the caller must discard the whole run.
+///
+/// Canonical ordering contract: every level of the forward BFS is kept
+/// sorted by ascending vertex id (top-down levels are rebuilt ascending
+/// from a discovery bitmap; bottom-up levels are built ascending by
+/// construction), and
+/// both directions accumulate sigma — and, in the reverse pass, delta — for
+/// a fixed vertex in ascending neighbor order. Every floating-point sum
+/// therefore adds the same terms in the same order no matter which
+/// direction processed a level, which is what makes the classic and hybrid
+/// kernels bit-identical (DESIGN.md §12).
+bool BrandesFromSource(const graph::Graph& g, graph::NodeId source,
+                       const BetweennessOptions& options,
                        BrandesScratch* scratch) {
   const uint64_t n = g.NumNodes();
+  const uint64_t words = (n + 63) / 64;
+  const bool hybrid = options.kernel == BetweennessOptions::Kernel::kHybrid;
   auto& dist = scratch->dist;
   auto& sigma = scratch->sigma;
   auto& delta = scratch->delta;
+  auto& coeff = scratch->coeff;
   auto& order = scratch->order;
+  auto& level_offsets = scratch->level_offsets;
+  auto& level_degrees = scratch->level_degrees;
+  auto& candidates = scratch->candidates;
+  auto& visited = scratch->visited_bits;
+  auto& frontier_bits = scratch->frontier_bits;
 
   dist.assign(n, -1);
   sigma.assign(n, 0.0);
   delta.assign(n, 0.0);
+  coeff.resize(n);
   order.clear();
+  level_offsets.clear();
+  level_degrees.clear();
+  candidates.clear();
+  visited.assign(words, 0);
+  frontier_bits.assign(words, 0);
+  bool candidates_valid = false;
 
   dist[source] = 0;
   sigma[source] = 1.0;
+  SetBit(visited, source);
   order.push_back(source);
-  for (size_t head = 0; head < order.size(); ++head) {
-    graph::NodeId u = order[head];
-    int32_t next = dist[u] + 1;
-    for (graph::NodeId v : g.Neighbors(u)) {
-      if (dist[v] < 0) {
-        dist[v] = next;
-        order.push_back(v);
+  level_offsets.push_back(0);
+  level_offsets.push_back(1);
+  level_degrees.push_back(g.Degree(source));
+  uint64_t unvisited_degree = g.TotalDegree() - level_degrees[0];
+
+  // ---- Forward pass: level-synchronous BFS with per-level direction
+  // choice. A level's successors are discovered top-down (push from the
+  // frontier) or bottom-up (pull over the unvisited candidates), whichever
+  // side's summed degree is cheaper to scan. ----
+  size_t level = 0;
+  while (level_offsets[level] < level_offsets[level + 1]) {
+    if (CancellationRequested(options.cancel)) return false;
+    const uint64_t begin = level_offsets[level];
+    const uint64_t end = level_offsets[level + 1];
+    const int32_t next_level = static_cast<int32_t>(level) + 1;
+    const bool bottom_up =
+        hybrid && static_cast<double>(level_degrees[level]) >
+                      options.hybrid_alpha * static_cast<double>(unvisited_degree);
+    uint64_t next_degree = 0;
+    if (!bottom_up) {
+      // Top-down: scan the (sorted) frontier; discover and accumulate sigma
+      // in one pass, marking new vertices in a scratch bitmap. The new level
+      // is then rebuilt in ascending id order by scanning the bitmap words —
+      // O(|V|/64 + level) instead of an O(level log level) sort, and the
+      // same canonical order either way.
+      for (uint64_t i = begin; i < end; ++i) {
+        const graph::NodeId u = order[i];
+        const double sigma_u = sigma[u];
+        for (graph::NodeId v : g.Neighbors(u)) {
+          if (!TestBit(visited, v)) {
+            SetBit(visited, v);
+            SetBit(frontier_bits, v);
+            dist[v] = next_level;
+            next_degree += g.Degree(v);
+          }
+          if (dist[v] == next_level) sigma[v] += sigma_u;
+        }
       }
-      if (dist[v] == next) sigma[v] += sigma[u];
+      for (uint64_t word = 0; word < words; ++word) {
+        uint64_t bits = frontier_bits[word];
+        frontier_bits[word] = 0;
+        while (bits != 0) {
+          const int bit = std::countr_zero(bits);
+          bits &= bits - 1;
+          order.push_back(static_cast<graph::NodeId>(word * 64 +
+                                                     static_cast<uint64_t>(bit)));
+        }
+      }
+    } else {
+      // Bottom-up: every unvisited candidate pulls from the frontier. The
+      // frontier membership test runs against a dense bitmap so the inner
+      // loop touches |V|/8 bytes instead of the 4-byte-per-vertex dist
+      // array; sigma is summed locally in ascending neighbor order.
+      for (uint64_t i = begin; i < end; ++i) SetBit(frontier_bits, order[i]);
+      if (!candidates_valid) {
+        for (graph::NodeId v = 0; v < n; ++v) {
+          if (!TestBit(visited, v)) candidates.push_back(v);
+        }
+        candidates_valid = true;
+      }
+      size_t keep = 0;
+      for (const graph::NodeId v : candidates) {
+        if (TestBit(visited, v)) continue;  // discovered by an earlier level
+        double s = 0.0;
+        bool reached = false;
+        for (graph::NodeId u : g.Neighbors(v)) {
+          if (TestBit(frontier_bits, u)) {
+            s += sigma[u];
+            reached = true;
+          }
+        }
+        if (reached) {
+          SetBit(visited, v);
+          dist[v] = next_level;
+          sigma[v] = s;
+          order.push_back(v);  // candidates ascend, so the level ascends
+          next_degree += g.Degree(v);
+        } else {
+          candidates[keep++] = v;
+        }
+      }
+      candidates.resize(keep);
+      for (uint64_t i = begin; i < end; ++i) {
+        ClearBit(frontier_bits, order[i]);
+      }
+    }
+    level_offsets.push_back(order.size());
+    level_degrees.push_back(next_degree);
+    unvisited_degree -= next_degree;
+    ++level;
+  }
+  // Levels 0..level-1 are non-empty; level_offsets[level+1] closes the last
+  // (empty) one.
+
+  // ---- Reverse pass: dependency accumulation, level-synchronous and
+  // direction-optimized the same way. For each level l (descending), the
+  // per-successor coefficient (1+delta[w])/sigma[w] is computed once into a
+  // dense array; pushing from level l and pulling into level l-1 then
+  // produce bit-identical sums (same terms, same ascending-w order per
+  // target), so the direction choice is purely a cost decision. ----
+  for (size_t l = level; l-- > 1;) {
+    if (CancellationRequested(options.cancel)) return false;
+    const uint64_t w_begin = level_offsets[l];
+    const uint64_t w_end = level_offsets[l + 1];
+    for (uint64_t i = w_begin; i < w_end; ++i) {
+      const graph::NodeId w = order[i];
+      coeff[w] = (1.0 + delta[w]) / sigma[w];
+    }
+    const bool pull = hybrid && level_degrees[l - 1] < level_degrees[l];
+    const int32_t succ_level = static_cast<int32_t>(l);
+    if (!pull) {
+      for (uint64_t i = w_begin; i < w_end; ++i) {
+        const graph::NodeId w = order[i];
+        const double cw = coeff[w];
+        const auto neighbors = g.Neighbors(w);
+        const auto incident = g.IncidentEdges(w);
+        for (size_t j = 0; j < neighbors.size(); ++j) {
+          const graph::NodeId v = neighbors[j];
+          if (dist[v] + 1 != succ_level) continue;  // not a predecessor
+          const double contribution = sigma[v] * cw;
+          delta[v] += contribution;
+          scratch->edge_acc[incident[j]] += contribution;
+        }
+      }
+    } else {
+      for (uint64_t i = level_offsets[l - 1]; i < w_begin; ++i) {
+        const graph::NodeId v = order[i];
+        const double sigma_v = sigma[v];
+        const auto neighbors = g.Neighbors(v);
+        const auto incident = g.IncidentEdges(v);
+        for (size_t j = 0; j < neighbors.size(); ++j) {
+          const graph::NodeId w = neighbors[j];
+          if (dist[w] != succ_level) continue;  // not a successor
+          const double contribution = sigma_v * coeff[w];
+          delta[v] += contribution;
+          scratch->edge_acc[incident[j]] += contribution;
+        }
+      }
     }
   }
-
-  // Reverse accumulation. For each vertex w (in reverse BFS order), each
-  // predecessor edge (v, w) carries sigma[v]/sigma[w] * (1 + delta[w]).
-  for (size_t i = order.size(); i-- > 1;) {  // skip the source itself
-    graph::NodeId w = order[i];
-    const double coefficient = (1.0 + delta[w]) / sigma[w];
-    auto neighbors = g.Neighbors(w);
-    auto incident = g.IncidentEdges(w);
-    for (size_t j = 0; j < neighbors.size(); ++j) {
-      graph::NodeId v = neighbors[j];
-      if (dist[v] + 1 != dist[w]) continue;  // not a predecessor
-      const double contribution = sigma[v] * coefficient;
-      delta[v] += contribution;
-      scratch->edge_acc[incident[j]] += contribution;
-    }
+  for (uint64_t i = 1; i < order.size(); ++i) {  // skip the source itself
+    const graph::NodeId w = order[i];
     scratch->node_acc[w] += delta[w];
   }
+  return true;
+}
+
+/// Ids of the k highest-scoring edges, sorted ascending by id (set
+/// semantics) for cheap overlap computation. Ties break toward the lower
+/// edge id, matching EdgesByBetweennessDescending.
+std::vector<graph::EdgeId> TopKEdgeIds(const std::vector<double>& scores,
+                                       uint64_t k) {
+  std::vector<graph::EdgeId> ids(scores.size());
+  std::iota(ids.begin(), ids.end(), graph::EdgeId{0});
+  k = std::min<uint64_t>(k, ids.size());
+  std::nth_element(ids.begin(), ids.begin() + static_cast<ptrdiff_t>(k),
+                   ids.end(), [&scores](graph::EdgeId a, graph::EdgeId b) {
+                     if (scores[a] != scores[b]) return scores[a] > scores[b];
+                     return a < b;
+                   });
+  ids.resize(k);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+uint64_t SortedIntersectionSize(const std::vector<graph::EdgeId>& a,
+                                const std::vector<graph::EdgeId>& b) {
+  uint64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
 }
 
 }  // namespace
@@ -80,13 +288,14 @@ void BrandesFromSource(const graph::Graph& g, graph::NodeId source,
 BetweennessScores Betweenness(const graph::Graph& g,
                               const BetweennessOptions& options) {
   const uint64_t n = g.NumNodes();
+  const uint64_t m = g.NumEdges();
   BetweennessScores scores;
   scores.node.assign(n, 0.0);
-  scores.edge.assign(g.NumEdges(), 0.0);
+  scores.edge.assign(m, 0.0);
   if (n == 0) return scores;
 
   std::vector<graph::NodeId> sources;
-  double rescale = 1.0;
+  bool sampled = false;
   if (n <= options.exact_node_threshold || options.sample_sources >= n) {
     sources.resize(n);
     std::iota(sources.begin(), sources.end(), graph::NodeId{0});
@@ -95,7 +304,7 @@ BetweennessScores Betweenness(const graph::Graph& g,
     for (uint64_t index : rng.SampleIndices(n, options.sample_sources)) {
       sources.push_back(static_cast<graph::NodeId>(index));
     }
-    rescale = static_cast<double>(n) / static_cast<double>(sources.size());
+    sampled = true;
   }
 
   // Striped reduction instead of a global merge mutex: the sources are split
@@ -105,40 +314,86 @@ BetweennessScores Betweenness(const graph::Graph& g,
   // partials are summed per index in ascending partition order below, so the
   // floating-point accumulation order (and therefore every bit of the
   // result) is identical for any EDGESHED_THREADS value.
-  const uint64_t m = g.NumEdges();
   constexpr uint64_t kMaxPartials = 16;
   constexpr uint64_t kMinSourcesPerPartial = 4;
   const uint64_t num_partials = std::clamp<uint64_t>(
       sources.size() / kMinSourcesPerPartial, 1, kMaxPartials);
-  std::vector<std::vector<double>> node_parts(num_partials);
-  std::vector<std::vector<double>> edge_parts(num_partials);
-  ParallelForEach(
-      0, num_partials,
-      [&](uint64_t part) {
-        BrandesScratch scratch;
-        scratch.Init(n, m);
-        const uint64_t first = sources.size() * part / num_partials;
-        const uint64_t last = sources.size() * (part + 1) / num_partials;
-        for (uint64_t i = first; i < last; ++i) {
-          // One poll per source sweep (each sweep is O(|V|+|E|), so the
-          // check is far off the hot path). A tripped token abandons the
-          // partition; the caller checks the token and discards the scores.
-          if (CancellationRequested(options.cancel)) return;
-          BrandesFromSource(g, sources[i], &scratch);
-        }
-        node_parts[part] = std::move(scratch.node_acc);
-        edge_parts[part] = std::move(scratch.edge_acc);
-      },
-      options.threads, /*grain=*/1);
+  std::vector<BrandesScratch> scratches(num_partials);
 
-  // Cancelled mid-sweep: the partials are incomplete, so merging them would
-  // only launder garbage. Return the zeroed scores; the caller is required
-  // to check the token before using them.
-  if (CancellationRequested(options.cancel)) return scores;
+  // Adaptive pivot waves (sampled mode only): the sources are processed in
+  // fixed consecutive slices; after each wave the partials are merged
+  // deterministically and the run stops once the top-k edge ranking agrees
+  // with the previous wave's. The stripe layout is computed from the *full*
+  // source count, so an early stop changes how many sources each partial
+  // swept but never the accumulation order of the ones it did.
+  const uint64_t total = sources.size();
+  const uint64_t wave_size =
+      (sampled && options.wave_size > 0) ? options.wave_size : total;
+  const uint64_t wave_top_k =
+      options.wave_top_k > 0
+          ? options.wave_top_k
+          : std::max<uint64_t>(256, m / 2);
+  uint64_t processed = 0;
+  uint64_t waves_run = 0;
+  std::vector<graph::EdgeId> prev_top_k;
+  std::vector<double> wave_merged;
+
+  while (processed < total) {
+    const uint64_t wave_begin = processed;
+    const uint64_t wave_end = std::min(total, wave_begin + wave_size);
+    ParallelForEach(
+        0, num_partials,
+        [&](uint64_t part) {
+          BrandesScratch& scratch = scratches[part];
+          const uint64_t stripe_first = total * part / num_partials;
+          const uint64_t stripe_last = total * (part + 1) / num_partials;
+          const uint64_t first = std::max(stripe_first, wave_begin);
+          const uint64_t last = std::min(stripe_last, wave_end);
+          if (first >= last) return;
+          scratch.EnsureAccumulators(n, m);
+          for (uint64_t i = first; i < last; ++i) {
+            // Cancellation is polled per BFS level inside the sweep; a
+            // tripped token abandons the partition and the caller discards
+            // the whole run.
+            if (!BrandesFromSource(g, sources[i], options, &scratch)) return;
+          }
+        },
+        options.threads, /*grain=*/1);
+    if (CancellationRequested(options.cancel)) return scores;
+    processed = wave_end;
+    ++waves_run;
+    if (processed >= total) break;
+    // Stability check against the previous wave's merged ranking. The merge
+    // is per-index in ascending partition order — deterministic — and the
+    // ranking comparison is a plain top-k set overlap.
+    wave_merged.assign(m, 0.0);
+    ParallelFor(
+        0, m,
+        [&](uint64_t begin, uint64_t end) {
+          for (uint64_t part = 0; part < num_partials; ++part) {
+            const auto& acc = scratches[part].edge_acc;
+            if (acc.empty()) continue;
+            for (uint64_t e = begin; e < end; ++e) wave_merged[e] += acc[e];
+          }
+        },
+        options.threads);
+    std::vector<graph::EdgeId> top_k = TopKEdgeIds(wave_merged, wave_top_k);
+    if (!prev_top_k.empty() && !top_k.empty()) {
+      const double overlap =
+          static_cast<double>(SortedIntersectionSize(prev_top_k, top_k)) /
+          static_cast<double>(top_k.size());
+      if (overlap >= options.wave_stability) break;
+    }
+    prev_top_k = std::move(top_k);
+  }
+
+  const double rescale =
+      sampled ? static_cast<double>(n) / static_cast<double>(processed) : 1.0;
 
   // Range-partitioned merge: each index is owned by exactly one chunk, and
-  // partials are added in fixed partition order. Halve the directed double
-  // count and apply the sampling rescale in the same pass.
+  // partials are added in fixed partition order (lazily allocated partials
+  // that never ran a sweep stay empty and contribute nothing). Halve the
+  // directed double count and apply the sampling rescale in the same pass.
   const double factor = 0.5 * rescale;
   ParallelFor(
       0, n,
@@ -146,7 +401,8 @@ BetweennessScores Betweenness(const graph::Graph& g,
         for (uint64_t u = begin; u < end; ++u) {
           double acc = 0.0;
           for (uint64_t part = 0; part < num_partials; ++part) {
-            acc += node_parts[part][u];
+            if (scratches[part].node_acc.empty()) continue;
+            acc += scratches[part].node_acc[u];
           }
           scores.node[u] = acc * factor;
         }
@@ -158,12 +414,15 @@ BetweennessScores Betweenness(const graph::Graph& g,
         for (uint64_t e = begin; e < end; ++e) {
           double acc = 0.0;
           for (uint64_t part = 0; part < num_partials; ++part) {
-            acc += edge_parts[part][e];
+            if (scratches[part].edge_acc.empty()) continue;
+            acc += scratches[part].edge_acc[e];
           }
           scores.edge[e] = acc * factor;
         }
       },
       options.threads);
+  scores.sources_processed = processed;
+  scores.waves = waves_run;
   return scores;
 }
 

@@ -63,9 +63,20 @@ StatusOr<SheddingResult> Crr::Shed(const graph::Graph& g,
     analytics::BetweennessOptions betweenness = options_.betweenness;
     betweenness.cancel = cancel;
     if (shed_options.threads > 0) betweenness.threads = shed_options.threads;
-    Stopwatch betweenness_watch;
-    ranked = analytics::EdgesByBetweennessDescending(g, betweenness);
-    betweenness_seconds = betweenness_watch.ElapsedSeconds();
+    if (shed_options.rank_provider != nullptr) {
+      StatusOr<EdgeRanking> ranking = shed_options.rank_provider(g, betweenness);
+      if (!ranking.ok()) return ranking.status();
+      if (ranking->ids.size() != num_edges) {
+        return Status::Internal(
+            "rank provider returned a ranking of the wrong size");
+      }
+      ranked = std::move(ranking->ids);
+      betweenness_seconds = ranking->seconds;
+    } else {
+      Stopwatch betweenness_watch;
+      ranked = analytics::EdgesByBetweennessDescending(g, betweenness);
+      betweenness_seconds = betweenness_watch.ElapsedSeconds();
+    }
   } else {
     ranked.resize(num_edges);
     std::iota(ranked.begin(), ranked.end(), graph::EdgeId{0});

@@ -27,8 +27,12 @@ struct CrrOptions {
   bool accept_zero_delta_swaps = false;
 
   /// Betweenness estimator controls (exact below the threshold, sampled
-  /// pivots above; see analytics::BetweennessOptions).
-  analytics::BetweennessOptions betweenness;
+  /// pivots above; see analytics::BetweennessOptions). Defaults to the
+  /// ranking fast path — hybrid kernel plus adaptive pivot waves
+  /// (DESIGN.md §12); waves only engage in sampled mode, so graphs under
+  /// the exact threshold are unaffected.
+  analytics::BetweennessOptions betweenness =
+      analytics::BetweennessOptions::FastRanking();
 
   /// Seed for Phase-2 swap sampling (and Phase-1 random init).
   uint64_t seed = 42;

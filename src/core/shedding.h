@@ -2,11 +2,13 @@
 #define EDGESHED_CORE_SHEDDING_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "analytics/betweenness.h"
 #include "common/cancellation.h"
 #include "common/statusor.h"
 #include "graph/graph.h"
@@ -32,6 +34,27 @@ struct SheddingResult {
   }
 };
 
+/// A Phase-1 edge ranking (every EdgeId of the graph, best first), plus
+/// provenance: whether the provider computed it on this call and how long
+/// that took. A caching provider returns `computed = false` and
+/// `seconds = 0.0` exactly on a hit, so shedders can surface honest
+/// per-phase timings (`betweenness_seconds` stays 0 for the job that reused
+/// another job's ranking).
+struct EdgeRanking {
+  std::vector<graph::EdgeId> ids;
+  bool computed = false;
+  double seconds = 0.0;
+};
+
+/// Supplies a ranking for Phase 1 instead of the shedder computing one
+/// inline — the hook the service layer uses to share one betweenness pass
+/// across jobs (see service::RankCache). The options carry the shedder's
+/// full estimator configuration including its cancellation token; a
+/// provider must produce ids equivalent to
+/// analytics::EdgesByBetweennessDescending(g, options) or fail.
+using RankProvider = std::function<StatusOr<EdgeRanking>(
+    const graph::Graph& g, const analytics::BetweennessOptions& options)>;
+
 /// Per-call knobs shared by every shedder, so the cancellation token, thread
 /// count, and seed do not have to be threaded through each kernel signature
 /// individually. Field-by-field:
@@ -46,11 +69,16 @@ struct SheddingResult {
 ///    bit-identical across thread counts.
 ///  * `seed` — overrides the shedder's configured seed for this call when
 ///    set; unset keeps the configured one.
+///  * `rank_provider` — optional Phase-1 ranking source; null means the
+///    shedder ranks inline. Only consulted by shedders whose Phase 1 is a
+///    betweenness ranking (CRR); a provider that honors the contract above
+///    keeps results bit-identical to inline ranking.
 struct ShedOptions {
   double p = 0.5;
   const CancellationToken* cancel = nullptr;
   int threads = 0;
   std::optional<uint64_t> seed;
+  RankProvider rank_provider;
 };
 
 /// Interface shared by all graph-reduction methods in this library (CRR,

@@ -41,13 +41,43 @@ Status GraphStore::Register(const std::string& name, Loader loader) {
   return Status::OK();
 }
 
+Status GraphStore::Replace(const std::string& name, Loader loader) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must be non-empty");
+  }
+  if (loader == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("null loader for dataset '%s'", name.c_str()));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  Entry& entry = it->second;
+  entry.loader = std::move(loader);
+  if (inserted) return Status::OK();
+  ++entry.generation;
+  if (entry.graph != nullptr) {
+    bytes_resident_ -= entry.bytes;
+    entry.bytes = 0;
+    entry.graph.reset();  // leases held by running jobs stay valid
+    lru_.erase(entry.lru_pos);
+    PublishGaugesLocked();
+  }
+  return Status::OK();
+}
+
+uint64_t GraphStore::Generation(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.generation;
+}
+
 void GraphStore::SetFallbackLoaderFactory(LoaderFactory factory) {
   std::lock_guard<std::mutex> lock(mu_);
   fallback_factory_ = std::move(factory);
 }
 
 StatusOr<std::shared_ptr<const graph::Graph>> GraphStore::Get(
-    const std::string& name) {
+    const std::string& name, uint64_t* generation) {
   std::unique_lock<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end() && fallback_factory_ != nullptr &&
@@ -88,17 +118,21 @@ StatusOr<std::shared_ptr<const graph::Graph>> GraphStore::Get(
     lru_.splice(lru_.begin(), lru_, entry.lru_pos);
     obs::Counter* counter = waited ? instruments_.wait_hit : instruments_.hit;
     if (counter != nullptr) counter->Increment();
+    if (generation != nullptr) *generation = entry.generation;
     return entry.graph;
   }
 
-  // Miss: this thread loads, outside the lock.
+  // Miss: this thread loads, outside the lock. The loader is copied under
+  // the lock because Replace may swap it concurrently.
   entry.loading = true;
   const uint64_t epoch = ++entry.load_epoch;
+  const uint64_t loading_generation = entry.generation;
+  Loader loader = entry.loader;
   lock.unlock();
   obs::Span load_span = obs::Tracer::StartSpan(tracer_, "store.load");
   load_span.Annotate("dataset", name);
   Stopwatch watch;
-  StatusOr<graph::Graph> loaded = entry.loader();
+  StatusOr<graph::Graph> loaded = loader();
   const double load_seconds = watch.ElapsedSeconds();
   load_span.Annotate("ok", loaded.ok() ? "true" : "false");
   load_span.End();
@@ -114,6 +148,14 @@ StatusOr<std::shared_ptr<const graph::Graph>> GraphStore::Get(
     return loaded.status();
   }
   load_done_.notify_all();
+  if (entry.generation != loading_generation) {
+    // Replace landed mid-load: the graph we built belongs to the old
+    // generation. Hand it to this caller (labelled with the generation it
+    // came from) without installing it, so the next Get loads fresh data.
+    if (generation != nullptr) *generation = loading_generation;
+    if (instruments_.miss != nullptr) instruments_.miss->Increment();
+    return std::make_shared<const graph::Graph>(std::move(loaded).value());
+  }
   entry.graph =
       std::make_shared<const graph::Graph>(std::move(loaded).value());
   entry.bytes = ApproxBytes(*entry.graph);
@@ -126,6 +168,7 @@ StatusOr<std::shared_ptr<const graph::Graph>> GraphStore::Get(
   }
   EvictLocked(name);
   PublishGaugesLocked();
+  if (generation != nullptr) *generation = entry.generation;
   return entry.graph;
 }
 

@@ -78,6 +78,19 @@ class GraphStore {
   /// FailedPrecondition if the name is already registered.
   Status Register(const std::string& name, Loader loader);
 
+  /// Replaces the loader under `name` (registering it when new), drops any
+  /// resident graph, and bumps the dataset's generation — the signal
+  /// downstream caches key on to invalidate derived data (rank cache,
+  /// DESIGN.md §12). A load in flight when Replace lands still completes
+  /// for its own waiters with the *old* loader's graph and generation; it is
+  /// not installed, so the next Get reloads fresh. InvalidArgument on empty
+  /// name or null loader.
+  Status Replace(const std::string& name, Loader loader);
+
+  /// Monotonic per-dataset version, starting at 1 on registration and
+  /// bumped by every Replace. 0 for unregistered names.
+  uint64_t Generation(const std::string& name) const;
+
   /// Maps a not-yet-registered dataset name to a loader, or std::nullopt to
   /// decline. Called under the store lock, so it must be fast and must not
   /// call back into the store; the loader it returns runs outside the lock
@@ -98,8 +111,11 @@ class GraphStore {
   /// Returns the graph for `name`, loading it on a miss. NotFound for
   /// unregistered names; loader failures are returned verbatim to the
   /// loading Get *and* to every Get blocked on the same load wave (and not
-  /// cached — a fresh Get retries).
-  StatusOr<std::shared_ptr<const graph::Graph>> Get(const std::string& name);
+  /// cached — a fresh Get retries). When `generation` is non-null it
+  /// receives the dataset generation the returned graph belongs to,
+  /// observed atomically with the graph itself.
+  StatusOr<std::shared_ptr<const graph::Graph>> Get(
+      const std::string& name, uint64_t* generation = nullptr);
 
   /// True iff `name` is currently resident (testing / introspection).
   bool IsResident(const std::string& name) const;
@@ -120,6 +136,9 @@ class GraphStore {
   struct Entry {
     Loader loader;
     std::shared_ptr<const graph::Graph> graph;  // null when not resident
+    /// Dataset version; bumped by Replace so generation-keyed caches of
+    /// derived data invalidate without coordination.
+    uint64_t generation = 1;
     uint64_t bytes = 0;
     bool loading = false;  // a thread is running `loader` right now
     /// Load-wave bookkeeping: `load_epoch` is bumped when a load starts;

@@ -71,6 +71,12 @@ JobScheduler::JobScheduler(GraphStore* store, MetricsRegistry* metrics,
         metrics_->GetLatency("scheduler.queue_seconds");
     instruments_.run_seconds = metrics_->GetLatency("scheduler.run_seconds");
   }
+  if (options_.enable_rank_cache) {
+    RankCacheOptions rank_options;
+    rank_options.byte_budget = options_.rank_cache_byte_budget;
+    rank_cache_ =
+        std::make_unique<RankCache>(rank_options, metrics_, tracer_);
+  }
   int workers = options_.workers > 0 ? options_.workers : DefaultThreadCount();
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -84,9 +90,13 @@ JobScheduler::JobScheduler(GraphStore* store, MetricsRegistry* metrics,
 
 JobScheduler::~JobScheduler() { Shutdown(); }
 
-std::string JobScheduler::CacheKey(const JobSpec& spec) {
+std::string JobScheduler::CacheKey(const JobSpec& spec, uint64_t generation) {
   // %a renders the exact bits of p, so 0.1 and 0.1000000001 never collide.
-  return StrFormat("%s|%s|%a|%llu|%s", spec.dataset.c_str(),
+  // The dataset generation (bumped by GraphStore::Replace) is part of the
+  // key so a replaced dataset can never serve results computed against its
+  // predecessor from the result cache, nor coalesce onto its jobs.
+  return StrFormat("%s|g%llu|%s|%a|%llu|%s", spec.dataset.c_str(),
+                   static_cast<unsigned long long>(generation),
                    spec.method.c_str(), spec.p,
                    static_cast<unsigned long long>(spec.seed),
                    spec.output_path.c_str());
@@ -111,7 +121,7 @@ StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
   Job job;
   job.id = next_id_;
   job.spec = spec;
-  job.cache_key = CacheKey(spec);
+  job.cache_key = CacheKey(spec, store_->Generation(spec.dataset));
   job.submit_time = now;
   job.deadline = spec.deadline.count() > 0 ? now + spec.deadline
                                            : Clock::time_point::max();
@@ -404,7 +414,8 @@ StatusOr<core::SheddingResult> JobScheduler::Execute(
     *run_seconds = watch.ElapsedSeconds();
     return cancel->ToStatus();
   }
-  auto graph = store_->Get(spec.dataset);
+  uint64_t generation = 0;
+  auto graph = store_->Get(spec.dataset, &generation);
   if (!graph.ok()) {
     *run_seconds = watch.ElapsedSeconds();
     return graph.status();
@@ -418,6 +429,20 @@ StatusOr<core::SheddingResult> JobScheduler::Execute(
   shed_options.p = spec.p;
   shed_options.cancel = cancel;
   shed_options.seed = spec.seed;
+  if (rank_cache_ != nullptr) {
+    // Route the shedder's Phase-1 ranking through the cross-job cache,
+    // keyed by the generation observed with the graph lease above so a
+    // ranking is never paired with a replaced dataset. Methods that do not
+    // rank by betweenness simply never invoke the provider.
+    RankCache* cache = rank_cache_.get();
+    const std::string dataset = spec.dataset;
+    shed_options.rank_provider =
+        [cache, dataset, generation](
+            const graph::Graph& g,
+            const analytics::BetweennessOptions& betweenness) {
+          return cache->GetOrCompute(dataset, generation, g, betweenness);
+        };
+  }
   StatusOr<core::SheddingResult> result =
       (*shedder)->Shed(**graph, shed_options);
   if (result.ok() && !spec.output_path.empty()) {

@@ -21,6 +21,7 @@
 #include "obs/tracer.h"
 #include "service/graph_store.h"
 #include "service/metrics_registry.h"
+#include "service/rank_cache.h"
 
 namespace edgeshed::service {
 
@@ -53,6 +54,12 @@ struct JobSchedulerOptions {
   /// Byte budget for the result cache (approximate accounting); least-
   /// recently-used entries are evicted once the budget is exceeded.
   uint64_t result_cache_byte_budget = 64ull << 20;  // 64 MiB
+  /// Share Phase-1 betweenness rankings across jobs on the same dataset
+  /// (RankCache, DESIGN.md §12). Job results are unchanged either way; this
+  /// only removes redundant ranking passes.
+  bool enable_rank_cache = true;
+  /// Byte budget for the rank cache (|E| edge ids per cached ranking).
+  uint64_t rank_cache_byte_budget = 128ull << 20;  // 128 MiB
 };
 
 /// One shedding request: reduce `dataset` with `method` at ratio `p`.
@@ -169,6 +176,10 @@ class JobScheduler {
 
   int workers() const { return static_cast<int>(workers_.size()); }
 
+  /// The cross-job ranking cache; null when Options disabled it.
+  /// Introspection / test hook — jobs use it automatically.
+  RankCache* rank_cache() { return rank_cache_.get(); }
+
   /// Stops intake, cancels queued jobs, drains running ones, joins workers.
   /// Idempotent.
   void Shutdown();
@@ -214,7 +225,7 @@ class JobScheduler {
     std::list<std::string>::iterator lru_pos;
   };
 
-  static std::string CacheKey(const JobSpec& spec);
+  static std::string CacheKey(const JobSpec& spec, uint64_t generation);
   static bool IsTerminal(JobState state) { return state >= JobState::kDone; }
   static uint64_t ApproxResultBytes(const core::SheddingResult& result);
 
@@ -278,6 +289,9 @@ class JobScheduler {
   obs::Tracer* const tracer_;      // may be null
   Instruments instruments_;
   const JobSchedulerOptions options_;
+  /// Cross-job Phase-1 ranking cache; null when disabled. Internally
+  /// synchronized — accessed by workers outside mu_.
+  std::unique_ptr<RankCache> rank_cache_;
 
   mutable std::mutex mu_;
   std::condition_variable work_available_;

@@ -188,5 +188,179 @@ TEST(EdgesByBetweennessTest, TiesBrokenByEdgeId) {
   }
 }
 
+// ---- Direction-optimizing hybrid kernel (DESIGN.md §12) ----
+
+void ExpectBitIdentical(const BetweennessScores& a,
+                        const BetweennessScores& b) {
+  ASSERT_EQ(a.node.size(), b.node.size());
+  ASSERT_EQ(a.edge.size(), b.edge.size());
+  for (size_t i = 0; i < a.node.size(); ++i) {
+    ASSERT_EQ(a.node[i], b.node[i]) << "node " << i;
+  }
+  for (size_t i = 0; i < a.edge.size(); ++i) {
+    ASSERT_EQ(a.edge[i], b.edge[i]) << "edge " << i;
+  }
+  EXPECT_EQ(a.sources_processed, b.sources_processed);
+}
+
+TEST(HybridKernelTest, ExactScoresBitIdenticalToClassic) {
+  Rng rng(41);
+  std::vector<graph::Graph> graphs;
+  graphs.push_back(Path(7));
+  graphs.push_back(Star(9));
+  graphs.push_back(Clique(6));
+  graphs.push_back(Cycle(10));
+  graphs.push_back(TwoTrianglesWithBridge());
+  graphs.push_back(graph::ErdosRenyi(300, 1200, rng));
+  graphs.push_back(graph::BarabasiAlbert(500, 3, rng));
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    BetweennessOptions classic = BetweennessOptions::Exact();
+    classic.kernel = BetweennessOptions::Kernel::kClassic;
+    BetweennessOptions hybrid = BetweennessOptions::Exact();
+    hybrid.kernel = BetweennessOptions::Kernel::kHybrid;
+    SCOPED_TRACE(::testing::Message() << "graph " << i);
+    ExpectBitIdentical(Betweenness(graphs[i], classic),
+                       Betweenness(graphs[i], hybrid));
+  }
+}
+
+TEST(HybridKernelTest, SampledScoresBitIdenticalToClassic) {
+  Rng rng(42);
+  graph::Graph g = graph::BarabasiAlbert(3000, 3, rng);
+  BetweennessOptions classic;
+  classic.exact_node_threshold = 1;  // force sampling
+  classic.sample_sources = 128;
+  classic.kernel = BetweennessOptions::Kernel::kClassic;
+  BetweennessOptions hybrid = classic;
+  hybrid.kernel = BetweennessOptions::Kernel::kHybrid;
+  ExpectBitIdentical(Betweenness(g, classic), Betweenness(g, hybrid));
+}
+
+TEST(HybridKernelTest, AggressiveSwitchThresholdStaysBitIdentical) {
+  // hybrid_alpha only moves the push/pull break-even point; any value must
+  // produce the same bits because both directions share one canonical
+  // accumulation order.
+  Rng rng(43);
+  graph::Graph g = graph::ErdosRenyi(800, 6400, rng);
+  BetweennessOptions base = BetweennessOptions::Exact();
+  base.kernel = BetweennessOptions::Kernel::kClassic;
+  for (double alpha : {0.05, 1.0, 20.0}) {
+    BetweennessOptions hybrid = BetweennessOptions::Exact();
+    hybrid.kernel = BetweennessOptions::Kernel::kHybrid;
+    hybrid.hybrid_alpha = alpha;
+    SCOPED_TRACE(::testing::Message() << "alpha " << alpha);
+    ExpectBitIdentical(Betweenness(g, base), Betweenness(g, hybrid));
+  }
+}
+
+TEST(HybridKernelTest, CancelledBeforeStartReturnsZeroedScores) {
+  Rng rng(44);
+  graph::Graph g = graph::BarabasiAlbert(1000, 4, rng);
+  CancellationToken token;
+  token.Cancel();
+  BetweennessOptions options = BetweennessOptions::Exact();
+  options.cancel = &token;
+  auto scores = Betweenness(g, options);
+  ASSERT_EQ(scores.node.size(), g.NumNodes());
+  for (double s : scores.node) EXPECT_EQ(s, 0.0);
+  for (double s : scores.edge) EXPECT_EQ(s, 0.0);
+}
+
+// ---- Adaptive pivot waves (DESIGN.md §12) ----
+
+TEST(AdaptiveWaveTest, NeverStoppingWaveRunMatchesSinglePass) {
+  Rng rng(45);
+  graph::Graph g = graph::BarabasiAlbert(2500, 3, rng);
+  BetweennessOptions single;
+  single.exact_node_threshold = 1;
+  single.sample_sources = 96;
+  BetweennessOptions waves = single;
+  waves.wave_size = 16;
+  waves.wave_stability = 2.0;  // > 1: never stop early
+  auto a = Betweenness(g, single);
+  auto b = Betweenness(g, waves);
+  ExpectBitIdentical(a, b);
+  EXPECT_EQ(a.waves, 1u);
+  EXPECT_EQ(b.waves, 6u);  // ceil(96 / 16)
+  EXPECT_EQ(b.sources_processed, 96u);
+}
+
+TEST(AdaptiveWaveTest, StopsEarlyOnceRankingStabilizes) {
+  Rng rng(46);
+  graph::Graph g = graph::BarabasiAlbert(4000, 3, rng);
+  BetweennessOptions options;
+  options.exact_node_threshold = 1;
+  options.sample_sources = 256;
+  options.wave_size = 32;
+  options.wave_stability = 0.9;
+  auto scores = Betweenness(g, options);
+  EXPECT_LT(scores.sources_processed, 256u);
+  EXPECT_LT(scores.waves, 8u);
+  EXPECT_GE(scores.waves, 2u);  // the stop needs a previous wave to compare
+
+  // The early stop must not cost ranking quality beyond what sampling
+  // already costs: compare the early-stopped ranking against the same
+  // sampled run with waves disabled, over the top half of the edges (the
+  // slice a p=0.5 CRR reduction consumes, and the auto wave_top_k slice).
+  // Sampling noise itself dominates the wave truncation, so the two
+  // rankings agree well above chance (~0.5 for a random half).
+  BetweennessOptions full = options;
+  full.wave_size = 0;
+  auto full_rank = EdgesByBetweennessDescending(g, full);
+  auto fast = EdgesByBetweennessDescending(g, options);
+  const size_t slice = g.NumEdges() / 2;
+  std::unordered_set<graph::EdgeId> full_top(full_rank.begin(),
+                                             full_rank.begin() + slice);
+  size_t hits = 0;
+  for (size_t i = 0; i < slice; ++i) hits += full_top.contains(fast[i]);
+  EXPECT_GE(static_cast<double>(hits) / static_cast<double>(slice), 0.8);
+}
+
+TEST(AdaptiveWaveTest, RescaleUsesProcessedSourceCount) {
+  // An early-stopped run must rescale by n/processed, not n/sample_sources,
+  // to stay an unbiased estimate of the exact magnitudes.
+  Rng rng(47);
+  graph::Graph g = graph::ErdosRenyi(1500, 6000, rng);
+  BetweennessOptions options;
+  options.exact_node_threshold = 1;
+  options.sample_sources = 512;
+  options.wave_size = 64;
+  options.wave_stability = 0.85;
+  auto sampled = Betweenness(g, options);
+  auto exact = Betweenness(g, BetweennessOptions::Exact());
+  double exact_sum = 0.0;
+  double sampled_sum = 0.0;
+  for (double s : exact.node) exact_sum += s;
+  for (double s : sampled.node) sampled_sum += s;
+  EXPECT_NEAR(sampled_sum / exact_sum, 1.0, 0.2);
+}
+
+TEST(AdaptiveWaveTest, WavesOnlyEngageWhenSampling) {
+  // Below the exact threshold every source runs; a wave request is ignored.
+  auto g = TwoTrianglesWithBridge();
+  BetweennessOptions options = BetweennessOptions::FastRanking();
+  auto scores = Betweenness(g, options);
+  EXPECT_EQ(scores.waves, 1u);
+  EXPECT_EQ(scores.sources_processed, g.NumNodes());
+  ExpectBitIdentical(scores, Betweenness(g, BetweennessOptions::Exact()));
+}
+
+TEST(AdaptiveWaveTest, WaveScheduleIsThreadCountInvariant) {
+  Rng rng(48);
+  graph::Graph g = graph::BarabasiAlbert(3000, 3, rng);
+  BetweennessOptions one;
+  one.exact_node_threshold = 1;
+  one.sample_sources = 192;
+  one.wave_size = 24;
+  one.wave_stability = 0.9;
+  one.threads = 1;
+  BetweennessOptions many = one;
+  many.threads = 4;
+  auto a = Betweenness(g, one);
+  auto b = Betweenness(g, many);
+  EXPECT_EQ(a.waves, b.waves);
+  ExpectBitIdentical(a, b);
+}
+
 }  // namespace
 }  // namespace edgeshed::analytics

@@ -134,6 +134,35 @@ TEST_F(ParallelDeterminismTest, BetweennessScoresAreBitIdentical) {
   EXPECT_EQ(ranked_serial, ranked_parallel);
 }
 
+TEST_F(ParallelDeterminismTest, HybridWaveScoresAreBitIdentical) {
+  // The ranking fast path — hybrid kernel plus adaptive waves — must hold
+  // the same bit-identity contract as the single-pass classic kernel: the
+  // wave schedule and the early-stop decision are computed from
+  // deterministically merged partials, never from thread timing.
+  Rng rng(9);
+  graph::Graph g = graph::BarabasiAlbert(2000, 4, rng);
+  analytics::BetweennessOptions options =
+      analytics::BetweennessOptions::FastRanking();
+  options.exact_node_threshold = 256;  // force sampling
+  options.sample_sources = 96;
+  options.wave_stability = 0.9;
+
+  SetThreads("1");
+  analytics::BetweennessScores serial = analytics::Betweenness(g, options);
+  SetThreads("8");
+  analytics::BetweennessScores parallel = analytics::Betweenness(g, options);
+
+  ASSERT_EQ(serial.waves, parallel.waves);
+  ASSERT_EQ(serial.sources_processed, parallel.sources_processed);
+  ASSERT_EQ(serial.node.size(), parallel.node.size());
+  for (size_t i = 0; i < serial.node.size(); ++i) {
+    ASSERT_EQ(serial.node[i], parallel.node[i]) << "node " << i;
+  }
+  for (size_t i = 0; i < serial.edge.size(); ++i) {
+    ASSERT_EQ(serial.edge[i], parallel.edge[i]) << "edge " << i;
+  }
+}
+
 TEST_F(ParallelDeterminismTest, CrrKeptEdgesAreThreadCountInvariant) {
   Rng rng(21);
   graph::Graph g = graph::BarabasiAlbert(1200, 5, rng);

@@ -121,8 +121,8 @@ int Usage() {
                "  service  [--jobs=jobs.txt] [--workers=N] [--queue=K] "
                "[--store_budget_mb=M] [--scale=1.0] [--deadline_ms=D] "
                "[--retention_jobs=N] [--retention_ms=T] "
-               "[--result_cache_mb=M] [--stats_port=P] [--linger_ms=T] "
-               "[--trace_out=trace.json]\n"
+               "[--result_cache_mb=M] [--rank_cache_mb=M] [--stats_port=P] "
+               "[--linger_ms=T] [--trace_out=trace.json]\n"
                "  serve    [--port=0] [--max_connections=64] "
                "[--max_inflight=8] [--dispatch_threads=4] [--workers=N] "
                "[--queue=K] [--scale=1.0] [--store_budget_mb=M] "
@@ -451,6 +451,10 @@ int CmdService(const eval::Flags& flags) {
       std::chrono::milliseconds(flags.GetInt("retention_ms", 600000));
   scheduler_options.result_cache_byte_budget =
       static_cast<uint64_t>(flags.GetInt("result_cache_mb", 64)) << 20;
+  scheduler_options.rank_cache_byte_budget =
+      static_cast<uint64_t>(flags.GetInt("rank_cache_mb", 128)) << 20;
+  scheduler_options.enable_rank_cache =
+      scheduler_options.rank_cache_byte_budget > 0;
   service::JobScheduler scheduler(&store, &metrics, scheduler_options,
                                   tracer.get());
 
@@ -604,6 +608,10 @@ int CmdServe(const eval::Flags& flags) {
   scheduler_options.workers = static_cast<int>(flags.GetInt("workers", 0));
   scheduler_options.queue_capacity =
       static_cast<size_t>(flags.GetInt("queue", 1024));
+  scheduler_options.rank_cache_byte_budget =
+      static_cast<uint64_t>(flags.GetInt("rank_cache_mb", 128)) << 20;
+  scheduler_options.enable_rank_cache =
+      scheduler_options.rank_cache_byte_budget > 0;
   service::JobScheduler scheduler(&store, &metrics, scheduler_options,
                                   tracer.get());
 
