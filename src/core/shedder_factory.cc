@@ -1,5 +1,7 @@
 #include "core/shedder_factory.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 #include "core/bm2.h"
 #include "core/crr.h"
@@ -48,6 +50,30 @@ StatusOr<std::unique_ptr<EdgeShedder>> MakeShedderByName(
 std::vector<std::string> KnownShedderNames() {
   return {"bm2", "crr", "crr-rank", "local-degree", "random",
           "spanning-forest"};
+}
+
+const std::vector<std::string>& ShedderCostLadder() {
+  static const std::vector<std::string> ladder = {"crr", "bm2", "local-degree",
+                                                  "random"};
+  return ladder;
+}
+
+int ShedderCostTier(const std::string& method) {
+  const std::vector<std::string>& ladder = ShedderCostLadder();
+  for (size_t i = 0; i < ladder.size(); ++i) {
+    if (ladder[i] == method) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string DegradeShedderMethod(const std::string& method, int steps) {
+  const int tier = ShedderCostTier(method);
+  if (tier < 0 || steps <= 0) return method;
+  const std::vector<std::string>& ladder = ShedderCostLadder();
+  const size_t target = std::min(ladder.size() - 1,
+                                 static_cast<size_t>(tier) +
+                                     static_cast<size_t>(steps));
+  return ladder[target];
 }
 
 }  // namespace edgeshed::core

@@ -21,6 +21,22 @@ StatusOr<std::unique_ptr<EdgeShedder>> MakeShedderByName(
 /// Names accepted by MakeShedderByName, sorted.
 std::vector<std::string> KnownShedderNames();
 
+/// Degradation cost ladder, priciest first: crr -> bm2 -> local-degree ->
+/// random. Under load the serving layer steps a request down this ladder
+/// instead of rejecting it (Slim Graph's "cheaper compression profile"
+/// escape hatch). Methods not on the ladder (crr-rank, spanning-forest)
+/// never degrade — they are explicit fidelity/structure choices.
+const std::vector<std::string>& ShedderCostLadder();
+
+/// Position of `method` on the cost ladder (0 = priciest), or -1 when the
+/// method is not on the ladder.
+int ShedderCostTier(const std::string& method);
+
+/// `method` stepped `steps` tiers down the cost ladder, clamped at the
+/// cheapest tier. Returns `method` unchanged when it is not on the ladder
+/// or `steps <= 0`.
+std::string DegradeShedderMethod(const std::string& method, int steps);
+
 }  // namespace edgeshed::core
 
 #endif  // EDGESHED_CORE_SHEDDER_FACTORY_H_

@@ -1,6 +1,7 @@
 #include "net/client.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -112,13 +113,14 @@ bool RpcClient::IsRetryable(const Status& status) {
          status.code() == StatusCode::kResourceExhausted;
 }
 
-StatusOr<Frame> RpcClient::RoundTripTcp(const Frame& request) {
+StatusOr<Frame> RpcClient::RoundTripTcp(
+    const Frame& request, std::chrono::milliseconds recv_timeout) {
   auto fd = ConnectTcp(options_.host, options_.port,
                        options_.connect_timeout);
   if (!fd.ok()) return fd.status();
   FdGuard guard(*fd);
   EDGESHED_RETURN_IF_ERROR(SetSendTimeout(*fd, options_.send_timeout));
-  EDGESHED_RETURN_IF_ERROR(SetRecvTimeout(*fd, options_.recv_timeout));
+  EDGESHED_RETURN_IF_ERROR(SetRecvTimeout(*fd, recv_timeout));
   EDGESHED_RETURN_IF_ERROR(
       SendAll(*fd, EncodeFrame(request.type, request.payload)));
 
@@ -138,27 +140,66 @@ StatusOr<Frame> RpcClient::RoundTripTcp(const Frame& request) {
   }
 }
 
+RpcClient::CallLimits RpcClient::WaitLimits(uint64_t deadline_ms) const {
+  CallLimits limits;
+  if (deadline_ms == 0) return limits;  // no job deadline: option defaults
+  // The server enforces the job deadline, so deadline_ms + slack bounds how
+  // long a well-behaved Wait can block; the max() keeps an explicitly
+  // generous recv_timeout authoritative for short-deadline jobs.
+  const auto budget =
+      std::max(options_.recv_timeout,
+               std::chrono::milliseconds(static_cast<int64_t>(deadline_ms)) +
+                   options_.wait_slack);
+  limits.recv_timeout = budget;
+  limits.overall = budget;
+  return limits;
+}
+
 StatusOr<std::string> RpcClient::Call(MessageType request_type,
-                                      const std::string& payload) {
+                                      const std::string& payload,
+                                      CallLimits limits) {
+  const std::chrono::milliseconds recv = limits.recv_timeout.count() > 0
+                                             ? limits.recv_timeout
+                                             : options_.recv_timeout;
   return CallVia(
-      [this](const Frame& request) { return RoundTripTcp(request); },
-      request_type, payload);
+      [this, recv](const Frame& request) {
+        return RoundTripTcp(request, recv);
+      },
+      request_type, payload, limits);
 }
 
 StatusOr<std::string> RpcClient::CallVia(const TransportFn& transport,
                                          MessageType request_type,
-                                         const std::string& payload) {
+                                         const std::string& payload,
+                                         CallLimits limits) {
   const std::vector<std::chrono::milliseconds> delays =
       BackoffSchedule(options_);
   const int attempts = std::max(1, options_.max_attempts);
   const Frame request{request_type, payload};
   const MessageType expected = ResponseTypeFor(request_type);
+  const auto start = std::chrono::steady_clock::now();
+  // Backoff delays counted as if fully slept, so the budget binds even when
+  // a test sleeper hook returns instantly.
+  std::chrono::milliseconds virtual_elapsed{0};
 
   Status last = Status::Internal("rpc made no attempts");
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       const std::chrono::milliseconds delay =
           delays[static_cast<size_t>(attempt - 1)];
+      if (limits.overall.count() > 0) {
+        const auto real = std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+        const auto elapsed = std::max(real, virtual_elapsed);
+        if (elapsed + delay >= limits.overall) {
+          return Status::DeadlineExceeded(StrFormat(
+              "rpc budget of %lld ms exhausted after %d attempt%s; last "
+              "error: %s",
+              static_cast<long long>(limits.overall.count()), attempt,
+              attempt == 1 ? "" : "s", last.message().c_str()));
+        }
+      }
+      virtual_elapsed += delay;
       if (hooks_.sleeper) {
         hooks_.sleeper(delay);
       } else {
@@ -199,13 +240,16 @@ StatusOr<uint64_t> RpcClient::Ping(uint64_t token) {
 }
 
 StatusOr<ShedResponse> RpcClient::Shed(const ShedRequest& request) {
-  return ParseShedBody(
-      Call(MessageType::kShedRequest, EncodeShedRequest(request)));
+  return ParseShedBody(Call(
+      MessageType::kShedRequest, EncodeShedRequest(request),
+      request.wait ? WaitLimits(request.deadline_ms) : CallLimits{}));
 }
 
-StatusOr<ResultSummary> RpcClient::Wait(uint64_t job_id) {
-  return ParseWaitBody(
-      Call(MessageType::kWaitRequest, EncodeJobIdRequest({job_id})));
+StatusOr<ResultSummary> RpcClient::Wait(uint64_t job_id,
+                                        uint64_t deadline_ms) {
+  return ParseWaitBody(Call(MessageType::kWaitRequest,
+                            EncodeJobIdRequest({job_id}),
+                            WaitLimits(deadline_ms)));
 }
 
 StatusOr<GetStatusResponse> RpcClient::GetJobStatus(uint64_t job_id) {
@@ -237,12 +281,13 @@ void RpcClient::Channel::Close() {
 }
 
 StatusOr<Frame> RpcClient::Channel::RoundTripPersistent(
-    const Frame& request) {
+    const Frame& request, std::chrono::milliseconds recv_timeout) {
   const RpcClientOptions& options = client_->options_;
   if (fd_ < 0) {
     auto fd = ConnectTcp(options.host, options.port, options.connect_timeout);
     if (!fd.ok()) return fd.status();
     fd_ = *fd;
+    applied_recv_timeout_ = std::chrono::milliseconds{0};
     if (ever_connected_) {
       ++reconnects_;
       if (client_->client_reconnects_ != nullptr) {
@@ -254,10 +299,13 @@ StatusOr<Frame> RpcClient::Channel::RoundTripPersistent(
       Close();
       return set;
     }
-    if (Status set = SetRecvTimeout(fd_, options.recv_timeout); !set.ok()) {
+  }
+  if (recv_timeout != applied_recv_timeout_) {
+    if (Status set = SetRecvTimeout(fd_, recv_timeout); !set.ok()) {
       Close();
       return set;
     }
+    applied_recv_timeout_ = recv_timeout;
   }
 
   if (Status sent =
@@ -293,10 +341,16 @@ StatusOr<Frame> RpcClient::Channel::RoundTripPersistent(
 }
 
 StatusOr<std::string> RpcClient::Channel::Call(MessageType request_type,
-                                               const std::string& payload) {
+                                               const std::string& payload,
+                                               CallLimits limits) {
+  const std::chrono::milliseconds recv =
+      limits.recv_timeout.count() > 0 ? limits.recv_timeout
+                                      : client_->options_.recv_timeout;
   return client_->CallVia(
-      [this](const Frame& request) { return RoundTripPersistent(request); },
-      request_type, payload);
+      [this, recv](const Frame& request) {
+        return RoundTripPersistent(request, recv);
+      },
+      request_type, payload, limits);
 }
 
 StatusOr<uint64_t> RpcClient::Channel::Ping(uint64_t token) {
@@ -306,13 +360,17 @@ StatusOr<uint64_t> RpcClient::Channel::Ping(uint64_t token) {
 }
 
 StatusOr<ShedResponse> RpcClient::Channel::Shed(const ShedRequest& request) {
-  return ParseShedBody(
-      Call(MessageType::kShedRequest, EncodeShedRequest(request)));
+  return ParseShedBody(Call(
+      MessageType::kShedRequest, EncodeShedRequest(request),
+      request.wait ? client_->WaitLimits(request.deadline_ms)
+                   : CallLimits{}));
 }
 
-StatusOr<ResultSummary> RpcClient::Channel::Wait(uint64_t job_id) {
-  return ParseWaitBody(
-      Call(MessageType::kWaitRequest, EncodeJobIdRequest({job_id})));
+StatusOr<ResultSummary> RpcClient::Channel::Wait(uint64_t job_id,
+                                                 uint64_t deadline_ms) {
+  return ParseWaitBody(Call(MessageType::kWaitRequest,
+                            EncodeJobIdRequest({job_id}),
+                            client_->WaitLimits(deadline_ms)));
 }
 
 StatusOr<GetStatusResponse> RpcClient::Channel::GetJobStatus(

@@ -18,9 +18,17 @@ struct RpcClientOptions {
   int port = 0;
   std::chrono::milliseconds connect_timeout{2000};
   std::chrono::milliseconds send_timeout{5000};
-  /// Per-recv deadline. Wait and Shed-with-wait block server-side for the
-  /// whole job, so give them room (the CLI maps --timeout_ms here).
+  /// Per-recv deadline for quick RPCs (Ping, GetStatus, Cancel, ...).
+  /// Wait-class RPCs (Wait, Shed with `wait`) block server-side for the
+  /// whole job, so their recv deadline is derived from the job's own
+  /// deadline instead: max(recv_timeout, deadline_ms + wait_slack). A job
+  /// with no deadline falls back to this value (the CLI maps --timeout_ms
+  /// here).
   std::chrono::milliseconds recv_timeout{60000};
+  /// Headroom added to a job's deadline_ms when deriving the Wait-class
+  /// recv deadline and the overall retry budget, covering scheduler grace
+  /// and network latency on top of the server-side deadline enforcement.
+  std::chrono::milliseconds wait_slack{2000};
   /// Total tries per RPC (1 = no retries).
   int max_attempts = 4;
   /// Deterministic exponential backoff: attempt k (0-based) sleeps
@@ -33,6 +41,19 @@ struct RpcClientOptions {
   double backoff_multiplier = 2.0;
   double jitter_fraction = 0.2;
   uint64_t jitter_seed = 0x5eed;
+};
+
+/// Per-call overrides of the option-level timeouts, derived from the request
+/// itself (a Wait on a long-deadline job must outlive the generic
+/// recv_timeout). Zero fields keep the option defaults / old behaviour.
+struct RpcCallLimits {
+  /// Socket recv deadline for each attempt (0 = options.recv_timeout).
+  std::chrono::milliseconds recv_timeout{0};
+  /// Wall-clock budget for the whole call including retries and backoff
+  /// sleeps. Once spent, the retry loop stops with DeadlineExceeded instead
+  /// of letting per-attempt timeouts stack (0 = unbounded, the historical
+  /// behaviour).
+  std::chrono::milliseconds overall{0};
 };
 
 /// Blocking client for the net RPC server (DESIGN.md §10).
@@ -65,6 +86,8 @@ class RpcClient {
   RpcClient(RpcClientOptions options, TestHooks hooks,
             obs::MetricsRegistry* metrics = nullptr);
 
+  using CallLimits = RpcCallLimits;
+
   /// Persistent-connection session for the RPC sequence of one logical job
   /// (Shed, then a GetStatus polling loop, then Wait). The default client
   /// deliberately dials per RPC — that keeps it stateless and thread-safe —
@@ -84,7 +107,10 @@ class RpcClient {
 
     StatusOr<uint64_t> Ping(uint64_t token);
     StatusOr<ShedResponse> Shed(const ShedRequest& request);
-    StatusOr<ResultSummary> Wait(uint64_t job_id);
+    /// `deadline_ms` is the job's own deadline (0 = none): it widens this
+    /// call's recv deadline and bounds its retry budget exactly like
+    /// RpcClient::Wait.
+    StatusOr<ResultSummary> Wait(uint64_t job_id, uint64_t deadline_ms = 0);
     StatusOr<GetStatusResponse> GetJobStatus(uint64_t job_id);
     Status Cancel(uint64_t job_id);
 
@@ -97,15 +123,23 @@ class RpcClient {
 
    private:
     StatusOr<std::string> Call(MessageType request_type,
-                               const std::string& payload);
+                               const std::string& payload,
+                               CallLimits limits = {});
     /// Round-trips one frame on the persistent socket, dialing if needed.
     /// Any transport error closes the socket so the retry loop re-dials.
-    StatusOr<Frame> RoundTripPersistent(const Frame& request);
+    /// `recv_timeout` is applied to the socket when it differs from the
+    /// last applied value (Wait-class calls widen it per call).
+    StatusOr<Frame> RoundTripPersistent(const Frame& request,
+                                        std::chrono::milliseconds
+                                            recv_timeout);
 
     RpcClient* const client_;
     int fd_ = -1;
     bool ever_connected_ = false;
     int reconnects_ = 0;
+    /// Recv timeout currently set on fd_ (avoids a setsockopt per call in
+    /// GetStatus polling loops).
+    std::chrono::milliseconds applied_recv_timeout_{0};
   };
 
   /// Round-trip liveness probe; returns the echoed token.
@@ -116,8 +150,11 @@ class RpcClient {
   StatusOr<ShedResponse> Shed(const ShedRequest& request);
 
   /// Blocks until job `job_id` finishes and returns its summary; the job's
-  /// failure status (or NotFound) otherwise.
-  StatusOr<ResultSummary> Wait(uint64_t job_id);
+  /// failure status (or NotFound) otherwise. Pass the job's own
+  /// `deadline_ms` (0 = none) so the recv deadline is derived from it —
+  /// with the default 0 a job running longer than `recv_timeout` fails the
+  /// Wait client-side even though the server is still working on it.
+  StatusOr<ResultSummary> Wait(uint64_t job_id, uint64_t deadline_ms = 0);
 
   StatusOr<GetStatusResponse> GetJobStatus(uint64_t job_id);
 
@@ -143,14 +180,22 @@ class RpcClient {
   /// Sends `payload` as `request_type` with retries; returns the response
   /// body after envelope decoding.
   StatusOr<std::string> Call(MessageType request_type,
-                             const std::string& payload);
+                             const std::string& payload,
+                             CallLimits limits = {});
   /// The shared retry/backoff/envelope loop; `transport` performs one
   /// attempt's round trip (per-RPC TCP, a Channel's persistent socket, or a
-  /// test hook).
+  /// test hook). `limits.overall` (when nonzero) bounds the loop: elapsed
+  /// time is the max of the wall clock and the sum of backoff delays, so
+  /// the budget also binds under a test sleeper hook.
   StatusOr<std::string> CallVia(const TransportFn& transport,
                                 MessageType request_type,
-                                const std::string& payload);
-  StatusOr<Frame> RoundTripTcp(const Frame& request);
+                                const std::string& payload,
+                                CallLimits limits = {});
+  StatusOr<Frame> RoundTripTcp(const Frame& request,
+                               std::chrono::milliseconds recv_timeout);
+  /// Limits for a Wait-class RPC on a job with deadline `deadline_ms`
+  /// (0 = job has no deadline -> option defaults, unbounded retries).
+  CallLimits WaitLimits(uint64_t deadline_ms) const;
 
   const RpcClientOptions options_;
   TestHooks hooks_;

@@ -42,6 +42,10 @@ RpcServer::RpcServer(service::GraphStore* store,
     instruments_.bytes_out = metrics_->GetCounter("net.bytes_out");
     instruments_.rejected_overload =
         metrics_->GetCounter("net.rejected_overload");
+    instruments_.degraded_admitted =
+        metrics_->GetCounter("net.degraded_admitted");
+    instruments_.degraded_applied =
+        metrics_->GetCounter("net.degraded_applied");
     instruments_.malformed_frames =
         metrics_->GetCounter("net.malformed_frames");
     instruments_.accepted = metrics_->GetCounter("net.accepted");
@@ -359,16 +363,33 @@ void RpcServer::HandleDecodedFrame(Connection& conn, Frame frame) {
     return;
   }
 
-  if (inflight_ >= options_.max_inflight) {
+  // Admission control. Without degradation the boundary is max_inflight,
+  // exactly as before. With it, requests between max_inflight and the hard
+  // ceiling are *admitted* carrying a pressure hint — the scheduler answers
+  // them with a cheaper tier or a cached coarser-p result instead of the
+  // caller eating a ResourceExhausted (DESIGN.md §13).
+  const size_t hard_cap =
+      !options_.degrade_enabled ? options_.max_inflight
+      : options_.max_pending > 0 ? options_.max_pending
+                                 : options_.max_inflight * 4;
+  if (inflight_ >= hard_cap) {
     if (instruments_.rejected_overload != nullptr) {
       instruments_.rejected_overload->Increment();
     }
     EnqueueResponse(
         conn, ResponseTypeFor(frame.type),
         EncodeResponsePayload(Status::ResourceExhausted(StrFormat(
-            "server at max in-flight requests (%zu)",
-            options_.max_inflight))));
+            "server at max in-flight requests (%zu)", hard_cap))));
     return;
+  }
+  double pressure = 0.0;
+  if (options_.degrade_enabled && options_.max_inflight > 0 &&
+      inflight_ >= options_.max_inflight) {
+    pressure = static_cast<double>(inflight_) /
+               static_cast<double>(options_.max_inflight);
+    if (instruments_.degraded_admitted != nullptr) {
+      instruments_.degraded_admitted->Increment();
+    }
   }
 
   ++inflight_;
@@ -378,7 +399,7 @@ void RpcServer::HandleDecodedFrame(Connection& conn, Frame frame) {
   }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    tasks_.push_back(Task{conn.id, std::move(frame)});
+    tasks_.push_back(Task{conn.id, std::move(frame), pressure});
   }
   task_available_.notify_one();
 }
@@ -460,7 +481,7 @@ void RpcServer::DispatchLoop() {
       tasks_.pop_front();
     }
 
-    std::string response = HandleRequest(task.frame);
+    std::string response = HandleRequest(task.frame, task.pressure);
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       completions_.push_back(Completion{task.conn_id, std::move(response)});
@@ -473,7 +494,7 @@ void RpcServer::DispatchLoop() {
   }
 }
 
-std::string RpcServer::HandleRequest(const Frame& frame) {
+std::string RpcServer::HandleRequest(const Frame& frame, double pressure) {
   const auto start = std::chrono::steady_clock::now();
   obs::Span span = obs::Tracer::StartSpan(
       tracer_, StrFormat("rpc.%.*s",
@@ -483,7 +504,7 @@ std::string RpcServer::HandleRequest(const Frame& frame) {
   std::string response;
   switch (frame.type) {
     case MessageType::kShedRequest:
-      response = HandleShed(frame.payload);
+      response = HandleShed(frame.payload, pressure);
       break;
     case MessageType::kWaitRequest:
       response = HandleWait(frame.payload);
@@ -527,11 +548,18 @@ Status RpcServer::WaitForResult(uint64_t job_id, ResultSummary* summary) {
   summary->stats = shed.stats;
   if (auto status = scheduler_->GetStatus(job_id); status.ok()) {
     summary->deduplicated = status->deduplicated;
+    summary->applied_method = status->applied_method;
+    summary->applied_p = status->applied_p;
+    summary->degrade_kind = static_cast<uint8_t>(status->degrade_kind);
+    if (summary->degrade_kind != 0 &&
+        instruments_.degraded_applied != nullptr) {
+      instruments_.degraded_applied->Increment();
+    }
   }
   return Status::OK();
 }
 
-std::string RpcServer::HandleShed(std::string_view payload) {
+std::string RpcServer::HandleShed(std::string_view payload, double pressure) {
   ShedRequest request;
   if (Status status = DecodeShedRequest(payload, &request); !status.ok()) {
     return EncodeFrame(MessageType::kShedResponse,
@@ -544,6 +572,10 @@ std::string RpcServer::HandleShed(std::string_view payload) {
   spec.seed = request.seed;
   spec.deadline =
       std::chrono::milliseconds(static_cast<int64_t>(request.deadline_ms));
+  spec.tenant = request.tenant;
+  spec.priority = request.priority != 0;
+  spec.allow_degrade = options_.degrade_enabled;
+  spec.pressure = pressure;
   if (!request.output.empty()) {
     if (options_.output_dir.empty()) {
       return EncodeFrame(
@@ -613,6 +645,9 @@ std::string RpcServer::HandleGetStatus(std::string_view payload) {
   response.deduplicated = job->deduplicated;
   response.queue_seconds = job->queue_seconds;
   response.run_seconds = job->run_seconds;
+  response.applied_method = job->applied_method;
+  response.applied_p = job->applied_p;
+  response.degrade_kind = static_cast<uint8_t>(job->degrade_kind);
   return EncodeFrame(
       MessageType::kGetStatusResponse,
       EncodeResponsePayload(Status::OK(),

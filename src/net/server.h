@@ -51,6 +51,16 @@ struct RpcServerOptions {
   /// Output names are validated as single path components
   /// (service::IsSafeDatasetName), never interpreted as paths.
   std::string output_dir;
+  /// Load-adaptive degradation (DESIGN.md §13). When set, requests past
+  /// `max_inflight` are *admitted* with a pressure hint (the scheduler may
+  /// answer with a cheaper tier or a cached coarser-p result, recorded in
+  /// the response) instead of instantly rejected; the hard rejection
+  /// boundary moves to `max_pending`. The scheduler's own DegradePolicy
+  /// must also be enabled for tiering to happen.
+  bool degrade_enabled = false;
+  /// Hard admission ceiling when degrading; 0 = 4 * max_inflight. Beyond
+  /// it requests are rejected ResourceExhausted exactly as before.
+  size_t max_pending = 0;
 };
 
 /// Binary RPC server in front of the shedding service (DESIGN.md §10).
@@ -129,6 +139,9 @@ class RpcServer {
   struct Task {
     uint64_t conn_id = 0;
     Frame frame;
+    /// Admission-layer load at enqueue time (inflight / max_inflight);
+    /// forwarded to the scheduler as JobSpec::pressure for Shed requests.
+    double pressure = 0.0;
   };
 
   struct Completion {
@@ -152,8 +165,8 @@ class RpcServer {
   void PublishConnGauges();
 
   // --- dispatch-thread only ---
-  std::string HandleRequest(const Frame& frame);
-  std::string HandleShed(std::string_view payload);
+  std::string HandleRequest(const Frame& frame, double pressure);
+  std::string HandleShed(std::string_view payload, double pressure);
   std::string HandleWait(std::string_view payload);
   std::string HandleGetStatus(std::string_view payload);
   std::string HandleCancel(std::string_view payload);
@@ -166,6 +179,8 @@ class RpcServer {
     obs::Counter* bytes_in = nullptr;
     obs::Counter* bytes_out = nullptr;
     obs::Counter* rejected_overload = nullptr;
+    obs::Counter* degraded_admitted = nullptr;
+    obs::Counter* degraded_applied = nullptr;
     obs::Counter* malformed_frames = nullptr;
     obs::Counter* accepted = nullptr;
     obs::Counter* closed = nullptr;

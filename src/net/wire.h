@@ -38,7 +38,14 @@ namespace edgeshed::net {
 /// reply to frames too broken to attribute to a request type.
 
 inline constexpr char kWireMagic[4] = {'E', 'S', 'R', 'P'};
-inline constexpr uint8_t kWireVersion = 1;
+/// Current protocol version. v2 appends optional QoS tails (tenant/priority
+/// on ShedRequest; applied degradation tier on ResultSummary and
+/// GetStatusResponse). Tails are length-driven — a decoder reads them only
+/// when bytes remain after the v1 fields — so v1 peers interoperate:
+/// DecodeFrame accepts any version in [kWireMinVersion, kWireVersion].
+inline constexpr uint8_t kWireVersion = 2;
+/// Oldest protocol version this build still decodes.
+inline constexpr uint8_t kWireMinVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 16;
 /// Hard cap on one frame's payload; DecodeFrame rejects larger declared
 /// lengths before buffering anything.
@@ -187,6 +194,23 @@ struct ShedRequest {
   /// This is how the shed-fleet coordinator gets per-shard kept subgraphs
   /// back through the shared filesystem (DESIGN.md §11).
   std::string output;
+  /// v2 optional tail. Tenant name for fair-share scheduling ("" = the
+  /// default tenant, which preserves the single-FIFO semantics) and the
+  /// priority lane flag (nonzero = dispatch ahead of normal-lane work).
+  std::string tenant;
+  uint8_t priority = 0;
+};
+
+/// How (if at all) the serving layer degraded a request under load. The
+/// applied tier always travels back to the caller — degradation is recorded,
+/// never silent (DESIGN.md §13).
+enum class DegradeKind : uint8_t {
+  kNone = 0,
+  /// Method stepped down the core::ShedderCostLadder (e.g. crr -> bm2).
+  kCheaperTier = 1,
+  /// Served an already-cached result for the same dataset/method/seed at a
+  /// coarser preservation ratio p' <= requested p.
+  kCachedCoarserP = 2,
 };
 
 /// Result of a finished job, mirroring core::SheddingResult minus the kept
@@ -200,6 +224,11 @@ struct ResultSummary {
   double reduction_seconds = 0.0;
   bool deduplicated = false;
   std::vector<std::pair<std::string, double>> stats;
+  /// v2 optional tail: the method/p actually answered with and why they
+  /// differ from the request (kNone when served exactly as asked).
+  std::string applied_method;
+  double applied_p = 0.0;
+  uint8_t degrade_kind = 0;  // DegradeKind numeric value
 };
 
 struct ShedResponse {
@@ -219,6 +248,11 @@ struct GetStatusResponse {
   bool deduplicated = false;
   double queue_seconds = 0.0;
   double run_seconds = 0.0;
+  /// v2 optional tail, mirroring ResultSummary's degradation record so
+  /// wait=false submitters still learn the applied tier.
+  std::string applied_method;
+  double applied_p = 0.0;
+  uint8_t degrade_kind = 0;  // DegradeKind numeric value
 };
 
 struct ListDatasetsResponse {

@@ -87,6 +87,25 @@ int64_t LatencySeries::LatencyBucket(double seconds) {
   return static_cast<int64_t>(std::floor(std::log2(micros)));
 }
 
+double LatencyQuantileSeconds(const std::vector<uint64_t>& buckets,
+                              double q) {
+  uint64_t total = 0;
+  for (uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(std::ceil(clamped * total));
+  if (target == 0) target = 1;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= target) {
+      // Bucket b spans [2^b, 2^(b+1)) microseconds; report the upper edge.
+      return std::exp2(static_cast<double>(b + 1)) * 1e-6;
+    }
+  }
+  return std::exp2(static_cast<double>(buckets.size())) * 1e-6;
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];

@@ -89,6 +89,13 @@ class LatencySeries {
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
 };
 
+/// Approximate quantile (q in [0, 1]) over a log2-microsecond bucket
+/// histogram (LatencySeries::BucketCounts): the upper bound, in seconds, of
+/// the bucket holding the q-th observation. Exact to within one power of
+/// two, which is what load-test percentiles need from a lock-free
+/// histogram. Returns 0 for an empty histogram.
+double LatencyQuantileSeconds(const std::vector<uint64_t>& buckets, double q);
+
 /// Full point-in-time copy of a registry, for exporters. Every section is
 /// sorted by instrument name so renderings are stable.
 struct MetricsSnapshot {

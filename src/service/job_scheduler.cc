@@ -62,6 +62,12 @@ JobScheduler::JobScheduler(GraphStore* store, MetricsRegistry* metrics,
     instruments_.jobs_gc = metrics_->GetCounter("scheduler.jobs_gc");
     instruments_.result_cache_evicted =
         metrics_->GetCounter("scheduler.result_cache_evicted");
+    instruments_.degraded_tier =
+        metrics_->GetCounter("scheduler.degraded_tier");
+    instruments_.degraded_cached_p =
+        metrics_->GetCounter("scheduler.degraded_cached_p");
+    instruments_.priority_boosted =
+        metrics_->GetCounter("scheduler.priority_boosted");
     instruments_.workers = metrics_->GetGauge("scheduler.workers");
     instruments_.queue_depth = metrics_->GetGauge("scheduler.queue_depth");
     instruments_.jobs_tracked = metrics_->GetGauge("scheduler.jobs_tracked");
@@ -95,11 +101,132 @@ std::string JobScheduler::CacheKey(const JobSpec& spec, uint64_t generation) {
   // The dataset generation (bumped by GraphStore::Replace) is part of the
   // key so a replaced dataset can never serve results computed against its
   // predecessor from the result cache, nor coalesce onto its jobs.
-  return StrFormat("%s|g%llu|%s|%a|%llu|%s", spec.dataset.c_str(),
+  //
+  // Dedup-key audit vs. the wire's ShedRequest fields (every field a client
+  // retry resends must either be in the key or provably result-neutral):
+  //   dataset, method, p, seed, output -> in the key;
+  //   tenant -> in the key (QoS isolation: no cross-tenant coalescing or
+  //     cache sharing);
+  //   deadline_ms -> excluded: the result is deadline-independent, and a
+  //     retry coalescing onto the original submission is exactly the
+  //     double-submit protection this key exists for;
+  //   wait -> excluded: client-side delivery mode only;
+  //   priority -> excluded: lane choice, result-independent — a priority
+  //     duplicate boosts the queued primary instead of forking the work.
+  return StrFormat("%s|g%llu|%s|%a|%llu|%s|%s", spec.dataset.c_str(),
                    static_cast<unsigned long long>(generation),
                    spec.method.c_str(), spec.p,
                    static_cast<unsigned long long>(spec.seed),
-                   spec.output_path.c_str());
+                   spec.output_path.c_str(), spec.tenant.c_str());
+}
+
+std::string JobScheduler::FamilyKey(const JobSpec& spec, uint64_t generation) {
+  return StrFormat("%s|g%llu|%s|%llu|%s|%s", spec.dataset.c_str(),
+                   static_cast<unsigned long long>(generation),
+                   spec.method.c_str(),
+                   static_cast<unsigned long long>(spec.seed),
+                   spec.output_path.c_str(), spec.tenant.c_str());
+}
+
+JobScheduler::TenantQueue& JobScheduler::TenantLocked(
+    const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it != tenants_.end()) return it->second;
+  TenantQueue tq;
+  TenantConfig config = options_.default_tenant;
+  auto configured = options_.tenants.find(name);
+  if (configured != options_.tenants.end()) config = configured->second;
+  tq.weight = std::max<uint32_t>(1, config.weight);
+  tq.max_running = config.max_running;
+  if (metrics_ != nullptr) {
+    // Per-tenant series are dynamic by nature; resolve the handles once at
+    // tenant creation so per-event updates stay lock-free.
+    const std::string label = name.empty() ? "default" : name;
+    tq.submitted =
+        metrics_->GetCounter("scheduler.tenant_submitted." + label);
+    tq.done = metrics_->GetCounter("scheduler.tenant_done." + label);
+    tq.rejected =
+        metrics_->GetCounter("scheduler.tenant_rejected." + label);
+    tq.queued_gauge =
+        metrics_->GetGauge("scheduler.tenant_queued." + label);
+    tq.running_gauge =
+        metrics_->GetGauge("scheduler.tenant_running." + label);
+  }
+  auto [inserted, ok] = tenants_.emplace(name, std::move(tq));
+  tenant_ring_.push_back(name);
+  return inserted->second;
+}
+
+void JobScheduler::PruneLaneFrontLocked(TenantQueue& tq, int lane) {
+  std::deque<JobId>& q = tq.lanes[lane];
+  while (!q.empty()) {
+    auto it = jobs_.find(q.front());
+    if (it == jobs_.end()) {  // record already retired by retention GC
+      q.pop_front();
+      continue;
+    }
+    const Job& job = it->second;
+    // Stale entries: terminal (cancelled while queued), already dispatched,
+    // coalesced onto a primary, or re-laned by a priority boost (the live
+    // entry is in job.lane; this one is the leftover).
+    if (job.state != JobState::kQueued || job.primary != 0 ||
+        job.lane != lane) {
+      q.pop_front();
+      continue;
+    }
+    break;
+  }
+}
+
+bool JobScheduler::HasDispatchableLocked() {
+  for (int lane = 0; lane < kNumLanes; ++lane) {
+    for (const std::string& name : tenant_ring_) {
+      TenantQueue& tq = tenants_.at(name);
+      PruneLaneFrontLocked(tq, lane);
+      if (!tq.lanes[lane].empty() && UnderQuota(tq)) return true;
+    }
+  }
+  return false;
+}
+
+JobId JobScheduler::PopDispatchableLocked(TenantQueue** out_tenant) {
+  for (int lane = 0; lane < kNumLanes; ++lane) {
+    // Two rounds: one with existing credit, one after a replenish. Weights
+    // are >= 1, so every eligible tenant can afford a slot after one
+    // replenish — the second round always pops if anyone is eligible.
+    for (int round = 0; round < 2; ++round) {
+      bool any_eligible = false;
+      const size_t ring_size = tenant_ring_.size();
+      for (size_t i = 0; i < ring_size; ++i) {
+        const size_t idx = (ring_pos_ + i) % ring_size;
+        TenantQueue& tq = tenants_.at(tenant_ring_[idx]);
+        PruneLaneFrontLocked(tq, lane);
+        if (tq.lanes[lane].empty() || !UnderQuota(tq)) continue;
+        any_eligible = true;
+        if (tq.credit < 1.0) continue;
+        tq.credit -= 1.0;
+        const JobId id = tq.lanes[lane].front();
+        tq.lanes[lane].pop_front();
+        // Advance past this tenant so equal-credit tenants interleave
+        // instead of the lowest ring index winning every scan.
+        ring_pos_ = (idx + 1) % ring_size;
+        *out_tenant = &tq;
+        return id;
+      }
+      if (!any_eligible) break;  // this lane has nothing dispatchable
+      for (const std::string& name : tenant_ring_) {
+        TenantQueue& tq = tenants_.at(name);
+        if (!tq.lanes[lane].empty() && UnderQuota(tq)) {
+          // Cap the balance at one full quantum above a slot so a tenant
+          // alone on the system does not bank unbounded credit to spend
+          // the moment a competitor shows up.
+          tq.credit = std::min(tq.credit + tq.weight,
+                               static_cast<double>(tq.weight) + 1.0);
+        }
+      }
+    }
+  }
+  return 0;
 }
 
 StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
@@ -118,10 +245,13 @@ StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
     return Status::FailedPrecondition("scheduler is shut down");
   }
   const auto now = Clock::now();
+  TenantQueue& tenant = TenantLocked(spec.tenant);
   Job job;
   job.id = next_id_;
   job.spec = spec;
-  job.cache_key = CacheKey(spec, store_->Generation(spec.dataset));
+  job.requested_method = spec.method;
+  job.applied_p = spec.p;
+  job.lane = spec.priority ? kPriorityLane : kNormalLane;
   job.submit_time = now;
   job.deadline = spec.deadline.count() > 0 ? now + spec.deadline
                                            : Clock::time_point::max();
@@ -129,6 +259,34 @@ StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
     job.trace_id = tracer_->NewTraceId();
     job.root_span_id = tracer_->NewTraceId();
     job.submit_ns = tracer_->NowNs();
+  }
+
+  const uint64_t generation = store_->Generation(spec.dataset);
+  // Degradation first: it may rewrite job.spec.method (and therefore the
+  // dedup key) or hand back a cached coarser-p result to serve outright.
+  JobResult coarser = MaybeDegradeLocked(job, generation);
+  job.cache_key = CacheKey(job.spec, generation);
+  job.family_key = FamilyKey(job.spec, generation);
+
+  if (tenant.submitted != nullptr) tenant.submitted->Increment();
+
+  if (coarser != nullptr) {
+    job.state = JobState::kDone;
+    job.result = std::move(coarser);
+    job.deduplicated = true;
+    if (instruments_.submitted != nullptr) {
+      instruments_.submitted->Increment();
+      instruments_.result_cache_hit->Increment();
+      instruments_.jobs_done->Increment();
+    }
+    if (tenant.done != nullptr) tenant.done->Increment();
+    const JobId id = next_id_++;
+    job.id = id;
+    auto [it, inserted] = jobs_.emplace(id, std::move(job));
+    EmitJobTraceLocked(it->second, JobState::kDone, it->second.result);
+    RecordTerminalLocked(it->second, now);
+    GcRetainedJobsLocked(now);
+    return id;
   }
 
   if (options_.enable_result_cache) {
@@ -144,6 +302,7 @@ StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
         instruments_.result_cache_hit->Increment();
         instruments_.jobs_done->Increment();
       }
+      if (tenant.done != nullptr) tenant.done->Increment();
       const JobId id = next_id_++;
       job.id = id;
       auto [it, inserted] = jobs_.emplace(id, std::move(job));
@@ -157,11 +316,26 @@ StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
   auto inflight = inflight_.find(job.cache_key);
   if (inflight != inflight_.end()) {
     // An identical job is queued or running: ride along instead of doing the
-    // same work twice. The follower shares the primary's outcome.
+    // same work twice. The follower shares the primary's outcome. A
+    // priority follower boosts a still-queued normal-lane primary into the
+    // priority lane (re-pushed there; the old entry is pruned on pop), so
+    // priority semantics survive dedup.
     job.primary = inflight->second;
     job.deduplicated = true;
     const JobId id = next_id_++;
-    jobs_.at(job.primary).followers.push_back(id);
+    Job& primary = jobs_.at(job.primary);
+    primary.followers.push_back(id);
+    if (spec.priority && primary.state == JobState::kQueued &&
+        primary.primary == 0 && primary.lane == kNormalLane) {
+      primary.lane = kPriorityLane;
+      TenantLocked(primary.spec.tenant)
+          .lanes[kPriorityLane]
+          .push_back(primary.id);
+      if (instruments_.priority_boosted != nullptr) {
+        instruments_.priority_boosted->Increment();
+      }
+      work_available_.notify_one();
+    }
     jobs_.emplace(id, std::move(job));
     if (instruments_.submitted != nullptr) {
       instruments_.submitted->Increment();
@@ -174,6 +348,7 @@ StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
     if (instruments_.rejected_queue_full != nullptr) {
       instruments_.rejected_queue_full->Increment();
     }
+    if (tenant.rejected != nullptr) tenant.rejected->Increment();
     return Status::ResourceExhausted(
         StrFormat("submission queue is full (%zu jobs)",
                   options_.queue_capacity));
@@ -181,15 +356,83 @@ StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
 
   const JobId id = next_id_++;
   job.id = id;
+  const int lane = job.lane;
   inflight_[job.cache_key] = id;
   jobs_.emplace(id, std::move(job));
-  queue_.push_back(id);
+  tenant.lanes[lane].push_back(id);
+  ++tenant.queued;
   ++live_queued_;
   PublishQueueDepthLocked();
+  PublishTenantGaugesLocked(tenant);
   if (instruments_.submitted != nullptr) instruments_.submitted->Increment();
   GcRetainedJobsLocked(now);
   work_available_.notify_one();
   return id;
+}
+
+JobResult JobScheduler::MaybeDegradeLocked(Job& job, uint64_t generation) {
+  const DegradePolicy& policy = options_.degrade;
+  if (!policy.enabled || !job.spec.allow_degrade) return nullptr;
+  const double queue_fraction =
+      options_.queue_capacity == 0
+          ? 0.0
+          : static_cast<double>(live_queued_) /
+                static_cast<double>(options_.queue_capacity);
+  const double pressure = std::max(job.spec.pressure, queue_fraction);
+  int steps = 0;
+  if (pressure >= policy.tier3_pressure) {
+    steps = 3;
+  } else if (pressure >= policy.tier2_pressure) {
+    steps = 2;
+  } else if (pressure >= policy.tier1_pressure) {
+    steps = 1;
+  }
+  if (steps == 0) return nullptr;
+
+  if (options_.enable_result_cache) {
+    // A cached exact answer for the requested spec beats any degradation —
+    // let the normal cache-hit path serve it.
+    if (result_cache_.count(CacheKey(job.spec, generation)) > 0) {
+      return nullptr;
+    }
+    if (policy.serve_cached_coarser_p) {
+      // Next best: an already-computed result for the *requested* method at
+      // a coarser p' < p (within the policy gap). Costs nothing and keeps
+      // the method the caller asked for.
+      auto family = cache_families_.find(FamilyKey(job.spec, generation));
+      if (family != cache_families_.end() && !family->second.empty()) {
+        auto candidate = family->second.lower_bound(job.spec.p);
+        if (candidate != family->second.begin()) {
+          --candidate;  // largest cached p' strictly below the requested p
+          if (job.spec.p - candidate->first <= policy.max_p_gap) {
+            auto entry = result_cache_.find(candidate->second);
+            if (entry != result_cache_.end()) {
+              cache_lru_.splice(cache_lru_.begin(), cache_lru_,
+                                entry->second.lru_pos);
+              job.applied_p = candidate->first;
+              job.degrade_kind =
+                  static_cast<uint8_t>(DegradeKind::kCachedCoarserP);
+              if (instruments_.degraded_cached_p != nullptr) {
+                instruments_.degraded_cached_p->Increment();
+              }
+              return entry->second.result;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  const std::string applied =
+      core::DegradeShedderMethod(job.spec.method, steps);
+  if (applied != job.spec.method) {
+    job.spec.method = applied;
+    job.degrade_kind = static_cast<uint8_t>(DegradeKind::kCheaperTier);
+    if (instruments_.degraded_tier != nullptr) {
+      instruments_.degraded_tier->Increment();
+    }
+  }
+  return nullptr;
 }
 
 StatusOr<JobResult> JobScheduler::Wait(JobId id) {
@@ -225,11 +468,14 @@ Status JobScheduler::Cancel(JobId id) {
   }
   job.cancel_requested = true;
   if (job.state == JobState::kQueued) {
-    // Queued (or coalesced) jobs cancel immediately; their id stays in
-    // queue_ and is skipped by the worker that pops it.
+    // Queued (or coalesced) jobs cancel immediately; their id stays in its
+    // tenant lane and is pruned by the dispatcher that reaches it.
     if (job.primary == 0) {
       --live_queued_;
+      TenantQueue& tenant = TenantLocked(job.spec.tenant);
+      if (tenant.queued > 0) --tenant.queued;
       PublishQueueDepthLocked();
+      PublishTenantGaugesLocked(tenant);
     }
     FinishLocked(job, JobState::kCancelled,
                  Status::Cancelled("cancelled by caller"), nullptr);
@@ -256,6 +502,12 @@ StatusOr<JobStatus> JobScheduler::GetStatus(JobId id) const {
   status.deduplicated = job.deduplicated;
   status.queue_seconds = job.queue_seconds;
   status.run_seconds = job.run_seconds;
+  status.tenant = job.spec.tenant;
+  status.requested_method = job.requested_method;
+  status.applied_method = job.spec.method;
+  status.requested_p = job.spec.p;
+  status.applied_p = job.applied_p;
+  status.degrade_kind = job.degrade_kind;
   return status;
 }
 
@@ -274,15 +526,21 @@ void JobScheduler::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
-    for (JobId id : queue_) {
-      auto it = jobs_.find(id);
-      if (it == jobs_.end()) continue;  // cancelled entry already GC'd
-      Job& job = it->second;
-      if (IsTerminal(job.state)) continue;
-      FinishLocked(job, JobState::kCancelled,
-                   Status::Cancelled("scheduler shutdown"), nullptr);
+    for (auto& [name, tenant] : tenants_) {
+      for (int lane = 0; lane < kNumLanes; ++lane) {
+        for (JobId id : tenant.lanes[lane]) {
+          auto it = jobs_.find(id);
+          if (it == jobs_.end()) continue;  // cancelled entry already GC'd
+          Job& job = it->second;
+          if (IsTerminal(job.state)) continue;
+          FinishLocked(job, JobState::kCancelled,
+                       Status::Cancelled("scheduler shutdown"), nullptr);
+        }
+        tenant.lanes[lane].clear();
+      }
+      tenant.queued = 0;
+      PublishTenantGaugesLocked(tenant);
     }
-    queue_.clear();
     live_queued_ = 0;
     PublishQueueDepthLocked();
     work_available_.notify_all();
@@ -295,20 +553,21 @@ void JobScheduler::Shutdown() {
 void JobScheduler::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_available_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (shutdown_) return;
-      continue;
-    }
-    const JobId id = queue_.front();
-    queue_.pop_front();
-    auto job_it = jobs_.find(id);
-    // Cancelled-while-queued entries keep their queue slot; the record may
-    // even have been retired by retention GC before this pop.
-    if (job_it == jobs_.end()) continue;
-    Job& job = job_it->second;  // map nodes are stable across the unlock below
-    if (IsTerminal(job.state)) continue;  // cancelled while queued
+    work_available_.wait(lock,
+                         [&] { return shutdown_ || HasDispatchableLocked(); });
+    if (shutdown_) return;
+    TenantQueue* tenant = nullptr;
+    const JobId id = PopDispatchableLocked(&tenant);
+    if (id == 0) continue;  // raced another worker for the last job
+    // PopDispatchableLocked only returns live kQueued primaries.
+    Job& job = jobs_.at(id);  // map nodes are stable across the unlock below
     --live_queued_;
+    if (tenant->queued > 0) --tenant->queued;
+    if (tenant->queued == 0) {
+      // Classic DRR: an emptied queue forfeits its deficit, so an idle
+      // tenant cannot bank credit while nobody competes with it.
+      tenant->credit = 0.0;
+    }
     PublishQueueDepthLocked();
     const auto picked_up = Clock::now();
     job.queue_seconds = SecondsBetween(job.submit_time, picked_up);
@@ -328,6 +587,8 @@ void JobScheduler::WorkerLoop() {
       continue;
     }
     job.state = JobState::kRunning;
+    ++tenant->running;
+    PublishTenantGaugesLocked(*tenant);
     // Arm the cooperative token with the job's deadline; Cancel() trips it.
     // Shared with this worker so a concurrent GC/erase can never leave the
     // kernel polling freed memory.
@@ -370,6 +631,13 @@ void JobScheduler::WorkerLoop() {
       run_span.Annotate("ok", outcome.ok() ? "true" : "false");
     }
     lock.lock();
+    if (tenant->running > 0) --tenant->running;
+    PublishTenantGaugesLocked(*tenant);
+    if (tenant->max_running != 0) {
+      // A quota slot opened up; another worker may now be able to dispatch
+      // this tenant's queued work even though no new job arrived.
+      work_available_.notify_one();
+    }
     job.run_seconds = run_seconds;
     job.run_span_id = run_span_id;
     job.run_start_ns = run_start_ns;
@@ -501,9 +769,14 @@ void JobScheduler::FinishLocked(Job& job, JobState state, Status status,
       }
       job.followers.clear();
       inflight_[job.cache_key] = promoted_id;
-      queue_.push_back(promoted_id);
+      promoted.lane =
+          promoted.spec.priority ? kPriorityLane : kNormalLane;
+      TenantQueue& promoted_tenant = TenantLocked(promoted.spec.tenant);
+      promoted_tenant.lanes[promoted.lane].push_back(promoted_id);
+      ++promoted_tenant.queued;
       ++live_queued_;
       PublishQueueDepthLocked();
+      PublishTenantGaugesLocked(promoted_tenant);
       if (instruments_.follower_promoted != nullptr) {
         instruments_.follower_promoted->Increment();
       }
@@ -517,9 +790,10 @@ void JobScheduler::FinishLocked(Job& job, JobState state, Status status,
     }
   }
   if (state == JobState::kDone && options_.enable_result_cache) {
-    InsertResultCacheLocked(job.cache_key, result);
+    InsertResultCacheLocked(job.cache_key, job.family_key, job.spec.p,
+                            result);
   }
-  CountTerminalLocked(state);
+  CountTerminalLocked(job, state);
   if (instruments_.queue_seconds != nullptr) {
     instruments_.queue_seconds->Record(job.queue_seconds);
     if (job.run_seconds > 0.0) {
@@ -552,16 +826,20 @@ void JobScheduler::FinishLocked(Job& job, JobState state, Status status,
     follower.status = job.status;
     follower.result = result;
     follower.queue_seconds = SecondsBetween(follower.submit_time, now);
+    // Degradation applied to the primary is shared by its followers (they
+    // coalesced on the *applied* key, so their requested method matches).
+    follower.applied_p = job.applied_p;
+    follower.degrade_kind = job.degrade_kind;
     EmitJobTraceLocked(follower, state, nullptr);
     RecordTerminalLocked(follower, now);
-    CountTerminalLocked(state);
+    CountTerminalLocked(follower, state);
   }
   job.followers.clear();
   GcRetainedJobsLocked(now);
   job_terminal_.notify_all();
 }
 
-void JobScheduler::CountTerminalLocked(JobState state) {
+void JobScheduler::CountTerminalLocked(const Job& job, JobState state) {
   obs::Counter* counter = nullptr;
   switch (state) {
     case JobState::kDone:
@@ -577,6 +855,10 @@ void JobScheduler::CountTerminalLocked(JobState state) {
       break;
   }
   if (counter != nullptr) counter->Increment();
+  if (state == JobState::kDone) {
+    TenantQueue& tenant = TenantLocked(job.spec.tenant);
+    if (tenant.done != nullptr) tenant.done->Increment();
+  }
 }
 
 void JobScheduler::EmitJobTraceLocked(const Job& job, JobState state,
@@ -675,23 +957,41 @@ uint64_t JobScheduler::ApproxResultBytes(const core::SheddingResult& result) {
 }
 
 void JobScheduler::InsertResultCacheLocked(const std::string& key,
+                                           const std::string& family,
+                                           double p,
                                            const JobResult& result) {
+  // Keeps the coarser-p family index (family key -> p -> full key) in
+  // lockstep with the cache map on replace, insert, and eviction.
+  const auto unindex = [this](const CacheEntry& entry,
+                              const std::string& full_key) {
+    auto fam = cache_families_.find(entry.family);
+    if (fam == cache_families_.end()) return;
+    auto at_p = fam->second.find(entry.p);
+    if (at_p != fam->second.end() && at_p->second == full_key) {
+      fam->second.erase(at_p);
+    }
+    if (fam->second.empty()) cache_families_.erase(fam);
+  };
   auto existing = result_cache_.find(key);
   if (existing != result_cache_.end()) {
     cache_bytes_ -= existing->second.bytes;
     cache_lru_.erase(existing->second.lru_pos);
+    unindex(existing->second, key);
     result_cache_.erase(existing);
   }
   cache_lru_.push_front(key);
-  CacheEntry entry{result, ApproxResultBytes(*result), cache_lru_.begin()};
+  CacheEntry entry{result, ApproxResultBytes(*result), cache_lru_.begin(),
+                   family, p};
   cache_bytes_ += entry.bytes;
   result_cache_.emplace(key, std::move(entry));
+  cache_families_[family][p] = key;
   // Evict least-recently-used entries past the budget — but never the entry
   // just inserted, so an oversized single result still gets cached once.
   while (cache_bytes_ > options_.result_cache_byte_budget &&
          cache_lru_.size() > 1) {
     auto victim = result_cache_.find(cache_lru_.back());
     cache_bytes_ -= victim->second.bytes;
+    unindex(victim->second, victim->first);
     result_cache_.erase(victim);
     cache_lru_.pop_back();
     if (instruments_.result_cache_evicted != nullptr) {
@@ -706,6 +1006,13 @@ void JobScheduler::InsertResultCacheLocked(const std::string& key,
 void JobScheduler::PublishQueueDepthLocked() {
   if (instruments_.queue_depth != nullptr) {
     instruments_.queue_depth->Set(static_cast<int64_t>(live_queued_));
+  }
+}
+
+void JobScheduler::PublishTenantGaugesLocked(TenantQueue& tq) {
+  if (tq.queued_gauge != nullptr) {
+    tq.queued_gauge->Set(static_cast<int64_t>(tq.queued));
+    tq.running_gauge->Set(static_cast<int64_t>(tq.running));
   }
 }
 

@@ -37,12 +37,60 @@ enum class JobState {
 
 std::string_view JobStateToString(JobState state);
 
+/// How (if at all) load-adaptive degradation changed what a job answered
+/// with. Numeric values match net::DegradeKind (the wire mirror); the
+/// service layer stays free of net dependencies.
+enum class DegradeKind : uint8_t {
+  kNone = 0,
+  kCheaperTier = 1,     // method stepped down core::ShedderCostLadder
+  kCachedCoarserP = 2,  // served a cached result at p' <= requested p
+};
+
+/// Per-tenant scheduling parameters (fair-share weight + inflight quota).
+struct TenantConfig {
+  /// Relative fair-share weight (deficit-round-robin quantum). Minimum 1;
+  /// a tenant with weight 4 gets ~4x the dispatch slots of a weight-1
+  /// tenant while both have queued work.
+  uint32_t weight = 1;
+  /// Max jobs from this tenant executing concurrently; 0 = unlimited. A
+  /// tenant at its quota is skipped by the dispatcher (other tenants run)
+  /// until one of its jobs finishes.
+  size_t max_running = 0;
+};
+
+/// Load-adaptive degradation policy (DESIGN.md §13). When enabled and a
+/// submission opts in (`JobSpec::allow_degrade`), pressure — the max of the
+/// caller's hint and queue_depth/queue_capacity — picks how many tiers to
+/// step the method down core::ShedderCostLadder instead of queueing the
+/// expensive variant; a cached result at a coarser `p` for the *requested*
+/// method is preferred over re-tiering. The applied tier is always recorded
+/// on the job (never silent).
+struct DegradePolicy {
+  bool enabled = false;
+  /// Pressure thresholds for stepping 1 / 2 / 3 tiers down the cost ladder.
+  double tier1_pressure = 0.75;
+  double tier2_pressure = 1.0;
+  double tier3_pressure = 1.5;
+  /// Past tier1_pressure, serve a cached result for the same
+  /// dataset/method/seed at p' <= requested p (within max_p_gap) instead of
+  /// computing anything.
+  bool serve_cached_coarser_p = true;
+  double max_p_gap = 0.25;
+};
+
 /// Configuration for JobScheduler.
 struct JobSchedulerOptions {
   /// Worker threads; 0 uses DefaultThreadCount().
   int workers = 0;
   /// Max jobs queued (excluding running/coalesced/cached submissions).
   size_t queue_capacity = 256;
+  /// Pre-configured tenants; tenants not listed here are created on first
+  /// use with `default_tenant`. The unnamed tenant ("") always exists, so a
+  /// deployment with no tenant names behaves exactly like the old single
+  /// FIFO (one queue, weight 1, no quota).
+  std::map<std::string, TenantConfig> tenants;
+  TenantConfig default_tenant;
+  DegradePolicy degrade;
   bool enable_result_cache = true;
   /// Retention bounds for terminal job records. A terminal job is garbage-
   /// collected once more than `max_retained_jobs` terminal records exist
@@ -82,6 +130,23 @@ struct JobSpec {
   /// differing only in output_path are distinct jobs, so a cached result
   /// never skips a snapshot the caller asked for.
   std::string output_path;
+  /// Fair-share tenant this job is accounted to ("" = the default tenant).
+  /// Part of the dedup key: identical work from *different* tenants is
+  /// never coalesced or served from another tenant's cached results — QoS
+  /// isolation beats cross-tenant dedup (a queued job must not jump the
+  /// fair queue by riding another tenant's submission).
+  std::string tenant;
+  /// Dispatch from the priority lane: ahead of every tenant's normal-lane
+  /// work (fairness between tenants still applies within the lane).
+  /// Deliberately NOT part of the dedup key — a priority duplicate instead
+  /// boosts the already-queued primary into the priority lane.
+  bool priority = false;
+  /// Opt this submission into the degradation ladder (DegradePolicy).
+  bool allow_degrade = false;
+  /// Admission-layer load hint in [0, inf): e.g. the RPC server's
+  /// inflight / max_inflight ratio. Combined (max) with the scheduler's own
+  /// queue fraction to compute degradation pressure.
+  double pressure = 0.0;
 };
 
 using JobId = uint64_t;
@@ -99,15 +164,29 @@ struct JobStatus {
   bool deduplicated = false;
   double queue_seconds = 0.0;
   double run_seconds = 0.0;
+  std::string tenant;
+  /// What the caller asked for vs. what the scheduler answered with. Equal
+  /// (and degrade_kind == 0) unless load-adaptive degradation applied; the
+  /// requested spec is never silently rewritten — the delta is recorded
+  /// here and travels back over the wire (net::DegradeKind).
+  std::string requested_method;
+  std::string applied_method;
+  double requested_p = 0.0;
+  double applied_p = 0.0;
+  uint8_t degrade_kind = 0;
 };
 
 /// Fixed-pool asynchronous executor for shedding jobs.
 ///
-/// Architecture (DESIGN.md "Service layer"):
+/// Architecture (DESIGN.md "Service layer" + §13):
 ///  * `Options::workers` threads (default common/parallel_for.h's
-///    DefaultThreadCount) pull JobIds from a bounded FIFO submission queue;
-///    Submit fails with ResourceExhausted when the queue is full rather than
-///    blocking the caller.
+///    DefaultThreadCount) pull JobIds from per-tenant weighted fair queues
+///    (deficit round robin across tenants; a priority lane drained before
+///    any normal-lane work; per-tenant running quotas). With no tenant
+///    names in play everything lands in the default tenant's normal lane —
+///    exactly the old single bounded FIFO. Submit fails with
+///    ResourceExhausted when the global queue is full rather than blocking
+///    the caller.
 ///  * Results are cached under the key `(dataset, method, p, seed)` — every
 ///    shedder is deterministic given its seed, so identical requests must
 ///    produce identical results. A Submit that matches a cached result
@@ -185,10 +264,29 @@ class JobScheduler {
   void Shutdown();
 
  private:
+  /// Lanes within each tenant's queue; priority drains first.
+  static constexpr int kPriorityLane = 0;
+  static constexpr int kNormalLane = 1;
+  static constexpr int kNumLanes = 2;
+
   struct Job {
     JobId id = 0;
+    /// The spec as executed: `method` is the *applied* method (rewritten
+    /// when tier-degraded; `requested_method` keeps the original), `p` is
+    /// always the requested ratio.
     JobSpec spec;
+    std::string requested_method;
+    /// Preservation ratio actually answered (== spec.p unless a cached
+    /// coarser-p result was served).
+    double applied_p = 0.0;
+    uint8_t degrade_kind = 0;  // net::DegradeKind numeric value
+    /// Which lane this job queues in; a priority follower boosts a queued
+    /// normal-lane primary by re-pushing it here with lane flipped (the
+    /// stale normal-lane entry is pruned by the lane check on pop).
+    int lane = kNormalLane;
     std::string cache_key;
+    /// cache_key minus p — this job's bucket in cache_families_.
+    std::string family_key;
     JobState state = JobState::kQueued;
     Status status;
     JobResult result;
@@ -223,11 +321,60 @@ class JobScheduler {
     JobResult result;
     uint64_t bytes = 0;
     std::list<std::string>::iterator lru_pos;
+    /// Membership in cache_families_ (for coarser-p lookup), kept so
+    /// eviction can unindex without re-deriving the family from the key.
+    std::string family;
+    double p = 0.0;
+  };
+
+  /// One tenant's scheduling state: two FIFO lanes, a DRR credit balance,
+  /// live queue/running counts, and lazily resolved per-tenant instruments.
+  struct TenantQueue {
+    uint32_t weight = 1;
+    size_t max_running = 0;  // 0 = unlimited
+    std::deque<JobId> lanes[kNumLanes];
+    /// Deficit-round-robin balance, in dispatch slots. Replenished by
+    /// `weight` when no eligible tenant can afford a slot; reset when the
+    /// tenant's queue drains so idle tenants cannot hoard bursts.
+    double credit = 0.0;
+    size_t queued = 0;   // live queued jobs across both lanes
+    size_t running = 0;  // jobs currently executing
+    obs::Counter* submitted = nullptr;
+    obs::Counter* done = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Gauge* queued_gauge = nullptr;
+    obs::Gauge* running_gauge = nullptr;
   };
 
   static std::string CacheKey(const JobSpec& spec, uint64_t generation);
+  /// CacheKey minus `p` — the index bucket for coarser-p degradation.
+  static std::string FamilyKey(const JobSpec& spec, uint64_t generation);
   static bool IsTerminal(JobState state) { return state >= JobState::kDone; }
   static uint64_t ApproxResultBytes(const core::SheddingResult& result);
+
+  /// Find-or-create the tenant's queue (config from Options::tenants or
+  /// default_tenant; instruments resolved on creation). Caller holds mu_.
+  TenantQueue& TenantLocked(const std::string& name);
+  /// Drops stale front entries (terminal / already-dispatched / re-laned
+  /// jobs) so emptiness checks see live work only. Caller holds mu_.
+  void PruneLaneFrontLocked(TenantQueue& tq, int lane);
+  static bool UnderQuota(const TenantQueue& tq) {
+    return tq.max_running == 0 || tq.running < tq.max_running;
+  }
+  /// True when some tenant has a live queued job and is under quota.
+  /// Prunes as it scans. Caller holds mu_.
+  bool HasDispatchableLocked();
+  /// Deficit-round-robin pop: priority lane first across all tenants, then
+  /// the normal lane; within a lane, the next tenant (ring order) with
+  /// credit >= 1 and quota headroom wins; credits replenish by weight when
+  /// no eligible tenant can afford a slot. Returns 0 when nothing is
+  /// dispatchable. Caller holds mu_.
+  JobId PopDispatchableLocked(TenantQueue** out_tenant);
+  /// Pressure-based degradation decision for one submission; may rewrite
+  /// `job`'s method down the cost ladder (recording requested_method /
+  /// degrade_kind) or return a cached coarser-p result to serve directly.
+  /// Caller holds mu_.
+  JobResult MaybeDegradeLocked(Job& job, uint64_t generation);
 
   void WorkerLoop();
   /// Runs `job`'s reduction with no scheduler lock held; returns the
@@ -247,13 +394,17 @@ class JobScheduler {
                             std::chrono::steady_clock::time_point now);
   /// Erases terminal records beyond the retention bounds. Caller holds mu_.
   void GcRetainedJobsLocked(std::chrono::steady_clock::time_point now);
-  /// Inserts into the LRU result cache and evicts past the byte budget
-  /// (never the just-inserted entry). Caller holds mu_.
+  /// Inserts into the LRU result cache (and the coarser-p family index)
+  /// and evicts past the byte budget (never the just-inserted entry).
+  /// Caller holds mu_.
   void InsertResultCacheLocked(const std::string& key,
+                               const std::string& family, double p,
                                const JobResult& result);
   void PublishQueueDepthLocked();
-  /// Bumps the per-terminal-state counter for one finished job.
-  void CountTerminalLocked(JobState state);
+  void PublishTenantGaugesLocked(TenantQueue& tq);
+  /// Bumps the per-terminal-state counter (global + tenant) for one
+  /// finished job.
+  void CountTerminalLocked(const Job& job, JobState state);
   /// Synthesizes the root `job` span (and, for executed jobs, the per-phase
   /// children) once a job is terminal. Caller holds mu_.
   void EmitJobTraceLocked(const Job& job, JobState state,
@@ -276,6 +427,9 @@ class JobScheduler {
     obs::Counter* follower_promoted = nullptr;
     obs::Counter* jobs_gc = nullptr;
     obs::Counter* result_cache_evicted = nullptr;
+    obs::Counter* degraded_tier = nullptr;
+    obs::Counter* degraded_cached_p = nullptr;
+    obs::Counter* priority_boosted = nullptr;
     obs::Gauge* workers = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* jobs_tracked = nullptr;
@@ -297,11 +451,18 @@ class JobScheduler {
   std::condition_variable work_available_;
   std::condition_variable job_terminal_;
   std::map<JobId, Job> jobs_;  // stable nodes: worker holds refs across ops
-  std::deque<JobId> queue_;
-  size_t live_queued_ = 0;  // queue_ minus cancelled-while-queued entries
+  /// Per-tenant fair queues (stable nodes: workers hold TenantQueue*
+  /// across the Execute unlock) and the DRR scan ring over their names.
+  std::map<std::string, TenantQueue> tenants_;
+  std::vector<std::string> tenant_ring_;  // creation order
+  size_t ring_pos_ = 0;
+  size_t live_queued_ = 0;  // live queued jobs across all tenants/lanes
   std::unordered_map<std::string, JobId> inflight_;
   std::unordered_map<std::string, CacheEntry> result_cache_;
   std::list<std::string> cache_lru_;  // front = most recently used
+  /// family key -> (p -> full cache key), the coarser-p degradation index
+  /// over result_cache_. Maintained by insert/evict.
+  std::map<std::string, std::map<double, std::string>> cache_families_;
   uint64_t cache_bytes_ = 0;
   /// Terminal jobs in finish order (front = oldest) — the GC scan order.
   std::deque<JobId> terminal_order_;

@@ -232,6 +232,101 @@ TEST(ClientRetryTest, MismatchedResponseTypeIsInternalAndFatal) {
   EXPECT_EQ(calls, 1);  // protocol confusion is not transient
 }
 
+// ---------------------------------------------------------------------------
+// Overall retry budget (the fix for per-attempt timeouts stacking)
+
+/// Transport that always fails with IOError, counting calls and recording
+/// backoff sleeps.
+RpcClient::TestHooks AlwaysDownTransport(std::vector<milliseconds>* slept,
+                                         int* calls) {
+  RpcClient::TestHooks hooks;
+  hooks.transport = [calls](const Frame&) -> StatusOr<Frame> {
+    ++*calls;
+    return Status::IOError("still down");
+  };
+  hooks.sleeper = [slept](milliseconds delay) { slept->push_back(delay); };
+  return hooks;
+}
+
+TEST(ClientRetryTest, WaitBudgetStopsRetriesInsteadOfStacking) {
+  // deadline 40ms + slack 10ms < recv_timeout 50ms -> overall budget 50ms.
+  // The first backoff delay (~100ms jittered <= 100) already overruns it, so
+  // the Wait makes exactly one attempt and reports DeadlineExceeded instead
+  // of burning max_attempts * recv_timeout.
+  RpcClientOptions options = TestOptions();
+  options.recv_timeout = milliseconds(50);
+  options.wait_slack = milliseconds(10);
+  std::vector<milliseconds> slept;
+  int calls = 0;
+  RpcClient client(options, AlwaysDownTransport(&slept, &calls));
+
+  auto summary = client.Wait(1, /*deadline_ms=*/40);
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(ClientRetryTest, WaitWithoutDeadlineKeepsUnboundedRetries) {
+  // deadline_ms = 0 preserves the historical contract: all attempts run and
+  // the last transport error is returned as-is.
+  const RpcClientOptions options = TestOptions();
+  std::vector<milliseconds> slept;
+  int calls = 0;
+  RpcClient client(options, AlwaysDownTransport(&slept, &calls));
+
+  auto summary = client.Wait(1);
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, options.max_attempts);
+  EXPECT_EQ(slept.size(), static_cast<size_t>(options.max_attempts - 1));
+}
+
+TEST(ClientRetryTest, WaitBudgetAdmitsRetriesThatFitWithinIt) {
+  // Budget 1000ms comfortably covers the full (jittered) backoff schedule
+  // of ~100+200+400ms, so every attempt still runs.
+  RpcClientOptions options = TestOptions();
+  options.recv_timeout = milliseconds(50);
+  options.wait_slack = milliseconds(960);
+  std::vector<milliseconds> slept;
+  int calls = 0;
+  RpcClient client(options, AlwaysDownTransport(&slept, &calls));
+
+  auto summary = client.Wait(1, /*deadline_ms=*/40);
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, options.max_attempts);
+}
+
+TEST(ClientRetryTest, ShedWithWaitSharesTheWaitBudget) {
+  // A Shed that blocks for its result inherits the same deadline-derived
+  // budget as Wait; a fire-and-forget Shed (wait=false) does not.
+  RpcClientOptions options = TestOptions();
+  options.recv_timeout = milliseconds(50);
+  options.wait_slack = milliseconds(10);
+  std::vector<milliseconds> slept;
+  int calls = 0;
+  RpcClient client(options, AlwaysDownTransport(&slept, &calls));
+
+  ShedRequest blocking;
+  blocking.dataset = "g";
+  blocking.wait = true;
+  blocking.deadline_ms = 40;
+  auto response = client.Shed(blocking);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 1);
+
+  calls = 0;
+  slept.clear();
+  ShedRequest fire_and_forget = blocking;
+  fire_and_forget.wait = false;
+  auto submitted = client.Shed(fire_and_forget);
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, options.max_attempts);
+}
+
 TEST(ClientRetryTest, TypedDecodersRunOnInjectedTransport) {
   // The full typed surface works over the hook, proving the hook replaces
   // only the socket layer, not the codec path.

@@ -40,6 +40,13 @@ class RpcServerTest : public ::testing::Test {
   void SetUp() override { StartServer(RpcServerOptions{}); }
 
   void StartServer(RpcServerOptions options) {
+    service::JobScheduler::Options scheduler_options;
+    scheduler_options.workers = 2;
+    StartServer(options, scheduler_options);
+  }
+
+  void StartServer(RpcServerOptions options,
+                   service::JobScheduler::Options scheduler_options) {
     server_.reset();
     scheduler_.reset();
     store_.reset();
@@ -52,8 +59,6 @@ class RpcServerTest : public ::testing::Test {
                                         Clique(40)); })
                     .ok());
 
-    service::JobScheduler::Options scheduler_options;
-    scheduler_options.workers = 2;
     scheduler_ = std::make_unique<service::JobScheduler>(
         store_.get(), &metrics_, scheduler_options);
 
@@ -75,6 +80,18 @@ class RpcServerTest : public ::testing::Test {
 
   uint64_t Counter(const std::string& name) {
     return metrics_.GetCounter(name)->Value();
+  }
+
+  /// Registers a dataset whose loader sleeps before producing a small
+  /// clique, so a job on it reliably outlives timeouts under test.
+  void RegisterSlowDataset(const std::string& name, milliseconds delay) {
+    ASSERT_TRUE(store_
+                    ->Register(name,
+                               [delay] {
+                                 std::this_thread::sleep_for(delay);
+                                 return StatusOr<graph::Graph>(Clique(16));
+                               })
+                    .ok());
   }
 
   obs::MetricsRegistry metrics_;
@@ -552,6 +569,210 @@ TEST_F(RpcServerTest, ChannelCloseIsNotTheEnd) {
   ASSERT_TRUE(echoed.ok()) << echoed.status();
   EXPECT_EQ(*echoed, 2u);
   EXPECT_EQ(channel.reconnects(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Serving QoS (ISSUE 8): reaper vs in-flight Waits, long-Wait recv
+// deadlines, retry-after-drop idempotency, degradation over the wire
+
+// Regression (satellite 1): a connection blocked in a Shed-with-wait longer
+// than idle_timeout must NOT be reaped — only connections with no in-flight
+// requests are idle. A genuinely idle connection opened alongside it IS
+// reaped within the same window, proving the sweep ran while the busy
+// connection survived.
+TEST_F(RpcServerTest, IdleReaperSparesConnectionsBlockedInWait) {
+  RpcServerOptions options;
+  options.idle_timeout = milliseconds(150);
+  StartServer(options);
+  RegisterSlowDataset("slow", milliseconds(600));
+
+  auto idle_fd = ConnectTcp("127.0.0.1", server_->port(), milliseconds(2000));
+  ASSERT_TRUE(idle_fd.ok()) << idle_fd.status();
+  ASSERT_TRUE(SetRecvTimeout(*idle_fd, milliseconds(3000)).ok());
+
+  RpcClient client = MakeClient();
+  ShedRequest request;
+  request.dataset = "slow";
+  request.method = "random";
+  request.wait = true;
+  request.deadline_ms = 10000;
+  auto response = client.Shed(request);  // blocks ~600ms, 4x idle_timeout
+  ASSERT_TRUE(response.ok())
+      << "in-flight connection was reaped: " << response.status();
+  ASSERT_TRUE(response->has_result);
+
+  // The idle control connection was closed by the sweep (EOF).
+  char chunk[64];
+  auto n = RecvSome(*idle_fd, chunk, sizeof(chunk));
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 0u);
+  CloseFd(*idle_fd);
+}
+
+// Regression (satellite 2): a Wait-class RPC on a job that outlives the
+// client's generic recv_timeout must derive its socket deadline from the
+// job's deadline_ms instead of failing client-side while the server is
+// still working. Before the fix both calls here died with the 150ms
+// SO_RCVTIMEO despite healthy 500ms jobs.
+TEST_F(RpcServerTest, LongWaitOutlivesGenericRecvTimeout) {
+  RegisterSlowDataset("slow", milliseconds(500));
+
+  RpcClientOptions options;
+  options.port = server_->port();
+  options.max_attempts = 1;
+  options.recv_timeout = milliseconds(150);  // << job runtime
+  RpcClient client(options);
+
+  ShedRequest request;
+  request.dataset = "slow";
+  request.method = "random";
+  request.wait = true;
+  request.deadline_ms = 10000;
+  auto response = client.Shed(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(response->has_result);
+
+  // Same derivation on a bare Wait: submit without waiting, then block on
+  // the result with the job's deadline in hand.
+  RegisterSlowDataset("slow2", milliseconds(500));
+  ShedRequest submit = request;
+  submit.dataset = "slow2";
+  submit.wait = false;
+  auto submitted = client.Shed(submit);
+  ASSERT_TRUE(submitted.ok()) << submitted.status();
+  auto summary = client.Wait(submitted->job_id, submit.deadline_ms);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+}
+
+// Regression (satellite 3): a client whose connection drops mid-flight and
+// retries an identical wait=true Shed must not double-execute the job — the
+// retry coalesces onto the in-flight primary (or hits the result cache).
+TEST_F(RpcServerTest, RetryAfterDroppedConnectionExecutesJobExactlyOnce) {
+  RegisterSlowDataset("slow", milliseconds(400));
+
+  ShedRequest request;
+  request.dataset = "slow";
+  request.method = "random";
+  request.p = 0.5;
+  request.seed = 3;
+  request.wait = true;
+  request.deadline_ms = 10000;
+
+  // First attempt over a raw socket, dropped mid-job.
+  auto fd = ConnectTcp("127.0.0.1", server_->port(), milliseconds(2000));
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  ASSERT_TRUE(
+      SendAll(*fd, EncodeFrame(MessageType::kShedRequest,
+                               EncodeShedRequest(request)))
+          .ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (Counter("scheduler.submitted") == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "job never reached the scheduler";
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  CloseFd(*fd);  // injected drop while the job is executing
+
+  // The "retry": an identical request from a fresh connection.
+  RpcClient client = MakeClient();
+  auto response = client.Shed(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(response->has_result);
+
+  EXPECT_EQ(Counter("scheduler.submitted"), 2u);
+  // Exactly one of the two submissions executed; the other deduplicated.
+  EXPECT_EQ(Counter("scheduler.coalesced") +
+                Counter("scheduler.result_cache_hit"),
+            1u);
+  EXPECT_EQ(metrics_.GetLatency("scheduler.run_seconds")->Snapshot().count,
+            1u);
+}
+
+// Tentpole: tenant + priority travel over the wire into the scheduler's
+// fair queues and per-tenant accounting.
+TEST_F(RpcServerTest, TenantAndPriorityTravelOverTheWire) {
+  RpcClient client = MakeClient();
+  ShedRequest request;
+  request.dataset = "clique";
+  request.method = "random";
+  request.tenant = "gold";
+  request.priority = 1;
+  request.wait = true;
+  auto response = client.Shed(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(Counter("scheduler.tenant_submitted.gold"), 1u);
+  EXPECT_EQ(Counter("scheduler.tenant_done.gold"), 1u);
+  // Served exactly as asked: the degradation record says so explicitly.
+  EXPECT_EQ(response->result.degrade_kind, 0);
+}
+
+// Tentpole: past max_inflight with degradation enabled, a request is
+// admitted (not rejected) and answered with a recorded cheaper tier.
+TEST_F(RpcServerTest, DegradedAdmissionAppliesRecordedCheaperTier) {
+  RpcServerOptions options;
+  options.max_inflight = 1;
+  options.dispatch_threads = 4;
+  options.degrade_enabled = true;
+  service::JobScheduler::Options scheduler_options;
+  scheduler_options.workers = 2;
+  scheduler_options.degrade.enabled = true;
+  StartServer(options, scheduler_options);
+  RegisterSlowDataset("slow", milliseconds(600));
+
+  // Occupy the single inflight slot with a long blocking Shed.
+  std::thread occupant([this] {
+    RpcClient client = MakeClient();
+    ShedRequest request;
+    request.dataset = "slow";
+    request.method = "random";
+    request.wait = true;
+    request.deadline_ms = 10000;
+    auto response = client.Shed(request);
+    ASSERT_TRUE(response.ok()) << response.status();
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (metrics_.GetGauge("net.inflight")->Value() < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "occupant never went in flight";
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+
+  // Arrives past max_inflight: admitted under pressure instead of
+  // ResourceExhausted, and served one ladder tier down (crr -> bm2 at
+  // pressure 1.0 is two steps -> local-degree).
+  RpcClient client = MakeClient();
+  ShedRequest request;
+  request.dataset = "clique";
+  request.method = "crr";
+  request.wait = true;
+  request.deadline_ms = 10000;
+  auto response = client.Shed(request);
+  occupant.join();
+  ASSERT_TRUE(response.ok())
+      << "degrading server rejected instead of admitting: "
+      << response.status();
+  ASSERT_TRUE(response->has_result);
+  EXPECT_EQ(response->result.degrade_kind,
+            static_cast<uint8_t>(DegradeKind::kCheaperTier));
+  EXPECT_EQ(response->result.applied_method, "local-degree");
+  EXPECT_GE(Counter("net.degraded_admitted"), 1u);
+  EXPECT_GE(Counter("net.degraded_applied"), 1u);
+  EXPECT_EQ(Counter("net.rejected_overload"), 0u);
+
+  // The wait=false path reports the applied tier through GetStatus.
+  ShedRequest fire = request;
+  fire.seed = 99;
+  fire.wait = false;
+  auto submitted = client.Shed(fire);
+  ASSERT_TRUE(submitted.ok()) << submitted.status();
+  auto wait_summary = client.Wait(submitted->job_id, fire.deadline_ms);
+  ASSERT_TRUE(wait_summary.ok()) << wait_summary.status();
+  auto job_status = client.GetJobStatus(submitted->job_id);
+  ASSERT_TRUE(job_status.ok()) << job_status.status();
+  EXPECT_EQ(job_status->applied_method, wait_summary->applied_method);
+  EXPECT_EQ(job_status->degrade_kind, wait_summary->degrade_kind);
 }
 
 }  // namespace

@@ -402,6 +402,125 @@ TEST(WireMessageTest, GetStatusAndListDatasetsRoundTrip) {
   EXPECT_EQ(list_decoded.names, list.names);
 }
 
+// ---------------------------------------------------------------------------
+// v1 <-> v2 compatibility (QoS tails)
+
+TEST(WireCompatTest, OlderFrameVersionsWithinRangeAreAccepted) {
+  std::string bytes = EncodeFrame(MessageType::kPingRequest,
+                                  EncodePing(PingMessage{1}));
+  ASSERT_EQ(static_cast<uint8_t>(bytes[4]), kWireVersion);
+  // A v1 peer's frame (the CRC covers only the payload, so patching the
+  // version byte keeps the frame valid).
+  bytes[4] = static_cast<char>(kWireMinVersion);
+  DecodeResult v1 = DecodeFrame(bytes);
+  EXPECT_EQ(v1.event, DecodeEvent::kFrame);
+
+  bytes[4] = static_cast<char>(kWireMinVersion - 1);
+  EXPECT_EQ(DecodeFrame(bytes).event, DecodeEvent::kError);
+  bytes[4] = static_cast<char>(kWireVersion + 1);
+  EXPECT_EQ(DecodeFrame(bytes).event, DecodeEvent::kError);
+}
+
+TEST(WireCompatTest, V1ShedRequestBodyDecodesWithDefaultTail) {
+  // A v1 encoder stops after `output`; the decoder must supply neutral QoS
+  // defaults (default tenant, normal lane) rather than failing.
+  WireWriter w;
+  w.PutString("clique");
+  w.PutString("crr");
+  w.PutDouble(0.4);
+  w.PutU64(11);
+  w.PutU64(2500);
+  w.PutU8(1);          // wait
+  w.PutString("out");  // output
+
+  ShedRequest decoded;
+  decoded.tenant = "stale";
+  decoded.priority = 9;
+  ASSERT_TRUE(DecodeShedRequest(w.bytes(), &decoded).ok());
+  EXPECT_EQ(decoded.dataset, "clique");
+  EXPECT_EQ(decoded.deadline_ms, 2500u);
+  EXPECT_TRUE(decoded.tenant.empty());
+  EXPECT_EQ(decoded.priority, 0);
+}
+
+TEST(WireCompatTest, ShedRequestRoundTripsTenantAndPriority) {
+  ShedRequest request;
+  request.dataset = "g";
+  request.tenant = "gold";
+  request.priority = 1;
+  ShedRequest decoded;
+  ASSERT_TRUE(DecodeShedRequest(EncodeShedRequest(request), &decoded).ok());
+  EXPECT_EQ(decoded.tenant, "gold");
+  EXPECT_EQ(decoded.priority, 1);
+}
+
+TEST(WireCompatTest, V1ResultSummaryBodyDecodesWithDefaultTail) {
+  WireWriter w;
+  w.PutU64(3);       // job_id
+  w.PutU64(120);     // kept_edges
+  w.PutDouble(1.0);  // total_delta
+  w.PutDouble(0.5);  // average_delta
+  w.PutDouble(0.2);  // reduction_seconds
+  w.PutU8(0);        // deduplicated
+  w.PutU32(1);       // one stat
+  w.PutString("swaps");
+  w.PutDouble(12.0);
+
+  ResultSummary decoded;
+  decoded.applied_method = "stale";
+  decoded.applied_p = 0.9;
+  decoded.degrade_kind = 2;
+  ASSERT_TRUE(DecodeResultSummaryBody(w.bytes(), &decoded).ok());
+  EXPECT_EQ(decoded.kept_edges, 120u);
+  ASSERT_EQ(decoded.stats.size(), 1u);
+  EXPECT_TRUE(decoded.applied_method.empty());
+  EXPECT_DOUBLE_EQ(decoded.applied_p, 0.0);
+  EXPECT_EQ(decoded.degrade_kind, 0);
+}
+
+TEST(WireCompatTest, AppliedTierRoundTripsOnSummaryAndStatus) {
+  ResultSummary summary;
+  summary.job_id = 8;
+  summary.applied_method = "bm2";
+  summary.applied_p = 0.25;
+  summary.degrade_kind = static_cast<uint8_t>(DegradeKind::kCheaperTier);
+  ResultSummary summary_decoded;
+  ASSERT_TRUE(DecodeResultSummaryBody(EncodeResultSummaryBody(summary),
+                                      &summary_decoded)
+                  .ok());
+  EXPECT_EQ(summary_decoded.applied_method, "bm2");
+  EXPECT_DOUBLE_EQ(summary_decoded.applied_p, 0.25);
+  EXPECT_EQ(summary_decoded.degrade_kind,
+            static_cast<uint8_t>(DegradeKind::kCheaperTier));
+
+  // The summary also survives embedded in a ShedResponse — it is that
+  // message's last field, which is what makes the optional tail safe.
+  ShedResponse response;
+  response.job_id = 8;
+  response.has_result = true;
+  response.result = summary;
+  ShedResponse response_decoded;
+  ASSERT_TRUE(DecodeShedResponseBody(EncodeShedResponseBody(response),
+                                     &response_decoded)
+                  .ok());
+  EXPECT_EQ(response_decoded.result.applied_method, "bm2");
+  EXPECT_EQ(response_decoded.result.degrade_kind,
+            static_cast<uint8_t>(DegradeKind::kCheaperTier));
+
+  GetStatusResponse status;
+  status.state = 2;
+  status.applied_method = "local-degree";
+  status.applied_p = 0.5;
+  status.degrade_kind = static_cast<uint8_t>(DegradeKind::kCachedCoarserP);
+  GetStatusResponse status_decoded;
+  ASSERT_TRUE(DecodeGetStatusResponseBody(
+                  EncodeGetStatusResponseBody(status), &status_decoded)
+                  .ok());
+  EXPECT_EQ(status_decoded.applied_method, "local-degree");
+  EXPECT_EQ(status_decoded.degrade_kind,
+            static_cast<uint8_t>(DegradeKind::kCachedCoarserP));
+}
+
 TEST(WireMessageTest, WireReaderTrapsOverreadWithStickyFailure) {
   WireWriter writer;
   writer.PutU32(7);

@@ -1,8 +1,13 @@
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <filesystem>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -10,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "common/strings.h"
 #include "core/shedder_factory.h"
 #include "graph/binary_io.h"
 #include "graph/generators/generators.h"
@@ -1011,6 +1017,451 @@ TEST(JobSchedulerTest, JobStateNames) {
   EXPECT_EQ(JobStateToString(JobState::kDone), "done");
   EXPECT_EQ(JobStateToString(JobState::kFailed), "failed");
   EXPECT_EQ(JobStateToString(JobState::kCancelled), "cancelled");
+}
+
+// ---------------------------------------------------------------------------
+// JobScheduler QoS: fair-share tenants, priority lane, quotas, degradation
+
+/// Blocks every load of its dataset until Release(), freezing the worker
+/// that picked it up so a test can build up a queue deterministically.
+struct Plug {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      released = true;
+    }
+    cv.notify_all();
+  }
+};
+
+void RegisterPluggedGraph(GraphStore& store, const std::string& name,
+                          std::shared_ptr<Plug> plug) {
+  ASSERT_TRUE(store
+                  .Register(name,
+                            [plug]() -> StatusOr<graph::Graph> {
+                              std::unique_lock<std::mutex> lock(plug->mu);
+                              plug->cv.wait(lock,
+                                            [&] { return plug->released; });
+                              return Clique(8);
+                            })
+                  .ok());
+}
+
+/// Records dispatch order: each dataset's loader appends its name to a
+/// shared log when the (single) worker starts executing the job. Distinct
+/// datasets per job keep the store's load cache out of the picture.
+struct DispatchLog {
+  std::mutex mu;
+  std::vector<std::string> order;
+  std::vector<std::string> Snapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    return order;
+  }
+};
+
+void RegisterLoggedGraph(GraphStore& store, const std::string& name,
+                         std::shared_ptr<DispatchLog> log,
+                         std::chrono::milliseconds delay = {}) {
+  ASSERT_TRUE(store
+                  .Register(name,
+                            [name, log, delay]() -> StatusOr<graph::Graph> {
+                              {
+                                std::lock_guard<std::mutex> lock(log->mu);
+                                log->order.push_back(name);
+                              }
+                              if (delay.count() > 0) {
+                                std::this_thread::sleep_for(delay);
+                              }
+                              return Clique(8);
+                            })
+                  .ok());
+}
+
+size_t CountPrefix(const std::vector<std::string>& order, size_t n,
+                   char tenant_tag) {
+  size_t hits = 0;
+  for (size_t i = 0; i < std::min(n, order.size()); ++i) {
+    if (!order[i].empty() && order[i][0] == tenant_tag) ++hits;
+  }
+  return hits;
+}
+
+// Acceptance (ISSUE 8): two tenants with 1:4 weights under saturation see
+// dispatch slots split ~4:1. One worker + a plugged job make the deficit-
+// round-robin order fully deterministic.
+TEST(JobSchedulerQosTest, FairShareDispatchFollowsWeights) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  auto plug = std::make_shared<Plug>();
+  auto log = std::make_shared<DispatchLog>();
+  RegisterPluggedGraph(store, "plug", plug);
+
+  JobSchedulerOptions options;
+  options.workers = 1;
+  options.tenants["gold"] = TenantConfig{4, 0};
+  options.tenants["bronze"] = TenantConfig{1, 0};
+  JobScheduler scheduler(&store, &metrics, options);
+
+  auto blocker = scheduler.Submit({"plug", "random", 0.5, 1});
+  ASSERT_TRUE(blocker.ok());
+  WaitUntilDispatched(scheduler, *blocker);
+
+  std::vector<JobId> ids;
+  for (int i = 0; i < 8; ++i) {
+    for (const char* tenant : {"gold", "bronze"}) {
+      const std::string dataset =
+          StrFormat("%c%d", tenant[0], i);  // g0/b0, g1/b1, ...
+      RegisterLoggedGraph(store, dataset, log);
+      JobSpec spec;
+      spec.dataset = dataset;
+      spec.method = "random";
+      spec.p = 0.5;
+      spec.seed = 1;
+      spec.tenant = tenant;
+      auto id = scheduler.Submit(spec);
+      ASSERT_TRUE(id.ok()) << id.status();
+      ids.push_back(*id);
+    }
+  }
+  plug->Release();
+  ASSERT_TRUE(scheduler.Wait(*blocker).ok());
+  for (JobId id : ids) ASSERT_TRUE(scheduler.Wait(id).ok());
+
+  const auto order = log->Snapshot();
+  ASSERT_EQ(order.size(), 16u);
+  // Weight 4 vs 1: gold owns ~4/5 of early dispatch slots. Exact DRR order
+  // depends on ring phase, so assert the share with +-1 slack.
+  EXPECT_GE(CountPrefix(order, 5, 'g'), 3u) << "first 5: gold under-served";
+  EXPECT_GE(CountPrefix(order, 10, 'g'), 7u)
+      << "first 10: gold under-served";
+  EXPECT_GE(CountPrefix(order, 5, 'b'), 1u)
+      << "first 5: bronze starved outright";
+  EXPECT_EQ(metrics.CounterValue("scheduler.tenant_submitted.gold"), 8u);
+  EXPECT_EQ(metrics.CounterValue("scheduler.tenant_done.gold"), 8u);
+  EXPECT_EQ(metrics.CounterValue("scheduler.tenant_done.bronze"), 8u);
+  EXPECT_EQ(metrics.CounterValue("scheduler.tenant_rejected.gold"), 0u);
+}
+
+// Acceptance (ISSUE 8): a priority-lane job dispatches ahead of
+// earlier-queued normal-lane work from any tenant.
+TEST(JobSchedulerQosTest, PriorityLanePreemptsQueueOrder) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  auto plug = std::make_shared<Plug>();
+  auto log = std::make_shared<DispatchLog>();
+  RegisterPluggedGraph(store, "plug", plug);
+  RegisterLoggedGraph(store, "n0", log);
+  RegisterLoggedGraph(store, "n1", log);
+  RegisterLoggedGraph(store, "prio", log);
+  JobScheduler scheduler(&store, &metrics, {.workers = 1});
+
+  auto blocker = scheduler.Submit({"plug", "random", 0.5, 1});
+  ASSERT_TRUE(blocker.ok());
+  WaitUntilDispatched(scheduler, *blocker);
+
+  std::vector<JobId> ids;
+  for (const char* dataset : {"n0", "n1"}) {
+    JobSpec spec;
+    spec.dataset = dataset;
+    spec.method = "random";
+    auto id = scheduler.Submit(spec);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  JobSpec urgent;
+  urgent.dataset = "prio";
+  urgent.method = "random";
+  urgent.priority = true;
+  auto prio = scheduler.Submit(urgent);
+  ASSERT_TRUE(prio.ok());
+  ids.push_back(*prio);
+
+  plug->Release();
+  for (JobId id : ids) ASSERT_TRUE(scheduler.Wait(id).ok());
+
+  const auto order = log->Snapshot();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "prio") << "priority lane did not preempt";
+}
+
+// A priority duplicate of a queued normal-lane job boosts the primary into
+// the priority lane instead of forking a second execution.
+TEST(JobSchedulerQosTest, PriorityDuplicateBoostsQueuedPrimary) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  auto plug = std::make_shared<Plug>();
+  auto log = std::make_shared<DispatchLog>();
+  RegisterPluggedGraph(store, "plug", plug);
+  RegisterLoggedGraph(store, "x", log);
+  RegisterLoggedGraph(store, "y", log);
+  JobScheduler scheduler(&store, &metrics, {.workers = 1});
+
+  auto blocker = scheduler.Submit({"plug", "random", 0.5, 1});
+  ASSERT_TRUE(blocker.ok());
+  WaitUntilDispatched(scheduler, *blocker);
+
+  JobSpec x{"x", "random", 0.5, 1};
+  auto first = scheduler.Submit(x);
+  ASSERT_TRUE(first.ok());
+  auto other = scheduler.Submit({"y", "random", 0.5, 1});
+  ASSERT_TRUE(other.ok());
+  JobSpec boosted = x;
+  boosted.priority = true;
+  auto dup = scheduler.Submit(boosted);
+  ASSERT_TRUE(dup.ok());
+
+  plug->Release();
+  ASSERT_TRUE(scheduler.Wait(*first).ok());
+  ASSERT_TRUE(scheduler.Wait(*other).ok());
+  auto dup_result = scheduler.Wait(*dup);
+  ASSERT_TRUE(dup_result.ok());
+
+  const auto order = log->Snapshot();
+  ASSERT_EQ(order.size(), 2u);  // the duplicate never executed separately
+  EXPECT_EQ(order[0], "x") << "boosted primary did not jump the queue";
+  EXPECT_EQ(metrics.CounterValue("scheduler.coalesced"), 1u);
+  EXPECT_EQ(metrics.CounterValue("scheduler.priority_boosted"), 1u);
+}
+
+// A tenant at its max_running quota is skipped — other tenants keep the
+// spare worker — and resumes once one of its jobs finishes.
+TEST(JobSchedulerQosTest, TenantQuotaCapsConcurrency) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  auto log = std::make_shared<DispatchLog>();
+  RegisterLoggedGraph(store, "c0", log, std::chrono::milliseconds(150));
+  RegisterLoggedGraph(store, "c1", log);
+  RegisterLoggedGraph(store, "f0", log);
+
+  JobSchedulerOptions options;
+  options.workers = 2;
+  options.tenants["capped"] = TenantConfig{1, 1};
+  JobScheduler scheduler(&store, &metrics, options);
+
+  JobSpec slow;
+  slow.dataset = "c0";
+  slow.method = "random";
+  slow.tenant = "capped";
+  auto c0 = scheduler.Submit(slow);
+  ASSERT_TRUE(c0.ok());
+  WaitUntilDispatched(scheduler, *c0);
+
+  JobSpec second = slow;
+  second.dataset = "c1";
+  auto c1 = scheduler.Submit(second);
+  ASSERT_TRUE(c1.ok());
+  JobSpec free_spec;
+  free_spec.dataset = "f0";
+  free_spec.method = "random";
+  free_spec.tenant = "other";
+  auto f0 = scheduler.Submit(free_spec);
+  ASSERT_TRUE(f0.ok());
+
+  ASSERT_TRUE(scheduler.Wait(*c0).ok());
+  ASSERT_TRUE(scheduler.Wait(*c1).ok());
+  ASSERT_TRUE(scheduler.Wait(*f0).ok());
+
+  const auto order = log->Snapshot();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "c0");
+  // c1 was quota-blocked behind c0, so the other tenant's job took the
+  // second worker despite arriving later.
+  EXPECT_EQ(order[1], "f0");
+  EXPECT_EQ(order[2], "c1");
+}
+
+// Acceptance (ISSUE 8): under pressure an opted-in CRR request is served by
+// a cheaper ladder tier, and the applied tier is recorded — never silent.
+TEST(JobSchedulerQosTest, DegradationTierIsRecordedNeverSilent) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  const graph::Graph g = Clique(16);
+  RegisterGraph(store, "g", g);
+
+  JobSchedulerOptions options;
+  options.workers = 1;
+  options.degrade.enabled = true;
+  JobScheduler scheduler(&store, &metrics, options);
+
+  JobSpec spec;
+  spec.dataset = "g";
+  spec.method = "crr";
+  spec.p = 0.5;
+  spec.seed = 7;
+  spec.allow_degrade = true;
+  spec.pressure = 0.8;  // tier1 band: one step down the ladder
+  auto id = scheduler.Submit(spec);
+  ASSERT_TRUE(id.ok());
+  auto result = scheduler.Wait(*id);
+  ASSERT_TRUE(result.ok());
+
+  auto status = scheduler.GetStatus(*id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->requested_method, "crr");
+  EXPECT_EQ(status->applied_method, "bm2");
+  EXPECT_EQ(status->degrade_kind,
+            static_cast<uint8_t>(DegradeKind::kCheaperTier));
+  // p is never silently changed by tier degradation.
+  EXPECT_DOUBLE_EQ(status->requested_p, 0.5);
+  EXPECT_DOUBLE_EQ(status->applied_p, 0.5);
+  EXPECT_EQ(metrics.CounterValue("scheduler.degraded_tier"), 1u);
+
+  // The answer really is the cheaper tier's answer.
+  auto shedder = core::MakeShedderByName("bm2", spec.seed);
+  ASSERT_TRUE(shedder.ok());
+  auto direct = (*shedder)->Reduce(g, spec.p);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ((*result)->kept_edges, direct->kept_edges);
+
+  // Deeper pressure bands step further down the ladder.
+  JobSpec drowning = spec;
+  drowning.seed = 8;
+  drowning.pressure = 1.6;  // tier3 band: crr -> random
+  auto deep = scheduler.Submit(drowning);
+  ASSERT_TRUE(deep.ok());
+  ASSERT_TRUE(scheduler.Wait(*deep).ok());
+  auto deep_status = scheduler.GetStatus(*deep);
+  ASSERT_TRUE(deep_status.ok());
+  EXPECT_EQ(deep_status->applied_method, "random");
+}
+
+// Acceptance (ISSUE 8): past the pressure threshold a cached coarser-p
+// result for the requested method is served instead of computing anything,
+// with the applied p recorded (requested p untouched).
+TEST(JobSchedulerQosTest, DegradationServesCachedCoarserP) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  RegisterGraph(store, "g", Clique(16));
+
+  JobSchedulerOptions options;
+  options.workers = 1;
+  options.degrade.enabled = true;
+  JobScheduler scheduler(&store, &metrics, options);
+
+  // Prime the cache with the coarser run (no pressure, no degradation).
+  JobSpec coarse;
+  coarse.dataset = "g";
+  coarse.method = "bm2";
+  coarse.p = 0.4;
+  coarse.seed = 9;
+  auto primed = scheduler.Submit(coarse);
+  ASSERT_TRUE(primed.ok());
+  auto primed_result = scheduler.Wait(*primed);
+  ASSERT_TRUE(primed_result.ok());
+
+  JobSpec wanted = coarse;
+  wanted.p = 0.5;
+  wanted.allow_degrade = true;
+  wanted.pressure = 0.8;
+  auto id = scheduler.Submit(wanted);
+  ASSERT_TRUE(id.ok());
+  auto result = scheduler.Wait(*id);
+  ASSERT_TRUE(result.ok());
+  // Same shared result object: nothing was computed.
+  EXPECT_EQ(result->get(), primed_result->get());
+
+  auto status = scheduler.GetStatus(*id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->deduplicated);
+  EXPECT_EQ(status->applied_method, "bm2");  // requested method kept
+  EXPECT_EQ(status->degrade_kind,
+            static_cast<uint8_t>(DegradeKind::kCachedCoarserP));
+  EXPECT_DOUBLE_EQ(status->requested_p, 0.5);
+  EXPECT_DOUBLE_EQ(status->applied_p, 0.4);
+  EXPECT_EQ(metrics.CounterValue("scheduler.degraded_cached_p"), 1u);
+
+  // A gap beyond max_p_gap disqualifies the cached result: the request is
+  // tier-degraded instead of answered with a wildly coarser p.
+  JobSpec far = coarse;
+  far.p = 0.8;
+  far.allow_degrade = true;
+  far.pressure = 0.8;
+  auto far_id = scheduler.Submit(far);
+  ASSERT_TRUE(far_id.ok());
+  ASSERT_TRUE(scheduler.Wait(*far_id).ok());
+  auto far_status = scheduler.GetStatus(*far_id);
+  ASSERT_TRUE(far_status.ok());
+  EXPECT_NE(far_status->degrade_kind,
+            static_cast<uint8_t>(DegradeKind::kCachedCoarserP));
+  EXPECT_DOUBLE_EQ(far_status->applied_p, 0.8);
+}
+
+// No pressure, no opt-in, or a disabled policy: requests run exactly as
+// submitted.
+TEST(JobSchedulerQosTest, NoDegradationWithoutPressureOrOptIn) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  RegisterGraph(store, "g", Clique(12));
+
+  JobSchedulerOptions options;
+  options.workers = 1;
+  options.degrade.enabled = true;
+  JobScheduler scheduler(&store, &metrics, options);
+
+  // Opted in but unpressured.
+  JobSpec calm;
+  calm.dataset = "g";
+  calm.method = "crr";
+  calm.p = 0.5;
+  calm.seed = 3;
+  calm.allow_degrade = true;
+  auto calm_id = scheduler.Submit(calm);
+  ASSERT_TRUE(calm_id.ok());
+  ASSERT_TRUE(scheduler.Wait(*calm_id).ok());
+  auto calm_status = scheduler.GetStatus(*calm_id);
+  ASSERT_TRUE(calm_status.ok());
+  EXPECT_EQ(calm_status->applied_method, "crr");
+  EXPECT_EQ(calm_status->degrade_kind, 0u);
+
+  // Pressured but not opted in.
+  JobSpec opted_out = calm;
+  opted_out.seed = 4;
+  opted_out.allow_degrade = false;
+  opted_out.pressure = 2.0;
+  auto out_id = scheduler.Submit(opted_out);
+  ASSERT_TRUE(out_id.ok());
+  ASSERT_TRUE(scheduler.Wait(*out_id).ok());
+  auto out_status = scheduler.GetStatus(*out_id);
+  ASSERT_TRUE(out_status.ok());
+  EXPECT_EQ(out_status->applied_method, "crr");
+  EXPECT_EQ(out_status->degrade_kind, 0u);
+  EXPECT_EQ(metrics.CounterValue("scheduler.degraded_tier"), 0u);
+}
+
+// Tenants never share dedup: identical specs under different tenants are
+// separate executions (QoS isolation beats cross-tenant caching).
+TEST(JobSchedulerQosTest, TenantIsPartOfTheDedupKey) {
+  MetricsRegistry metrics;
+  GraphStore store({}, &metrics);
+  RegisterGraph(store, "g", Clique(12));
+  JobScheduler scheduler(&store, &metrics, {.workers = 1});
+
+  JobSpec spec;
+  spec.dataset = "g";
+  spec.method = "random";
+  spec.p = 0.5;
+  spec.seed = 5;
+  spec.tenant = "a";
+  auto first = scheduler.Submit(spec);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(scheduler.Wait(*first).ok());
+
+  JobSpec other_tenant = spec;
+  other_tenant.tenant = "b";
+  auto second = scheduler.Submit(other_tenant);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(scheduler.Wait(*second).ok());
+  EXPECT_EQ(metrics.CounterValue("scheduler.result_cache_hit"), 0u);
+  EXPECT_EQ(metrics.CounterValue("scheduler.coalesced"), 0u);
+
+  // Same tenant does hit the cache.
+  auto third = scheduler.Submit(spec);
+  ASSERT_TRUE(third.ok());
+  ASSERT_TRUE(scheduler.Wait(*third).ok());
+  EXPECT_EQ(metrics.CounterValue("scheduler.result_cache_hit"), 1u);
 }
 
 }  // namespace

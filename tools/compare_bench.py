@@ -24,7 +24,11 @@ import json
 import sys
 
 
-SCHEMAS = ("edgeshed-bench-hotpath-v1", "edgeshed-bench-dist-v1")
+SCHEMAS = (
+    "edgeshed-bench-hotpath-v1",
+    "edgeshed-bench-dist-v1",
+    "edgeshed-bench-serving-v1",
+)
 
 
 def load(path):

@@ -21,10 +21,13 @@
 //                    [--scale=S] [--store_budget_mb=M]
 //                    [--edge_list=name=path[,name=path...]]
 //                    [--shard_dir=DIR]
+//                    [--tenants=name:weight[:quota],...] [--degrade]
+//                    [--max_pending=N]
 //                    [--stats_port=P] [--serve_ms=T] [--public]
 //   edgeshed client  --op=ping|shed|wait|status|cancel|list
 //                    [--host=H] [--port=P] [--dataset=D] [--method=M]
 //                    [--p=0.5] [--seed=N] [--deadline_ms=T] [--job_id=N]
+//                    [--tenant=NAME] [--priority]
 //                    [--no_wait] [--timeout_ms=T] [--retries=N]
 //   edgeshed coordinate --input=G.txt --shard_dir=DIR
 //                    [--workers=host:port,host:port,...] [--shards=K]
@@ -127,10 +130,13 @@ int Usage() {
                "[--max_inflight=8] [--dispatch_threads=4] [--workers=N] "
                "[--queue=K] [--scale=1.0] [--store_budget_mb=M] "
                "[--edge_list=name=path,...] [--shard_dir=DIR] "
+               "[--tenants=name:weight[:quota],...] [--degrade] "
+               "[--max_pending=N] "
                "[--stats_port=P] [--serve_ms=T] [--public]\n"
                "  client   --op=ping|shed|wait|status|cancel|list "
                "[--host=127.0.0.1] [--port=P] [--dataset=D] [--method=crr] "
                "[--p=0.5] [--seed=42] [--deadline_ms=T] [--job_id=N] "
+               "[--tenant=NAME] [--priority] "
                "[--no_wait] [--timeout_ms=T] [--retries=N]\n"
                "  coordinate --input=G.txt --shard_dir=DIR "
                "[--workers=host:port,...] [--shards=2] "
@@ -570,6 +576,41 @@ Status RegisterEdgeListFlag(service::GraphStore& store,
   return Status::OK();
 }
 
+/// Parses --tenants=name:weight[:quota],... into scheduler tenant configs.
+Status ParseTenantsFlag(const std::string& tenants,
+                        std::map<std::string, service::TenantConfig>* out) {
+  for (std::string_view entry : StrSplit(tenants, ',')) {
+    entry = StripWhitespace(entry);
+    if (entry.empty()) continue;
+    std::vector<std::string_view> parts;
+    for (std::string_view part : StrSplit(entry, ':')) parts.push_back(part);
+    if (parts.size() < 2 || parts.size() > 3 || parts[0].empty()) {
+      return Status::InvalidArgument(
+          StrFormat("bad --tenants entry (want name:weight[:quota]): %.*s",
+                    static_cast<int>(entry.size()), entry.data()));
+    }
+    service::TenantConfig config;
+    const long weight = std::atol(std::string(parts[1]).c_str());
+    if (weight < 1) {
+      return Status::InvalidArgument(
+          StrFormat("--tenants weight for '%.*s' must be >= 1",
+                    static_cast<int>(parts[0].size()), parts[0].data()));
+    }
+    config.weight = static_cast<uint32_t>(weight);
+    if (parts.size() == 3) {
+      const long quota = std::atol(std::string(parts[2]).c_str());
+      if (quota < 0) {
+        return Status::InvalidArgument(
+            StrFormat("--tenants quota for '%.*s' must be >= 0",
+                      static_cast<int>(parts[0].size()), parts[0].data()));
+      }
+      config.max_running = static_cast<size_t>(quota);
+    }
+    (*out)[std::string(parts[0])] = config;
+  }
+  return Status::OK();
+}
+
 int CmdServe(const eval::Flags& flags) {
   service::MetricsRegistry metrics;
   const int64_t stats_port = flags.GetInt("stats_port", -1);
@@ -612,6 +653,14 @@ int CmdServe(const eval::Flags& flags) {
       static_cast<uint64_t>(flags.GetInt("rank_cache_mb", 128)) << 20;
   scheduler_options.enable_rank_cache =
       scheduler_options.rank_cache_byte_budget > 0;
+  if (Status parsed = ParseTenantsFlag(flags.GetString("tenants", ""),
+                                       &scheduler_options.tenants);
+      !parsed.ok()) {
+    std::cerr << parsed << "\n";
+    return 1;
+  }
+  const bool degrade = flags.GetBool("degrade", false);
+  scheduler_options.degrade.enabled = degrade;
   service::JobScheduler scheduler(&store, &metrics, scheduler_options,
                                   tracer.get());
 
@@ -626,6 +675,9 @@ int CmdServe(const eval::Flags& flags) {
       static_cast<int>(flags.GetInt("dispatch_threads", 4));
   server_options.idle_timeout =
       std::chrono::milliseconds(flags.GetInt("idle_timeout_ms", 60000));
+  server_options.degrade_enabled = degrade;
+  server_options.max_pending =
+      static_cast<size_t>(flags.GetInt("max_pending", 0));
   server_options.output_dir = shard_dir;
   net::RpcServer server(&store, &scheduler, &metrics, server_options,
                         tracer.get());
@@ -728,6 +780,8 @@ int CmdClient(const eval::Flags& flags) {
     request.deadline_ms =
         static_cast<uint64_t>(flags.GetInt("deadline_ms", 0));
     request.wait = !flags.GetBool("no_wait", false);
+    request.tenant = flags.GetString("tenant", "");
+    request.priority = flags.GetBool("priority", false) ? 1 : 0;
     auto response = client.Shed(request);
     if (!response.ok()) {
       std::cerr << response.status() << "\n";
@@ -739,12 +793,17 @@ int CmdClient(const eval::Flags& flags) {
       return 0;
     }
     const net::ResultSummary& r = response->result;
+    std::string degraded;
+    if (r.degrade_kind != 0) {
+      degraded = StrFormat(" (degraded: method=%s p=%.2f)",
+                           r.applied_method.c_str(), r.applied_p);
+    }
     std::printf("job=%llu kept=%llu total_delta=%.6f avg_delta=%.6f "
-                "reduction=%.3fs%s\n",
+                "reduction=%.3fs%s%s\n",
                 static_cast<unsigned long long>(response->job_id),
                 static_cast<unsigned long long>(r.kept_edges),
                 r.total_delta, r.average_delta, r.reduction_seconds,
-                r.deduplicated ? " (cached)" : "");
+                r.deduplicated ? " (cached)" : "", degraded.c_str());
     return 0;
   }
 
