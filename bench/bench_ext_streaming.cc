@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
 
   // Randomized arrival order (same for every p).
   Rng rng(31);
-  std::vector<graph::Edge> arrivals = g.edges();
+  std::vector<graph::Edge> arrivals(g.edges().begin(), g.edges().end());
   rng.Shuffle(&arrivals);
 
   core::Crr crr = bench::BenchCrr(config.full);

@@ -31,7 +31,8 @@ graph::Graph MakeBaGraph(int64_t nodes) {
 void BM_GraphConstruction(benchmark::State& state) {
   Rng rng(7);
   graph::Graph source = MakeBaGraph(state.range(0));
-  std::vector<graph::Edge> edges = source.edges();
+  std::vector<graph::Edge> edges(source.edges().begin(),
+                                 source.edges().end());
   for (auto _ : state) {
     auto g = graph::Graph::FromEdges(
         static_cast<graph::NodeId>(source.NumNodes()), edges);

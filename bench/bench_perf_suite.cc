@@ -146,7 +146,7 @@ void TimeOpPair(const std::string& graph_name, const graph::Graph& g,
 /// so GraphBuilder::Build sees realistic messy input.
 std::vector<graph::Edge> ShuffledRawEdges(const graph::Graph& g,
                                           uint64_t seed) {
-  std::vector<graph::Edge> raw = g.edges();
+  std::vector<graph::Edge> raw(g.edges().begin(), g.edges().end());
   Rng rng(seed);
   rng.Shuffle(&raw);
   for (size_t i = 0; i < raw.size(); i += 2) {

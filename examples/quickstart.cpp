@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   //    built-in ca-GrQc-like surrogate.
   graph::Graph g;
   if (!edge_list.empty()) {
-    auto loaded = graph::LoadEdgeList(edge_list);
+    auto loaded = graph::LoadGraph(edge_list);  // any on-disk format
     if (!loaded.ok()) {
       std::cerr << "failed to load " << edge_list << ": "
                 << loaded.status() << "\n";

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   // network.
   Rng rng(14);
   graph::Graph full = graph::BarabasiAlbert(nodes, 4, rng);
-  std::vector<graph::Edge> arrivals = full.edges();
+  std::vector<graph::Edge> arrivals(full.edges().begin(), full.edges().end());
   rng.Shuffle(&arrivals);
 
   stream::StreamingShedder shedder(p);

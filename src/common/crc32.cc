@@ -1,37 +1,65 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <cstring>
 
 namespace edgeshed {
 namespace {
 
-/// Byte-at-a-time lookup table for the reflected polynomial 0xEDB88320,
-/// built once at static-init time. Slice-by-8 would be faster but the inputs
-/// here (RPC payloads, snapshot files) are nowhere near CRC-bound.
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table{};
+/// Slicing-by-8 tables for the reflected polynomial 0xEDB88320, built once
+/// at static-init time. table[0] is the classic byte-at-a-time table; the
+/// other seven fold 8 input bytes per iteration, which keeps checksum
+/// verification off the critical path of mmap snapshot ingest (the whole
+/// file is CRC'd before a v3 mapping is served).
+std::array<std::array<uint32_t, 256>, 8> BuildTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables[0][i];
+    for (size_t t = 1; t < 8; ++t) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[t][i] = c;
+    }
+  }
+  return tables;
 }
 
-const std::array<uint32_t, 256>& Table() {
-  static const std::array<uint32_t, 256> table = BuildTable();
-  return table;
+const std::array<std::array<uint32_t, 256>, 8>& Tables() {
+  static const std::array<std::array<uint32_t, 256>, 8> tables = BuildTables();
+  return tables;
 }
 
 }  // namespace
 
 uint32_t Crc32Update(uint32_t state, const void* data, size_t len) {
   const auto* bytes = static_cast<const unsigned char*>(data);
-  const auto& table = Table();
-  for (size_t i = 0; i < len; ++i) {
-    state = table[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  const auto& t = Tables();
+  // Align to 8 bytes, then fold two 32-bit words per iteration.
+  while (len > 0 && (reinterpret_cast<uintptr_t>(bytes) & 7u) != 0) {
+    state = t[0][(state ^ *bytes++) & 0xFFu] ^ (state >> 8);
+    --len;
+  }
+  while (len >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, bytes, 4);
+    std::memcpy(&hi, bytes + 4, 4);
+    lo ^= state;
+    state = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+            t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^
+            t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+            t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    bytes += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    state = t[0][(state ^ *bytes++) & 0xFFu] ^ (state >> 8);
   }
   return state;
 }

@@ -1,0 +1,50 @@
+#include "common/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace edgeshed {
+
+StatusOr<std::shared_ptr<const MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open: " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat: " + path + ": " +
+                           std::strerror(err));
+  }
+  const auto size = static_cast<size_t>(st.st_size);
+  void* data = nullptr;
+  if (size > 0) {
+    data = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (data == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IOError("cannot mmap: " + path + ": " +
+                             std::strerror(err));
+    }
+  }
+  ::close(fd);  // the mapping keeps the inode alive
+  return std::shared_ptr<const MappedFile>(new MappedFile(path, data, size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+void MappedFile::AdviseSequential() const {
+  if (data_ != nullptr) ::madvise(data_, size_, MADV_SEQUENTIAL);
+}
+
+}  // namespace edgeshed

@@ -1,10 +1,21 @@
 #include "graph/binary_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
+#include <utility>
 #include <vector>
 
 #include "common/crc32.h"
+#include "common/mapped_file.h"
+#include "common/parallel.h"
+#include "common/strings.h"
+#include "graph/snapshot_format.h"
 
 namespace edgeshed::graph {
 
@@ -12,6 +23,24 @@ namespace {
 
 constexpr char kMagicV1[8] = {'E', 'D', 'G', 'S', 'H', 'E', 'D', '1'};
 constexpr char kMagicV2[8] = {'E', 'D', 'G', 'S', 'H', 'E', 'D', '2'};
+
+uint64_t GetU64(const char* in) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(in[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+uint32_t GetU32(const char* in) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<unsigned char>(in[i]))
+             << (8 * i);
+  }
+  return value;
+}
 
 /// Serializer that folds every byte after the magic into a CRC32 so the v2
 /// footer can be emitted without a second pass over the edge section.
@@ -47,63 +76,8 @@ class ChecksummingWriter {
   uint32_t state_ = kCrc32Init;
 };
 
-/// Mirror of ChecksummingWriter for loads: folds every byte read into the
-/// CRC so the v2 footer can be verified without re-reading the file.
-class ChecksummingReader {
- public:
-  explicit ChecksummingReader(std::ifstream& in) : in_(in) {}
-
-  bool GetU64(uint64_t* value) {
-    char bytes[8];
-    if (!Read(bytes, 8)) return false;
-    *value = 0;
-    for (int i = 0; i < 8; ++i) {
-      *value |= static_cast<uint64_t>(static_cast<unsigned char>(bytes[i]))
-                << (8 * i);
-    }
-    return true;
-  }
-
-  bool GetU32(uint32_t* value) {
-    char bytes[4];
-    if (!Read(bytes, 4)) return false;
-    *value = 0;
-    for (int i = 0; i < 4; ++i) {
-      *value |= static_cast<uint32_t>(static_cast<unsigned char>(bytes[i]))
-                << (8 * i);
-    }
-    return true;
-  }
-
-  uint32_t crc() const { return Crc32Finalize(state_); }
-
- private:
-  bool Read(char* bytes, size_t n) {
-    if (!in_.read(bytes, static_cast<std::streamsize>(n))) return false;
-    state_ = Crc32Update(state_, bytes, n);
-    return true;
-  }
-
-  std::ifstream& in_;
-  uint32_t state_ = kCrc32Init;
-};
-
-/// Reads a u32 WITHOUT checksumming it (the footer itself).
-bool GetRawU32(std::ifstream& in, uint32_t* value) {
-  char bytes[4];
-  if (!in.read(bytes, 4)) return false;
-  *value = 0;
-  for (int i = 0; i < 4; ++i) {
-    *value |= static_cast<uint32_t>(static_cast<unsigned char>(bytes[i]))
-              << (8 * i);
-  }
-  return true;
-}
-
-}  // namespace
-
-Status SaveBinaryGraph(const Graph& graph, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
+Status SaveSnapshotV2(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open for writing: " + path);
   out.write(kMagicV2, sizeof(kMagicV2));
   ChecksummingWriter writer(out);
@@ -126,64 +100,421 @@ Status SaveBinaryGraph(const Graph& graph, const std::string& path) {
   return Status::OK();
 }
 
-StatusOr<Graph> LoadBinaryGraph(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open: " + path);
-  char magic[8];
-  if (!in.read(magic, sizeof(magic))) {
-    return Status::InvalidArgument("not an edgeshed binary graph: " + path);
+Status SaveSnapshotV3(const Graph& graph, const std::string& path,
+                      const SnapshotOptions& options) {
+  if (!std::has_single_bit(options.page_align) || options.page_align < 8 ||
+      options.page_align > (uint64_t{1} << 30)) {
+    return Status::InvalidArgument(
+        "snapshot page_align must be a power of two in [8, 1 GiB]");
   }
-  bool checksummed;
-  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
-    checksummed = true;
-  } else if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
-    checksummed = false;  // legacy snapshots stay loadable
-  } else {
-    return Status::InvalidArgument("not an edgeshed binary graph: " + path);
+  if (options.chunk_bytes < (uint64_t{1} << 12) ||
+      options.chunk_bytes > (uint64_t{1} << 30)) {
+    return Status::InvalidArgument(
+        "snapshot chunk_bytes must be in [4 KiB, 1 GiB]");
+  }
+  if (!options.original_ids.empty() &&
+      options.original_ids.size() != graph.NumNodes()) {
+    return Status::InvalidArgument(
+        "original_ids size disagrees with the node count");
+  }
+  // An identity remap carries no information; leaving it out keeps the file
+  // smaller and makes the snapshot byte-identical to one built by the
+  // out-of-core converter, which always drops identity tables.
+  bool identity_ids = true;
+  for (size_t i = 0; i < options.original_ids.size(); ++i) {
+    if (options.original_ids[i] != i) {
+      identity_ids = false;
+      break;
+    }
+  }
+  const std::span<const uint64_t> original_ids =
+      identity_ids ? std::span<const uint64_t>{} : options.original_ids;
+
+  SnapshotHeader header = PlanSnapshotLayout(
+      graph.NumNodes(), graph.NumEdges(), !original_ids.empty(),
+      options.page_align, options.chunk_bytes);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+
+  // Placeholder header + padding; the real header (it needs the chunk CRCs
+  // of the data we are about to write) is patched in afterwards.
+  {
+    const std::string zeros(header.DataStart(), '\0');
+    out.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
   }
 
-  ChecksummingReader reader(in);
-  uint64_t num_nodes = 0;
-  uint64_t num_edges = 0;
-  if (!reader.GetU64(&num_nodes) || !reader.GetU64(&num_edges)) {
+  // The empty graph's owned storage has no offsets array, but the section
+  // still carries the single leading 0 so loaded shape checks hold.
+  static constexpr uint64_t kZeroOffset = 0;
+  const auto offsets = graph.RawOffsets();
+  const auto adjacency = graph.RawAdjacency();
+  const auto incident = graph.RawIncident();
+  const auto edges = graph.edges();
+  const std::pair<const void*, uint64_t> payloads[kSnapshotSectionCount] = {
+      offsets.empty()
+          ? std::pair<const void*, uint64_t>{&kZeroOffset, sizeof(kZeroOffset)}
+          : std::pair<const void*, uint64_t>{offsets.data(),
+                                             offsets.size_bytes()},
+      {adjacency.data(), adjacency.size_bytes()},
+      {incident.data(), incident.size_bytes()},
+      {edges.data(), edges.size_bytes()},
+      {original_ids.data(), original_ids.size_bytes()},
+  };
+  uint64_t pos = header.DataStart();
+  for (int s = 0; s < kSnapshotSectionCount; ++s) {
+    const auto& section = header.sections[static_cast<size_t>(s)];
+    if (section.bytes == 0) continue;
+    if (section.offset > pos) {
+      const std::string pad(section.offset - pos, '\0');
+      out.write(pad.data(), static_cast<std::streamsize>(pad.size()));
+    }
+    out.write(static_cast<const char*>(payloads[s].first),
+              static_cast<std::streamsize>(payloads[s].second));
+    pos = section.offset + section.bytes;
+  }
+  out.close();
+  if (!out) return Status::IOError("write failed: " + path);
+
+  // Re-reads the freshly written (page-cached) data region to fill the
+  // chunk CRC table, then patches the real header over the placeholder.
+  return FinalizeSnapshotFile(path, std::move(header));
+}
+
+/// v1/v2 copy loader, parsing from the mapped bytes. The CSR is rebuilt by
+/// Graph::FromEdges, which re-validates bounds, self-loops, duplicates.
+StatusOr<LoadedGraph> LoadLegacySnapshot(const MappedFile& file,
+                                         bool checksummed,
+                                         const std::string& path) {
+  const char* data = file.data();
+  const uint64_t size = file.size();
+  if (size < 24 + (checksummed ? 4u : 0u)) {
     return Status::InvalidArgument("truncated header: " + path);
   }
+  const uint64_t num_nodes = GetU64(data + 8);
+  const uint64_t num_edges = GetU64(data + 16);
   if (num_nodes > static_cast<uint64_t>(kInvalidNode)) {
     return Status::InvalidArgument("node count exceeds NodeId range");
   }
   // Check the declared edge count against the bytes actually present before
   // allocating: a corrupt count must fail as "truncated", not reserve
   // attacker-sized memory and die on bad_alloc.
-  const std::streampos body_start = in.tellg();
-  in.seekg(0, std::ios::end);
-  const uint64_t bytes_left =
-      static_cast<uint64_t>(in.tellg() - body_start);
-  in.seekg(body_start);
-  if (num_edges > bytes_left / 8) {
+  const uint64_t body_bytes = size - 24 - (checksummed ? 4 : 0);
+  if (num_edges > body_bytes / 8) {
     return Status::InvalidArgument("truncated edge section: " + path);
   }
-  std::vector<Edge> edges;
-  edges.reserve(num_edges);
-  for (uint64_t i = 0; i < num_edges; ++i) {
-    uint32_t u = 0;
-    uint32_t v = 0;
-    if (!reader.GetU32(&u) || !reader.GetU32(&v)) {
-      return Status::InvalidArgument("truncated edge section: " + path);
-    }
-    edges.push_back(Edge{u, v});
-  }
   if (checksummed) {
-    uint32_t declared = 0;
-    if (!GetRawU32(in, &declared)) {
-      return Status::InvalidArgument("truncated checksum footer: " + path);
-    }
-    if (declared != reader.crc()) {
+    const uint32_t declared = GetU32(data + 24 + 8 * num_edges);
+    const uint32_t actual =
+        Crc32(std::string_view(data + 8, 16 + 8 * num_edges));
+    if (declared != actual) {
       return Status::DataLoss(
           "binary graph checksum mismatch (corrupt snapshot): " + path);
     }
   }
-  // Graph::FromEdges re-validates bounds, self-loops, duplicates.
-  return Graph::FromEdges(static_cast<NodeId>(num_nodes), std::move(edges));
+  file.AdviseSequential();
+  std::vector<Edge> edges(num_edges);
+  std::memcpy(edges.data(), data + 24, 8 * num_edges);
+  EDGESHED_ASSIGN_OR_RETURN(
+      Graph graph,
+      Graph::FromEdges(static_cast<NodeId>(num_nodes), std::move(edges)));
+  return LoadedGraph{std::move(graph), {}};
+}
+
+/// The DataLoss status a chunk-CRC mismatch reports; shared by the in-core
+/// and streamed verifiers so tests and operators see one message.
+Status ChunkMismatch(const SnapshotHeader& header, uint64_t chunk,
+                     uint64_t file_bytes, const std::string& path) {
+  const uint64_t begin = header.DataStart() + chunk * header.chunk_bytes;
+  return Status::DataLoss(StrFormat(
+      "snapshot chunk %llu checksum mismatch (file bytes "
+      "[%llu, %llu)): %s",
+      static_cast<unsigned long long>(chunk),
+      static_cast<unsigned long long>(begin),
+      static_cast<unsigned long long>(
+          std::min<uint64_t>(begin + header.chunk_bytes, file_bytes)),
+      path.c_str()));
+}
+
+/// Reads exactly [offset, offset + len) from `fd`, retrying short reads.
+Status PreadFully(int fd, char* out, uint64_t len, uint64_t offset,
+                  const std::string& path) {
+  while (len > 0) {
+    const ssize_t got =
+        ::pread(fd, out, static_cast<size_t>(len), static_cast<off_t>(offset));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("read failed: " + path);
+    }
+    if (got == 0) {
+      return Status::IOError("unexpected end of file: " + path);
+    }
+    out += got;
+    len -= static_cast<uint64_t>(got);
+    offset += static_cast<uint64_t>(got);
+  }
+  return Status::OK();
+}
+
+/// Verification for mmap-served snapshots: proves exactly what the copy
+/// path proves — every chunk CRC plus ValidateCsr's deep content sweep —
+/// but reads the file with pread(2) into bounded buffers instead of
+/// through the mapping, so verifying a snapshot does not fault the whole
+/// file into the process and defeat the point of a zero-copy load. Only
+/// the offsets section (hot for every query anyway) and the canonical edge
+/// section (random-accessed to answer incident-id lookups) are read
+/// through the mapping; for a typical graph that is about a quarter of the
+/// file, and the rest stays unfaulted until a query touches it.
+Status VerifySnapshotStreamed(const std::string& path, const MappedFile& file,
+                              const SnapshotHeader& header,
+                              const IngestOptions& options) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+  struct FdGuard {
+    int fd;
+    ~FdGuard() { ::close(fd); }
+  } guard{fd};
+
+  // Chunk CRCs, one bounded buffer per worker.
+  const uint64_t data_start = header.DataStart();
+  const uint64_t num_chunks = header.chunk_crcs.size();
+  std::atomic<bool> io_error{false};
+  std::atomic<uint64_t> bad_chunk{num_chunks};
+  ParallelFor(
+      0, num_chunks,
+      [&](uint64_t begin, uint64_t end) {
+        const uint64_t buf_bytes =
+            std::min<uint64_t>(header.chunk_bytes, uint64_t{4} << 20);
+        std::vector<char> buf(buf_bytes);
+        for (uint64_t c = begin; c < end; ++c) {
+          if (io_error.load(std::memory_order_relaxed) ||
+              bad_chunk.load(std::memory_order_relaxed) != num_chunks ||
+              CancellationRequested(options.cancel)) {
+            return;
+          }
+          const uint64_t chunk_begin = data_start + c * header.chunk_bytes;
+          const uint64_t chunk_end = std::min<uint64_t>(
+              chunk_begin + header.chunk_bytes, file.size());
+          uint32_t state = kCrc32Init;
+          for (uint64_t pos = chunk_begin; pos < chunk_end;) {
+            const uint64_t len = std::min<uint64_t>(buf_bytes, chunk_end - pos);
+            if (!PreadFully(fd, buf.data(), len, pos, path).ok()) {
+              io_error.store(true, std::memory_order_relaxed);
+              return;
+            }
+            state = Crc32Update(state, buf.data(), len);
+            pos += len;
+          }
+          if (Crc32Finalize(state) != header.chunk_crcs[c]) {
+            uint64_t expected = num_chunks;
+            bad_chunk.compare_exchange_strong(expected, c);
+            return;
+          }
+        }
+      },
+      options.threads);
+  if (CancellationRequested(options.cancel)) return options.cancel->ToStatus();
+  if (io_error.load()) return Status::IOError("read failed: " + path);
+  if (const uint64_t c = bad_chunk.load(); c != num_chunks) {
+    return ChunkMismatch(header, c, file.size(), path);
+  }
+
+  // Deep content sweep, mirroring ValidateCsr check for check. Offsets and
+  // edges go through the mapping (small / random-accessed); adjacency and
+  // incident stream past in lockstep windows.
+  const uint64_t n = header.num_nodes;
+  const uint64_t m = header.num_edges;
+  const auto* offsets = reinterpret_cast<const uint64_t*>(
+      file.data() + header.sections[kSectionOffsets].offset);
+  const auto* edges = reinterpret_cast<const Edge*>(
+      file.data() + header.sections[kSectionEdges].offset);
+  if (header.sections[kSectionOffsets].bytes == 0) {
+    return Status::OK();  // the empty graph; nothing to sweep
+  }
+  if (offsets[0] != 0) return Status::InvalidArgument("csr: offsets[0] != 0");
+  for (uint64_t u = 0; u < n; ++u) {
+    if (offsets[u] > offsets[u + 1]) {
+      return Status::InvalidArgument("csr: offsets not monotone");
+    }
+  }
+  if (offsets[n] != 2 * m) {
+    return Status::InvalidArgument(
+        "csr: section sizes disagree (offsets/adjacency/incident/edges)");
+  }
+  const Status content_error = Status::InvalidArgument(
+      "csr: content check failed (endpoints, adjacency order, or "
+      "incident/edge disagreement)");
+  for (uint64_t i = 0; i < m; ++i) {
+    const Edge& e = edges[i];
+    if (e.u > e.v || e.v >= n || e.u == e.v) return content_error;
+  }
+  const uint64_t adj_offset = header.sections[kSectionAdjacency].offset;
+  const uint64_t inc_offset = header.sections[kSectionIncident].offset;
+  constexpr uint64_t kWindowSlots = uint64_t{1} << 16;
+  std::vector<NodeId> adjacency(std::min(kWindowSlots, 2 * m));
+  std::vector<EdgeId> incident(adjacency.size());
+  uint64_t u = 0;
+  NodeId prev = kInvalidNode;
+  for (uint64_t slot = 0; slot < 2 * m;) {
+    const uint64_t count = std::min<uint64_t>(kWindowSlots, 2 * m - slot);
+    EDGESHED_RETURN_IF_ERROR(
+        PreadFully(fd, reinterpret_cast<char*>(adjacency.data()), 4 * count,
+                   adj_offset + 4 * slot, path));
+    EDGESHED_RETURN_IF_ERROR(
+        PreadFully(fd, reinterpret_cast<char*>(incident.data()), 8 * count,
+                   inc_offset + 8 * slot, path));
+    for (uint64_t i = 0; i < count; ++i, ++slot) {
+      while (u < n && slot == offsets[u + 1]) {
+        ++u;
+        prev = kInvalidNode;
+      }
+      const NodeId nbr = adjacency[i];
+      const EdgeId id = incident[i];
+      if (nbr >= n || nbr == u || id >= m ||
+          (prev != kInvalidNode && nbr <= prev)) {
+        return content_error;
+      }
+      const Edge& e = edges[id];
+      const NodeId lo = u < nbr ? static_cast<NodeId>(u) : nbr;
+      const NodeId hi = u < nbr ? nbr : static_cast<NodeId>(u);
+      if (e.u != lo || e.v != hi) return content_error;
+      prev = nbr;
+    }
+    if (CancellationRequested(options.cancel)) {
+      return options.cancel->ToStatus();
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<LoadedGraph> LoadSnapshotV3(std::shared_ptr<const MappedFile> file,
+                                     const IngestOptions& options,
+                                     const std::string& path) {
+  EDGESHED_ASSIGN_OR_RETURN(
+      SnapshotHeader header,
+      DecodeSnapshotHeader(file->data(), file->size(), path));
+  if (CancellationRequested(options.cancel)) {
+    return options.cancel->ToStatus();
+  }
+  if (options.verify_checksums && options.mmap) {
+    // Zero-copy serving: verify through bounded pread buffers so the
+    // mapping itself stays cold. Covers chunk CRCs and the deep content
+    // sweep, so FromCsrView below only re-runs the O(n) shape checks.
+    EDGESHED_RETURN_IF_ERROR(
+        VerifySnapshotStreamed(path, *file, header, options));
+  } else if (options.verify_checksums) {
+    const std::vector<uint32_t> actual = ComputeSnapshotChunkCrcs(
+        file->data() + header.DataStart(),
+        file->size() - header.DataStart(), header.chunk_bytes,
+        options.threads);
+    for (uint64_t c = 0; c < actual.size(); ++c) {
+      if (actual[c] != header.chunk_crcs[c]) {
+        return ChunkMismatch(header, c, file->size(), path);
+      }
+    }
+  }
+  if (CancellationRequested(options.cancel)) {
+    return options.cancel->ToStatus();
+  }
+
+  // Section pointers are aligned for their element types: the mapping base
+  // is page-aligned and section offsets are page_align (>= 8) multiples.
+  const auto section_ptr = [&](int s) {
+    return file->data() + header.sections[static_cast<size_t>(s)].offset;
+  };
+  const auto section_count = [&](int s, uint64_t elem_bytes) {
+    return header.sections[static_cast<size_t>(s)].bytes / elem_bytes;
+  };
+  const std::span<const uint64_t> offsets(
+      reinterpret_cast<const uint64_t*>(section_ptr(kSectionOffsets)),
+      section_count(kSectionOffsets, 8));
+  const std::span<const NodeId> adjacency(
+      reinterpret_cast<const NodeId*>(section_ptr(kSectionAdjacency)),
+      section_count(kSectionAdjacency, 4));
+  const std::span<const EdgeId> incident(
+      reinterpret_cast<const EdgeId*>(section_ptr(kSectionIncident)),
+      section_count(kSectionIncident, 8));
+  const std::span<const Edge> edges(
+      reinterpret_cast<const Edge*>(section_ptr(kSectionEdges)),
+      section_count(kSectionEdges, sizeof(Edge)));
+
+  std::vector<uint64_t> original_ids;
+  if (header.sections[static_cast<size_t>(kSectionOriginalIds)].bytes != 0) {
+    const std::span<const uint64_t> ids(
+        reinterpret_cast<const uint64_t*>(section_ptr(kSectionOriginalIds)),
+        section_count(kSectionOriginalIds, 8));
+    original_ids.assign(ids.begin(), ids.end());
+  }
+
+  // Checksums already prove the bytes are exactly what the writer produced;
+  // the deep structural sweep additionally proves the writer wrote a valid
+  // CSR (sorted adjacency, consistent incident ids) — the invariants the
+  // binary searches in Graph rely on. Both gate on verify_checksums; on the
+  // mmap path VerifySnapshotStreamed already ran the content sweep through
+  // pread buffers, so FromCsrView only repeats the O(n) shape checks.
+  if (options.mmap) {
+    Graph::CsrView view{offsets, adjacency, incident, edges,
+                        std::move(file)};
+    EDGESHED_ASSIGN_OR_RETURN(
+        Graph graph,
+        Graph::FromCsrView(std::move(view), /*deep_validation=*/false));
+    return LoadedGraph{std::move(graph), std::move(original_ids)};
+  }
+  file->AdviseSequential();
+  EDGESHED_ASSIGN_OR_RETURN(
+      Graph graph,
+      Graph::FromCsrParts(
+          std::vector<uint64_t>(offsets.begin(), offsets.end()),
+          std::vector<NodeId>(adjacency.begin(), adjacency.end()),
+          std::vector<EdgeId>(incident.begin(), incident.end()),
+          std::vector<Edge>(edges.begin(), edges.end()),
+          options.verify_checksums));
+  return LoadedGraph{std::move(graph), std::move(original_ids)};
+}
+
+}  // namespace
+
+Status SaveBinaryGraph(const Graph& graph, const std::string& path,
+                       const SnapshotOptions& options) {
+  switch (options.version) {
+    case 2:
+      return SaveSnapshotV2(graph, path);
+    case 3:
+      return SaveSnapshotV3(graph, path, options);
+    default:
+      return Status::InvalidArgument(
+          StrFormat("unsupported snapshot version %u", options.version));
+  }
+}
+
+Status SaveBinaryGraph(const Graph& graph, const std::string& path) {
+  SnapshotOptions options;
+  options.version = 2;
+  return SaveBinaryGraph(graph, path, options);
+}
+
+StatusOr<LoadedGraph> LoadSnapshot(const std::string& path,
+                                   const IngestOptions& options) {
+  EDGESHED_ASSIGN_OR_RETURN(std::shared_ptr<const MappedFile> file,
+                            MappedFile::Open(path));
+  if (file->size() < 8) {
+    return Status::InvalidArgument("not an edgeshed binary graph: " + path);
+  }
+  if (std::memcmp(file->data(), kSnapshotMagicV3, 8) == 0) {
+    return LoadSnapshotV3(std::move(file), options, path);
+  }
+  if (std::memcmp(file->data(), kMagicV2, 8) == 0) {
+    return LoadLegacySnapshot(*file, /*checksummed=*/true, path);
+  }
+  if (std::memcmp(file->data(), kMagicV1, 8) == 0) {
+    return LoadLegacySnapshot(*file, /*checksummed=*/false, path);
+  }
+  return Status::InvalidArgument("not an edgeshed binary graph: " + path);
+}
+
+StatusOr<Graph> LoadBinaryGraph(const std::string& path) {
+  EDGESHED_ASSIGN_OR_RETURN(LoadedGraph loaded, LoadSnapshot(path));
+  return std::move(loaded.graph);
 }
 
 }  // namespace edgeshed::graph

@@ -79,7 +79,7 @@ Graph MakeDataset(DatasetId id, const DatasetOptions& options) {
 Graph MakeDatasetOrLoad(DatasetId id, const std::string& path,
                         const DatasetOptions& options) {
   if (!path.empty()) {
-    auto loaded = LoadEdgeList(path);
+    auto loaded = LoadGraph(path);  // any on-disk format
     if (loaded.ok()) return std::move(loaded)->graph;
   }
   return MakeDataset(id, options);

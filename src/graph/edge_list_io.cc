@@ -2,93 +2,47 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/parallel.h"
 #include "common/strings.h"
+#include "graph/edge_list_parse.h"
 #include "graph/graph_builder.h"
 
 namespace edgeshed::graph {
 
 namespace {
 
-/// Parses one whitespace-delimited unsigned field starting at *pos. An
-/// optional leading '+' is accepted; a '-' is an error — node ids are
-/// unsigned, and istream's wrap-modulo-2^64 behavior would silently turn
-/// "-1" into 18446744073709551615 and blow up the node count. Overflow is
-/// an error. Returns false when no valid field is present.
-bool ParseUintField(std::string_view text, size_t* pos, uint64_t* out) {
-  size_t i = *pos;
-  while (i < text.size() && (text[i] == ' ' || text[i] == '\t' ||
-                             text[i] == '\r' || text[i] == '\v' ||
-                             text[i] == '\f')) {
-    ++i;
-  }
-  if (i < text.size() && text[i] == '-') return false;  // negative id
-  if (i < text.size() && text[i] == '+') ++i;
-  const size_t digits_begin = i;
+using internal::ChunkParse;
+using internal::ParseChunk;
+
+constexpr char kBinaryEdgeMagic[8] = {'E', 'D', 'G', 'S', 'H', 'E', 'D', 'L'};
+
+uint64_t GetU64(const char* in) {
   uint64_t value = 0;
-  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
-    const uint64_t digit = static_cast<uint64_t>(text[i] - '0');
-    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
-    value = value * 10 + digit;
-    ++i;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(in[i]))
+             << (8 * i);
   }
-  if (i == digits_begin) return false;  // no digits
-  *pos = i;
-  *out = value;
-  return true;
+  return value;
 }
 
-/// Shortened copy of an offending line for error messages.
-std::string TruncatedLine(std::string_view line) {
-  constexpr size_t kMaxSnippet = 40;
-  if (line.size() <= kMaxSnippet) return std::string(line);
-  return std::string(line.substr(0, kMaxSnippet)) + "...";
-}
-
-/// Output of parsing one contiguous byte range of the input file. Chunks
-/// start at line boundaries, so concatenating chunk edge lists in chunk
-/// order reproduces the serial parse exactly.
-struct ChunkParse {
-  std::vector<std::pair<uint64_t, uint64_t>> edges;
-  uint64_t lines = 0;  // every line seen, including comments and blanks
-  bool has_error = false;
-  uint64_t error_line = 0;  // 1-based within this chunk
-  std::string error_snippet;
-};
-
-void ParseChunk(std::string_view data, size_t begin, size_t end,
-                ChunkParse* out) {
-  size_t pos = begin;
-  while (pos < end) {
-    size_t eol = data.find('\n', pos);
-    const size_t line_end = eol == std::string_view::npos ? data.size() : eol;
-    const std::string_view line = data.substr(pos, line_end - pos);
-    pos = line_end + 1;
-    ++out->lines;
-    const std::string_view trimmed = StripWhitespace(line);
-    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') continue;
-    size_t cursor = 0;
-    uint64_t raw_u = 0;
-    uint64_t raw_v = 0;
-    if (!ParseUintField(trimmed, &cursor, &raw_u) ||
-        !ParseUintField(trimmed, &cursor, &raw_v)) {
-      out->has_error = true;
-      out->error_line = out->lines;
-      out->error_snippet = TruncatedLine(trimmed);
-      return;  // a serial reader stops at the first bad line
-    }
-    out->edges.emplace_back(raw_u, raw_v);  // extra columns ignored
+uint32_t GetU32(const char* in) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<unsigned char>(in[i]))
+             << (8 * i);
   }
+  return value;
 }
 
-}  // namespace
-
-StatusOr<LoadedGraph> LoadEdgeList(const std::string& path) {
+/// Stat-then-read of a whole file into a string (binary mode).
+StatusOr<std::string> ReadWholeFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IOError("cannot open edge list file: " + path);
@@ -100,15 +54,68 @@ StatusOr<LoadedGraph> LoadEdgeList(const std::string& path) {
   if (!data.empty() && !in.read(data.data(), size)) {
     return Status::IOError("read failed: " + path);
   }
+  return data;
+}
+
+/// Streaming writer folding every byte after the magic into the CRC footer,
+/// the same integrity scheme as the v2 snapshot.
+class CrcFileWriter {
+ public:
+  explicit CrcFileWriter(std::ofstream& out) : out_(out) {}
+
+  void Write(const void* bytes, size_t n) {
+    out_.write(static_cast<const char*>(bytes),
+               static_cast<std::streamsize>(n));
+    state_ = Crc32Update(state_, bytes, n);
+  }
+
+  void PutU64(uint64_t value) {
+    char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+    }
+    Write(bytes, 8);
+  }
+
+  uint32_t crc() const { return Crc32Finalize(state_); }
+
+ private:
+  std::ofstream& out_;
+  uint32_t state_ = kCrc32Init;
+};
+
+}  // namespace
+
+StatusOr<LoadedGraph> LoadEdgeList(const std::string& path,
+                                   const IngestOptions& options) {
+  EDGESHED_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path));
+
+  // A binary edgeshed file handed to the text parser would die on a
+  // confusing "line 1" parse error; catch the magic up front and say what
+  // the file actually is.
+  if (data.size() >= 8) {
+    const GraphFormat sniffed = SniffGraphFormat(data);
+    if (sniffed != GraphFormat::kText) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: not a text edge list — detected %s magic '%.8s'; load with "
+          "format %s (or auto)",
+          path.c_str(), GraphFormatName(sniffed), data.data(),
+          GraphFormatName(sniffed)));
+    }
+  }
+  if (CancellationRequested(options.cancel)) {
+    return options.cancel->ToStatus();
+  }
 
   // Split the buffer at newline boundaries, one chunk per worker; each chunk
   // parses independently and the results are merged in chunk order, so the
   // edge sequence (and therefore the first-seen id remap below) is identical
   // to a serial line-by-line read for every thread count.
+  const int threads =
+      options.threads > 0 ? options.threads : DefaultThreadCount();
   constexpr size_t kMinChunkBytes = size_t{1} << 16;
   const size_t chunk_target = std::clamp<size_t>(
-      data.size() / kMinChunkBytes, 1,
-      static_cast<size_t>(DefaultThreadCount()));
+      data.size() / kMinChunkBytes, 1, static_cast<size_t>(threads));
   std::vector<size_t> bounds;
   bounds.push_back(0);
   for (size_t c = 1; c < chunk_target; ++c) {
@@ -123,7 +130,10 @@ StatusOr<LoadedGraph> LoadEdgeList(const std::string& path) {
   ParallelForEach(
       0, num_chunks,
       [&](uint64_t c) { ParseChunk(data, bounds[c], bounds[c + 1], &chunks[c]); },
-      0, /*grain=*/1);
+      threads, /*grain=*/1);
+  if (CancellationRequested(options.cancel)) {
+    return options.cancel->ToStatus();
+  }
 
   size_t total_edges = 0;
   for (const ChunkParse& chunk : chunks) total_edges += chunk.edges.size();
@@ -148,6 +158,9 @@ StatusOr<LoadedGraph> LoadEdgeList(const std::string& path) {
           static_cast<unsigned long long>(line_base + chunk.error_line),
           chunk.error_snippet.c_str()));
     }
+    if (CancellationRequested(options.cancel)) {
+      return options.cancel->ToStatus();
+    }
     // Intern in file order (first-seen-first id assignment, exactly as a
     // serial reader would).
     for (const auto& [raw_u, raw_v] : chunk.edges) {
@@ -158,6 +171,10 @@ StatusOr<LoadedGraph> LoadEdgeList(const std::string& path) {
     line_base += chunk.lines;
   }
   return LoadedGraph{builder.Build(), std::move(original_ids)};
+}
+
+StatusOr<LoadedGraph> LoadEdgeList(const std::string& path) {
+  return LoadEdgeList(path, IngestOptions{});
 }
 
 Status SaveEdgeList(const Graph& graph, const std::string& path) {
@@ -174,6 +191,89 @@ Status SaveEdgeList(const Graph& graph, const std::string& path) {
     return Status::IOError("write failed: " + path);
   }
   return Status::OK();
+}
+
+Status SaveBinaryEdgeList(const Graph& graph,
+                          std::span<const uint64_t> original_ids,
+                          const std::string& path) {
+  if (!original_ids.empty() && original_ids.size() != graph.NumNodes()) {
+    return Status::InvalidArgument(
+        "original_ids size disagrees with the node count");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.write(kBinaryEdgeMagic, sizeof(kBinaryEdgeMagic));
+  CrcFileWriter writer(out);
+  writer.PutU64(graph.NumNodes());
+  writer.PutU64(graph.NumEdges());
+  if (!original_ids.empty()) {
+    writer.Write(original_ids.data(), original_ids.size_bytes());
+  } else {
+    // No remap recorded: the dense numbering is the original numbering.
+    uint64_t identity[4096];
+    for (uint64_t base = 0; base < graph.NumNodes(); base += 4096) {
+      const uint64_t n = std::min<uint64_t>(4096, graph.NumNodes() - base);
+      for (uint64_t i = 0; i < n; ++i) identity[i] = base + i;
+      writer.Write(identity, n * sizeof(uint64_t));
+    }
+  }
+  const auto edges = graph.edges();
+  writer.Write(edges.data(), edges.size_bytes());
+  const uint32_t crc = writer.crc();
+  char footer[4];
+  for (int i = 0; i < 4; ++i) {
+    footer[i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+  out.write(footer, 4);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<LoadedGraph> LoadBinaryEdgeList(const std::string& path,
+                                         const IngestOptions& options) {
+  EDGESHED_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path));
+  if (data.size() < 8 ||
+      std::memcmp(data.data(), kBinaryEdgeMagic, 8) != 0) {
+    return Status::InvalidArgument("not an edgeshed binary edge list: " +
+                                   path);
+  }
+  if (data.size() < 28) {
+    return Status::InvalidArgument("truncated binary edge list: " + path);
+  }
+  const uint64_t num_nodes = GetU64(data.data() + 8);
+  const uint64_t num_edges = GetU64(data.data() + 16);
+  if (num_nodes > static_cast<uint64_t>(kInvalidNode)) {
+    return Status::InvalidArgument("node count exceeds NodeId range: " +
+                                   path);
+  }
+  // Bound both counts by the file size before any arithmetic on them, so a
+  // corrupt count fails as truncation instead of overflowing or allocating.
+  if (num_nodes > data.size() / 8 || num_edges > data.size() / 8 ||
+      24 + 8 * num_nodes + 8 * num_edges + 4 != data.size()) {
+    return Status::InvalidArgument("truncated binary edge list: " + path);
+  }
+  if (CancellationRequested(options.cancel)) {
+    return options.cancel->ToStatus();
+  }
+  const uint32_t declared = GetU32(data.data() + data.size() - 4);
+  const uint32_t actual =
+      Crc32(std::string_view(data.data() + 8, data.size() - 12));
+  if (declared != actual) {
+    return Status::DataLoss(
+        "binary edge list checksum mismatch (corrupt file): " + path);
+  }
+  if (CancellationRequested(options.cancel)) {
+    return options.cancel->ToStatus();
+  }
+
+  std::vector<uint64_t> original_ids(num_nodes);
+  std::memcpy(original_ids.data(), data.data() + 24, 8 * num_nodes);
+  std::vector<Edge> edges(num_edges);
+  std::memcpy(edges.data(), data.data() + 24 + 8 * num_nodes, 8 * num_edges);
+  EDGESHED_ASSIGN_OR_RETURN(
+      Graph graph,
+      Graph::FromEdges(static_cast<NodeId>(num_nodes), std::move(edges)));
+  return LoadedGraph{std::move(graph), std::move(original_ids)};
 }
 
 }  // namespace edgeshed::graph

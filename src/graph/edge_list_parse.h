@@ -1,0 +1,94 @@
+#ifndef EDGESHED_GRAPH_EDGE_LIST_PARSE_H_
+#define EDGESHED_GRAPH_EDGE_LIST_PARSE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+
+/// Internal text edge-list parsing shared by the in-memory loader
+/// (graph/edge_list_io.cc) and the out-of-core converter
+/// (graph/external_build.cc). Both must tokenize identically — same comment
+/// rules, same overflow handling, same error snippets — or the external
+/// build would stop being bit-identical to the in-memory load.
+
+namespace edgeshed::graph::internal {
+
+/// Parses one whitespace-delimited unsigned field starting at *pos. An
+/// optional leading '+' is accepted; a '-' is an error — node ids are
+/// unsigned, and istream's wrap-modulo-2^64 behavior would silently turn
+/// "-1" into 18446744073709551615 and blow up the node count. Overflow is
+/// an error. Returns false when no valid field is present.
+inline bool ParseUintField(std::string_view text, size_t* pos,
+                           uint64_t* out) {
+  size_t i = *pos;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t' ||
+                             text[i] == '\r' || text[i] == '\v' ||
+                             text[i] == '\f')) {
+    ++i;
+  }
+  if (i < text.size() && text[i] == '-') return false;  // negative id
+  if (i < text.size() && text[i] == '+') ++i;
+  const size_t digits_begin = i;
+  uint64_t value = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    const uint64_t digit = static_cast<uint64_t>(text[i] - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+    ++i;
+  }
+  if (i == digits_begin) return false;  // no digits
+  *pos = i;
+  *out = value;
+  return true;
+}
+
+/// Shortened copy of an offending line for error messages.
+inline std::string TruncatedLine(std::string_view line) {
+  constexpr size_t kMaxSnippet = 40;
+  if (line.size() <= kMaxSnippet) return std::string(line);
+  return std::string(line.substr(0, kMaxSnippet)) + "...";
+}
+
+/// Output of parsing one contiguous byte range of the input. Chunks start
+/// at line boundaries, so concatenating chunk edge lists in chunk order
+/// reproduces the serial parse exactly.
+struct ChunkParse {
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  uint64_t lines = 0;  // every line seen, including comments and blanks
+  bool has_error = false;
+  uint64_t error_line = 0;  // 1-based within this chunk
+  std::string error_snippet;
+};
+
+inline void ParseChunk(std::string_view data, size_t begin, size_t end,
+                       ChunkParse* out) {
+  size_t pos = begin;
+  while (pos < end) {
+    size_t eol = data.find('\n', pos);
+    const size_t line_end = eol == std::string_view::npos ? data.size() : eol;
+    const std::string_view line = data.substr(pos, line_end - pos);
+    pos = line_end + 1;
+    ++out->lines;
+    const std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') continue;
+    size_t cursor = 0;
+    uint64_t raw_u = 0;
+    uint64_t raw_v = 0;
+    if (!ParseUintField(trimmed, &cursor, &raw_u) ||
+        !ParseUintField(trimmed, &cursor, &raw_v)) {
+      out->has_error = true;
+      out->error_line = out->lines;
+      out->error_snippet = TruncatedLine(trimmed);
+      return;  // a serial reader stops at the first bad line
+    }
+    out->edges.emplace_back(raw_u, raw_v);  // extra columns ignored
+  }
+}
+
+}  // namespace edgeshed::graph::internal
+
+#endif  // EDGESHED_GRAPH_EDGE_LIST_PARSE_H_

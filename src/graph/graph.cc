@@ -157,6 +157,128 @@ Graph::Graph(NodeId num_nodes, std::vector<Edge> edges)
 #endif
 }
 
+namespace {
+
+/// Shared validation for adopted CSR storage (mapped or owned). The O(n)
+/// shape checks always run; the O(n + m) content sweep (endpoint bounds,
+/// adjacency sortedness, incident/edge agreement) runs when `deep` is set
+/// and is parallelized — adopting a snapshot must stay far cheaper than
+/// rebuilding it.
+Status ValidateCsr(std::span<const uint64_t> offsets,
+                   std::span<const NodeId> adjacency,
+                   std::span<const EdgeId> incident,
+                   std::span<const Edge> edges, bool deep) {
+  if (offsets.empty()) {
+    if (adjacency.empty() && incident.empty() && edges.empty()) {
+      return Status::OK();  // the empty graph
+    }
+    return Status::InvalidArgument("csr: missing offsets section");
+  }
+  const uint64_t n = offsets.size() - 1;
+  const uint64_t m = edges.size();
+  if (n > static_cast<uint64_t>(kInvalidNode)) {
+    return Status::InvalidArgument("csr: node count exceeds NodeId range");
+  }
+  if (offsets.front() != 0) {
+    return Status::InvalidArgument("csr: offsets[0] != 0");
+  }
+  if (offsets.back() != adjacency.size() || adjacency.size() != 2 * m ||
+      incident.size() != 2 * m) {
+    return Status::InvalidArgument(
+        "csr: section sizes disagree (offsets/adjacency/incident/edges)");
+  }
+  std::atomic<bool> bad_shape{false};
+  ParallelFor(0, n, [&](uint64_t begin, uint64_t end) {
+    for (uint64_t u = begin; u < end; ++u) {
+      if (offsets[u] > offsets[u + 1]) {
+        bad_shape.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  if (bad_shape.load()) {
+    return Status::InvalidArgument("csr: offsets not monotone");
+  }
+  if (!deep) return Status::OK();
+
+  std::atomic<bool> bad_content{false};
+  ParallelFor(0, n, [&](uint64_t begin, uint64_t end) {
+    for (uint64_t u = begin; u < end && !bad_content.load(
+                                            std::memory_order_relaxed);
+         ++u) {
+      NodeId prev = kInvalidNode;
+      for (uint64_t slot = offsets[u]; slot < offsets[u + 1]; ++slot) {
+        const NodeId nbr = adjacency[slot];
+        const EdgeId id = incident[slot];
+        if (nbr >= n || nbr == u || id >= m ||
+            (prev != kInvalidNode && nbr <= prev)) {
+          bad_content.store(true, std::memory_order_relaxed);
+          return;
+        }
+        const Edge& e = edges[id];
+        const NodeId lo = u < nbr ? static_cast<NodeId>(u) : nbr;
+        const NodeId hi = u < nbr ? nbr : static_cast<NodeId>(u);
+        if (e.u != lo || e.v != hi) {
+          bad_content.store(true, std::memory_order_relaxed);
+          return;
+        }
+        prev = nbr;
+      }
+    }
+  });
+  // The canonical edge list itself must be canonical and in bounds; the
+  // adjacency sweep only touches edges that some slot references.
+  ParallelFor(0, m, [&](uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      const Edge& e = edges[i];
+      if (e.u > e.v || e.v >= n || e.u == e.v) {
+        bad_content.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  if (bad_content.load()) {
+    return Status::InvalidArgument(
+        "csr: content check failed (endpoints, adjacency order, or "
+        "incident/edge disagreement)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Graph> Graph::FromCsrView(CsrView view, bool deep_validation) {
+  EDGESHED_RETURN_IF_ERROR(ValidateCsr(view.offsets, view.adjacency,
+                                       view.incident, view.edges,
+                                       deep_validation));
+  Graph g;
+  g.mapped_ = std::make_shared<const CsrView>(std::move(view));
+  return g;
+}
+
+StatusOr<Graph> Graph::FromCsrParts(std::vector<uint64_t> offsets,
+                                    std::vector<NodeId> adjacency,
+                                    std::vector<EdgeId> incident,
+                                    std::vector<Edge> edges,
+                                    bool deep_validation) {
+  EDGESHED_RETURN_IF_ERROR(ValidateCsr(offsets, adjacency, incident, edges,
+                                       deep_validation));
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  g.incident_ = std::move(incident);
+  g.edges_ = std::move(edges);
+  return g;
+}
+
+uint64_t Graph::HeapBytes() const {
+  if (mapped_ != nullptr) return sizeof(CsrView);
+  return offsets_.capacity() * sizeof(uint64_t) +
+         adjacency_.capacity() * sizeof(NodeId) +
+         incident_.capacity() * sizeof(EdgeId) +
+         edges_.capacity() * sizeof(Edge);
+}
+
 bool Graph::HasEdge(NodeId u, NodeId v) const {
   return FindEdge(u, v) != kInvalidEdge;
 }

@@ -2,7 +2,9 @@
 #define EDGESHED_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/check.h"
@@ -32,6 +34,23 @@ struct Edge {
   }
 };
 
+// Edges are serialized by memcpy into snapshots and adopted back by
+// reinterpreting mapped bytes; the layout must stay two packed u32s.
+static_assert(sizeof(Edge) == 2 * sizeof(NodeId) &&
+                  std::is_trivially_copyable_v<Edge>,
+              "Edge must stay a packed pair of NodeIds (snapshot ABI)");
+
+/// Element-wise equality for edge-list views (found by ADL through Edge).
+/// Graph::edges() returns a span, and call sites — tests above all — compare
+/// whole edge lists for bit-identity.
+inline bool operator==(std::span<const Edge> a, std::span<const Edge> b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
 /// Immutable simple undirected graph in CSR (compressed sparse row) form.
 ///
 /// Design notes (see DESIGN.md §1):
@@ -44,12 +63,50 @@ struct Edge {
 ///    shedding) can map a traversal step back to its undirected edge in O(1).
 ///  * Self-loops and duplicate edges are rejected at construction: the
 ///    paper's datasets and algorithms assume a simple graph.
+///
+/// Storage variants (DESIGN.md §14): a Graph either *owns* its CSR arrays
+/// (the historical vector-backed mode, produced by FromEdges/GraphBuilder)
+/// or *maps* them — read-only spans into a shared memory-mapped v3 snapshot
+/// kept alive by a refcounted backing handle. Every accessor below works
+/// identically on both; algorithms cannot tell the difference. Copying a
+/// mapped Graph copies the (cheap) handle, not the pages, so N copies in a
+/// process — or N processes on one box — share one physical CSR.
 class Graph {
  public:
+  /// Zero-copy CSR adoption input: spans over externally owned storage plus
+  /// the handle that keeps that storage alive (typically a MappedFile).
+  /// Produced by the v3 snapshot loader (graph/binary_io.h).
+  struct CsrView {
+    std::span<const uint64_t> offsets;   // size num_nodes + 1
+    std::span<const NodeId> adjacency;   // size 2 * num_edges
+    std::span<const EdgeId> incident;    // size 2 * num_edges
+    std::span<const Edge> edges;         // size num_edges, canonical
+    std::shared_ptr<const void> backing; // keeps the spans' storage alive
+  };
+
   /// Builds a graph over `num_nodes` vertices from an arbitrary-order edge
   /// list. Returns InvalidArgument on self-loops, duplicates, or endpoints
   /// outside [0, num_nodes). Use GraphBuilder to clean raw data first.
   static StatusOr<Graph> FromEdges(NodeId num_nodes, std::vector<Edge> edges);
+
+  /// Adopts pre-built CSR arrays without copying them (mmap zero-copy
+  /// loads). Validates structural invariants: monotone offsets bracketing
+  /// the adjacency arrays, consistent section sizes, in-range endpoints,
+  /// sorted adjacency lists, and incident ids that agree with the canonical
+  /// edge list. `deep_validation=false` skips the O(n + m) content checks
+  /// (endpoint range / sortedness / incident consistency) and trusts the
+  /// caller's integrity checking (checksums) — the O(n) shape checks always
+  /// run. InvalidArgument on any violation.
+  static StatusOr<Graph> FromCsrView(CsrView view,
+                                     bool deep_validation = true);
+
+  /// Owned-storage sibling of FromCsrView: adopts CSR vectors wholesale
+  /// (snapshot copy loads) after identical validation.
+  static StatusOr<Graph> FromCsrParts(std::vector<uint64_t> offsets,
+                                      std::vector<NodeId> adjacency,
+                                      std::vector<EdgeId> incident,
+                                      std::vector<Edge> edges,
+                                      bool deep_validation = true);
 
   /// Empty graph (0 nodes, 0 edges).
   Graph() = default;
@@ -59,32 +116,39 @@ class Graph {
   Graph(Graph&&) noexcept = default;
   Graph& operator=(Graph&&) noexcept = default;
 
-  uint64_t NumNodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
-  uint64_t NumEdges() const { return edges_.size(); }
+  uint64_t NumNodes() const {
+    const auto offsets = OffsetsSpan();
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  uint64_t NumEdges() const { return EdgesSpan().size(); }
 
   uint64_t Degree(NodeId u) const {
     EDGESHED_DCHECK_LT(u, NumNodes());
-    return offsets_[u + 1] - offsets_[u];
+    const auto offsets = OffsetsSpan();
+    return offsets[u + 1] - offsets[u];
   }
 
   /// Neighbors of `u`, sorted ascending.
   std::span<const NodeId> Neighbors(NodeId u) const {
     EDGESHED_DCHECK_LT(u, NumNodes());
-    return {adjacency_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+    const auto offsets = OffsetsSpan();
+    return AdjacencySpan().subspan(offsets[u], offsets[u + 1] - offsets[u]);
   }
 
   /// EdgeIds incident to `u`, aligned with Neighbors(u): IncidentEdges(u)[i]
   /// is the undirected edge {u, Neighbors(u)[i]}.
   std::span<const EdgeId> IncidentEdges(NodeId u) const {
     EDGESHED_DCHECK_LT(u, NumNodes());
-    return {incident_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+    const auto offsets = OffsetsSpan();
+    return IncidentSpan().subspan(offsets[u], offsets[u + 1] - offsets[u]);
   }
 
   /// Canonical edge list; edges()[e] has u <= v.
-  const std::vector<Edge>& edges() const { return edges_; }
+  std::span<const Edge> edges() const { return EdgesSpan(); }
   const Edge& edge(EdgeId e) const {
-    EDGESHED_DCHECK_LT(e, edges_.size());
-    return edges_[e];
+    const auto edges = EdgesSpan();
+    EDGESHED_DCHECK_LT(e, edges.size());
+    return edges[e];
   }
 
   /// True iff {u, v} is an edge. O(log deg(u)) via binary search on the
@@ -104,13 +168,51 @@ class Graph {
                                  static_cast<double>(NumNodes());
   }
 
+  /// True when the CSR arrays live in a mapped snapshot rather than owned
+  /// heap vectors.
+  bool IsMapped() const { return mapped_ != nullptr; }
+
+  /// Heap bytes owned by this Graph: the full CSR footprint for owned
+  /// storage, ~0 for mapped storage (the pages belong to the shared file
+  /// cache and are reclaimable/shared — see GraphStore::ApproxBytes).
+  uint64_t HeapBytes() const;
+
+  /// Raw CSR sections in serialization order. Snapshot writers
+  /// (graph/binary_io.h) stream these verbatim; everyone else should use
+  /// the structured accessors above.
+  std::span<const uint64_t> RawOffsets() const { return OffsetsSpan(); }
+  std::span<const NodeId> RawAdjacency() const { return AdjacencySpan(); }
+  std::span<const EdgeId> RawIncident() const { return IncidentSpan(); }
+
  private:
   Graph(NodeId num_nodes, std::vector<Edge> edges);
 
+  std::span<const uint64_t> OffsetsSpan() const {
+    return mapped_ != nullptr ? mapped_->offsets
+                              : std::span<const uint64_t>(offsets_);
+  }
+  std::span<const NodeId> AdjacencySpan() const {
+    return mapped_ != nullptr ? mapped_->adjacency
+                              : std::span<const NodeId>(adjacency_);
+  }
+  std::span<const EdgeId> IncidentSpan() const {
+    return mapped_ != nullptr ? mapped_->incident
+                              : std::span<const EdgeId>(incident_);
+  }
+  std::span<const Edge> EdgesSpan() const {
+    return mapped_ != nullptr ? mapped_->edges
+                              : std::span<const Edge>(edges_);
+  }
+
+  // Owned storage; all empty when mapped_ is set.
   std::vector<uint64_t> offsets_;   // size NumNodes()+1
   std::vector<NodeId> adjacency_;   // size 2*NumEdges()
   std::vector<EdgeId> incident_;    // size 2*NumEdges(), parallel to adjacency_
   std::vector<Edge> edges_;         // canonical (u <= v), size NumEdges()
+
+  // Mapped storage: shared views into an externally owned (typically
+  // memory-mapped) CSR. Copying a Graph shares this handle.
+  std::shared_ptr<const CsrView> mapped_;
 };
 
 /// Builds the subgraph of `parent` that keeps the whole vertex set and only

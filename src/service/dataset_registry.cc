@@ -28,7 +28,9 @@ Status RegisterSurrogateDatasets(GraphStore& store,
 Status RegisterEdgeListDataset(GraphStore& store, const std::string& name,
                                const std::string& path) {
   return store.Register(name, [path]() -> StatusOr<graph::Graph> {
-    auto loaded = graph::LoadEdgeList(path);
+    // Format auto-detected, so --edge_list entries can point at text edge
+    // lists, binary edge lists, or snapshots (v3 served zero-copy).
+    auto loaded = graph::LoadGraph(path);
     if (!loaded.ok()) return loaded.status();
     return std::move(loaded)->graph;
   });
@@ -45,14 +47,20 @@ bool IsSafeDatasetName(const std::string& name) {
   return true;
 }
 
-void InstallShardDirFallback(GraphStore& store, const std::string& dir) {
+void InstallShardDirFallback(GraphStore& store, const std::string& dir,
+                             bool mmap) {
   store.SetFallbackLoaderFactory(
-      [dir](const std::string& name) -> std::optional<GraphStore::Loader> {
+      [dir, mmap](const std::string& name)
+          -> std::optional<GraphStore::Loader> {
         if (!IsSafeDatasetName(name)) return std::nullopt;
         std::string path = dir + "/" + name + ".esg";
         return GraphStore::Loader(
-            [path = std::move(path)]() -> StatusOr<graph::Graph> {
-              return graph::LoadBinaryGraph(path);
+            [path = std::move(path), mmap]() -> StatusOr<graph::Graph> {
+              graph::IngestOptions options;
+              options.mmap = mmap;
+              auto loaded = graph::LoadSnapshot(path, options);
+              if (!loaded.ok()) return loaded.status();
+              return std::move(loaded)->graph;
             });
       });
 }

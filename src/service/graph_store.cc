@@ -203,12 +203,10 @@ uint64_t GraphStore::bytes_resident() const {
 }
 
 uint64_t GraphStore::ApproxBytes(const graph::Graph& g) {
-  const uint64_t n = g.NumNodes();
-  const uint64_t e = g.NumEdges();
-  // offsets: (n+1) x uint64; adjacency: 2e x uint32; incident: 2e x uint64;
-  // canonical edge list: e x {uint32, uint32}.
-  return (n + 1) * sizeof(uint64_t) + 2 * e * sizeof(graph::NodeId) +
-         2 * e * sizeof(graph::EdgeId) + e * sizeof(graph::Edge);
+  // Mapped graphs count only their heap footprint: the CSR lives in the
+  // page cache, reclaimable under memory pressure, so charging it against
+  // the resident-byte budget would evict datasets that cost near nothing.
+  return g.HeapBytes();
 }
 
 void GraphStore::EvictLocked(const std::string& keep) {

@@ -129,7 +129,9 @@ class GraphStore {
   uint64_t bytes_resident() const;
   uint64_t byte_budget() const { return options_.byte_budget; }
 
-  /// CSR footprint estimate: offsets + adjacency + incident + edge list.
+  /// Heap footprint charged against the budget: the owned CSR arrays, or a
+  /// near-zero constant for mmap-backed graphs (their pages live in the
+  /// page cache and are reclaimable, so they shouldn't force evictions).
   static uint64_t ApproxBytes(const graph::Graph& g);
 
  private:

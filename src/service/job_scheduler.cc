@@ -720,7 +720,10 @@ StatusOr<core::SheddingResult> JobScheduler::Execute(
     // kDone without one existing on disk.
     Stopwatch write_watch;
     graph::Graph reduced = result->BuildReducedGraph(**graph);
-    if (Status saved = graph::SaveBinaryGraph(reduced, spec.output_path);
+    // v3 (mmap-ready) so the coordinator merging kept shards — and any
+    // later serve of the output — loads it zero-copy.
+    if (Status saved = graph::SaveBinaryGraph(reduced, spec.output_path,
+                                              graph::SnapshotOptions{});
         !saved.ok()) {
       *run_seconds = watch.ElapsedSeconds();
       return saved;

@@ -194,8 +194,7 @@ TEST(GeneratorsTest, AllProduceSimpleGraphs) {
       EXPECT_LT(e.u, e.v);  // canonical and no self-loops
     }
     // Graph::FromEdges would have rejected duplicates already; spot-check.
-    auto edges = g.edges();
-    auto sorted = edges;
+    std::vector<Edge> sorted(g.edges().begin(), g.edges().end());
     std::sort(sorted.begin(), sorted.end());
     EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
                 sorted.end());

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/crr.h"
+#include "graph/binary_io.h"
+#include "graph/edge_list_io.h"
+#include "graph/generators/generators.h"
+#include "graph/snapshot_format.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::graph {
+namespace {
+
+using ::edgeshed::testing::PaperExampleGraph;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class SnapshotV3Test : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  /// A saved v3 snapshot of the paper graph, with original ids.
+  std::string SavedPaperSnapshot(const std::string& name,
+                                 SnapshotOptions options = {}) {
+    const std::string path = TempPath(name);
+    const Graph g = PaperExampleGraph();
+    std::vector<uint64_t> ids(g.NumNodes());
+    for (size_t i = 0; i < ids.size(); ++i) ids[i] = 100 + i;
+    options.original_ids = ids;
+    EXPECT_TRUE(SaveBinaryGraph(g, path, options).ok());
+    return path;
+  }
+};
+
+void ExpectSameGraph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_TRUE(std::equal(a.RawOffsets().begin(), a.RawOffsets().end(),
+                         b.RawOffsets().begin(), b.RawOffsets().end()));
+  EXPECT_TRUE(std::equal(a.RawAdjacency().begin(), a.RawAdjacency().end(),
+                         b.RawAdjacency().begin(), b.RawAdjacency().end()));
+  EXPECT_TRUE(std::equal(a.RawIncident().begin(), a.RawIncident().end(),
+                         b.RawIncident().begin(), b.RawIncident().end()));
+}
+
+TEST_F(SnapshotV3Test, MmapRoundTripPreservesEverything) {
+  const Graph g = PaperExampleGraph();
+  const std::string path = SavedPaperSnapshot("paper.es3");
+  IngestOptions mmap_options;
+  mmap_options.mmap = true;
+  auto loaded = LoadSnapshot(path, mmap_options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->graph.IsMapped());
+  ExpectSameGraph(loaded->graph, g);
+  ASSERT_EQ(loaded->original_ids.size(), g.NumNodes());
+  EXPECT_EQ(loaded->original_ids[0], 100u);
+  EXPECT_EQ(loaded->original_ids[10], 110u);
+}
+
+TEST_F(SnapshotV3Test, CopyRoundTripPreservesEverything) {
+  const Graph g = PaperExampleGraph();
+  const std::string path = SavedPaperSnapshot("paper_copy.es3");
+  IngestOptions copy_options;
+  copy_options.mmap = false;
+  auto loaded = LoadSnapshot(path, copy_options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->graph.IsMapped());
+  ExpectSameGraph(loaded->graph, g);
+}
+
+TEST_F(SnapshotV3Test, MappedGraphOutlivesOtherHandles) {
+  const std::string path = SavedPaperSnapshot("keepalive.es3");
+  Graph g;
+  {
+    auto loaded = LoadSnapshot(path);
+    ASSERT_TRUE(loaded.ok());
+    g = loaded->graph;  // copy shares the mapping keep-alive
+  }
+  EXPECT_TRUE(g.IsMapped());
+  EXPECT_EQ(g.NumEdges(), 11u);
+  EXPECT_EQ(g.Degree(0), g.Neighbors(0).size());
+}
+
+TEST_F(SnapshotV3Test, MmapAndCopyShedIdentically) {
+  Rng rng(7);
+  const Graph g = BarabasiAlbert(400, 3, rng);
+  const std::string path = TempPath("shed.es3");
+  ASSERT_TRUE(SaveBinaryGraph(g, path, SnapshotOptions{}).ok());
+  IngestOptions mmap_options;
+  IngestOptions copy_options;
+  copy_options.mmap = false;
+  auto mapped = LoadSnapshot(path, mmap_options);
+  auto copied = LoadSnapshot(path, copy_options);
+  ASSERT_TRUE(mapped.ok());
+  ASSERT_TRUE(copied.ok());
+  ASSERT_TRUE(mapped->graph.IsMapped());
+  ASSERT_FALSE(copied->graph.IsMapped());
+  core::Crr crr;
+  auto from_mapped = crr.Reduce(mapped->graph, 0.5);
+  auto from_copied = crr.Reduce(copied->graph, 0.5);
+  ASSERT_TRUE(from_mapped.ok());
+  ASSERT_TRUE(from_copied.ok());
+  EXPECT_EQ(from_mapped->kept_edges, from_copied->kept_edges);
+}
+
+TEST_F(SnapshotV3Test, SaveIsDeterministic) {
+  Rng rng(11);
+  const Graph g = ErdosRenyi(500, 2000, rng);
+  const std::string a = TempPath("det_a.es3");
+  const std::string b = TempPath("det_b.es3");
+  ASSERT_TRUE(SaveBinaryGraph(g, a, SnapshotOptions{}).ok());
+  ASSERT_TRUE(SaveBinaryGraph(g, b, SnapshotOptions{}).ok());
+  EXPECT_EQ(ReadFile(a), ReadFile(b));
+}
+
+TEST_F(SnapshotV3Test, EmptyGraphRoundTrips) {
+  const Graph g;
+  const std::string path = TempPath("empty.es3");
+  ASSERT_TRUE(SaveBinaryGraph(g, path, SnapshotOptions{}).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->graph.NumNodes(), 0u);
+  EXPECT_EQ(loaded->graph.NumEdges(), 0u);
+}
+
+TEST_F(SnapshotV3Test, UnusualAlignmentAndChunkSizesRoundTrip) {
+  Rng rng(3);
+  const Graph g = ErdosRenyi(300, 1500, rng);
+  for (const uint64_t align : {uint64_t{8}, uint64_t{64}, uint64_t{65536}}) {
+    SnapshotOptions options;
+    options.page_align = align;
+    options.chunk_bytes = 4096;
+    const std::string path =
+        TempPath("align" + std::to_string(align) + ".es3");
+    ASSERT_TRUE(SaveBinaryGraph(g, path, options).ok());
+    auto loaded = LoadSnapshot(path);
+    ASSERT_TRUE(loaded.ok()) << "align=" << align << ": "
+                             << loaded.status().ToString();
+    ExpectSameGraph(loaded->graph, g);
+  }
+}
+
+TEST_F(SnapshotV3Test, RejectsUnsupportedVersion) {
+  SnapshotOptions options;
+  options.version = 7;
+  const Graph g = PaperExampleGraph();
+  const Status s = SaveBinaryGraph(g, TempPath("v7.es3"), options);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotV3Test, BareSaveStillWritesV2) {
+  const Graph g = PaperExampleGraph();
+  const std::string path = TempPath("compat.esg");
+  ASSERT_TRUE(SaveBinaryGraph(g, path).ok());
+  const std::string bytes = ReadFile(path);
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes.substr(0, 8), "EDGSHED2");
+}
+
+// --- Corrupt-file corpus: exact status codes, pinned by ISSUE.md. ---
+
+TEST_F(SnapshotV3Test, TruncatedHeaderIsInvalidArgument) {
+  const std::string path = SavedPaperSnapshot("trunc.es3");
+  const std::string bytes = ReadFile(path);
+  for (const size_t keep : {size_t{0}, size_t{4}, size_t{8}, size_t{60},
+                            size_t{123}}) {
+    const std::string cut = TempPath("trunc_cut.es3");
+    WriteFile(cut, bytes.substr(0, keep));
+    auto loaded = LoadSnapshot(cut);
+    ASSERT_FALSE(loaded.ok()) << "keep=" << keep;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+        << "keep=" << keep << ": " << loaded.status().ToString();
+  }
+}
+
+TEST_F(SnapshotV3Test, TruncatedDataRegionIsInvalidArgument) {
+  const std::string path = SavedPaperSnapshot("trunc_data.es3");
+  const std::string bytes = ReadFile(path);
+  const std::string cut = TempPath("trunc_data_cut.es3");
+  WriteFile(cut, bytes.substr(0, bytes.size() - 100));
+  auto loaded = LoadSnapshot(cut);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotV3Test, FlippedDataByteIsDataLossNamingTheChunk) {
+  const std::string path = SavedPaperSnapshot("flip.es3");
+  std::string bytes = ReadFile(path);
+  bytes[bytes.size() - 1] ^= 0x40;  // inside the last data chunk
+  const std::string bad = TempPath("flip_bad.es3");
+  WriteFile(bad, bytes);
+  auto loaded = LoadSnapshot(bad);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("chunk"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotV3Test, FlippedHeaderCrcIsDataLoss) {
+  const std::string path = SavedPaperSnapshot("hdrcrc.es3");
+  std::string bytes = ReadFile(path);
+  // The num_chunks field feeds the header CRC but passes every sanity
+  // bound, so flipping a chunk CRC entry right after it trips the CRC.
+  bytes[kSnapshotChunkCountOffset + 4] ^= 0x01;
+  const std::string bad = TempPath("hdrcrc_bad.es3");
+  WriteFile(bad, bytes);
+  auto loaded = LoadSnapshot(bad);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotV3Test, BadAlignmentFieldIsInvalidArgumentNotCrcError) {
+  const std::string path = SavedPaperSnapshot("badalign.es3");
+  std::string bytes = ReadFile(path);
+  bytes[24] = 0x03;  // page_align = 3: not a power of two
+  const std::string bad = TempPath("badalign_bad.es3");
+  WriteFile(bad, bytes);
+  auto loaded = LoadSnapshot(bad);
+  ASSERT_FALSE(loaded.ok());
+  // Field sanity is checked before the header CRC, so the report names the
+  // nonsense field instead of a generic checksum mismatch.
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("page_align"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotV3Test, SkippingVerificationLoadsFlippedDataByte) {
+  const std::string path = SavedPaperSnapshot("noverify.es3");
+  std::string bytes = ReadFile(path);
+  bytes[bytes.size() - 1] ^= 0x40;  // original_ids payload, not structure
+  const std::string bad = TempPath("noverify_bad.es3");
+  WriteFile(bad, bytes);
+  IngestOptions trusting;
+  trusting.verify_checksums = false;
+  auto loaded = LoadSnapshot(bad, trusting);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+}
+
+TEST_F(SnapshotV3Test, TextParserRejectsV3SnapshotNamingTheMagic) {
+  const std::string path = SavedPaperSnapshot("astext.es3");
+  auto loaded = LoadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("EDGSHED3"), std::string::npos)
+      << loaded.status().ToString();
+  // Not reported as a line-1 parse failure.
+  EXPECT_EQ(loaded.status().message().find("expected 'src dst'"),
+            std::string::npos);
+}
+
+TEST_F(SnapshotV3Test, LoadSnapshotRejectsTextFile) {
+  const std::string path = TempPath("plain.txt");
+  WriteFile(path, "0 1\n1 2\n");
+  auto loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotV3Test, CancelledLoadReturnsCancelled) {
+  const std::string path = SavedPaperSnapshot("cancel.es3");
+  CancellationToken token;
+  token.Cancel();
+  IngestOptions options;
+  options.cancel = &token;
+  auto loaded = LoadSnapshot(path, options);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace edgeshed::graph

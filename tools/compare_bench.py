@@ -28,6 +28,7 @@ SCHEMAS = (
     "edgeshed-bench-hotpath-v1",
     "edgeshed-bench-dist-v1",
     "edgeshed-bench-serving-v1",
+    "edgeshed-bench-ingest-v1",
 )
 
 

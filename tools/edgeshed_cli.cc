@@ -7,8 +7,10 @@
 //   edgeshed analyze --input=G.txt [--tasks=degree,components,clustering,
 //                    pagerank,distance] [--top=10]
 //   edgeshed stats   --input=G.txt
-//   edgeshed convert --input=G.txt --binary_output=G.esg   (and back via
-//                    --binary_input/--output)
+//   edgeshed convert --input=G.any --binary_output=G.esg [--edges_output=
+//                    G.ebl] [--output=G.txt] [--snapshot_version=3]
+//                    [--page_align=4096] [--chunk_kb=1024]
+//                    [--external --budget_mb=256 [--temp_dir=DIR]]
 //   edgeshed generate --dataset=grqc|hepph|enron|livejournal --scale=1.0
 //                    --output=G.txt [--seed=...]
 //   edgeshed service --jobs=jobs.txt [--workers=N] [--queue=K]
@@ -37,8 +39,13 @@
 //                    [--no_fallback] [--output=R.txt] [--binary_output=R.esg]
 //                    [--stats_port=P] [--linger_ms=T]
 //
-// Text inputs are SNAP-format edge lists; .esg is the library's binary
-// snapshot format (graph/binary_io.h). `service` runs a batch of shedding
+// Every command that takes --input sniffs the file format (SNAP text edge
+// list, "EDGSHEDL" binary edge list, or "EDGSHED1/2/3" snapshot); --format
+// pins it and --mmap=false forces v3 snapshots to be copied onto the heap
+// instead of served zero-copy from a file mapping (graph/source.h,
+// DESIGN.md §14). `convert` re-encodes between all of them; with
+// --external it streams a text edge list into a v3 snapshot under a fixed
+// memory budget (graph/external_build.h). `service` runs a batch of shedding
 // jobs concurrently through src/service/ (GraphStore + JobScheduler) and
 // prints the metrics snapshot; each jobs-file line reads
 //   dataset method p [seed] [deadline_ms]
@@ -93,6 +100,8 @@
 #include "graph/binary_io.h"
 #include "graph/datasets.h"
 #include "graph/edge_list_io.h"
+#include "graph/external_build.h"
+#include "graph/source.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "net/wire.h"
@@ -117,8 +126,10 @@ int Usage() {
                "  analyze  --input=G.txt [--tasks=degree,components,"
                "clustering,pagerank,distance] [--top=10]\n"
                "  stats    --input=G.txt\n"
-               "  convert  --input=G.txt --binary_output=G.esg | "
-               "--binary_input=G.esg --output=G.txt\n"
+               "  convert  --input=G.any [--binary_output=G.esg] "
+               "[--edges_output=G.ebl] [--output=G.txt] "
+               "[--snapshot_version=3] [--page_align=4096] [--chunk_kb=1024] "
+               "[--external --budget_mb=256 [--temp_dir=DIR]]\n"
                "  generate --dataset=grqc|hepph|enron|livejournal "
                "--scale=1.0 --output=G.txt [--seed=N]\n"
                "  service  [--jobs=jobs.txt] [--workers=N] [--queue=K] "
@@ -148,18 +159,39 @@ int Usage() {
   return 2;
 }
 
-StatusOr<graph::Graph> LoadInput(const eval::Flags& flags) {
-  const std::string binary_input = flags.GetString("binary_input", "");
-  if (!binary_input.empty()) {
-    return graph::LoadBinaryGraph(binary_input);
+/// Shared ingest flags: --input takes any format (sniffed by default,
+/// pinned by --format), --mmap=false forces copy loads of v3 snapshots,
+/// --binary_input is the legacy spelling of an explicit snapshot input.
+StatusOr<graph::LoadedGraph> LoadInput(const eval::Flags& flags) {
+  graph::GraphSource source;
+  source.path = flags.GetString("input", "");
+  if (source.path.empty()) {
+    source.path = flags.GetString("binary_input", "");
+    if (!source.path.empty()) source.format = graph::GraphFormat::kSnapshot;
   }
-  const std::string input = flags.GetString("input", "");
-  if (input.empty()) {
+  if (source.path.empty()) {
     return Status::InvalidArgument("--input (or --binary_input) is required");
   }
-  auto loaded = graph::LoadEdgeList(input);
-  if (!loaded.ok()) return loaded.status();
-  return std::move(loaded)->graph;
+  const std::string format = flags.GetString("format", "");
+  if (!format.empty()) {
+    EDGESHED_ASSIGN_OR_RETURN(source.format, graph::ParseGraphFormat(format));
+  }
+  graph::IngestOptions options;
+  options.mmap = flags.GetBool("mmap", true);
+  options.threads = static_cast<int>(flags.GetInt("threads", 0));
+  return graph::LoadGraph(source, options);
+}
+
+/// The snapshot layout CLI output flags select (`--snapshot_version`,
+/// `--page_align`, `--chunk_kb`).
+graph::SnapshotOptions SnapshotOptionsFromFlags(const eval::Flags& flags) {
+  graph::SnapshotOptions options;
+  options.version = static_cast<uint32_t>(flags.GetInt("snapshot_version", 3));
+  options.page_align =
+      static_cast<uint64_t>(flags.GetInt("page_align", 4096));
+  options.chunk_bytes =
+      static_cast<uint64_t>(flags.GetInt("chunk_kb", 1024)) * 1024;
+  return options;
 }
 
 int CmdReduce(const eval::Flags& flags) {
@@ -177,16 +209,16 @@ int CmdReduce(const eval::Flags& flags) {
     return Usage();
   }
   std::unique_ptr<core::EdgeShedder> shedder = std::move(shedder_or).value();
-  auto result = shedder->Reduce(*input, p);
+  auto result = shedder->Reduce(input->graph, p);
   if (!result.ok()) {
     std::cerr << result.status() << "\n";
     return 1;
   }
-  graph::Graph reduced = result->BuildReducedGraph(*input);
+  graph::Graph reduced = result->BuildReducedGraph(input->graph);
   std::printf("%s: kept %s / %s edges in %.3fs (avg delta %.4f)\n",
               shedder->name().c_str(),
               FormatWithCommas(reduced.NumEdges()).c_str(),
-              FormatWithCommas(input->NumEdges()).c_str(),
+              FormatWithCommas(input->graph.NumEdges()).c_str(),
               result->reduction_seconds, result->average_delta);
   const std::string output = flags.GetString("output", "");
   if (!output.empty()) {
@@ -199,7 +231,8 @@ int CmdReduce(const eval::Flags& flags) {
   }
   const std::string binary_output = flags.GetString("binary_output", "");
   if (!binary_output.empty()) {
-    Status status = graph::SaveBinaryGraph(reduced, binary_output);
+    Status status = graph::SaveBinaryGraph(reduced, binary_output,
+                                           SnapshotOptionsFromFlags(flags));
     if (!status.ok()) {
       std::cerr << status << "\n";
       return 1;
@@ -215,7 +248,7 @@ int CmdStats(const eval::Flags& flags) {
     std::cerr << input.status() << "\n";
     return 1;
   }
-  const graph::Graph& g = *input;
+  const graph::Graph& g = input->graph;
   auto components = analytics::ConnectedComponents(g);
   std::printf("nodes:       %s\n", FormatWithCommas(g.NumNodes()).c_str());
   std::printf("edges:       %s\n", FormatWithCommas(g.NumEdges()).c_str());
@@ -237,7 +270,7 @@ int CmdAnalyze(const eval::Flags& flags) {
     std::cerr << input.status() << "\n";
     return 1;
   }
-  const graph::Graph& g = *input;
+  const graph::Graph& g = input->graph;
   const std::string tasks =
       flags.GetString("tasks", "degree,components,clustering,pagerank");
   Stopwatch watch;
@@ -279,27 +312,77 @@ int CmdAnalyze(const eval::Flags& flags) {
 }
 
 int CmdConvert(const eval::Flags& flags) {
+  const std::string binary_output = flags.GetString("binary_output", "");
+  const std::string edges_output = flags.GetString("edges_output", "");
+  const std::string output = flags.GetString("output", "");
+  if (binary_output.empty() && output.empty() && edges_output.empty()) {
+    std::cerr
+        << "convert needs --binary_output, --edges_output or --output\n";
+    return Usage();
+  }
+
+  // --external streams a text edge list straight into a v3 snapshot with
+  // bounded memory — the path for inputs too large to materialize.
+  if (flags.GetBool("external", false)) {
+    if (binary_output.empty() || !output.empty() || !edges_output.empty()) {
+      std::cerr << "--external converts to --binary_output only\n";
+      return Usage();
+    }
+    graph::ExternalBuildOptions options;
+    options.memory_budget_bytes =
+        static_cast<uint64_t>(flags.GetInt("budget_mb", 256)) << 20;
+    options.temp_dir = flags.GetString("temp_dir", "");
+    options.snapshot = SnapshotOptionsFromFlags(flags);
+    options.threads = static_cast<int>(flags.GetInt("threads", 0));
+    Stopwatch watch;
+    auto stats = graph::BuildSnapshotExternal(
+        flags.GetString("input", ""), binary_output, options);
+    if (!stats.ok()) {
+      std::cerr << stats.status() << "\n";
+      return 1;
+    }
+    std::printf(
+        "wrote %s in %.3fs: %s nodes, %s edges (%s input pairs), "
+        "%llu+%llu spill runs, %.1f MiB spilled, %.1f MiB peak buffers\n",
+        binary_output.c_str(), watch.ElapsedSeconds(),
+        FormatWithCommas(stats->num_nodes).c_str(),
+        FormatWithCommas(stats->num_edges).c_str(),
+        FormatWithCommas(stats->input_edges).c_str(),
+        static_cast<unsigned long long>(stats->edge_runs),
+        static_cast<unsigned long long>(stats->reverse_runs),
+        static_cast<double>(stats->spilled_bytes) / (1 << 20),
+        static_cast<double>(stats->peak_buffer_bytes) / (1 << 20));
+    return 0;
+  }
+
   auto input = LoadInput(flags);
   if (!input.ok()) {
     std::cerr << input.status() << "\n";
     return 1;
   }
-  const std::string binary_output = flags.GetString("binary_output", "");
-  const std::string output = flags.GetString("output", "");
-  if (binary_output.empty() && output.empty()) {
-    std::cerr << "convert needs --binary_output or --output\n";
-    return Usage();
-  }
   if (!binary_output.empty()) {
-    Status status = graph::SaveBinaryGraph(*input, binary_output);
+    graph::SnapshotOptions options = SnapshotOptionsFromFlags(flags);
+    options.original_ids = input->original_ids;
+    Status status =
+        graph::SaveBinaryGraph(input->graph, binary_output, options);
     if (!status.ok()) {
       std::cerr << status << "\n";
       return 1;
     }
     std::printf("wrote %s\n", binary_output.c_str());
   }
+  if (!edges_output.empty()) {
+    Status status = graph::SaveBinaryEdgeList(input->graph,
+                                              input->original_ids,
+                                              edges_output);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::printf("wrote %s\n", edges_output.c_str());
+  }
   if (!output.empty()) {
-    Status status = graph::SaveEdgeList(*input, output);
+    Status status = graph::SaveEdgeList(input->graph, output);
     if (!status.ok()) {
       std::cerr << status << "\n";
       return 1;
@@ -642,7 +725,8 @@ int CmdServe(const eval::Flags& flags) {
   // --shard_dir and allow ShedRequest::output to write kept subgraphs there.
   const std::string shard_dir = flags.GetString("shard_dir", "");
   if (!shard_dir.empty()) {
-    service::InstallShardDirFallback(store, shard_dir);
+    service::InstallShardDirFallback(store, shard_dir,
+                                     flags.GetBool("mmap", true));
   }
 
   service::JobScheduler::Options scheduler_options;
@@ -943,7 +1027,7 @@ int CmdCoordinate(const eval::Flags& flags) {
 
   dist::ShedCoordinator coordinator(options, &metrics, tracer.get());
   Stopwatch watch;
-  auto result = coordinator.Run(*input);
+  auto result = coordinator.Run(input->graph);
   if (!result.ok()) {
     std::cerr << result.status() << "\n";
     if (stats_server != nullptr) stats_server->Stop();
@@ -971,7 +1055,7 @@ int CmdCoordinate(const eval::Flags& flags) {
   std::printf("kept %s / %s edges (target %s) in %.3fs "
               "(partition %.3fs snapshot %.3fs shed %.3fs merge %.3fs)\n",
               FormatWithCommas(result->kept_edges.size()).c_str(),
-              FormatWithCommas(input->NumEdges()).c_str(),
+              FormatWithCommas(input->graph.NumEdges()).c_str(),
               FormatWithCommas(result->target_edges).c_str(),
               watch.ElapsedSeconds(), result->partition_seconds,
               result->snapshot_seconds, result->shed_seconds,
@@ -980,7 +1064,7 @@ int CmdCoordinate(const eval::Flags& flags) {
   const std::string output = flags.GetString("output", "");
   const std::string binary_output = flags.GetString("binary_output", "");
   if (!output.empty() || !binary_output.empty()) {
-    graph::Graph reduced = result->BuildReducedGraph(*input);
+    graph::Graph reduced = result->BuildReducedGraph(input->graph);
     if (!output.empty()) {
       if (Status saved = graph::SaveEdgeList(reduced, output); !saved.ok()) {
         std::cerr << saved << "\n";
@@ -989,7 +1073,8 @@ int CmdCoordinate(const eval::Flags& flags) {
       std::printf("wrote %s\n", output.c_str());
     }
     if (!binary_output.empty()) {
-      if (Status saved = graph::SaveBinaryGraph(reduced, binary_output);
+      if (Status saved = graph::SaveBinaryGraph(
+              reduced, binary_output, SnapshotOptionsFromFlags(flags));
           !saved.ok()) {
         std::cerr << saved << "\n";
         return 1;
