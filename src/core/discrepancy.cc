@@ -36,6 +36,13 @@ void DegreeDiscrepancy::RemoveEdge(graph::NodeId u, graph::NodeId v) {
   --reduced_degree_[v];
 }
 
+void DegreeDiscrepancy::UpdateBaseDegree(graph::NodeId u,
+                                         uint64_t new_base_degree) {
+  total_delta_ -= std::abs(Dis(u));
+  expected_degree_[u] = p_ * static_cast<double>(new_base_degree);
+  total_delta_ += std::abs(Dis(u));
+}
+
 double DegreeDiscrepancy::AverageDelta() const {
   return NumNodes() == 0
              ? 0.0

@@ -28,6 +28,13 @@ class DegreeDiscrepancy {
   /// added it before (degrees stay non-negative; DCHECKed).
   void RemoveEdge(graph::NodeId u, graph::NodeId v);
 
+  /// Re-bases `u` on a changed original-graph degree: sets the expected
+  /// degree to p·new_base_degree and folds the |dis(u)| change into Δ in
+  /// O(1). This is the dynamic-graph hook (DESIGN.md §15) — after a
+  /// mutation batch only the touched endpoints change their expected term,
+  /// so a re-shed updates Δ in O(touched vertices) instead of O(|V|).
+  void UpdateBaseDegree(graph::NodeId u, uint64_t new_base_degree);
+
   /// Current discrepancy of `u`.
   double Dis(graph::NodeId u) const {
     return static_cast<double>(reduced_degree_[u]) - expected_degree_[u];

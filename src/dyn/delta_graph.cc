@@ -1,0 +1,17 @@
+#include "dyn/delta_graph.h"
+
+namespace edgeshed::dyn {
+
+std::vector<graph::Edge> DeltaGraph::LiveEdges() const {
+  std::vector<graph::Edge> live;
+  live.reserve(NumEdges());
+  ForEachLiveEdge([&](const graph::Edge& e) { live.push_back(e); });
+  return live;
+}
+
+StatusOr<graph::Graph> DeltaGraph::Materialize() const {
+  return graph::Graph::FromEdges(static_cast<graph::NodeId>(NumNodes()),
+                                 LiveEdges());
+}
+
+}  // namespace edgeshed::dyn

@@ -1,0 +1,252 @@
+#include "dyn/versioned_graph.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace edgeshed::dyn {
+namespace {
+
+std::string PairName(graph::NodeId u, graph::NodeId v) {
+  return "{" + std::to_string(u) + ", " + std::to_string(v) + "}";
+}
+
+void InsertSortedNeighbor(
+    std::unordered_map<graph::NodeId, std::vector<graph::NodeId>>* adj,
+    graph::NodeId u, graph::NodeId v) {
+  std::vector<graph::NodeId>& nbrs = (*adj)[u];
+  nbrs.insert(std::lower_bound(nbrs.begin(), nbrs.end(), v), v);
+}
+
+void EraseSortedNeighbor(
+    std::unordered_map<graph::NodeId, std::vector<graph::NodeId>>* adj,
+    graph::NodeId u, graph::NodeId v) {
+  const auto it = adj->find(u);
+  EDGESHED_CHECK(it != adj->end());
+  std::vector<graph::NodeId>& nbrs = it->second;
+  const auto pos = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  EDGESHED_CHECK(pos != nbrs.end() && *pos == v);
+  nbrs.erase(pos);
+  if (nbrs.empty()) adj->erase(it);
+}
+
+}  // namespace
+
+VersionedGraph::VersionedGraph(graph::Graph base, Options options)
+    : VersionedGraph(
+          std::make_shared<const graph::Graph>(std::move(base)), options) {}
+
+VersionedGraph::VersionedGraph(std::shared_ptr<const graph::Graph> base,
+                               Options options)
+    : options_(options) {
+  EDGESHED_CHECK(base != nullptr);
+  std::shared_ptr<DeltaGraph> head(new DeltaGraph());
+  head->base_ = std::move(base);
+  head->version_ = 0;
+  head_ = std::move(head);
+}
+
+VersionedGraph::~VersionedGraph() { WaitForCompaction(); }
+
+StatusOr<std::shared_ptr<const DeltaGraph>> VersionedGraph::ApplyToDelta(
+    const DeltaGraph& prev, const graph::MutationBatch& batch) {
+  std::shared_ptr<DeltaGraph> next(new DeltaGraph());
+  next->base_ = prev.base_;
+  next->version_ = prev.version_ + 1;
+  next->inserted_ = prev.inserted_;
+  next->inserted_keys_ = prev.inserted_keys_;
+  next->deleted_ids_ = prev.deleted_ids_;
+  next->ins_adj_ = prev.ins_adj_;
+  next->del_adj_ = prev.del_adj_;
+
+  const graph::Graph& base = *next->base_;
+  const uint64_t num_nodes = base.NumNodes();
+  for (const graph::Edge& e : batch.deletes) {
+    if (e.u >= num_nodes || e.v >= num_nodes) {
+      return Status::InvalidArgument(
+          "mutation endpoint out of range in delete " + PairName(e.u, e.v) +
+          ": graph has " + std::to_string(num_nodes) + " nodes");
+    }
+    const uint64_t key = graph::EdgeKey(e);
+    if (next->inserted_keys_.erase(key) != 0) {
+      // Deleting an overlay insert: the edge vanishes from the overlay.
+      const auto pos = std::lower_bound(next->inserted_.begin(),
+                                        next->inserted_.end(), e);
+      EDGESHED_CHECK(pos != next->inserted_.end() && *pos == e);
+      next->inserted_.erase(pos);
+      EraseSortedNeighbor(&next->ins_adj_, e.u, e.v);
+      EraseSortedNeighbor(&next->ins_adj_, e.v, e.u);
+      continue;
+    }
+    const graph::EdgeId id = base.FindEdge(e.u, e.v);
+    if (id == graph::kInvalidEdge || next->deleted_ids_.count(id) != 0) {
+      return Status::InvalidArgument("delete of non-live edge " +
+                                     PairName(e.u, e.v));
+    }
+    next->deleted_ids_.insert(id);
+    InsertSortedNeighbor(&next->del_adj_, e.u, e.v);
+    InsertSortedNeighbor(&next->del_adj_, e.v, e.u);
+  }
+  for (const graph::Edge& e : batch.inserts) {
+    if (e.u >= num_nodes || e.v >= num_nodes) {
+      return Status::InvalidArgument(
+          "mutation endpoint out of range in insert " + PairName(e.u, e.v) +
+          ": graph has " + std::to_string(num_nodes) +
+          " nodes (the node set is fixed at construction)");
+    }
+    const uint64_t key = graph::EdgeKey(e);
+    if (next->inserted_keys_.count(key) != 0) {
+      return Status::InvalidArgument("insert of already-live edge " +
+                                     PairName(e.u, e.v));
+    }
+    const graph::EdgeId id = base.FindEdge(e.u, e.v);
+    if (id != graph::kInvalidEdge) {
+      // Re-inserting a deleted base edge un-deletes it, so inserted_ never
+      // collides with the base edge list (the merge invariants rely on it).
+      if (next->deleted_ids_.erase(id) == 0) {
+        return Status::InvalidArgument("insert of already-live edge " +
+                                       PairName(e.u, e.v));
+      }
+      EraseSortedNeighbor(&next->del_adj_, e.u, e.v);
+      EraseSortedNeighbor(&next->del_adj_, e.v, e.u);
+      continue;
+    }
+    next->inserted_keys_.insert(key);
+    next->inserted_.insert(
+        std::lower_bound(next->inserted_.begin(), next->inserted_.end(), e),
+        e);
+    InsertSortedNeighbor(&next->ins_adj_, e.u, e.v);
+    InsertSortedNeighbor(&next->ins_adj_, e.v, e.u);
+  }
+  return std::shared_ptr<const DeltaGraph>(std::move(next));
+}
+
+StatusOr<uint64_t> VersionedGraph::ApplyBatch(graph::MutationBatch batch) {
+  EDGESHED_RETURN_IF_ERROR(graph::ValidateAndCanonicalizeBatch(&batch));
+  std::unique_lock<std::mutex> lock(mu_);
+  StatusOr<std::shared_ptr<const DeltaGraph>> next =
+      ApplyToDelta(*head_, batch);
+  if (!next.ok()) return next.status();
+  head_ = std::move(next).value();
+  log_.push_back(LoggedBatch{head_->version(), std::move(batch)});
+  while (log_.size() > options_.history_limit &&
+         log_.front().version <= base_version_) {
+    trimmed_through_ = log_.front().version;
+    log_.pop_front();
+  }
+  const uint64_t version = head_->version();
+  MaybeStartCompactionLocked();
+  return version;
+}
+
+std::shared_ptr<const DeltaGraph> VersionedGraph::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+uint64_t VersionedGraph::CurrentVersion() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_->version();
+}
+
+std::optional<std::vector<graph::MutationBatch>> VersionedGraph::BatchesSince(
+    uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (version > head_->version()) return std::nullopt;
+  if (version < trimmed_through_) return std::nullopt;
+  std::vector<graph::MutationBatch> batches;
+  for (const LoggedBatch& entry : log_) {
+    if (entry.version > version) batches.push_back(entry.batch);
+  }
+  return batches;
+}
+
+void VersionedGraph::InstallCompactedLocked(
+    std::shared_ptr<const graph::Graph> base, uint64_t base_version) {
+  if (base_version <= base_version_ && base_version != 0) return;  // stale
+  base_version_ = base_version;
+  std::shared_ptr<DeltaGraph> fresh(new DeltaGraph());
+  fresh->base_ = std::move(base);
+  fresh->version_ = base_version;
+  std::shared_ptr<const DeltaGraph> head(std::move(fresh));
+  for (const LoggedBatch& entry : log_) {
+    if (entry.version <= base_version) continue;
+    StatusOr<std::shared_ptr<const DeltaGraph>> next =
+        ApplyToDelta(*head, entry.batch);
+    // The batch was validated when first applied, and replaying it onto a
+    // base that materializes the same live edge set cannot newly fail.
+    EDGESHED_CHECK(next.ok())
+        << "compaction replay failed: " << next.status().ToString();
+    head = std::move(next).value();
+  }
+  head_ = std::move(head);
+  while (log_.size() > options_.history_limit &&
+         log_.front().version <= base_version_) {
+    trimmed_through_ = log_.front().version;
+    log_.pop_front();
+  }
+}
+
+void VersionedGraph::MaybeStartCompactionLocked() {
+  if (!options_.auto_compact || compacting_) return;
+  if (head_->OverlaySize() == 0 ||
+      head_->DeltaRatio() <= options_.compact_ratio) {
+    return;
+  }
+  if (compactor_joinable_) {
+    // A previous compaction finished (compacting_ is false); its thread no
+    // longer touches any shared state, so joining under mu_ cannot block on
+    // anything that needs mu_.
+    compactor_.join();
+    compactor_joinable_ = false;
+  }
+  compacting_ = true;
+  std::shared_ptr<const DeltaGraph> snap = head_;
+  compactor_ = std::thread([this, snap] {
+    StatusOr<graph::Graph> materialized = snap->Materialize();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (materialized.ok()) {
+      InstallCompactedLocked(std::make_shared<const graph::Graph>(
+                                 std::move(materialized).value()),
+                             snap->version());
+    }
+    compacting_ = false;
+    compact_cv_.notify_all();
+  });
+  compactor_joinable_ = true;
+}
+
+Status VersionedGraph::Compact() {
+  WaitForCompaction();
+  std::shared_ptr<const DeltaGraph> snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (head_->OverlaySize() == 0) return Status::OK();
+    snap = head_;
+  }
+  StatusOr<graph::Graph> materialized = snap->Materialize();
+  if (!materialized.ok()) return materialized.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  InstallCompactedLocked(std::make_shared<const graph::Graph>(
+                             std::move(materialized).value()),
+                         snap->version());
+  return Status::OK();
+}
+
+void VersionedGraph::WaitForCompaction() {
+  std::unique_lock<std::mutex> lock(mu_);
+  compact_cv_.wait(lock, [this] { return !compacting_; });
+  if (compactor_joinable_) {
+    compactor_.join();
+    compactor_joinable_ = false;
+  }
+}
+
+bool VersionedGraph::CompactionInProgress() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compacting_;
+}
+
+}  // namespace edgeshed::dyn

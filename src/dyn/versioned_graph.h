@@ -1,0 +1,133 @@
+#ifndef EDGESHED_DYN_VERSIONED_GRAPH_H_
+#define EDGESHED_DYN_VERSIONED_GRAPH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/statusor.h"
+#include "dyn/delta_graph.h"
+#include "graph/graph.h"
+#include "graph/mutation_io.h"
+
+namespace edgeshed::dyn {
+
+/// A mutable, versioned dynamic graph: an immutable CSR base plus a chain of
+/// immutable DeltaGraph overlays, one per applied batch (DESIGN.md §15).
+///
+/// Versioning and visibility: versions are monotone, starting at 0 for the
+/// construction state; ApplyBatch(batch) -> version installs a new head
+/// atomically. Snapshot() pins the head at call time — readers keep working
+/// against exactly the version they started on no matter how many batches
+/// or compactions land afterwards (snapshot isolation via shared_ptr
+/// pinning; nothing is ever mutated in place).
+///
+/// Compaction folds the overlay into a fresh CSR via Graph::FromEdges — the
+/// same parallel builder a from-scratch load uses, so the compacted base is
+/// bit-identical to rebuilding from the live edge list. It triggers in the
+/// background when the head's delta ratio crosses `compact_ratio` (or
+/// synchronously via Compact()) and never changes version numbers: the head
+/// after compaction represents the same live edge set, just with a
+/// shallower overlay (batches applied while the compactor ran are replayed
+/// on top of the new base).
+struct VersionedGraphOptions {
+  /// Background-compact when OverlaySize/live-edges exceeds this.
+  double compact_ratio = 0.10;
+  /// Master switch for the background compactor; Compact() always works.
+  bool auto_compact = true;
+  /// Batches retained for BatchesSince. Incremental consumers that fall
+  /// further behind than this get nullopt and must do a full restart.
+  size_t history_limit = 1024;
+};
+
+class VersionedGraph {
+ public:
+  using Options = VersionedGraphOptions;
+
+  explicit VersionedGraph(graph::Graph base, Options options = {});
+  explicit VersionedGraph(std::shared_ptr<const graph::Graph> base,
+                          Options options = {});
+  ~VersionedGraph();
+
+  VersionedGraph(const VersionedGraph&) = delete;
+  VersionedGraph& operator=(const VersionedGraph&) = delete;
+
+  /// Applies one batch atomically and returns the new version. The batch is
+  /// structurally validated (ValidateAndCanonicalizeBatch: canonical form,
+  /// no self-loops, no within-batch duplicates) and semantically validated
+  /// against the current head: every insert must be non-live, every delete
+  /// live, and all endpoints within [0, NumNodes()) — the node set is fixed
+  /// at construction. Any violation rejects the whole batch with
+  /// InvalidArgument naming the offending pair; the head is unchanged.
+  StatusOr<uint64_t> ApplyBatch(graph::MutationBatch batch);
+
+  /// The current head, pinned. O(1); never blocks on compaction.
+  std::shared_ptr<const DeltaGraph> Snapshot() const;
+
+  uint64_t CurrentVersion() const;
+
+  /// The batches applied after `version`, oldest first — empty when
+  /// `version` is current, nullopt when history has been trimmed past it
+  /// (caller must fall back to a full recompute).
+  std::optional<std::vector<graph::MutationBatch>> BatchesSince(
+      uint64_t version) const;
+
+  /// Synchronous compaction of the current head (waits for any in-flight
+  /// background compaction first). No-op on an empty overlay.
+  Status Compact();
+
+  /// Blocks until no background compaction is running.
+  void WaitForCompaction();
+
+  bool CompactionInProgress() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// Builds the successor of `prev` with `batch` applied (batch already
+  /// canonical). Pure; shares `prev`'s base. InvalidArgument on any
+  /// non-live delete / already-live insert / out-of-range endpoint.
+  static StatusOr<std::shared_ptr<const DeltaGraph>> ApplyToDelta(
+      const DeltaGraph& prev, const graph::MutationBatch& batch);
+
+  /// Installs `base` (the materialization of version `base_version`) as the
+  /// new base and rebuilds the head by replaying every logged batch newer
+  /// than `base_version`. Caller holds mu_.
+  void InstallCompactedLocked(std::shared_ptr<const graph::Graph> base,
+                              uint64_t base_version);
+
+  void MaybeStartCompactionLocked();
+
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const DeltaGraph> head_;
+
+  struct LoggedBatch {
+    uint64_t version;  // version this batch produced
+    graph::MutationBatch batch;
+  };
+  /// Every batch newer than the current base's version, for compaction
+  /// replay; trimmed on install. A bounded suffix of it doubles as the
+  /// BatchesSince history.
+  std::deque<LoggedBatch> log_;
+  /// Versions <= this have been trimmed from log_ (history_limit).
+  uint64_t trimmed_through_ = 0;
+  /// Version the current base materializes (log entries <= this are not in
+  /// log_ for replay purposes but may linger for history until trimmed).
+  uint64_t base_version_ = 0;
+
+  std::condition_variable compact_cv_;
+  std::thread compactor_;
+  bool compacting_ = false;
+  bool compactor_joinable_ = false;
+};
+
+}  // namespace edgeshed::dyn
+
+#endif  // EDGESHED_DYN_VERSIONED_GRAPH_H_

@@ -69,6 +69,14 @@ Status ParseCancelBody(StatusOr<std::string> body) {
   return Status::OK();
 }
 
+StatusOr<ApplyMutationsResponse> ParseApplyMutationsBody(
+    StatusOr<std::string> body) {
+  if (!body.ok()) return body.status();
+  ApplyMutationsResponse response;
+  EDGESHED_RETURN_IF_ERROR(DecodeApplyMutationsResponseBody(*body, &response));
+  return response;
+}
+
 }  // namespace
 
 RpcClient::RpcClient(RpcClientOptions options,
@@ -270,6 +278,12 @@ StatusOr<std::vector<std::string>> RpcClient::ListDatasets() {
   return response.names;
 }
 
+StatusOr<ApplyMutationsResponse> RpcClient::ApplyMutations(
+    const ApplyMutationsRequest& request) {
+  return ParseApplyMutationsBody(Call(MessageType::kApplyMutationsRequest,
+                                      EncodeApplyMutationsRequest(request)));
+}
+
 // ---------------------------------------------------------------------------
 // Channel: one persistent connection for a logical job's RPC sequence.
 
@@ -382,6 +396,12 @@ StatusOr<GetStatusResponse> RpcClient::Channel::GetJobStatus(
 Status RpcClient::Channel::Cancel(uint64_t job_id) {
   return ParseCancelBody(
       Call(MessageType::kCancelRequest, EncodeJobIdRequest({job_id})));
+}
+
+StatusOr<ApplyMutationsResponse> RpcClient::Channel::ApplyMutations(
+    const ApplyMutationsRequest& request) {
+  return ParseApplyMutationsBody(Call(MessageType::kApplyMutationsRequest,
+                                      EncodeApplyMutationsRequest(request)));
 }
 
 }  // namespace edgeshed::net

@@ -113,6 +113,8 @@ class RpcClient {
     StatusOr<ResultSummary> Wait(uint64_t job_id, uint64_t deadline_ms = 0);
     StatusOr<GetStatusResponse> GetJobStatus(uint64_t job_id);
     Status Cancel(uint64_t job_id);
+    StatusOr<ApplyMutationsResponse> ApplyMutations(
+        const ApplyMutationsRequest& request);
 
     /// Closes the socket (if open); the next call re-dials.
     void Close();
@@ -161,6 +163,14 @@ class RpcClient {
   Status Cancel(uint64_t job_id);
 
   StatusOr<std::vector<std::string>> ListDatasets();
+
+  /// Applies one mutation batch to a dataset's dynamic overlay and returns
+  /// the new version. Retrying after a transport error is safe in the
+  /// at-most-once sense: if the first attempt actually landed, the retry is
+  /// rejected by batch validation (its inserts are now live / its deletes
+  /// gone) instead of double-applying.
+  StatusOr<ApplyMutationsResponse> ApplyMutations(
+      const ApplyMutationsRequest& request);
 
   /// The exact backoff delays Call() will use between attempts
   /// (max_attempts - 1 entries): pure function of `options`, exposed so

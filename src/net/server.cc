@@ -518,6 +518,9 @@ std::string RpcServer::HandleRequest(const Frame& frame, double pressure) {
     case MessageType::kListDatasetsRequest:
       response = HandleListDatasets(frame.payload);
       break;
+    case MessageType::kApplyMutationsRequest:
+      response = HandleApplyMutations(frame.payload);
+      break;
     default:
       // Ping is loop-inline and non-requests never reach dispatch.
       response = EncodeFrame(
@@ -681,6 +684,46 @@ std::string RpcServer::HandleListDatasets(std::string_view payload) {
       MessageType::kListDatasetsResponse,
       EncodeResponsePayload(Status::OK(),
                             EncodeListDatasetsResponseBody(response)));
+}
+
+std::string RpcServer::HandleApplyMutations(std::string_view payload) {
+  ApplyMutationsRequest request;
+  if (Status status = DecodeApplyMutationsRequest(payload, &request);
+      !status.ok()) {
+    return EncodeFrame(MessageType::kApplyMutationsResponse,
+                       EncodeResponsePayload(status));
+  }
+  graph::MutationBatch batch;
+  batch.inserts.reserve(request.inserts.size());
+  for (const auto& [u, v] : request.inserts) {
+    batch.inserts.push_back({u, v});
+  }
+  batch.deletes.reserve(request.deletes.size());
+  for (const auto& [u, v] : request.deletes) {
+    batch.deletes.push_back({u, v});
+  }
+  auto version = store_->ApplyMutations(request.dataset, std::move(batch));
+  if (!version.ok()) {
+    return EncodeFrame(MessageType::kApplyMutationsResponse,
+                       EncodeResponsePayload(version.status()));
+  }
+  ApplyMutationsResponse response;
+  response.version = *version;
+  // Overlay/compaction introspection for the caller; the batch is already
+  // durably applied, so a failure here would only lose the nice-to-have
+  // counters — and DynGraph cannot fail after a successful ApplyMutations.
+  if (auto dyn_graph = store_->DynGraph(request.dataset); dyn_graph.ok()) {
+    const std::shared_ptr<const dyn::DeltaGraph> snap =
+        (*dyn_graph)->Snapshot();
+    response.live_edges = snap->NumEdges();
+    response.overlay_inserted = snap->inserted().size();
+    response.overlay_deleted = snap->deleted_ids().size();
+    response.compacting = (*dyn_graph)->CompactionInProgress() ? 1 : 0;
+  }
+  return EncodeFrame(
+      MessageType::kApplyMutationsResponse,
+      EncodeResponsePayload(Status::OK(),
+                            EncodeApplyMutationsResponseBody(response)));
 }
 
 }  // namespace edgeshed::net

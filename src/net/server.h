@@ -171,6 +171,7 @@ class RpcServer {
   std::string HandleGetStatus(std::string_view payload);
   std::string HandleCancel(std::string_view payload);
   std::string HandleListDatasets(std::string_view payload);
+  std::string HandleApplyMutations(std::string_view payload);
   /// Blocks on the scheduler and renders the finished job as a summary body.
   Status WaitForResult(uint64_t job_id, ResultSummary* summary);
 

@@ -41,6 +41,8 @@ std::string_view MessageTypeToString(MessageType type) {
       return "ListDatasetsRequest";
     case MessageType::kPingRequest:
       return "PingRequest";
+    case MessageType::kApplyMutationsRequest:
+      return "ApplyMutationsRequest";
     case MessageType::kShedResponse:
       return "ShedResponse";
     case MessageType::kGetStatusResponse:
@@ -53,6 +55,8 @@ std::string_view MessageTypeToString(MessageType type) {
       return "ListDatasetsResponse";
     case MessageType::kPingResponse:
       return "PingResponse";
+    case MessageType::kApplyMutationsResponse:
+      return "ApplyMutationsResponse";
     case MessageType::kErrorResponse:
       return "ErrorResponse";
   }
@@ -62,14 +66,14 @@ std::string_view MessageTypeToString(MessageType type) {
 bool IsRequestType(MessageType type) {
   const uint8_t value = static_cast<uint8_t>(type);
   return value >= 1 &&
-         value <= static_cast<uint8_t>(MessageType::kPingRequest);
+         value <= static_cast<uint8_t>(MessageType::kApplyMutationsRequest);
 }
 
 bool IsKnownMessageType(uint8_t type) {
   if (type == static_cast<uint8_t>(MessageType::kErrorResponse)) return true;
   const uint8_t base = type & 0x7F;
   return base >= 1 &&
-         base <= static_cast<uint8_t>(MessageType::kPingRequest);
+         base <= static_cast<uint8_t>(MessageType::kApplyMutationsRequest);
 }
 
 MessageType ResponseTypeFor(MessageType request) {
@@ -316,6 +320,76 @@ Status DecodePing(std::string_view payload, PingMessage* out) {
   WireReader r(payload);
   out->token = r.GetU64();
   return r.Finish("Ping");
+}
+
+namespace {
+
+void PutEdgeList(WireWriter* w,
+                 const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  EDGESHED_CHECK(edges.size() <= kMaxPayloadBytes / 8)
+      << "mutation edge list too large for one frame";
+  w->PutU32(static_cast<uint32_t>(edges.size()));
+  for (const auto& [u, v] : edges) {
+    w->PutU32(u);
+    w->PutU32(v);
+  }
+}
+
+void GetEdgeList(WireReader* r,
+                 std::vector<std::pair<uint32_t, uint32_t>>* edges) {
+  const uint32_t count = r->GetU32();
+  edges->clear();
+  // 8 bytes per edge: never reserve more than the remaining payload can
+  // hold, so a hostile count buys no allocation — the reads below trip the
+  // reader's failure bit instead.
+  edges->reserve(std::min<uint64_t>(count, r->remaining() / 8));
+  for (uint32_t i = 0; i < count && r->ok(); ++i) {
+    const uint32_t u = r->GetU32();
+    const uint32_t v = r->GetU32();
+    if (!r->ok()) break;
+    edges->emplace_back(u, v);
+  }
+}
+
+}  // namespace
+
+std::string EncodeApplyMutationsRequest(const ApplyMutationsRequest& request) {
+  WireWriter w;
+  w.PutString(request.dataset);
+  PutEdgeList(&w, request.inserts);
+  PutEdgeList(&w, request.deletes);
+  return w.Take();
+}
+
+Status DecodeApplyMutationsRequest(std::string_view payload,
+                                   ApplyMutationsRequest* out) {
+  WireReader r(payload);
+  out->dataset = r.GetString();
+  GetEdgeList(&r, &out->inserts);
+  GetEdgeList(&r, &out->deletes);
+  return r.Finish("ApplyMutationsRequest");
+}
+
+std::string EncodeApplyMutationsResponseBody(
+    const ApplyMutationsResponse& response) {
+  WireWriter w;
+  w.PutU64(response.version);
+  w.PutU64(response.live_edges);
+  w.PutU64(response.overlay_inserted);
+  w.PutU64(response.overlay_deleted);
+  w.PutU8(response.compacting);
+  return w.Take();
+}
+
+Status DecodeApplyMutationsResponseBody(std::string_view body,
+                                        ApplyMutationsResponse* out) {
+  WireReader r(body);
+  out->version = r.GetU64();
+  out->live_edges = r.GetU64();
+  out->overlay_inserted = r.GetU64();
+  out->overlay_deleted = r.GetU64();
+  out->compacting = r.GetU8();
+  return r.Finish("ApplyMutationsResponse");
 }
 
 namespace {

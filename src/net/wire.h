@@ -43,7 +43,10 @@ inline constexpr char kWireMagic[4] = {'E', 'S', 'R', 'P'};
 /// GetStatusResponse). Tails are length-driven — a decoder reads them only
 /// when bytes remain after the v1 fields — so v1 peers interoperate:
 /// DecodeFrame accepts any version in [kWireMinVersion, kWireVersion].
-inline constexpr uint8_t kWireVersion = 2;
+/// v3 adds the ApplyMutations message pair (dynamic graphs, DESIGN.md §15);
+/// no existing payload changed shape, so v1/v2 peers still interoperate on
+/// every other message.
+inline constexpr uint8_t kWireVersion = 3;
 /// Oldest protocol version this build still decodes.
 inline constexpr uint8_t kWireMinVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 16;
@@ -60,12 +63,14 @@ enum class MessageType : uint8_t {
   kCancelRequest = 4,
   kListDatasetsRequest = 5,
   kPingRequest = 6,
+  kApplyMutationsRequest = 7,
   kShedResponse = 0x81,
   kGetStatusResponse = 0x82,
   kWaitResponse = 0x83,
   kCancelResponse = 0x84,
   kListDatasetsResponse = 0x85,
   kPingResponse = 0x86,
+  kApplyMutationsResponse = 0x87,
   /// Reply to a frame whose request type could not be determined.
   kErrorResponse = 0xFF,
 };
@@ -263,6 +268,26 @@ struct PingMessage {
   uint64_t token = 0;
 };
 
+/// v3: apply one mutation batch to a dataset's dynamic graph (DESIGN.md
+/// §15). Edges travel as (u, v) node-id pairs; the server canonicalizes and
+/// validates (self-loops, duplicates, non-live deletes, already-live
+/// inserts all reject the whole batch, naming the offending pair).
+struct ApplyMutationsRequest {
+  std::string dataset;
+  std::vector<std::pair<uint32_t, uint32_t>> inserts;
+  std::vector<std::pair<uint32_t, uint32_t>> deletes;
+};
+
+/// Success body of kApplyMutationsResponse: the installed version plus a
+/// snapshot of the overlay so callers can watch compaction behave.
+struct ApplyMutationsResponse {
+  uint64_t version = 0;
+  uint64_t live_edges = 0;
+  uint64_t overlay_inserted = 0;
+  uint64_t overlay_deleted = 0;
+  uint8_t compacting = 0;  // background compaction in flight right now
+};
+
 std::string EncodeShedRequest(const ShedRequest& request);
 Status DecodeShedRequest(std::string_view payload, ShedRequest* out);
 
@@ -271,6 +296,15 @@ Status DecodeJobIdRequest(std::string_view payload, JobIdRequest* out);
 
 std::string EncodePing(const PingMessage& message);
 Status DecodePing(std::string_view payload, PingMessage* out);
+
+std::string EncodeApplyMutationsRequest(const ApplyMutationsRequest& request);
+Status DecodeApplyMutationsRequest(std::string_view payload,
+                                   ApplyMutationsRequest* out);
+
+std::string EncodeApplyMutationsResponseBody(
+    const ApplyMutationsResponse& response);
+Status DecodeApplyMutationsResponseBody(std::string_view body,
+                                        ApplyMutationsResponse* out);
 
 // Response bodies (no envelope; see EncodeResponsePayload).
 std::string EncodeShedResponseBody(const ShedResponse& response);

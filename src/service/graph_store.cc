@@ -55,6 +55,7 @@ Status GraphStore::Replace(const std::string& name, Loader loader) {
   entry.loader = std::move(loader);
   if (inserted) return Status::OK();
   ++entry.generation;
+  entry.dyn.reset();  // a replaced dataset starts a fresh dynamic history
   if (entry.graph != nullptr) {
     bytes_resident_ -= entry.bytes;
     entry.bytes = 0;
@@ -170,6 +171,56 @@ StatusOr<std::shared_ptr<const graph::Graph>> GraphStore::Get(
   PublishGaugesLocked();
   if (generation != nullptr) *generation = entry.generation;
   return entry.graph;
+}
+
+StatusOr<std::shared_ptr<dyn::VersionedGraph>> GraphStore::DynGraph(
+    const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it != entries_.end() && it->second.dyn != nullptr) {
+      return it->second.dyn;
+    }
+  }
+  // First use: load (or reuse) the base graph through the ordinary Get
+  // path, then install the handle. Get also gives fallback-minted datasets
+  // a chance to register themselves.
+  auto graph = Get(name);
+  if (!graph.ok()) return graph.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_.at(name);
+  if (entry.dyn == nullptr) {
+    entry.dyn = std::make_shared<dyn::VersionedGraph>(*std::move(graph));
+  }
+  return entry.dyn;
+}
+
+StatusOr<uint64_t> GraphStore::ApplyMutations(const std::string& name,
+                                              graph::MutationBatch batch) {
+  auto dyn = DynGraph(name);
+  if (!dyn.ok()) return dyn.status();
+  auto version = (*dyn)->ApplyBatch(std::move(batch));
+  if (!version.ok()) return version.status();
+  // Publish the new head through the Replace contract: generation bump +
+  // loader swap + resident drop, so readers and generation-keyed caches
+  // converge on the mutated graph. The loader captures a pinned snapshot —
+  // materializing it later yields exactly this version even if more
+  // batches land in between (each of those swaps the loader again).
+  std::shared_ptr<const dyn::DeltaGraph> snap = (*dyn)->Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_.at(name);
+  if (entry.dyn == *dyn) {  // skip if Replace raced us: its state won
+    ++entry.generation;
+    entry.loader = [snap] { return snap->Materialize(); };
+    if (entry.graph != nullptr) {
+      bytes_resident_ -= entry.bytes;
+      entry.bytes = 0;
+      entry.graph.reset();  // leases held by running jobs stay valid
+      lru_.erase(entry.lru_pos);
+      PublishGaugesLocked();
+    }
+  }
+  return *version;
 }
 
 bool GraphStore::IsResident(const std::string& name) const {

@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "dyn/versioned_graph.h"
 #include "graph/graph.h"
+#include "graph/mutation_io.h"
 #include "obs/tracer.h"
 #include "service/metrics_registry.h"
 
@@ -79,7 +81,9 @@ class GraphStore {
   Status Register(const std::string& name, Loader loader);
 
   /// Replaces the loader under `name` (registering it when new), drops any
-  /// resident graph, and bumps the dataset's generation — the signal
+  /// resident graph and the store's dynamic-graph handle (handles already
+  /// held by callers keep working against the old history), and bumps the
+  /// dataset's generation — the signal
   /// downstream caches key on to invalidate derived data (rank cache,
   /// DESIGN.md §12). A load in flight when Replace lands still completes
   /// for its own waiters with the *old* loader's graph and generation; it is
@@ -117,6 +121,28 @@ class GraphStore {
   StatusOr<std::shared_ptr<const graph::Graph>> Get(
       const std::string& name, uint64_t* generation = nullptr);
 
+  /// Returns the dataset's dynamic (mutable, versioned) handle, creating it
+  /// from the currently loaded graph on first use — the base CSR is shared
+  /// with the store's resident lease, not copied. The handle stays valid
+  /// for the caller's lifetime even if the dataset is later evicted or
+  /// Replace()d (a Replace discards the *store's* reference and starts a
+  /// fresh dynamic history on next use; see Replace). NotFound for
+  /// unregistered names; loader failures propagate.
+  StatusOr<std::shared_ptr<dyn::VersionedGraph>> DynGraph(
+      const std::string& name);
+
+  /// Applies one mutation batch to `name`'s dynamic graph (created on
+  /// first use) and returns the new version. On success the dataset's
+  /// generation is bumped and its loader is swapped for one that
+  /// materializes the new head snapshot — exactly the Replace contract, so
+  /// the next Get serves the mutated graph and every generation-keyed
+  /// downstream cache (rank cache, scheduler result cache) invalidates.
+  /// Validation failures (self-loop / duplicate / non-live delete /
+  /// already-live insert, each naming the offending pair) reject the whole
+  /// batch and leave the dataset untouched.
+  StatusOr<uint64_t> ApplyMutations(const std::string& name,
+                                    graph::MutationBatch batch);
+
   /// True iff `name` is currently resident (testing / introspection).
   bool IsResident(const std::string& name) const;
 
@@ -138,6 +164,9 @@ class GraphStore {
   struct Entry {
     Loader loader;
     std::shared_ptr<const graph::Graph> graph;  // null when not resident
+    /// Dynamic handle, created lazily by DynGraph/ApplyMutations and
+    /// dropped by Replace (a replaced dataset starts a fresh history).
+    std::shared_ptr<dyn::VersionedGraph> dyn;
     /// Dataset version; bumped by Replace so generation-keyed caches of
     /// derived data invalidate without coordination.
     uint64_t generation = 1;

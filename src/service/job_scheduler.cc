@@ -19,6 +19,12 @@ double SecondsBetween(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
 }
 
+/// The stateful incremental re-shed method (dyn::ShedSession), dispatched
+/// by the scheduler itself rather than core::MakeShedderByName. Not on the
+/// degradation cost ladder: degrading a stateful session to a stateless
+/// method would silently discard its incremental state.
+constexpr std::string_view kIncrementalMethod = "crr-inc";
+
 }  // namespace
 
 std::string_view JobStateToString(JobState state) {
@@ -235,7 +241,8 @@ StatusOr<JobId> JobScheduler::Submit(const JobSpec& spec) {
     return Status::InvalidArgument("job spec needs a dataset name");
   }
   const auto known = core::KnownShedderNames();
-  if (std::find(known.begin(), known.end(), spec.method) == known.end()) {
+  if (spec.method != kIncrementalMethod &&
+      std::find(known.begin(), known.end(), spec.method) == known.end()) {
     return Status::InvalidArgument(
         StrFormat("unknown shedding method '%s'", spec.method.c_str()));
   }
@@ -675,6 +682,9 @@ void JobScheduler::WorkerLoop() {
 StatusOr<core::SheddingResult> JobScheduler::Execute(
     const JobSpec& spec, const CancellationToken* cancel,
     double* run_seconds) {
+  if (spec.method == kIncrementalMethod) {
+    return ExecuteIncremental(spec, run_seconds);
+  }
   Stopwatch watch;
   // The graph load itself is not interruptible (it may be shared with other
   // jobs via the store); check before and after instead.
@@ -730,6 +740,102 @@ StatusOr<core::SheddingResult> JobScheduler::Execute(
     }
     result->stats.emplace_back("output_write_seconds",
                                write_watch.ElapsedSeconds());
+  }
+  *run_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+StatusOr<core::SheddingResult> JobScheduler::ExecuteIncremental(
+    const JobSpec& spec, double* run_seconds) {
+  Stopwatch watch;
+  auto dyn_graph = store_->DynGraph(spec.dataset);
+  if (!dyn_graph.ok()) {
+    *run_seconds = watch.ElapsedSeconds();
+    return dyn_graph.status();
+  }
+  std::shared_ptr<DynSession> slot;
+  {
+    std::lock_guard<std::mutex> lock(dyn_mu_);
+    std::shared_ptr<DynSession>& entry = dyn_sessions_[StrFormat(
+        "%s|p=%.17g|seed=%llu", spec.dataset.c_str(), spec.p,
+        static_cast<unsigned long long>(spec.seed))];
+    if (entry == nullptr || entry->graph != *dyn_graph) {
+      // First job for this key, or Replace swapped the dataset's dynamic
+      // graph out from under the old session: start fresh.
+      entry = std::make_shared<DynSession>();
+      entry->graph = *dyn_graph;
+    }
+    slot = entry;
+  }
+  std::lock_guard<std::mutex> session_lock(slot->mu);
+  if (slot->session == nullptr) {
+    dyn::DynamicShedOptions options;
+    options.p = spec.p;
+    options.seed = spec.seed;
+    if (rank_cache_ != nullptr) {
+      // Full ranking passes share the cross-job cache, keyed by the graph
+      // version in place of the store generation. The "#dyn" suffix keeps
+      // version and generation numberings from colliding among one
+      // dataset's cache entries.
+      RankCache* cache = rank_cache_.get();
+      const std::string key = spec.dataset + "#dyn";
+      options.rank_provider =
+          [cache, key](const graph::Graph& g,
+                       const analytics::BetweennessOptions& betweenness,
+                       uint64_t version) {
+            return cache->GetOrCompute(key, version, g, betweenness);
+          };
+    }
+    slot->session = std::make_unique<dyn::ShedSession>(slot->graph, options);
+  }
+  auto reshed = slot->session->Reshed();
+  if (!reshed.ok()) {
+    *run_seconds = watch.ElapsedSeconds();
+    return reshed.status();
+  }
+
+  // Map the kept pairs onto EdgeIds in the result version's canonical
+  // order — both lists are sorted, so one merge pass suffices — making the
+  // answer shape-identical to a from-scratch job on the materialized graph.
+  core::SheddingResult result;
+  result.kept_edges.reserve(reshed->kept.size());
+  {
+    size_t next = 0;
+    graph::EdgeId id = 0;
+    reshed->snapshot->ForEachLiveEdge([&](const graph::Edge& e) {
+      if (next < reshed->kept.size() && e == reshed->kept[next]) {
+        result.kept_edges.push_back(id);
+        ++next;
+      }
+      ++id;
+    });
+    if (next != reshed->kept.size()) {
+      *run_seconds = watch.ElapsedSeconds();
+      return Status::Internal(
+          "incremental re-shed kept an edge not in its own snapshot");
+    }
+  }
+  result.total_delta = reshed->total_delta;
+  result.average_delta = reshed->average_delta;
+  result.reduction_seconds = reshed->seconds;
+  result.stats = std::move(reshed->stats);
+  result.stats.emplace_back("version", static_cast<double>(reshed->version));
+  result.stats.emplace_back("full_rank", reshed->full_rank ? 1.0 : 0.0);
+  result.stats.emplace_back("dirty_vertices",
+                            static_cast<double>(reshed->dirty_vertices));
+  if (!spec.output_path.empty()) {
+    Stopwatch write_watch;
+    EDGESHED_ASSIGN_OR_RETURN(graph::Graph parent,
+                              reshed->snapshot->Materialize());
+    graph::Graph reduced = result.BuildReducedGraph(parent);
+    if (Status saved = graph::SaveBinaryGraph(reduced, spec.output_path,
+                                              graph::SnapshotOptions{});
+        !saved.ok()) {
+      *run_seconds = watch.ElapsedSeconds();
+      return saved;
+    }
+    result.stats.emplace_back("output_write_seconds",
+                              write_watch.ElapsedSeconds());
   }
   *run_seconds = watch.ElapsedSeconds();
   return result;

@@ -18,6 +18,7 @@
 #include "common/cancellation.h"
 #include "common/statusor.h"
 #include "core/shedding.h"
+#include "dyn/incremental_shed.h"
 #include "obs/tracer.h"
 #include "service/graph_store.h"
 #include "service/metrics_registry.h"
@@ -383,6 +384,16 @@ class JobScheduler {
   StatusOr<core::SheddingResult> Execute(const JobSpec& spec,
                                          const CancellationToken* cancel,
                                          double* run_seconds);
+  /// Execute for the stateful incremental method "crr-inc": resolves (or
+  /// creates) the (dataset, p, seed) ShedSession over the dataset's
+  /// VersionedGraph and re-sheds against the current version. The kept set
+  /// is returned as EdgeIds of the result version's canonical edge order —
+  /// the same ids a from-scratch job on the materialized graph would
+  /// answer with. Not cooperatively cancellable mid-run (re-sheds after
+  /// small batches are far shorter than the cold run); a Cancel lands when
+  /// the run finishes.
+  StatusOr<core::SheddingResult> ExecuteIncremental(const JobSpec& spec,
+                                                    double* run_seconds);
   /// Moves `job` to `state`, resolves followers and the result cache,
   /// updates metrics, wakes waiters. A cancelled primary promotes its first
   /// live follower to primary and re-queues it. Caller holds mu_.
@@ -446,6 +457,21 @@ class JobScheduler {
   /// Cross-job Phase-1 ranking cache; null when disabled. Internally
   /// synchronized — accessed by workers outside mu_.
   std::unique_ptr<RankCache> rank_cache_;
+
+  /// Incremental re-shed sessions for method "crr-inc", one per
+  /// (dataset, p, seed). Sessions are stateful and not thread-safe, so
+  /// each carries its own mutex — concurrent crr-inc jobs on the *same*
+  /// session serialize (the second answers the version the first left
+  /// behind or newer), while distinct sessions run in parallel. A session
+  /// is discarded when the store hands out a different VersionedGraph for
+  /// its dataset (Replace landed).
+  struct DynSession {
+    std::mutex mu;
+    std::shared_ptr<dyn::VersionedGraph> graph;
+    std::unique_ptr<dyn::ShedSession> session;
+  };
+  std::mutex dyn_mu_;  // guards dyn_sessions_ (never held across Reshed)
+  std::map<std::string, std::shared_ptr<DynSession>> dyn_sessions_;
 
   mutable std::mutex mu_;
   std::condition_variable work_available_;

@@ -40,6 +40,13 @@ void StreamingShedder::AdjustDeltaForSeen(graph::NodeId u) {
   total_delta_ += std::abs(dis_after) - std::abs(dis_before);
 }
 
+void StreamingShedder::AdjustDeltaForUnseen(graph::NodeId u) {
+  // deg_seen_[u] was just decremented: dis(u) moved by +p.
+  const double dis_after = Dis(u);
+  const double dis_before = dis_after - p_;
+  total_delta_ += std::abs(dis_after) - std::abs(dis_before);
+}
+
 void StreamingShedder::KeepEdge(graph::NodeId u, graph::NodeId v) {
   const double before = std::abs(Dis(u)) + std::abs(Dis(v));
   ++deg_kept_[u];
@@ -104,6 +111,39 @@ void StreamingShedder::AddEdge(graph::NodeId u, graph::NodeId v) {
     KeepEdge(u, v);
   }
   while (kept_.size() > budget) {
+    EvictWorstSampled();
+  }
+}
+
+void StreamingShedder::RemoveEdge(graph::NodeId u, graph::NodeId v) {
+  if (u == v) return;  // simple graphs only
+  if (std::max(u, v) >= deg_seen_.size()) return;
+  if (edges_seen_ == 0 || deg_seen_[u] == 0 || deg_seen_[v] == 0) return;
+  --edges_seen_;
+  --deg_seen_[u];
+  AdjustDeltaForUnseen(u);
+  --deg_seen_[v];
+  AdjustDeltaForUnseen(v);
+
+  const graph::NodeId lo = std::min(u, v);
+  const graph::NodeId hi = std::max(u, v);
+  const uint64_t key = (static_cast<uint64_t>(lo) << 32) | hi;
+  if (kept_keys_.erase(key) > 0) {
+    for (size_t i = 0; i < kept_.size(); ++i) {
+      if (kept_[i].u == lo && kept_[i].v == hi) {
+        const double before = std::abs(Dis(u)) + std::abs(Dis(v));
+        --deg_kept_[u];
+        --deg_kept_[v];
+        total_delta_ += std::abs(Dis(u)) + std::abs(Dis(v)) - before;
+        kept_[i] = kept_.back();
+        kept_.pop_back();
+        break;
+      }
+    }
+  }
+  // A deletion of a shed edge still shrinks the budget, so an incumbent may
+  // have to go to restore kept <= round(p * seen).
+  while (kept_.size() > Budget()) {
     EvictWorstSampled();
   }
 }

@@ -44,7 +44,17 @@ class StreamingShedder {
   /// shed are treated as fresh arrivals (stream semantics).
   void AddEdge(graph::NodeId u, graph::NodeId v);
 
-  /// Number of stream edges seen (excluding ignored self-loops/duplicates).
+  /// Processes one stream deletion (the dynamic-graph extension, DESIGN.md
+  /// §15): the caller asserts (u,v) previously arrived and has not already
+  /// been deleted. Running degrees and the budget shrink accordingly; if the
+  /// edge is currently kept it is dropped, otherwise a sampled incumbent may
+  /// be evicted to return to the reduced budget. Self-loops, unknown
+  /// endpoints, and deletions past the observed degree are ignored.
+  /// O(kept) worst case (locating a kept edge scans the kept list).
+  void RemoveEdge(graph::NodeId u, graph::NodeId v);
+
+  /// Number of live stream edges: arrivals minus deletions (excluding
+  /// ignored self-loops/duplicates).
   uint64_t EdgesSeen() const { return edges_seen_; }
 
   /// Current kept-edge budget round(p·EdgesSeen()).
@@ -72,7 +82,8 @@ class StreamingShedder {
            p_ * static_cast<double>(deg_seen_[u]);
   }
   void EnsureNode(graph::NodeId u);
-  void AdjustDeltaForSeen(graph::NodeId u);   // deg_seen_[u] already bumped
+  void AdjustDeltaForSeen(graph::NodeId u);    // deg_seen_[u] already bumped
+  void AdjustDeltaForUnseen(graph::NodeId u);  // deg_seen_[u] already dropped
   void KeepEdge(graph::NodeId u, graph::NodeId v);
   void EvictWorstSampled();
 

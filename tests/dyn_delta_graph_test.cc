@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "dyn/delta_graph.h"
+#include "dyn/versioned_graph.h"
+#include "graph/mutation_io.h"
+#include "testing/test_graphs.h"
+
+namespace edgeshed::dyn {
+namespace {
+
+using graph::Edge;
+using graph::MutationBatch;
+using graph::NodeId;
+
+MutationBatch Batch(std::vector<Edge> inserts, std::vector<Edge> deletes) {
+  MutationBatch batch;
+  batch.inserts = std::move(inserts);
+  batch.deletes = std::move(deletes);
+  return batch;
+}
+
+TEST(DynMutationIo, ValidateRejectsSelfLoopNamingPair) {
+  MutationBatch batch = Batch({{3, 3}}, {});
+  const Status status = graph::ValidateAndCanonicalizeBatch(&batch);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("{3, 3}"), std::string::npos)
+      << status.message();
+}
+
+TEST(DynMutationIo, ValidateRejectsDuplicateInsertNamingPair) {
+  // Same undirected pair in both orientations.
+  MutationBatch batch = Batch({{1, 2}, {2, 1}}, {});
+  const Status status = graph::ValidateAndCanonicalizeBatch(&batch);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("{1, 2}"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("inserts"), std::string::npos)
+      << status.message();
+}
+
+TEST(DynMutationIo, ValidateRejectsDuplicateDelete) {
+  MutationBatch batch = Batch({}, {{4, 5}, {4, 5}});
+  const Status status = graph::ValidateAndCanonicalizeBatch(&batch);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("deletes"), std::string::npos)
+      << status.message();
+}
+
+TEST(DynMutationIo, ValidateRejectsInsertDeleteConflict) {
+  MutationBatch batch = Batch({{1, 2}}, {{2, 1}});
+  const Status status = graph::ValidateAndCanonicalizeBatch(&batch);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("both insert and delete"),
+            std::string::npos)
+      << status.message();
+}
+
+TEST(DynMutationIo, ValidateCanonicalizes) {
+  MutationBatch batch = Batch({{7, 2}}, {{9, 4}});
+  ASSERT_TRUE(graph::ValidateAndCanonicalizeBatch(&batch).ok());
+  EXPECT_EQ(batch.inserts[0], (Edge{2, 7}));
+  EXPECT_EQ(batch.deletes[0], (Edge{4, 9}));
+}
+
+TEST(DynMutationIo, ParseTextBatchesAndComments) {
+  const auto parsed = graph::ParseMutationText(
+      "# header\n"
+      "+ 1 2\n"
+      "- 3 4\n"
+      "---\n"
+      "% second batch\n"
+      "+ 5 0\n"
+      "---\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].inserts, (std::vector<Edge>{{1, 2}}));
+  EXPECT_EQ((*parsed)[0].deletes, (std::vector<Edge>{{3, 4}}));
+  EXPECT_EQ((*parsed)[1].inserts, (std::vector<Edge>{{0, 5}}));
+  EXPECT_TRUE((*parsed)[1].deletes.empty());
+}
+
+TEST(DynMutationIo, ParseTextRejectsBadLineWithLineNumber) {
+  const auto parsed = graph::ParseMutationText("+ 1 2\nok nope\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(DynMutationIo, ParseTextRejectsSelfLoopNamingPairAndBatch) {
+  const auto parsed = graph::ParseMutationText("+ 1 2\n---\n+ 6 6\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("{6, 6}"), std::string::npos)
+      << parsed.status().message();
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(DynDeltaGraph, ApplyBatchVersionsAreMonotone) {
+  VersionedGraph vg(testing::Cycle(6));
+  EXPECT_EQ(vg.CurrentVersion(), 0u);
+  auto v1 = vg.ApplyBatch(Batch({{0, 2}}, {}));
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_EQ(*v1, 1u);
+  auto v2 = vg.ApplyBatch(Batch({}, {{0, 1}}));
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, 2u);
+  EXPECT_EQ(vg.CurrentVersion(), 2u);
+}
+
+TEST(DynDeltaGraph, RejectsNonLiveDeleteAndLiveInsertNamingPair) {
+  VersionedGraph vg(testing::Cycle(6));
+  auto missing = vg.ApplyBatch(Batch({}, {{0, 3}}));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(missing.status().message().find("{0, 3}"), std::string::npos);
+
+  auto dup = vg.ApplyBatch(Batch({{1, 0}}, {}));
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup.status().message().find("{0, 1}"), std::string::npos);
+
+  auto range = vg.ApplyBatch(Batch({{0, 17}}, {}));
+  ASSERT_FALSE(range.ok());
+  EXPECT_EQ(range.status().code(), StatusCode::kInvalidArgument);
+
+  // A rejected batch leaves the head untouched.
+  EXPECT_EQ(vg.CurrentVersion(), 0u);
+  EXPECT_EQ(vg.Snapshot()->NumEdges(), 6u);
+}
+
+TEST(DynDeltaGraph, OverlayAccessorsMatchMutatedGraph) {
+  VersionedGraph vg(testing::Path(5));  // 0-1-2-3-4
+  ASSERT_TRUE(vg.ApplyBatch(Batch({{0, 4}, {1, 3}}, {{1, 2}})).ok());
+  auto snap = vg.Snapshot();
+  EXPECT_EQ(snap->NumNodes(), 5u);
+  EXPECT_EQ(snap->NumEdges(), 5u);
+  EXPECT_EQ(snap->Degree(0), 2u);  // 1 and 4
+  EXPECT_EQ(snap->Degree(1), 2u);  // 0 and 3 (1-2 deleted)
+  EXPECT_EQ(snap->Degree(2), 1u);  // 3
+  EXPECT_TRUE(snap->HasEdge(0, 4));
+  EXPECT_TRUE(snap->HasEdge(3, 1));
+  EXPECT_FALSE(snap->HasEdge(1, 2));
+  std::vector<NodeId> nbrs;
+  snap->ForEachNeighbor(1, [&](NodeId n) { nbrs.push_back(n); });
+  EXPECT_EQ(nbrs, (std::vector<NodeId>{0, 3}));
+  EXPECT_EQ(snap->LiveEdges(),
+            (std::vector<Edge>{{0, 1}, {0, 4}, {1, 3}, {2, 3}, {3, 4}}));
+}
+
+TEST(DynDeltaGraph, SnapshotIsolationAcrossMutationsAndCompaction) {
+  VersionedGraphOptions options;
+  options.auto_compact = false;
+  VersionedGraph vg(testing::Cycle(4), options);
+  auto before = vg.Snapshot();
+  ASSERT_TRUE(vg.ApplyBatch(Batch({{0, 2}}, {{0, 1}})).ok());
+  ASSERT_TRUE(vg.Compact().ok());
+  ASSERT_TRUE(vg.ApplyBatch(Batch({{1, 3}}, {})).ok());
+  // The pinned snapshot still sees version 0 exactly.
+  EXPECT_EQ(before->version(), 0u);
+  EXPECT_EQ(before->NumEdges(), 4u);
+  EXPECT_TRUE(before->HasEdge(0, 1));
+  EXPECT_FALSE(before->HasEdge(0, 2));
+  auto after = vg.Snapshot();
+  EXPECT_EQ(after->version(), 2u);
+  EXPECT_TRUE(after->HasEdge(1, 3));
+  EXPECT_FALSE(after->HasEdge(0, 1));
+}
+
+TEST(DynDeltaGraph, UnDeleteAndDeleteOfInsertCancelOut) {
+  // Overlay-algebra assertions need a stable base: a background compaction
+  // landing mid-sequence would re-base the overlay and make OverlaySize
+  // timing-dependent (LiveEdges would still be right).
+  VersionedGraphOptions options;
+  options.auto_compact = false;
+  VersionedGraph vg(testing::Cycle(4), options);
+  ASSERT_TRUE(vg.ApplyBatch(Batch({}, {{0, 1}})).ok());
+  ASSERT_TRUE(vg.ApplyBatch(Batch({{1, 0}}, {})).ok());  // un-delete
+  ASSERT_TRUE(vg.ApplyBatch(Batch({{0, 2}}, {})).ok());
+  ASSERT_TRUE(vg.ApplyBatch(Batch({}, {{0, 2}})).ok());  // delete the insert
+  auto snap = vg.Snapshot();
+  EXPECT_EQ(snap->OverlaySize(), 0u);
+  EXPECT_EQ(snap->LiveEdges(),
+            (std::vector<Edge>{{0, 1}, {0, 3}, {1, 2}, {2, 3}}));
+}
+
+TEST(DynDeltaGraph, MaterializeMatchesFromScratchBitIdentically) {
+  VersionedGraphOptions options;
+  options.auto_compact = false;
+  VersionedGraph vg(testing::TwoTrianglesWithBridge(), options);
+  ASSERT_TRUE(vg.ApplyBatch(Batch({{0, 3}, {1, 5}}, {{2, 3}})).ok());
+  auto snap = vg.Snapshot();
+  auto materialized = snap->Materialize();
+  ASSERT_TRUE(materialized.ok());
+  auto scratch = graph::Graph::FromEdges(
+      6, {{0, 1}, {0, 2}, {1, 2}, {3, 4}, {3, 5}, {4, 5}, {0, 3}, {1, 5}});
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_TRUE(materialized->edges() == scratch->edges());
+  EXPECT_EQ(std::vector<uint64_t>(materialized->RawOffsets().begin(),
+                                  materialized->RawOffsets().end()),
+            std::vector<uint64_t>(scratch->RawOffsets().begin(),
+                                  scratch->RawOffsets().end()));
+  EXPECT_EQ(std::vector<NodeId>(materialized->RawAdjacency().begin(),
+                                materialized->RawAdjacency().end()),
+            std::vector<NodeId>(scratch->RawAdjacency().begin(),
+                                scratch->RawAdjacency().end()));
+  EXPECT_EQ(std::vector<graph::EdgeId>(materialized->RawIncident().begin(),
+                                       materialized->RawIncident().end()),
+            std::vector<graph::EdgeId>(scratch->RawIncident().begin(),
+                                       scratch->RawIncident().end()));
+}
+
+TEST(DynDeltaGraph, BackgroundCompactionPreservesVersionsAndEdges) {
+  VersionedGraphOptions options;
+  options.compact_ratio = 0.01;  // compact after every batch
+  VersionedGraph vg(testing::Cycle(8), options);
+  ASSERT_TRUE(vg.ApplyBatch(Batch({{0, 4}}, {{0, 1}})).ok());
+  vg.WaitForCompaction();
+  auto snap = vg.Snapshot();
+  EXPECT_EQ(snap->version(), 1u);
+  // Compaction folded the overlay into the base.
+  EXPECT_EQ(snap->OverlaySize(), 0u);
+  EXPECT_TRUE(snap->HasEdge(0, 4));
+  EXPECT_FALSE(snap->HasEdge(0, 1));
+  // Mutations after compaction keep the version sequence.
+  auto v2 = vg.ApplyBatch(Batch({{0, 1}}, {}));
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, 2u);
+}
+
+TEST(DynDeltaGraph, BatchesSinceReturnsSuffixOrNulloptWhenTrimmed) {
+  VersionedGraphOptions options;
+  options.auto_compact = false;
+  options.history_limit = 2;
+  VersionedGraph vg(testing::Clique(5), options);
+  ASSERT_TRUE(vg.ApplyBatch(Batch({}, {{0, 1}})).ok());
+  ASSERT_TRUE(vg.ApplyBatch(Batch({}, {{0, 2}})).ok());
+  ASSERT_TRUE(vg.ApplyBatch(Batch({}, {{0, 3}})).ok());
+
+  auto since1 = vg.BatchesSince(1);
+  ASSERT_TRUE(since1.has_value());
+  ASSERT_EQ(since1->size(), 2u);
+  EXPECT_EQ((*since1)[0].deletes, (std::vector<Edge>{{0, 2}}));
+  EXPECT_EQ((*since1)[1].deletes, (std::vector<Edge>{{0, 3}}));
+  auto current = vg.BatchesSince(3);
+  ASSERT_TRUE(current.has_value());
+  EXPECT_TRUE(current->empty());
+  // Future versions are unknown.
+  EXPECT_FALSE(vg.BatchesSince(9).has_value());
+
+  // History trimming only happens for batches already folded into the
+  // base; compact, then push the limit.
+  ASSERT_TRUE(vg.Compact().ok());
+  ASSERT_TRUE(vg.ApplyBatch(Batch({}, {{0, 4}})).ok());
+  ASSERT_TRUE(vg.ApplyBatch(Batch({}, {{1, 2}})).ok());
+  ASSERT_TRUE(vg.ApplyBatch(Batch({}, {{1, 3}})).ok());
+  EXPECT_FALSE(vg.BatchesSince(1).has_value());  // trimmed
+  auto tail = vg.BatchesSince(4);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->size(), 2u);
+}
+
+}  // namespace
+}  // namespace edgeshed::dyn

@@ -47,6 +47,8 @@ TEST(WireFrameTest, EveryMessageTypeRoundTrips) {
       MessageType::kShedResponse,        MessageType::kGetStatusResponse,
       MessageType::kWaitResponse,        MessageType::kCancelResponse,
       MessageType::kListDatasetsResponse, MessageType::kPingResponse,
+      MessageType::kApplyMutationsRequest,
+      MessageType::kApplyMutationsResponse,
       MessageType::kErrorResponse,
   };
   for (MessageType type : types) {
@@ -62,6 +64,9 @@ TEST(WireFrameTest, EveryMessageTypeRoundTrips) {
             MessageType::kPingResponse);
   EXPECT_EQ(ResponseTypeFor(MessageType::kWaitRequest),
             MessageType::kWaitResponse);
+  EXPECT_TRUE(IsRequestType(MessageType::kApplyMutationsRequest));
+  EXPECT_EQ(ResponseTypeFor(MessageType::kApplyMutationsRequest),
+            MessageType::kApplyMutationsResponse);
 }
 
 TEST(WireFrameTest, TwoFramesBackToBackDecodeOneAtATime) {
@@ -400,6 +405,75 @@ TEST(WireMessageTest, GetStatusAndListDatasetsRoundTrip) {
                   EncodeListDatasetsResponseBody(list), &list_decoded)
                   .ok());
   EXPECT_EQ(list_decoded.names, list.names);
+}
+
+TEST(WireMessageTest, ApplyMutationsRoundTrip) {
+  ApplyMutationsRequest request;
+  request.dataset = "grqc";
+  request.inserts = {{1, 9}, {0, 1047}};
+  request.deletes = {{0, 1}};
+  ApplyMutationsRequest request_decoded;
+  ASSERT_TRUE(DecodeApplyMutationsRequest(EncodeApplyMutationsRequest(request),
+                                          &request_decoded)
+                  .ok());
+  EXPECT_EQ(request_decoded.dataset, "grqc");
+  EXPECT_EQ(request_decoded.inserts, request.inserts);
+  EXPECT_EQ(request_decoded.deletes, request.deletes);
+
+  ApplyMutationsResponse response;
+  response.version = 7;
+  response.live_edges = 3138;
+  response.overlay_inserted = 2;
+  response.overlay_deleted = 1;
+  response.compacting = 1;
+  ApplyMutationsResponse response_decoded;
+  ASSERT_TRUE(DecodeApplyMutationsResponseBody(
+                  EncodeApplyMutationsResponseBody(response),
+                  &response_decoded)
+                  .ok());
+  EXPECT_EQ(response_decoded.version, 7u);
+  EXPECT_EQ(response_decoded.live_edges, 3138u);
+  EXPECT_EQ(response_decoded.overlay_inserted, 2u);
+  EXPECT_EQ(response_decoded.overlay_deleted, 1u);
+  EXPECT_EQ(response_decoded.compacting, 1u);
+}
+
+TEST(WireMessageTest, ApplyMutationsEmptyListsRoundTrip) {
+  ApplyMutationsRequest request;
+  request.dataset = "d";
+  ApplyMutationsRequest decoded;
+  ASSERT_TRUE(DecodeApplyMutationsRequest(EncodeApplyMutationsRequest(request),
+                                          &decoded)
+                  .ok());
+  EXPECT_TRUE(decoded.inserts.empty());
+  EXPECT_TRUE(decoded.deletes.empty());
+}
+
+TEST(WireMessageTest, ApplyMutationsHostileCountFailsWithoutAllocating) {
+  // A hostile peer can declare any edge count in 4 bytes; the decoder must
+  // bound its reserve by the bytes actually present and fail cleanly
+  // instead of attempting a multi-GB allocation.
+  WireWriter w;
+  w.PutString("grqc");
+  w.PutU32(0xFFFFFFFFu);  // insert count with no edge bytes behind it
+  ApplyMutationsRequest decoded;
+  EXPECT_FALSE(DecodeApplyMutationsRequest(w.Take(), &decoded).ok());
+
+  WireWriter w2;
+  w2.PutString("grqc");
+  w2.PutU32(3);  // declares 3 inserts, supplies 1
+  w2.PutU32(0);
+  w2.PutU32(1);
+  ApplyMutationsRequest decoded2;
+  EXPECT_FALSE(DecodeApplyMutationsRequest(w2.Take(), &decoded2).ok());
+
+  WireWriter w3;
+  w3.PutString("grqc");
+  w3.PutU32(0);  // inserts
+  w3.PutU32(0);  // deletes
+  w3.PutU32(7);  // trailing garbage must be rejected
+  ApplyMutationsRequest decoded3;
+  EXPECT_FALSE(DecodeApplyMutationsRequest(w3.Take(), &decoded3).ok());
 }
 
 // ---------------------------------------------------------------------------

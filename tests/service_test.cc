@@ -19,6 +19,7 @@
 #include "core/shedder_factory.h"
 #include "graph/binary_io.h"
 #include "graph/generators/generators.h"
+#include "graph/source.h"
 #include "service/dataset_registry.h"
 #include "service/graph_store.h"
 #include "service/job_scheduler.h"
@@ -388,6 +389,59 @@ TEST(GraphStoreTest, ShardDirFallbackServesSnapshotsByName) {
   EXPECT_EQ(store.Get("../etc/passwd").status().code(),
             StatusCode::kNotFound);
   EXPECT_EQ(store.Get("no_such_snap").status().code(), StatusCode::kIOError);
+}
+
+TEST(GraphStoreTest, ReplaceKeepsMmapBackingAliveForPinnedReaders) {
+  // Regression: Replace on an mmap-backed (v3 zero-copy) dataset must keep
+  // the old mapping alive until the last pinned reader drops it. The reader
+  // holds FromCsrView spans (through the mapped Graph) across the Replace,
+  // a store-wide residency drop, and deletion of the snapshot file; the
+  // refcounted backing handle is then the mapping's only owner.
+  const std::string path = ::testing::TempDir() + "/replace_keepalive.esg";
+  const graph::Graph original = Clique(12);
+  ASSERT_TRUE(
+      graph::SaveBinaryGraph(original, path, graph::SnapshotOptions{}).ok());
+
+  GraphStore store;
+  ASSERT_TRUE(store
+                  .Register("g",
+                            [path]() -> StatusOr<graph::Graph> {
+                              graph::GraphSource source;
+                              source.path = path;
+                              source.format = graph::GraphFormat::kSnapshot;
+                              EDGESHED_ASSIGN_OR_RETURN(
+                                  graph::LoadedGraph loaded,
+                                  graph::LoadGraph(source, {}));
+                              return std::move(loaded.graph);
+                            })
+                  .ok());
+
+  auto pinned = store.Get("g");
+  ASSERT_TRUE(pinned.ok()) << pinned.status();
+  ASSERT_TRUE((*pinned)->IsMapped());  // really zero-copy, not a heap load
+  const auto adjacency = (*pinned)->RawAdjacency();
+  const std::vector<graph::NodeId> expected(adjacency.begin(),
+                                            adjacency.end());
+
+  ASSERT_TRUE(store
+                  .Replace("g",
+                           []() -> StatusOr<graph::Graph> { return Path(4); })
+                  .ok());
+  store.Clear();
+  std::filesystem::remove(path);
+  auto replaced = store.Get("g");
+  ASSERT_TRUE(replaced.ok()) << replaced.status();
+  EXPECT_EQ((*replaced)->NumNodes(), 4u);
+
+  // Every page of the pinned spans must still be mapped and unchanged.
+  ASSERT_EQ(adjacency.size(), expected.size());
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                         adjacency.begin()));
+  uint64_t degree_sum = 0;
+  for (graph::NodeId u = 0; u < (*pinned)->NumNodes(); ++u) {
+    degree_sum += (*pinned)->Degree(u);
+  }
+  EXPECT_EQ(degree_sum, 2 * original.NumEdges());
 }
 
 // ---------------------------------------------------------------------------

@@ -132,6 +132,52 @@ TEST(StreamingShedderTest, DeterministicBySeed) {
   EXPECT_DOUBLE_EQ(a.TotalDelta(), b.TotalDelta());
 }
 
+TEST(StreamingShedderTest, RemoveEdgeDropsKeptEdgeAndShrinksBudget) {
+  StreamingShedder shedder(0.9);
+  for (graph::NodeId v = 1; v <= 10; ++v) shedder.AddEdge(0, v);
+  ASSERT_EQ(shedder.EdgesSeen(), 10u);
+  const graph::Edge victim = shedder.kept_edges().front();
+
+  shedder.RemoveEdge(victim.u, victim.v);
+  EXPECT_EQ(shedder.EdgesSeen(), 9u);
+  for (const graph::Edge& e : shedder.kept_edges()) {
+    EXPECT_FALSE(e.u == victim.u && e.v == victim.v);
+  }
+  EXPECT_LE(shedder.kept_edges().size(), shedder.Budget());
+  EXPECT_NEAR(shedder.TotalDelta(), shedder.RecomputeTotalDelta(), 1e-6);
+
+  // Ignored deletions: self-loop, unknown endpoint, already-deleted edge.
+  const uint64_t seen = shedder.EdgesSeen();
+  shedder.RemoveEdge(3, 3);
+  shedder.RemoveEdge(0, 999);
+  shedder.RemoveEdge(victim.u, victim.v);
+  shedder.RemoveEdge(victim.u, victim.v);  // deg budget exhausted by now
+  EXPECT_LE(seen - shedder.EdgesSeen(), 1u);
+}
+
+TEST(StreamingShedderTest, InterleavedRemovalsKeepInvariants) {
+  Rng rng(29);
+  auto g = graph::BarabasiAlbert(400, 4, rng);
+  StreamingShedder shedder(0.4);
+  const auto& edges = g.edges();
+  // Stream everything in, then a turnstile phase: delete every 7th original
+  // edge while inserting fresh chords between random live endpoints.
+  for (const graph::Edge& e : edges) shedder.AddEdge(e.u, e.v);
+  for (size_t i = 0; i < edges.size(); i += 7) {
+    shedder.RemoveEdge(edges[i].u, edges[i].v);
+    const auto u = static_cast<graph::NodeId>(rng.UniformIndex(400));
+    const auto v = static_cast<graph::NodeId>(rng.UniformIndex(400));
+    shedder.AddEdge(u, v);
+    EXPECT_LE(shedder.kept_edges().size(), shedder.Budget());
+  }
+  EXPECT_NEAR(shedder.TotalDelta(), shedder.RecomputeTotalDelta(), 1e-6);
+  // Every kept edge is still a live stream edge with sane endpoints.
+  for (const graph::Edge& e : shedder.kept_edges()) {
+    EXPECT_LT(e.u, e.v);
+    EXPECT_LT(e.v, shedder.NumNodes());
+  }
+}
+
 TEST(StreamingShedderDeathTest, InvalidRatioAborts) {
   EXPECT_DEATH({ StreamingShedder shedder(0.0); }, "");
   EXPECT_DEATH({ StreamingShedder shedder(1.0); }, "");

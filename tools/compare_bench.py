@@ -29,6 +29,7 @@ SCHEMAS = (
     "edgeshed-bench-dist-v1",
     "edgeshed-bench-serving-v1",
     "edgeshed-bench-ingest-v1",
+    "edgeshed-bench-dynamic-v1",
 )
 
 

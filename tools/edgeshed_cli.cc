@@ -26,11 +26,16 @@
 //                    [--tenants=name:weight[:quota],...] [--degrade]
 //                    [--max_pending=N]
 //                    [--stats_port=P] [--serve_ms=T] [--public]
-//   edgeshed client  --op=ping|shed|wait|status|cancel|list
+//   edgeshed client  --op=ping|shed|wait|status|cancel|list|apply
 //                    [--host=H] [--port=P] [--dataset=D] [--method=M]
 //                    [--p=0.5] [--seed=N] [--deadline_ms=T] [--job_id=N]
 //                    [--tenant=NAME] [--priority]
+//                    [--mutations=M.txt] [--insert=u:v,...] [--delete=u:v,...]
 //                    [--no_wait] [--timeout_ms=T] [--retries=N]
+//   edgeshed mutate  --input=G.any --mutations=M.txt [--reshed] [--p=0.5]
+//                    [--seed=42] [--dirty_hops=0] [--decay_half_life=0]
+//                    [--compact_ratio=0.1] [--output=K.txt]
+//                    [--binary_output=G2.esg]
 //   edgeshed coordinate --input=G.txt --shard_dir=DIR
 //                    [--workers=host:port,host:port,...] [--shards=K]
 //                    [--partitioner=hdrf|dbh|hash] [--method=crr] [--p=0.5]
@@ -67,6 +72,15 @@
 // result identical to the same job run in-process, because the wire layer
 // dispatches onto the identical deterministic scheduler.
 //
+// Dynamic graphs (src/dyn/, DESIGN.md §15): `mutate` replays a mutation
+// file (`+ u v` / `- u v` lines, `---` batch separators) against the input
+// through a VersionedGraph and, with --reshed, runs one incremental
+// re-shedding session across the batch sequence, printing one parseable
+// `batch=K version=V kept=N ...` line per batch. `client --op=apply` sends
+// one ApplyMutations RPC per batch to a running server — the dataset's
+// store generation bumps exactly as if the graph were replaced, so a
+// subsequent remote shed sees the mutated graph.
+//
 // Sharded fleet (src/dist/, DESIGN.md §11): `coordinate` partitions the
 // input across K shards, farms each shard's shed out to the --workers fleet
 // over RPC (workers must run `serve --shard_dir=DIR` on the same shared
@@ -96,11 +110,14 @@
 #include "core/shedder_factory.h"
 #include "dist/coordinator.h"
 #include "dist/partitioner.h"
+#include "dyn/incremental_shed.h"
+#include "dyn/versioned_graph.h"
 #include "eval/flags.h"
 #include "graph/binary_io.h"
 #include "graph/datasets.h"
 #include "graph/edge_list_io.h"
 #include "graph/external_build.h"
+#include "graph/mutation_io.h"
 #include "graph/source.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -144,11 +161,16 @@ int Usage() {
                "[--tenants=name:weight[:quota],...] [--degrade] "
                "[--max_pending=N] "
                "[--stats_port=P] [--serve_ms=T] [--public]\n"
-               "  client   --op=ping|shed|wait|status|cancel|list "
+               "  client   --op=ping|shed|wait|status|cancel|list|apply "
                "[--host=127.0.0.1] [--port=P] [--dataset=D] [--method=crr] "
                "[--p=0.5] [--seed=42] [--deadline_ms=T] [--job_id=N] "
-               "[--tenant=NAME] [--priority] "
+               "[--tenant=NAME] [--priority] [--mutations=M.txt] "
+               "[--insert=u:v,...] [--delete=u:v,...] "
                "[--no_wait] [--timeout_ms=T] [--retries=N]\n"
+               "  mutate   --input=G.any --mutations=M.txt [--reshed] "
+               "[--p=0.5] [--seed=42] [--dirty_hops=0] "
+               "[--decay_half_life=0] [--compact_ratio=0.1] "
+               "[--output=K.txt] [--binary_output=G2.esg]\n"
                "  coordinate --input=G.txt --shard_dir=DIR "
                "[--workers=host:port,...] [--shards=2] "
                "[--partitioner=hdrf|dbh|hash] [--method=crr] [--p=0.5] "
@@ -822,6 +844,31 @@ int CmdServe(const eval::Flags& flags) {
   return 0;
 }
 
+/// Parses --insert / --delete flag values: "u:v,u:v,...". Whitespace around
+/// entries is tolerated; validation beyond u32 syntax (self-loops,
+/// duplicates, liveness) is the server's job so errors name one authority.
+Status ParseEdgePairsFlag(const std::string& value, const char* flag,
+                          std::vector<std::pair<uint32_t, uint32_t>>* out) {
+  for (std::string_view entry : StrSplit(value, ',')) {
+    entry = StripWhitespace(entry);
+    if (entry.empty()) continue;
+    const size_t colon = entry.find(':');
+    unsigned long long u = 0;
+    unsigned long long v = 0;
+    char trailing = '\0';
+    if (colon == std::string_view::npos ||
+        std::sscanf(std::string(entry).c_str(), "%llu:%llu%c", &u, &v,
+                    &trailing) != 2 ||
+        u > UINT32_MAX || v > UINT32_MAX) {
+      return Status::InvalidArgument(
+          StrFormat("bad --%s entry (want u:v with u32 ids): %.*s", flag,
+                    static_cast<int>(entry.size()), entry.data()));
+    }
+    out->emplace_back(static_cast<uint32_t>(u), static_cast<uint32_t>(v));
+  }
+  return Status::OK();
+}
+
 int CmdClient(const eval::Flags& flags) {
   net::RpcClientOptions options;
   options.host = flags.GetString("host", "127.0.0.1");
@@ -891,6 +938,70 @@ int CmdClient(const eval::Flags& flags) {
     return 0;
   }
 
+  if (op == "apply") {
+    // One ApplyMutationsRequest per batch: a mutation file's `---`
+    // separators keep their batch-atomicity over the wire, and inline
+    // --insert/--delete flags form one extra batch.
+    const std::string dataset = flags.GetString("dataset", "grqc");
+    std::vector<net::ApplyMutationsRequest> requests;
+    const std::string mutations_path = flags.GetString("mutations", "");
+    if (!mutations_path.empty()) {
+      auto batches = graph::ParseMutationFile(mutations_path);
+      if (!batches.ok()) {
+        std::cerr << batches.status() << "\n";
+        return 1;
+      }
+      for (const graph::MutationBatch& batch : *batches) {
+        net::ApplyMutationsRequest request;
+        request.dataset = dataset;
+        for (const graph::Edge& e : batch.inserts) {
+          request.inserts.emplace_back(e.u, e.v);
+        }
+        for (const graph::Edge& e : batch.deletes) {
+          request.deletes.emplace_back(e.u, e.v);
+        }
+        requests.push_back(std::move(request));
+      }
+    }
+    net::ApplyMutationsRequest inline_request;
+    inline_request.dataset = dataset;
+    if (Status parsed = ParseEdgePairsFlag(flags.GetString("insert", ""),
+                                           "insert", &inline_request.inserts);
+        !parsed.ok()) {
+      std::cerr << parsed << "\n";
+      return Usage();
+    }
+    if (Status parsed = ParseEdgePairsFlag(flags.GetString("delete", ""),
+                                           "delete", &inline_request.deletes);
+        !parsed.ok()) {
+      std::cerr << parsed << "\n";
+      return Usage();
+    }
+    if (!inline_request.inserts.empty() || !inline_request.deletes.empty()) {
+      requests.push_back(std::move(inline_request));
+    }
+    if (requests.empty()) {
+      std::cerr << "--op=apply needs --mutations and/or --insert/--delete\n";
+      return Usage();
+    }
+    for (size_t i = 0; i < requests.size(); ++i) {
+      auto response = client.ApplyMutations(requests[i]);
+      if (!response.ok()) {
+        std::cerr << "batch " << i + 1 << ": " << response.status() << "\n";
+        return 1;
+      }
+      std::printf("applied batch=%zu version=%llu live=%llu "
+                  "overlay=+%llu/-%llu compacting=%u\n",
+                  i + 1,
+                  static_cast<unsigned long long>(response->version),
+                  static_cast<unsigned long long>(response->live_edges),
+                  static_cast<unsigned long long>(response->overlay_inserted),
+                  static_cast<unsigned long long>(response->overlay_deleted),
+                  response->compacting);
+    }
+    return 0;
+  }
+
   const auto job_id = static_cast<uint64_t>(flags.GetInt("job_id", 0));
   if (op == "wait") {
     auto summary = client.Wait(job_id);
@@ -944,6 +1055,120 @@ int CmdClient(const eval::Flags& flags) {
   }
   std::cerr << "unknown --op: " << op << "\n";
   return Usage();
+}
+
+int CmdMutate(const eval::Flags& flags) {
+  auto input = LoadInput(flags);
+  if (!input.ok()) {
+    std::cerr << input.status() << "\n";
+    return 1;
+  }
+  const std::string mutations_path = flags.GetString("mutations", "");
+  if (mutations_path.empty()) {
+    std::cerr << "--mutations is required\n";
+    return Usage();
+  }
+  auto batches = graph::ParseMutationFile(mutations_path);
+  if (!batches.ok()) {
+    std::cerr << batches.status() << "\n";
+    return 1;
+  }
+
+  dyn::VersionedGraph::Options graph_options;
+  graph_options.compact_ratio = flags.GetDouble("compact_ratio", 0.10);
+  graph_options.auto_compact = flags.GetBool("auto_compact", true);
+  auto versioned = std::make_shared<dyn::VersionedGraph>(
+      std::move(input->graph), graph_options);
+
+  std::unique_ptr<dyn::ShedSession> session;
+  if (flags.GetBool("reshed", false)) {
+    dyn::DynamicShedOptions shed_options;
+    shed_options.p = flags.GetDouble("p", 0.5);
+    shed_options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    shed_options.dirty_hops =
+        static_cast<uint32_t>(flags.GetInt("dirty_hops", 0));
+    shed_options.decay_half_life = flags.GetDouble("decay_half_life", 0.0);
+    shed_options.threads = static_cast<int>(flags.GetInt("threads", 0));
+    session = std::make_unique<dyn::ShedSession>(versioned, shed_options);
+  }
+
+  // One parseable line per re-shed; `kept=` is what CI smoke compares
+  // against the remote path.
+  std::vector<graph::Edge> kept;
+  auto reshed_once = [&](size_t batch_index) -> int {
+    auto result = session->Reshed();
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
+    std::printf("batch=%zu version=%llu kept=%zu full_rank=%d dirty=%llu "
+                "avg_delta=%.6f reshed=%.3fs\n",
+                batch_index,
+                static_cast<unsigned long long>(result->version),
+                result->kept.size(), result->full_rank ? 1 : 0,
+                static_cast<unsigned long long>(result->dirty_vertices),
+                result->average_delta, result->seconds);
+    kept = std::move(result->kept);
+    return 0;
+  };
+  if (session != nullptr && reshed_once(0) != 0) return 1;
+
+  for (size_t i = 0; i < batches->size(); ++i) {
+    auto version = versioned->ApplyBatch(std::move((*batches)[i]));
+    if (!version.ok()) {
+      std::cerr << "batch " << i + 1 << ": " << version.status() << "\n";
+      return 1;
+    }
+    auto snap = versioned->Snapshot();
+    std::printf("applied batch=%zu version=%llu live=%s overlay=+%zu/-%zu "
+                "ratio=%.4f\n",
+                i + 1, static_cast<unsigned long long>(*version),
+                FormatWithCommas(snap->NumEdges()).c_str(),
+                snap->inserted().size(), snap->deleted_ids().size(),
+                snap->DeltaRatio());
+    if (session != nullptr && reshed_once(i + 1) != 0) return 1;
+  }
+  versioned->WaitForCompaction();
+  auto snap = versioned->Snapshot();
+  std::printf("final version=%llu live=%s overlay=+%zu/-%zu\n",
+              static_cast<unsigned long long>(versioned->CurrentVersion()),
+              FormatWithCommas(snap->NumEdges()).c_str(),
+              snap->inserted().size(), snap->deleted_ids().size());
+
+  const std::string output = flags.GetString("output", "");
+  if (!output.empty()) {
+    if (session == nullptr) {
+      std::cerr << "--output writes the kept edge list; it needs --reshed\n";
+      return Usage();
+    }
+    auto reduced = graph::Graph::FromEdges(
+        static_cast<graph::NodeId>(snap->NumNodes()), kept);
+    if (!reduced.ok()) {
+      std::cerr << reduced.status() << "\n";
+      return 1;
+    }
+    if (Status saved = graph::SaveEdgeList(*reduced, output); !saved.ok()) {
+      std::cerr << saved << "\n";
+      return 1;
+    }
+    std::printf("wrote %s\n", output.c_str());
+  }
+  const std::string binary_output = flags.GetString("binary_output", "");
+  if (!binary_output.empty()) {
+    auto materialized = snap->Materialize();
+    if (!materialized.ok()) {
+      std::cerr << materialized.status() << "\n";
+      return 1;
+    }
+    if (Status saved = graph::SaveBinaryGraph(*materialized, binary_output,
+                                              SnapshotOptionsFromFlags(flags));
+        !saved.ok()) {
+      std::cerr << saved << "\n";
+      return 1;
+    }
+    std::printf("wrote %s\n", binary_output.c_str());
+  }
+  return 0;
 }
 
 int CmdCoordinate(const eval::Flags& flags) {
@@ -1118,6 +1343,7 @@ int main(int argc, char** argv) {
   if (command == "service") return CmdService(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "client") return CmdClient(flags);
+  if (command == "mutate") return CmdMutate(flags);
   if (command == "coordinate") return CmdCoordinate(flags);
   return Usage();
 }
